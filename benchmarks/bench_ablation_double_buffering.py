@@ -1,0 +1,71 @@
+"""Ablation A2: double buffering (paper Section 4.2).
+
+The paper's 2n-delta vs n-delta argument concerns overlapping the
+producer's staging with the consumers' draining.  At the SCC's parameter
+point the non-root node cycle (MPB get + off-chip copy) dominates the
+root's staging, so the default deep-tree configuration hides most of the
+staging either way (Formula 15 is buffer-count-independent); the overlap
+is fully exposed in a flat tree with the leaf-direct optimisation, where
+the root's staging alternates with the children's drains.
+"""
+
+from repro.bench import BcastSpec, format_table, run_broadcast, write_csv
+
+CHUNK_LINES = 64  # 3 buffers of 96 lines would not fit the MPB
+NBYTES = CHUNK_LINES * 32 * 12  # 12 full chunks
+
+
+def measure(nbuf, k, leaf_direct):
+    res = run_broadcast(
+        BcastSpec(
+            "oc",
+            k=k,
+            chunk_lines=CHUNK_LINES,
+            num_buffers=nbuf,
+            leaf_direct_to_memory=leaf_direct,
+        ),
+        NBYTES,
+        iters=2,
+        warmup=1,
+    )
+    assert res.verified
+    return res.steady_throughput_mb_s
+
+
+def test_double_buffering_ablation(benchmark, report, results_dir):
+    def run_all():
+        return {
+            (nbuf, k, leaf): measure(nbuf, k, leaf)
+            for nbuf in (1, 2, 3)
+            for k, leaf in ((7, False), (47, True))
+        }
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    rows = [
+        [
+            nbuf,
+            results[(nbuf, 7, False)],
+            results[(nbuf, 47, True)],
+        ]
+        for nbuf in (1, 2, 3)
+    ]
+    text = format_table(
+        ["buffers", "k=7 deep tree (MB/s)", "k=47 leaf-direct (MB/s)"],
+        rows,
+        title="Ablation A2: steady throughput vs MPB buffer count (12-chunk message)",
+    )
+    report("ablation_double_buffering", text)
+    write_csv(
+        f"{results_dir}/ablation_double_buffering.csv",
+        ["buffers", "deep_tree", "flat_leaf_direct"],
+        rows,
+    )
+
+    # Flat/leaf-direct: double buffering gives the paper's ~2x overlap win.
+    assert results[(2, 47, True)] > 1.4 * results[(1, 47, True)]
+    # Diminishing returns: the third buffer gains far less than the second.
+    gain2 = results[(2, 47, True)] / results[(1, 47, True)]
+    gain3 = results[(3, 47, True)] / results[(2, 47, True)]
+    assert gain3 < 0.75 * gain2
+    # Deep tree: drain-dominated, so the gain is small but non-negative.
+    assert results[(2, 7, False)] > 0.95 * results[(1, 7, False)]

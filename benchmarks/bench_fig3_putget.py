@@ -1,0 +1,81 @@
+"""Figure 3: put/get completion time vs distance, measured vs model.
+
+Four panels: MPB->MPB get, MPB->MPB put (distance 1..9), MPB->memory get,
+memory->MPB put (distance 1..4), each for 1/4/8/16 cache lines.  The
+simulated dots must sit on the Formula 7-12 model lines.
+"""
+
+import pytest
+
+from repro.bench import format_series, write_csv
+from repro.bench.microbench import (
+    measure_get_mem,
+    measure_get_mpb,
+    measure_put_mem,
+    measure_put_mpb,
+)
+from repro.model import TABLE_1, primitives
+from repro.scc import SccConfig
+
+SIZES = (1, 4, 8, 16)
+MPB_DISTANCES = (1, 2, 3, 4, 5, 6, 7, 8, 9)
+MEM_DISTANCES = (1, 2, 3, 4)
+
+
+def model_value(kind, m, d):
+    if kind == "put_mpb":
+        return primitives.c_put_mpb(TABLE_1, m, d)
+    if kind == "get_mpb":
+        return primitives.c_get_mpb(TABLE_1, m, d)
+    if kind == "put_mem":
+        return primitives.c_put_mem(TABLE_1, m, d, 1)
+    return primitives.c_get_mem(TABLE_1, m, 1, d)
+
+
+PANELS = {
+    "get_mpb": ("MPB to MPB Get Completion Time", measure_get_mpb, MPB_DISTANCES),
+    "put_mpb": ("MPB to MPB Put Completion Time", measure_put_mpb, MPB_DISTANCES),
+    "get_mem": ("MPB to Memory Get Completion Time", measure_get_mem, MEM_DISTANCES),
+    "put_mem": ("Memory to MPB Put Completion Time", measure_put_mem, MEM_DISTANCES),
+}
+
+
+@pytest.mark.parametrize("kind", list(PANELS))
+def test_fig3_panel(kind, benchmark, report, results_dir):
+    title, measure, distances = PANELS[kind]
+
+    def run_panel():
+        return {
+            m: [measure(SccConfig(), m, d).time for d in distances]
+            for m in SIZES
+        }
+
+    sim = benchmark.pedantic(run_panel, rounds=1, iterations=1)
+    series = {}
+    for m in SIZES:
+        series[f"sim {m} CL"] = sim[m]
+        series[f"model {m} CL"] = [model_value(kind, m, d) for d in distances]
+    text = format_series(
+        "hops",
+        list(distances),
+        series,
+        title=f"Figure 3 ({title}), microseconds",
+        float_fmt="{:.3f}",
+    )
+    report(f"fig3_{kind}", text)
+    write_csv(
+        f"{results_dir}/fig3_{kind}.csv",
+        ["hops", *series.keys()],
+        [[d, *(series[s][i] for s in series)] for i, d in enumerate(distances)],
+    )
+
+    # Measured == model within float noise, every size and distance.
+    for m in SIZES:
+        for i, d in enumerate(distances):
+            assert sim[m][i] == pytest.approx(model_value(kind, m, d), rel=1e-9)
+
+    # Shape claims: monotone in distance; 9-hop at most ~30% above 1-hop.
+    for m in SIZES:
+        assert sim[m] == sorted(sim[m])
+    if distances[-1] == 9:
+        assert sim[16][-1] / sim[16][0] < 1.35

@@ -1,0 +1,72 @@
+"""Figure 6: analytically modeled broadcast latency vs message size
+(plus the 6b zoom on small messages), for OC-Bcast k in {2,7,47} and the
+binomial tree.
+"""
+
+from repro.bench import format_series, write_csv
+from repro.bench.paper_data import LATENCY_SIZES_CL
+from repro.model import TABLE_1, broadcast
+
+ZOOM_SIZES = (1, 2, 4, 8, 12, 16, 20, 24, 30)
+
+
+def series_for(sizes):
+    return {
+        "k=2": [broadcast.ocbcast_latency_complete(48, m, 2, TABLE_1) for m in sizes],
+        "k=7": [broadcast.ocbcast_latency_complete(48, m, 7, TABLE_1) for m in sizes],
+        "k=47": [broadcast.ocbcast_latency_complete(48, m, 47, TABLE_1) for m in sizes],
+        "binomial": [broadcast.binomial_latency_complete(48, m, TABLE_1) for m in sizes],
+    }
+
+
+def test_fig6a_modeled_latency(benchmark, report, results_dir):
+    series = benchmark.pedantic(
+        lambda: series_for(LATENCY_SIZES_CL), rounds=1, iterations=1
+    )
+    text = format_series(
+        "CL",
+        list(LATENCY_SIZES_CL),
+        series,
+        title="Figure 6a: modeled broadcast latency (us), P=48",
+    )
+    report("fig6a_model_latency", text)
+    write_csv(
+        f"{results_dir}/fig6a_model_latency.csv",
+        ["cache_lines", *series.keys()],
+        [[m, *(series[s][i] for s in series)] for i, m in enumerate(LATENCY_SIZES_CL)],
+    )
+
+    sizes = list(LATENCY_SIZES_CL)
+    # Every OC variant beats binomial at every size, and the gap grows.
+    for key in ("k=2", "k=7", "k=47"):
+        assert all(a < b for a, b in zip(series[key], series["binomial"]))
+    gap_small = series["binomial"][0] - series["k=7"][0]
+    gap_large = series["binomial"][-1] - series["k=7"][-1]
+    assert gap_large > 3 * gap_small
+
+    # k=7 beats k=2 in the 96..192 region by roughly the paper's ~25%.
+    i96 = sizes.index(96)
+    improvement = 1 - series["k=7"][i96] / series["k=2"][i96]
+    assert 0.10 < improvement < 0.45
+
+
+def test_fig6b_zoom_small_messages(benchmark, report, results_dir):
+    series = benchmark.pedantic(lambda: series_for(ZOOM_SIZES), rounds=1, iterations=1)
+    text = format_series(
+        "CL",
+        list(ZOOM_SIZES),
+        series,
+        title="Figure 6b: modeled broadcast latency, small messages (us)",
+    )
+    report("fig6b_model_latency_zoom", text)
+    write_csv(
+        f"{results_dir}/fig6b_model_latency_zoom.csv",
+        ["cache_lines", *series.keys()],
+        [[m, *(series[s][i] for s in series)] for i, m in enumerate(ZOOM_SIZES)],
+    )
+    # The paper's 6b observation: k=47 is the slowest OC variant for very
+    # small messages (the root polls 47 doneFlags) ...
+    assert series["k=47"][0] > series["k=7"][0]
+    assert series["k=47"][0] > series["k=2"][0]
+    # ... but catches up as the message grows (shallower tree wins).
+    assert series["k=47"][-1] < series["k=2"][-1]

@@ -1,0 +1,66 @@
+"""Engineering benchmark: wall-clock performance of the simulator itself.
+
+Not a paper figure -- this tracks the cost of running the reproduction
+(events per second of the kernel, full broadcasts per second at each
+contention fidelity) so regressions in the simulation engine are caught
+the same way result regressions are.  Unlike the paper benches these use
+multiple pytest-benchmark rounds: wall time is the measurand here.
+"""
+
+from repro.bench import BcastSpec, run_broadcast
+from repro.scc import ContentionMode, SccConfig
+from repro.sim import Simulator
+
+
+def test_kernel_event_throughput(benchmark):
+    """Raw kernel: four processes chaining 5k timeouts each (20k events
+    plus 20k resumptions)."""
+
+    def run():
+        sim = Simulator()
+
+        def ticker(n=5_000):
+            for _ in range(n):
+                yield sim.timeout(0.001)
+
+        for _ in range(4):
+            sim.process(ticker())
+        sim.run()
+        return sim.now
+
+    result = benchmark(run)
+    assert result > 0
+
+
+def test_broadcast_simulation_speed_batch_mode(benchmark):
+    def run():
+        return run_broadcast(
+            BcastSpec("oc", k=7), 96 * 32 * 4, iters=1, warmup=0
+        ).mean_latency
+
+    latency = benchmark(run)
+    assert latency > 0
+
+
+def test_broadcast_simulation_speed_exact_mode(benchmark):
+    cfg = SccConfig(contention_mode=ContentionMode.EXACT)
+
+    def run():
+        return run_broadcast(
+            BcastSpec("oc", k=7), 96 * 32 * 2, config=cfg, iters=1, warmup=0
+        ).mean_latency
+
+    latency = benchmark(run)
+    assert latency > 0
+
+
+def test_large_message_simulation_speed(benchmark):
+    """1 MiB broadcast (the Figure 8b extreme) in BATCH mode."""
+
+    def run():
+        return run_broadcast(
+            BcastSpec("oc", k=7), 8192 * 32, iters=1, warmup=0
+        ).mean_latency
+
+    latency = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert latency > 0

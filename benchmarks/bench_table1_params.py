@@ -1,0 +1,48 @@
+"""Table 1: recover the LogP model parameters from micro-benchmarks.
+
+The paper measured put/get completion times on silicon and fitted the
+eight Table 1 constants.  We run the same sweeps on the simulated chip
+and fit with least squares; the fitted values must come back at the
+configured (= paper's) constants, validating that the simulator's
+primitives implement Formulas 1-12.
+"""
+
+from repro.bench import format_table, sweep_putget, write_csv
+from repro.bench.paper_data import TABLE1_PARAMS
+from repro.model import fitting
+
+
+def run_table1():
+    obs = sweep_putget(
+        sizes=(1, 4, 8, 16),
+        mpb_distances=(1, 2, 3, 5, 7, 9),
+        mem_distances=(1, 2, 3, 4),
+        iters=3,
+    )
+    return obs, fitting.fit(obs)
+
+
+def test_table1_parameter_fit(benchmark, report, results_dir):
+    obs, result = benchmark.pedantic(run_table1, rounds=1, iterations=1)
+
+    rows = []
+    for name, (fitted, ref, rel) in result.compare(TABLE1_PARAMS).items():
+        rows.append([name, fitted, ref, f"{rel * 100:.2f}%"])
+    text = format_table(
+        ["parameter", "fitted (us)", "paper Table 1 (us)", "rel. error"],
+        rows,
+        title="Table 1: model parameters fitted from simulated micro-benchmarks",
+        float_fmt="{:.4f}",
+    )
+    report("table1_params", text)
+    write_csv(
+        f"{results_dir}/table1_params.csv",
+        ["parameter", "fitted", "paper"],
+        [[r[0], r[1], r[2]] for r in rows],
+    )
+
+    # The simulator implements the formulas, so the fit is essentially exact.
+    assert result.residual_rms < 1e-6
+    for name, (_, _, rel) in result.compare(TABLE1_PARAMS).items():
+        assert rel < 1e-3, f"{name} drifted from Table 1"
+    assert result.n_observations == 4 * (6 + 6 + 4 + 4)

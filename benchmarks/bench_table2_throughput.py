@@ -1,0 +1,40 @@
+"""Table 2: analytic peak broadcast throughput, OC-Bcast vs
+scatter-allgather (paper: 35.22 / 34.30 / 35.88 vs 13.38 MB/s).
+"""
+
+import pytest
+
+from repro.bench import format_table, write_csv
+from repro.bench.paper_data import TABLE2_THROUGHPUT_MB_S
+from repro.model import TABLE_1, broadcast
+
+
+def test_table2_analytic_throughput(benchmark, report, results_dir):
+    t2 = benchmark.pedantic(
+        lambda: broadcast.table2(48, TABLE_1), rounds=1, iterations=1
+    )
+    ours = t2.as_dict()
+    rows = [
+        [name, ours[name], TABLE2_THROUGHPUT_MB_S[name]]
+        for name in TABLE2_THROUGHPUT_MB_S
+    ]
+    text = format_table(
+        ["algorithm", "modeled (MB/s)", "paper Table 2 (MB/s)"],
+        rows,
+        title="Table 2: analytic peak broadcast throughput, P=48",
+    )
+    report("table2_throughput", text)
+    write_csv(
+        f"{results_dir}/table2_throughput.csv",
+        ["algorithm", "modeled", "paper"],
+        rows,
+    )
+
+    # Values within 15% of the paper's, ratio close to 3x, and OC nearly
+    # k-independent (the paper's spread over k is ~5%).
+    for name, paper_value in TABLE2_THROUGHPUT_MB_S.items():
+        assert ours[name] == pytest.approx(paper_value, rel=0.15), name
+    ratio = ours["OC-Bcast k=7"] / ours["scatter-allgather"]
+    assert 2.3 < ratio < 3.3
+    oc_values = [ours[f"OC-Bcast k={k}"] for k in (2, 7, 47)]
+    assert max(oc_values) / min(oc_values) < 1.15

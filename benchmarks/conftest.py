@@ -1,0 +1,32 @@
+"""Shared fixtures for the paper-reproduction benchmarks.
+
+Each bench regenerates one table or figure of the paper on the simulated
+chip, asserts the paper's qualitative claims (who wins, by what factor,
+where the knees/crossovers fall), prints the rows/series, and writes them
+under ``benchmarks/results/`` for EXPERIMENTS.md.
+"""
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def report(results_dir):
+    """Print a result block and persist it to results/<name>.txt."""
+
+    def _report(name: str, text: str) -> None:
+        path = os.path.join(results_dir, f"{name}.txt")
+        with open(path, "w") as fh:
+            fh.write(text + "\n")
+        print(f"\n{text}\n[written to {path}]")
+
+    return _report

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Scale OC-Bcast past the SCC: the 1000-core chips the paper anticipates.
+
+The simulator's mesh is parametric, so we grow it from the SCC's 6x4
+(48 cores) to 16x16 tiles (512 cores) and 16x32 (1024 cores), compare
+OC-Bcast against the binomial baseline at each scale, and show the k
+trade-off shifting: deeper meshes reward larger fan-out (up to the MPB
+contention threshold of ~24 concurrent getters, Section 3.3).
+
+Run:  python examples/manycore_scaling.py   (takes a minute or two)
+"""
+
+from repro.bench import BcastSpec, format_table, run_broadcast
+from repro.scc import SccConfig
+
+MESHES = [
+    ("SCC 6x4", SccConfig()),
+    ("8x8", SccConfig(mesh_cols=8, mesh_rows=8)),
+    ("16x16", SccConfig(mesh_cols=16, mesh_rows=16)),
+    ("16x32", SccConfig(mesh_cols=16, mesh_rows=32)),
+]
+
+NCL = 96  # one full chunk
+
+
+def main() -> None:
+    rows = []
+    for label, cfg in MESHES:
+        cores = cfg.num_cores
+        oc7 = run_broadcast(BcastSpec("oc", k=7), NCL * 32, config=cfg,
+                            iters=1, warmup=1)
+        oc16 = run_broadcast(BcastSpec("oc", k=16), NCL * 32, config=cfg,
+                             iters=1, warmup=1)
+        binom = run_broadcast(BcastSpec("binomial"), NCL * 32, config=cfg,
+                              iters=1, warmup=1)
+        assert oc7.verified and oc16.verified and binom.verified
+        rows.append(
+            [
+                f"{label} ({cores})",
+                oc7.mean_latency,
+                oc16.mean_latency,
+                binom.mean_latency,
+                binom.mean_latency / min(oc7.mean_latency, oc16.mean_latency),
+            ]
+        )
+        print(f"done {label} ({cores} cores)")
+
+    print()
+    print(
+        format_table(
+            ["mesh (cores)", "OC k=7 (us)", "OC k=16 (us)", "binomial (us)", "win"],
+            rows,
+            title=f"{NCL}-cache-line broadcast latency vs chip size",
+        )
+    )
+    print(
+        "\nOC-Bcast's advantage persists at 1024 cores: its critical path "
+        "keeps exactly\ntwo off-chip memory passes, while the binomial tree "
+        "pays one per tree level."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Validate the LogP model against the simulated chip (paper Section 3.2).
+
+Runs the Figure 3 micro-benchmarks (put/get over distances and sizes) on
+the simulator, fits the Table 1 parameters back out with least squares,
+and prints fitted-vs-reference values -- then uses the fitted parameters
+to predict the Table 2 throughput numbers.
+
+Run:  python examples/model_validation.py
+"""
+
+from repro.bench import format_table, sweep_putget
+from repro.model import TABLE_1, broadcast, fitting
+
+
+def main() -> None:
+    print("running put/get sweeps on the simulated chip...")
+    observations = sweep_putget(sizes=(1, 4, 8, 16), iters=3)
+    print(f"collected {len(observations)} timed operations")
+
+    result = fitting.fit(observations)
+    rows = [
+        [name, fitted, ref, f"{rel * 100:.3f}%"]
+        for name, (fitted, ref, rel) in result.compare(TABLE_1).items()
+    ]
+    print(
+        format_table(
+            ["parameter", "fitted (us)", "Table 1 (us)", "error"],
+            rows,
+            title="Model parameters recovered from simulation",
+            float_fmt="{:.4f}",
+        )
+    )
+    print(f"fit residual RMS: {result.residual_rms:.2e} us")
+
+    t2 = broadcast.table2(48, result.params)
+    print(
+        format_table(
+            ["algorithm", "peak throughput (MB/s)"],
+            list(t2.as_dict().items()),
+            title="Table 2 predicted from the fitted parameters",
+        )
+    )
+    ratio = t2.oc_k7 / t2.scatter_allgather
+    print(f"\nOC-Bcast / scatter-allgather: {ratio:.2f}x (paper: ~2.6x analytic)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+#!/usr/bin/env python
+"""Quickstart: broadcast a message across the simulated SCC with OC-Bcast.
+
+Builds the default 48-core chip, broadcasts a 12 KB message from core 0's
+private memory to every other core's private memory, verifies the bytes,
+and prints the latency on the chip's global clock -- the paper's basic
+experiment in a dozen lines of user code.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Comm, OcBcast, SccChip, run_spmd
+
+
+def main() -> None:
+    chip = SccChip()  # 6x4 mesh, 48 cores, Table 1 timing
+    comm = Comm(chip)  # all cores, ranks 0..47
+    oc = OcBcast(comm)  # k=7, 96-line chunks, double buffering
+
+    message = b"The Intel SCC says hello from all 48 cores! " * 280  # ~12 KB
+
+    def program(core):
+        cc = comm.attach(core)
+        buf = cc.alloc(len(message))
+        if cc.rank == 0:
+            buf.write(message)
+        yield from oc.bcast(cc, root=0, buf=buf, nbytes=len(message))
+        return buf.read()
+
+    result = run_spmd(chip, program)
+
+    assert all(v == message for v in result.values), "payload mismatch!"
+    mb_s = len(message) / result.makespan
+    print(f"broadcast {len(message)} bytes to {chip.num_cores} cores")
+    print(f"latency   {result.makespan:10.2f} us (root call -> last core done)")
+    print(f"rate      {mb_s:10.2f} MB/s")
+    print(f"first core finished at {min(result.finish_times):.2f} us, "
+          f"last at {max(result.finish_times):.2f} us")
+
+
+if __name__ == "__main__":
+    main()

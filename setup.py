@@ -1,0 +1,21 @@
+"""Setup shim for environments without the `wheel` package.
+
+Metadata lives in pyproject.toml; this file only enables pip's legacy
+editable-install path (`pip install -e .`) in offline environments where
+PEP 660 editable wheels cannot be built.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "OC-Bcast: RMA-based broadcast on a simulated Intel SCC "
+        "(reproduction of Petrovic et al., SPAA 2012)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24"],
+)

@@ -1,0 +1,27 @@
+"""Parallel application kernels on the simulated chip.
+
+The paper's final sentence plans to "integrate [RMA collectives] in an
+MPI library, so we can analyze the overall performance gain in parallel
+applications".  This package performs that analysis: small but complete
+SPMD application kernels written against the :class:`repro.mpi.Mpi`
+facade, runnable on either backend (``rma`` = the paper's collectives,
+``two_sided`` = RCCE_comm's), with bit-identical numerical results and
+directly comparable simulated run times.
+
+- :mod:`repro.apps.stencil` -- 2-D Jacobi iteration with halo exchange,
+  parameter broadcast and allreduce convergence checks (the canonical
+  HPC communication mix).
+- :mod:`repro.apps.power_iteration` -- distributed power iteration
+  (dense matvec + allgather + allreduce normalisation), a
+  broadcast/allgather-heavy kernel.
+"""
+
+from .power_iteration import PowerIterationResult, run_power_iteration
+from .stencil import StencilResult, run_stencil
+
+__all__ = [
+    "PowerIterationResult",
+    "StencilResult",
+    "run_power_iteration",
+    "run_stencil",
+]

@@ -1,0 +1,53 @@
+"""Experiment harness: everything needed to regenerate the paper's tables
+and figures on the simulated chip.
+
+- :mod:`repro.bench.harness` -- broadcast experiment runner (algorithm
+  factories, iteration/warm-up policy, latency bookkeeping on the global
+  clock).
+- :mod:`repro.bench.microbench` -- put/get sweeps over distance and size
+  (Figure 3, Table 1).
+- :mod:`repro.bench.contention` -- concurrent MPB access (Figure 4) and
+  the loaded-mesh-link probe (Section 3.3).
+- :mod:`repro.bench.paper_data` -- the numbers the paper reports, for
+  side-by-side comparison.
+- :mod:`repro.bench.reporting` -- ASCII tables/series and CSV output.
+- :mod:`repro.bench.analysis` -- trace-based pipeline timelines, overlap
+  metrics and MPB-port utilisation.
+- :mod:`repro.bench.ascii_plot` -- terminal line charts for figure data.
+"""
+
+from .analysis import (
+    busiest_port,
+    chunk_timeline,
+    flag_traffic,
+    mpb_port_utilisation,
+    pipeline_depth,
+    pipeline_overlap,
+)
+from .ascii_plot import ascii_chart
+from .harness import BcastResult, BcastSpec, run_broadcast, sweep_broadcast
+from .microbench import PutGetSample, sweep_putget
+from .contention import ContentionResult, concurrent_access, mesh_link_probe
+from .reporting import format_series, format_table, write_csv
+
+__all__ = [
+    "BcastResult",
+    "BcastSpec",
+    "ContentionResult",
+    "PutGetSample",
+    "ascii_chart",
+    "busiest_port",
+    "chunk_timeline",
+    "concurrent_access",
+    "flag_traffic",
+    "mpb_port_utilisation",
+    "pipeline_depth",
+    "pipeline_overlap",
+    "format_series",
+    "format_table",
+    "mesh_link_probe",
+    "run_broadcast",
+    "sweep_broadcast",
+    "sweep_putget",
+    "write_csv",
+]

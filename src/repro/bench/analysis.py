@@ -1,0 +1,109 @@
+"""Trace analysis: pipeline timelines, overlap, and port utilisation.
+
+Turns a :class:`~repro.sim.Tracer` recording (and the chip's resource
+statistics) into the quantities the paper reasons about qualitatively:
+how deep the chunk pipeline is, how much chunk processing overlaps, how
+busy each MPB port was, and how much flag traffic the protocol generated.
+Used by tests to assert pipelining *mechanically* and available to users
+for performance debugging.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..scc.chip import SccChip
+from ..sim import Tracer
+
+
+@dataclass(frozen=True)
+class ChunkSpan:
+    """Lifetime of one chunk: root staging to last core finishing it."""
+
+    idx: int
+    staged_at: float
+    last_done_at: float
+    completions: int
+
+    @property
+    def span(self) -> float:
+        return self.last_done_at - self.staged_at
+
+
+def chunk_timeline(tracer: Tracer) -> list[ChunkSpan]:
+    """Per-chunk spans from ``oc.chunk_staged`` / ``oc.chunk_done``
+    records (emitted by OC-Bcast when tracing is enabled)."""
+    staged: dict[int, float] = {}
+    done: dict[int, list[float]] = {}
+    for rec in tracer.of_kind("oc.chunk_staged"):
+        staged.setdefault(rec.detail["idx"], rec.time)
+    for rec in tracer.of_kind("oc.chunk_done"):
+        done.setdefault(rec.detail["idx"], []).append(rec.time)
+    spans = []
+    for idx in sorted(staged):
+        times = done.get(idx, [])
+        if not times:
+            continue
+        spans.append(
+            ChunkSpan(
+                idx=idx,
+                staged_at=staged[idx],
+                last_done_at=max(times),
+                completions=len(times),
+            )
+        )
+    return spans
+
+
+def pipeline_overlap(tracer: Tracer) -> float:
+    """How much chunk lifetimes overlap: the sum of chunk spans divided
+    by the wall time they collectively cover.  1.0 means fully serial
+    chunk processing; values well above 1 mean a filled pipeline."""
+    spans = chunk_timeline(tracer)
+    if not spans:
+        raise ValueError("no chunk records in trace (enable the tracer)")
+    total = sum(s.span for s in spans)
+    wall = max(s.last_done_at for s in spans) - min(s.staged_at for s in spans)
+    return total / wall if wall > 0 else float("inf")
+
+
+def pipeline_depth(tracer: Tracer) -> int:
+    """Maximum number of chunks simultaneously in flight."""
+    events: list[tuple[float, int]] = []
+    for s in chunk_timeline(tracer):
+        events.append((s.staged_at, +1))
+        events.append((s.last_done_at, -1))
+    depth = peak = 0
+    for _, delta in sorted(events):
+        depth += delta
+        peak = max(peak, depth)
+    return peak
+
+
+def flag_traffic(tracer: Tracer) -> dict[str, int]:
+    """Counts of synchronisation writes by flag/array name."""
+    counts: dict[str, int] = {}
+    for rec in tracer.of_kind("flag_write"):
+        name = rec.detail.get("flag", "?")
+        counts[name] = counts.get(name, 0) + 1
+    for rec in tracer.of_kind("slot_write"):
+        name = rec.detail.get("array", "?")
+        counts[name] = counts.get(name, 0) + 1
+    return counts
+
+
+def mpb_port_utilisation(chip: SccChip) -> dict[int, float]:
+    """Fraction of simulated time each core's MPB port was busy
+    (from the Resource statistics; meaningful in BATCH/EXACT modes)."""
+    elapsed = chip.now
+    return {
+        core_id: mpb.port.utilisation(elapsed)
+        for core_id, mpb in enumerate(chip.mpbs)
+    }
+
+
+def busiest_port(chip: SccChip) -> tuple[int, float]:
+    """The (core id, utilisation) of the most contended MPB."""
+    util = mpb_port_utilisation(chip)
+    core_id = max(util, key=util.get)
+    return core_id, util[core_id]

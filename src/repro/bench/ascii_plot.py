@@ -1,0 +1,88 @@
+"""Terminal line charts for figure series (no plotting dependencies).
+
+Renders the paper's figure data as ASCII scatter/line charts so the CLI
+and examples can show curve *shapes* (knees, crossovers, the 97-line
+dip), not just tables.  One character cell per (x-bucket, y-bucket);
+each series draws with its own marker and the legend maps markers to
+labels.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+MARKERS = "ox+*#@%&"
+
+
+def _scale(
+    value: float, lo: float, hi: float, cells: int, log: bool
+) -> int:
+    if log:
+        value, lo, hi = math.log10(value), math.log10(lo), math.log10(hi)
+    if hi == lo:
+        return 0
+    frac = (value - lo) / (hi - lo)
+    return min(cells - 1, max(0, int(round(frac * (cells - 1)))))
+
+
+def ascii_chart(
+    x: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    *,
+    width: int = 64,
+    height: int = 18,
+    logx: bool = False,
+    logy: bool = False,
+    title: str | None = None,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render ``series`` (each aligned with ``x``) as an ASCII chart."""
+    if not x:
+        raise ValueError("need at least one x value")
+    if not series:
+        raise ValueError("need at least one series")
+    if len(series) > len(MARKERS):
+        raise ValueError(f"at most {len(MARKERS)} series")
+    for label, ys in series.items():
+        if len(ys) != len(x):
+            raise ValueError(f"series {label!r} length != x length")
+
+    xs = list(map(float, x))
+    all_y = [float(v) for ys in series.values() for v in ys]
+    if logx and min(xs) <= 0:
+        raise ValueError("logx needs positive x values")
+    if logy and min(all_y) <= 0:
+        raise ValueError("logy needs positive y values")
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(all_y), max(all_y)
+    if y_lo == y_hi:
+        y_lo, y_hi = y_lo - 1.0, y_hi + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for marker, (label, ys) in zip(MARKERS, series.items()):
+        for xv, yv in zip(xs, ys):
+            col = _scale(float(xv), x_lo, x_hi, width, logx)
+            row = height - 1 - _scale(float(yv), y_lo, y_hi, height, logy)
+            grid[row][col] = marker
+
+    fmt = "{:.4g}"
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    top = f"{fmt.format(y_hi)} {y_label}"
+    lines.append(top)
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    left = fmt.format(x_lo) + (" (log)" if logx else "")
+    right = fmt.format(x_hi) + f" {x_label}"
+    pad = max(1, width - len(left) - len(right))
+    lines.append(" " + left + " " * pad + right)
+    lines.append(f"  y-min: {fmt.format(y_lo)}" + (" (log y)" if logy else ""))
+    legend = "  ".join(
+        f"{m}={label}" for m, label in zip(MARKERS, series.keys())
+    )
+    lines.append("  " + legend)
+    return "\n".join(lines)

@@ -1,0 +1,224 @@
+"""Broadcast experiment runner.
+
+Reproduces the paper's measurement methodology (Section 6.1) on the
+simulated chip:
+
+- core 0 is the source unless specified otherwise;
+- a message is broadcast from the root's private memory to every other
+  core's private memory;
+- iterations run back to back on one chip (steady-state pipelining, as on
+  hardware), with warm-up iterations discarded;
+- every iteration uses a fresh (uncached) buffer offset to avoid L1
+  effects, exactly as the paper preallocates a large array and strides
+  through it;
+- latency is the paper's definition: from the root's call to the last
+  core's return, on the shared global clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Generator, Sequence
+
+import numpy as np
+
+from ..collectives import binomial_bcast, scatter_allgather_bcast
+from ..core import NotifyMode, OcBcast, OcBcastConfig, OsagBcast
+from ..rcce import Comm, CoreComm
+from ..scc import MemRef, SccChip, SccConfig, run_spmd
+from ..scc.config import CACHE_LINE
+
+#: Algorithm names accepted by :class:`BcastSpec`.
+ALGORITHMS = ("oc", "binomial", "scatter_allgather", "osag")
+
+
+@dataclass(frozen=True)
+class BcastSpec:
+    """Which broadcast to run and how it is tuned."""
+
+    algo: str = "oc"
+    k: int = 7
+    chunk_lines: int = 96
+    num_buffers: int = 2
+    notify_degree: int = 2
+    leaf_direct_to_memory: bool = False
+    notify_mode: NotifyMode = NotifyMode.FLAGS
+    order: tuple[int, ...] | None = None  # OC propagation-tree override
+
+    def __post_init__(self) -> None:
+        if self.algo not in ALGORITHMS:
+            raise ValueError(f"algo must be one of {ALGORITHMS}, got {self.algo!r}")
+
+    @property
+    def label(self) -> str:
+        if self.algo == "oc":
+            return f"OC-Bcast k={self.k}"
+        return {
+            "binomial": "binomial",
+            "scatter_allgather": "scatter-allgather",
+            "osag": "one-sided s-ag",
+        }[self.algo]
+
+    def build(
+        self, comm: Comm
+    ) -> Callable[[CoreComm, int, MemRef, int], Generator]:
+        """Instantiate the algorithm on a communicator; returns the
+        ``bcast(cc, root, buf, nbytes)`` generator function."""
+        if self.algo == "oc":
+            oc = OcBcast(
+                comm,
+                OcBcastConfig(
+                    k=self.k,
+                    chunk_lines=self.chunk_lines,
+                    num_buffers=self.num_buffers,
+                    notify_degree=self.notify_degree,
+                    leaf_direct_to_memory=self.leaf_direct_to_memory,
+                    notify_mode=self.notify_mode,
+                ),
+            )
+            order = self.order
+
+            def oc_bcast(cc: CoreComm, root: int, buf: MemRef, n: int) -> Generator:
+                yield from oc.bcast(cc, root, buf, n, order=order)
+
+            return oc_bcast
+        if self.algo == "binomial":
+            return binomial_bcast
+        if self.algo == "osag":
+            return OsagBcast(comm).bcast
+        return scatter_allgather_bcast
+
+
+@dataclass(frozen=True)
+class BcastResult:
+    """Measured latencies of one broadcast experiment."""
+
+    spec: BcastSpec
+    nbytes: int
+    latencies: tuple[float, ...]  # per measured iteration, microseconds
+    verified: bool  # every core received the exact payload each iteration
+    #: Wall time on the simulated clock from the root entering the first
+    #: measured iteration to the last core leaving the last one.
+    measured_span: float = 0.0
+
+    @property
+    def mean_latency(self) -> float:
+        return float(np.mean(self.latencies))
+
+    @property
+    def min_latency(self) -> float:
+        return float(np.min(self.latencies))
+
+    @property
+    def throughput_mb_s(self) -> float:
+        """Payload bytes per mean-latency microsecond (== MB/s)."""
+        return self.nbytes / self.mean_latency if self.mean_latency else 0.0
+
+    @property
+    def steady_throughput_mb_s(self) -> float:
+        """Aggregate rate over all measured back-to-back iterations --
+        the pipeline's steady-state throughput, which is what exposes the
+        97-cache-line dip of Figure 8b."""
+        if self.measured_span <= 0.0:
+            return 0.0
+        return len(self.latencies) * self.nbytes / self.measured_span
+
+    @property
+    def cache_lines(self) -> int:
+        return -(-self.nbytes // CACHE_LINE)
+
+
+def _payload(nbytes: int, seed: int) -> bytes:
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 256, size=nbytes, dtype=np.uint8).tobytes()
+
+
+def run_broadcast(
+    spec: BcastSpec,
+    nbytes: int,
+    *,
+    config: SccConfig | None = None,
+    root: int = 0,
+    iters: int = 3,
+    warmup: int = 1,
+    verify: bool = True,
+    seed: int = 1,
+) -> BcastResult:
+    """Run one broadcast configuration and measure per-iteration latency.
+
+    A fresh chip is built per call (experiments are independent, as the
+    paper's runs are); iterations share the chip back to back.
+    """
+    if nbytes <= 0:
+        raise ValueError("nbytes must be > 0")
+    if iters < 1 or warmup < 0:
+        raise ValueError("need iters >= 1 and warmup >= 0")
+    chip = SccChip(config)
+    comm = Comm(chip)
+    bcast = spec.build(comm)
+    total_iters = warmup + iters
+    payloads = [_payload(nbytes, seed + i) for i in range(total_iters)]
+
+    enters: list[dict[int, float]] = [{} for _ in range(total_iters)]
+    exits: list[dict[int, float]] = [{} for _ in range(total_iters)]
+    ok: list[bool] = []
+
+    def program(core) -> Generator:
+        cc = comm.attach(core)
+        # One large preallocated array, strided per iteration (fresh cache
+        # lines every time -- the paper's anti-caching discipline).
+        bufs = [cc.alloc(nbytes) for _ in range(total_iters)]
+        if cc.rank == root:
+            for i, b in enumerate(bufs):
+                b.write(payloads[i])
+        for i, b in enumerate(bufs):
+            enters[i][cc.rank] = chip.now
+            yield from bcast(cc, root, b, nbytes)
+            exits[i][cc.rank] = chip.now
+            if verify and cc.rank != root:
+                ok.append(b.read() == payloads[i])
+        return None
+
+    run_spmd(chip, program)
+    latencies = tuple(
+        max(exits[i].values()) - enters[i][root]
+        for i in range(warmup, total_iters)
+    )
+    measured_span = max(exits[total_iters - 1].values()) - enters[warmup][root]
+    return BcastResult(
+        spec=spec,
+        nbytes=nbytes,
+        latencies=latencies,
+        verified=(not verify) or all(ok),
+        measured_span=measured_span,
+    )
+
+
+def sweep_broadcast(
+    specs: Sequence[BcastSpec],
+    sizes_cache_lines: Sequence[int],
+    *,
+    config: SccConfig | None = None,
+    iters: int = 3,
+    warmup: int = 1,
+    verify: bool = True,
+) -> dict[str, list[BcastResult]]:
+    """Latency/throughput sweep: every spec at every message size.
+
+    Returns ``{spec.label: [BcastResult per size]}``.
+    """
+    out: dict[str, list[BcastResult]] = {}
+    for spec in specs:
+        rows = [
+            run_broadcast(
+                spec,
+                ncl * CACHE_LINE,
+                config=config,
+                iters=iters,
+                warmup=warmup,
+                verify=verify,
+            )
+            for ncl in sizes_cache_lines
+        ]
+        out[spec.label] = rows
+    return out

@@ -1,0 +1,59 @@
+"""The numbers the paper reports, for side-by-side comparison.
+
+Everything here is transcribed from the paper text (figures are reported
+only where the text states a number; curve shapes are checked by the
+benches as relations, e.g. "k=2 is ~25% slower than k=7 between 96 and
+192 cache lines").
+"""
+
+from __future__ import annotations
+
+from ..model.params import TABLE_1, ModelParams
+
+#: Table 1 -- the measured model parameters (microseconds).
+TABLE1_PARAMS: ModelParams = TABLE_1
+
+#: Table 2 -- analytic peak broadcast throughput (MB/s).
+TABLE2_THROUGHPUT_MB_S: dict[str, float] = {
+    "OC-Bcast k=2": 35.22,
+    "OC-Bcast k=7": 34.30,
+    "OC-Bcast k=47": 35.88,
+    "scatter-allgather": 13.38,
+}
+
+#: Section 6.2.1: measured 1-cache-line broadcast latency (microseconds).
+FIG8A_LATENCY_1CL_US: dict[str, float] = {
+    "OC-Bcast k=7": 16.6,
+    "binomial": 21.6,
+}
+
+#: Section 1.2 / 6.2.1: OC-Bcast's latency improvement over the binomial
+#: tree is at least this factor (27%).
+MIN_LATENCY_IMPROVEMENT: float = 0.27
+
+#: Section 6.2.1: between 96 and 192 cache lines, k=7 beats k=2 by ~25%.
+K7_OVER_K2_IMPROVEMENT: float = 0.25
+
+#: Section 6.2.2: OC-Bcast's peak throughput is "almost 3 times" the
+#: scatter-allgather baseline's.
+THROUGHPUT_RATIO_OC_OVER_SAG: float = 3.0
+
+#: Section 3.3: up to this many cores may access one MPB concurrently
+#: without measurable contention.
+CONTENTION_FREE_ACCESSORS: int = 24
+
+#: Section 3.3 / Figure 4: at 48 concurrent accessors the slowest core is
+#: more than this factor slower than the fastest (get of 128 lines / put
+#: of 1 line).
+FIG4_GET_SPREAD_AT_48: float = 2.0
+FIG4_PUT_SPREAD_AT_48: float = 4.0
+
+#: Section 6.2.2: measured k=47 throughput falls ~16% short of the model.
+K47_THROUGHPUT_SHORTFALL: float = 0.16
+
+#: Section 3.2: 1-hop vs 9-hop put/get differ by only ~30%.
+DISTANCE_SPREAD_1_TO_9_HOPS: float = 0.30
+
+#: Figure 6/8 x-ranges (cache lines).
+LATENCY_SIZES_CL: tuple[int, ...] = (1, 8, 16, 32, 48, 64, 80, 96, 112, 128, 144, 160, 176, 192)
+THROUGHPUT_SIZES_CL: tuple[int, ...] = (1, 4, 16, 64, 96, 97, 192, 256, 1024, 4096, 8192, 16384, 32768)

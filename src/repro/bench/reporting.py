@@ -1,0 +1,70 @@
+"""Plain-text reporting: fixed-width tables, aligned series, CSV dumps.
+
+Benches print the same rows/series the paper's tables and figures show,
+with a "paper" column beside the measured one where the paper reports a
+number.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from typing import Any, Iterable, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+    title: str | None = None,
+    float_fmt: str = "{:.2f}",
+) -> str:
+    """Render an aligned fixed-width table."""
+    def cell(v: Any) -> str:
+        if isinstance(v, float):
+            return float_fmt.format(v)
+        return str(v)
+
+    str_rows = [[cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, v in enumerate(row):
+            widths[i] = max(widths[i], len(v))
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(v.rjust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    x_values: Sequence[Any],
+    series: dict[str, Sequence[float]],
+    title: str | None = None,
+    float_fmt: str = "{:.2f}",
+) -> str:
+    """Render figure data: one x column plus one column per series."""
+    headers = [x_label, *series.keys()]
+    rows = [
+        [x, *(s[i] for s in series.values())] for i, x in enumerate(x_values)
+    ]
+    return format_table(headers, rows, title=title, float_fmt=float_fmt)
+
+
+def write_csv(
+    path: str,
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+) -> str:
+    """Write rows to a CSV file, creating parent directories; returns path."""
+    parent = os.path.dirname(os.path.abspath(path))
+    os.makedirs(parent, exist_ok=True)
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(headers)
+        writer.writerows(rows)
+    return path

@@ -1,0 +1,251 @@
+"""Command-line interface: run the paper's experiments from a shell.
+
+Examples::
+
+    python -m repro info
+    python -m repro bcast --algo oc --k 7 --cache-lines 96
+    python -m repro sweep --algos oc:7 oc:2 binomial --sizes 1 16 96 192
+    python -m repro sweep --algos oc:7 scatter_allgather \\
+        --sizes 16 96 1024 4096 --throughput --chart
+    python -m repro contention --op get --lines 128
+    python -m repro fit
+    python -m repro model --what table2
+
+Every command builds a fresh simulated chip, runs on it, and prints
+tables (optionally ASCII charts) to stdout.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .bench import (
+    BcastSpec,
+    format_series,
+    format_table,
+    run_broadcast,
+    sweep_broadcast,
+    sweep_putget,
+)
+from .bench.ascii_plot import ascii_chart
+from .bench.contention import contention_sweep
+from .model import TABLE_1, broadcast as model_bcast, fitting
+from .scc import SccConfig
+from .scc.config import CACHE_LINE
+
+
+def _parse_spec(text: str) -> BcastSpec:
+    """'oc:7' -> OC-Bcast with k=7; 'binomial' / 'scatter_allgather' as-is."""
+    if text.startswith("oc"):
+        k = int(text.split(":", 1)[1]) if ":" in text else 7
+        return BcastSpec("oc", k=k)
+    return BcastSpec(text)
+
+
+def _config(args: argparse.Namespace) -> SccConfig:
+    return SccConfig(mesh_cols=args.mesh_cols, mesh_rows=args.mesh_rows)
+
+
+def _add_mesh_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--mesh-cols", type=int, default=6, help="mesh columns (default 6)")
+    p.add_argument("--mesh-rows", type=int, default=4, help="mesh rows (default 4)")
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    cfg = _config(args)
+    rows = [
+        ["cores", cfg.num_cores],
+        ["tiles", f"{cfg.mesh_cols}x{cfg.mesh_rows}"],
+        ["MPB per core", f"{cfg.mpb_bytes} B ({cfg.mpb_lines} lines)"],
+        ["cache line", f"{CACHE_LINE} B"],
+        ["L_hop", f"{cfg.l_hop} us"],
+        ["o_mpb", f"{cfg.o_mpb} us"],
+        ["o_mem_r / o_mem_w", f"{cfg.o_mem_r} / {cfg.o_mem_w} us"],
+        ["contention mode", cfg.contention_mode.value],
+    ]
+    print(format_table(["property", "value"], rows, title="Simulated chip"))
+    return 0
+
+
+def cmd_bcast(args: argparse.Namespace) -> int:
+    spec = _parse_spec(args.algo if args.algo != "oc" else f"oc:{args.k}")
+    res = run_broadcast(
+        spec,
+        args.cache_lines * CACHE_LINE,
+        config=_config(args),
+        root=args.root,
+        iters=args.iters,
+        warmup=args.warmup,
+    )
+    if not res.verified:
+        print("ERROR: payload verification failed", file=sys.stderr)
+        return 1
+    rows = [
+        ["algorithm", spec.label],
+        ["message", f"{args.cache_lines} cache lines ({res.nbytes} B)"],
+        ["mean latency", f"{res.mean_latency:.2f} us"],
+        ["per-iteration", ", ".join(f"{v:.2f}" for v in res.latencies)],
+        ["latency throughput", f"{res.throughput_mb_s:.2f} MB/s"],
+        ["steady throughput", f"{res.steady_throughput_mb_s:.2f} MB/s"],
+    ]
+    print(format_table(["metric", "value"], rows, title="Broadcast"))
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    specs = [_parse_spec(a) for a in args.algos]
+    out = sweep_broadcast(
+        specs, args.sizes, config=_config(args), iters=args.iters, warmup=args.warmup
+    )
+    if args.throughput:
+        series = {
+            label: [r.steady_throughput_mb_s for r in rows]
+            for label, rows in out.items()
+        }
+        what = "steady throughput (MB/s)"
+    else:
+        series = {
+            label: [r.mean_latency for r in rows] for label, rows in out.items()
+        }
+        what = "mean latency (us)"
+    print(format_series("CL", list(args.sizes), series, title=f"Broadcast {what}"))
+    if args.chart:
+        print()
+        print(
+            ascii_chart(
+                list(args.sizes),
+                series,
+                logx=max(args.sizes) / max(1, min(args.sizes)) > 50,
+                title=f"Broadcast {what}",
+                x_label="CL",
+                y_label=what.split()[-1],
+            )
+        )
+    return 0
+
+
+def cmd_contention(args: argparse.Namespace) -> int:
+    rows = contention_sweep(
+        args.op, args.lines, counts=args.counts, config=_config(args), iters=args.iters
+    )
+    print(
+        format_table(
+            ["cores", "mean (us)", "fastest", "slowest", "slow/fast"],
+            [[r.n_cores, r.mean, r.fastest, r.slowest, r.spread] for r in rows],
+            title=f"Concurrent {args.op} of {args.lines} cache line(s)",
+        )
+    )
+    return 0
+
+
+def cmd_fit(args: argparse.Namespace) -> int:
+    obs = sweep_putget(_config(args), iters=args.iters)
+    result = fitting.fit(obs)
+    rows = [
+        [name, fitted, ref, f"{rel * 100:.3f}%"]
+        for name, (fitted, ref, rel) in result.compare(TABLE_1).items()
+    ]
+    print(
+        format_table(
+            ["parameter", "fitted (us)", "Table 1 (us)", "error"],
+            rows,
+            title=f"LogP fit over {result.n_observations} observations "
+                  f"(residual RMS {result.residual_rms:.2e})",
+            float_fmt="{:.4f}",
+        )
+    )
+    return 0
+
+
+def cmd_model(args: argparse.Namespace) -> int:
+    if args.what == "table2":
+        t2 = model_bcast.table2(args.cores, TABLE_1)
+        print(
+            format_table(
+                ["algorithm", "peak throughput (MB/s)"],
+                list(t2.as_dict().items()),
+                title=f"Table 2 (analytic), P={args.cores}",
+            )
+        )
+        return 0
+    sizes = list(range(1, 193, 8))
+    series = {
+        "k=2": [model_bcast.ocbcast_latency_complete(args.cores, m, 2, TABLE_1) for m in sizes],
+        "k=7": [model_bcast.ocbcast_latency_complete(args.cores, m, 7, TABLE_1) for m in sizes],
+        "binomial": [model_bcast.binomial_latency_complete(args.cores, m, TABLE_1) for m in sizes],
+    }
+    print(
+        ascii_chart(
+            sizes, series, title=f"Figure 6a (analytic), P={args.cores}",
+            x_label="CL", y_label="us",
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="OC-Bcast on a simulated Intel SCC: run the paper's experiments.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("info", help="describe the simulated chip")
+    _add_mesh_args(p)
+    p.set_defaults(fn=cmd_info)
+
+    p = sub.add_parser("bcast", help="run one broadcast and report latency")
+    p.add_argument("--algo", default="oc",
+                   choices=["oc", "binomial", "scatter_allgather", "osag"])
+    p.add_argument("--k", type=int, default=7, help="OC-Bcast fan-out")
+    p.add_argument("--cache-lines", type=int, default=96)
+    p.add_argument("--root", type=int, default=0)
+    p.add_argument("--iters", type=int, default=3)
+    p.add_argument("--warmup", type=int, default=1)
+    _add_mesh_args(p)
+    p.set_defaults(fn=cmd_bcast)
+
+    p = sub.add_parser("sweep", help="latency/throughput sweep over sizes")
+    p.add_argument("--algos", nargs="+", default=["oc:7", "binomial"],
+                   help="e.g. oc:7 oc:2 binomial scatter_allgather")
+    p.add_argument("--sizes", nargs="+", type=int, default=[1, 16, 96, 192],
+                   help="message sizes in cache lines")
+    p.add_argument("--iters", type=int, default=2)
+    p.add_argument("--warmup", type=int, default=1)
+    p.add_argument("--throughput", action="store_true",
+                   help="report steady throughput instead of latency")
+    p.add_argument("--chart", action="store_true", help="also draw an ASCII chart")
+    _add_mesh_args(p)
+    p.set_defaults(fn=cmd_sweep)
+
+    p = sub.add_parser("contention", help="concurrent MPB access study (Fig. 4)")
+    p.add_argument("--op", choices=["get", "put"], default="get")
+    p.add_argument("--lines", type=int, default=128)
+    p.add_argument("--counts", nargs="+", type=int,
+                   default=[1, 8, 16, 24, 32, 47])
+    p.add_argument("--iters", type=int, default=10)
+    _add_mesh_args(p)
+    p.set_defaults(fn=cmd_contention)
+
+    p = sub.add_parser("fit", help="recover Table 1 from simulated sweeps")
+    p.add_argument("--iters", type=int, default=3)
+    _add_mesh_args(p)
+    p.set_defaults(fn=cmd_fit)
+
+    p = sub.add_parser("model", help="evaluate the analytic model")
+    p.add_argument("--what", choices=["table2", "fig6"], default="table2")
+    p.add_argument("--cores", type=int, default=48)
+    p.set_defaults(fn=cmd_model)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

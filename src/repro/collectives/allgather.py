@@ -1,0 +1,51 @@
+"""Ring allgather (the second phase of scatter-allgather, standalone).
+
+Each rank contributes ``block_bytes`` and finishes with all blocks laid
+out by rank in ``dst``.  P-1 rounds; blocks travel from rank ``i+1`` to
+rank ``i``, with the even/odd parity schedule keeping the blocking
+rendezvous ring deadlock-free.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator
+
+from ..scc.memory import MemRef
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..rcce.comm import CoreComm
+
+
+def ring_allgather(
+    cc: "CoreComm",
+    src: MemRef,
+    dst: MemRef,
+    block_bytes: int,
+) -> Generator:
+    """Allgather ``block_bytes`` per rank into ``dst`` (rank-major)."""
+    size = cc.size
+    if block_bytes < 0:
+        raise ValueError("block_bytes must be >= 0")
+    if dst.nbytes < block_bytes * size:
+        raise ValueError("dst must hold size * block_bytes")
+    if block_bytes == 0:
+        return
+
+    rank = cc.rank
+    yield from cc.local_copy(dst.sub(rank * block_bytes, block_bytes), src, block_bytes)
+    if size == 1:
+        return
+
+    lower = (rank - 1) % size
+    upper = (rank + 1) % size
+    for t in range(size - 1):
+        send_idx = (rank + t) % size
+        recv_idx = (rank + t + 1) % size
+        sref = dst.sub(send_idx * block_bytes, block_bytes)
+        rref = dst.sub(recv_idx * block_bytes, block_bytes)
+        if rank % 2 == 0:
+            yield from cc.send(lower, sref, block_bytes)
+            yield from cc.recv(upper, rref, block_bytes)
+        else:
+            yield from cc.recv(upper, rref, block_bytes)
+            yield from cc.send(lower, sref, block_bytes)

@@ -1,0 +1,62 @@
+"""Pairwise-exchange all-to-all over two-sided send/recv.
+
+Each rank holds ``size`` blocks (rank-major) and must deliver block
+``j`` to rank ``j`` while collecting block ``i`` from every rank ``i``
+-- the transpose communication pattern of FFTs and bucket sorts.
+
+Schedule: ``size - 1`` rounds; in round ``t`` rank ``i`` exchanges with
+partner ``i XOR t`` when that partner exists (the classic XOR pairing:
+within a round the pairing is a perfect matching, so both sides of each
+pair agree, and ordering sends before receives on the lower rank keeps
+the blocking rendezvous deadlock-free).  Ranks without a partner in a
+round (XOR value >= size for non-power-of-two worlds) sit the round out.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator
+
+from ..scc.memory import MemRef
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..rcce.comm import CoreComm
+
+
+def pairwise_alltoall(
+    cc: "CoreComm",
+    src: MemRef,
+    dst: MemRef,
+    block_bytes: int,
+) -> Generator:
+    """Exchange ``block_bytes`` blocks: ``dst[i] = src_of_rank_i[my_rank]``."""
+    size = cc.size
+    if block_bytes < 0:
+        raise ValueError("block_bytes must be >= 0")
+    if src.nbytes < block_bytes * size or dst.nbytes < block_bytes * size:
+        raise ValueError("src and dst must hold size * block_bytes")
+    if block_bytes == 0:
+        return
+
+    # Own block moves locally.
+    yield from cc.local_copy(
+        dst.sub(cc.rank * block_bytes, block_bytes),
+        src.sub(cc.rank * block_bytes, block_bytes),
+        block_bytes,
+    )
+    # Determine the number of rounds: smallest power of two >= size
+    # guarantees every ordered pair appears in exactly one round.
+    rounds = 1
+    while rounds < size:
+        rounds *= 2
+    for t in range(1, rounds):
+        partner = cc.rank ^ t
+        if partner >= size:
+            continue
+        sref = src.sub(partner * block_bytes, block_bytes)
+        rref = dst.sub(partner * block_bytes, block_bytes)
+        if cc.rank < partner:
+            yield from cc.send(partner, sref, block_bytes)
+            yield from cc.recv(partner, rref, block_bytes)
+        else:
+            yield from cc.recv(partner, rref, block_bytes)
+            yield from cc.send(partner, sref, block_bytes)

@@ -1,0 +1,47 @@
+"""Dissemination barrier on MPB flags.
+
+``ceil(log2 P)`` rounds; in round ``r`` rank ``i`` signals rank
+``(i + 2^r) mod P`` and waits for the signal from ``(i - 2^r) mod P``.
+One flag line per round per core keeps writers distinct even when fast
+cores race one round ahead; sequence numbers (the barrier invocation
+count) make the flags reusable without clearing.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator
+
+from ..rcce.flags import Flag, FlagValue
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..rcce.comm import Comm, CoreComm
+
+
+class BarrierState:
+    """Flags and invocation counters for one communicator's barrier."""
+
+    def __init__(self, comm: "Comm") -> None:
+        self.rounds = max(1, (comm.size - 1).bit_length())
+        self.flags: list[Flag] = [
+            comm.flag(f"barrier.r{r}") for r in range(self.rounds)
+        ]
+        # Per-rank invocation counter (each rank advances only its own).
+        self._epoch = [0] * comm.size
+
+
+def dissemination_barrier(cc: "CoreComm", state: BarrierState) -> Generator:
+    """Block until every rank of the communicator has entered the barrier."""
+    size = cc.size
+    if size == 1:
+        return
+    state._epoch[cc.rank] += 1
+    epoch = state._epoch[cc.rank]
+    for r in range(state.rounds):
+        dist = 1 << r
+        partner = (cc.rank + dist) % size
+        waited_on = (cc.rank - dist) % size
+        yield from cc.flag_set(partner, state.flags[r], FlagValue(cc.rank, epoch))
+        yield from cc.wait_flags(
+            [state.flags[r]],
+            lambda v, w=waited_on, e=epoch: v[0].tag == w and v[0].seq >= e,
+        )

@@ -1,0 +1,65 @@
+"""Binomial-tree broadcast (the RCCE_comm small-message baseline).
+
+The classic recursive-halving construction (paper Section 5.2.2): the set
+of ranks is split in two halves, the root sends the whole message to one
+rank of the other half, and broadcast recurses in both halves --
+equivalently, the mask-doubling loop used by MPICH.  ``O(log2 P)`` levels,
+each moving the *entire* message over a send/recv pair, which is why
+Formula 14 carries ``log2 P`` off-chip write terms that OC-Bcast avoids.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator
+
+from ..scc.memory import MemRef
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..rcce.comm import CoreComm
+
+
+def binomial_parent(rank: int, root: int, size: int) -> int | None:
+    """The rank this node receives from (None at the root)."""
+    rel = (rank - root) % size
+    if rel == 0:
+        return None
+    mask = 1
+    while not rel & mask:
+        mask <<= 1
+    return (rank - mask) % size
+
+
+def binomial_children(rank: int, root: int, size: int) -> list[int]:
+    """Ranks this node forwards to, in send order (largest subtree first,
+    matching the mask-descending MPICH loop)."""
+    rel = (rank - root) % size
+    mask = 1
+    while mask < size and not rel & mask:
+        mask <<= 1
+    # mask is now the bit that brought us the message (or >= size at root).
+    children = []
+    mask >>= 1
+    while mask > 0:
+        if rel + mask < size:
+            children.append((rank + mask) % size)
+        mask >>= 1
+    return children
+
+
+def binomial_bcast(
+    cc: "CoreComm", root: int, buf: MemRef, nbytes: int
+) -> Generator:
+    """Broadcast ``nbytes`` from ``root``'s ``buf`` into every rank's
+    ``buf`` using the binomial tree over blocking send/recv."""
+    size = cc.size
+    if not 0 <= root < size:
+        raise ValueError(f"root {root} outside 0..{size - 1}")
+    if nbytes < 0:
+        raise ValueError("nbytes must be >= 0")
+    if size == 1 or nbytes == 0:
+        return
+    parent = binomial_parent(cc.rank, root, size)
+    if parent is not None:
+        yield from cc.recv(parent, buf, nbytes)
+    for child in binomial_children(cc.rank, root, size):
+        yield from cc.send(child, buf, nbytes)

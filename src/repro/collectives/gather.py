@@ -1,0 +1,57 @@
+"""Binomial-tree gather: every rank's block ends up at the root.
+
+Blocks are laid out by *relative* rank (``rel = (rank - root) % size``),
+so the root receives a contiguous image ``block(rel 0) .. block(rel P-1)``
+and rotation to absolute-rank order, if desired, is the caller's choice.
+Every rank passes a full-size buffer; rank ``rel`` accumulates the blocks
+of its binomial subtree ``[rel, rel + subtree)`` before forwarding them to
+its parent in one message -- the standard tree gather.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator
+
+from ..scc.memory import MemRef
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..rcce.comm import CoreComm
+
+
+def binomial_gather(
+    cc: "CoreComm",
+    root: int,
+    src: MemRef,
+    dst: MemRef,
+    block_bytes: int,
+) -> Generator:
+    """Gather ``block_bytes`` from each rank's ``src`` into ``dst`` at the
+    root (``dst`` is scratch of ``block_bytes * size`` on other ranks)."""
+    size = cc.size
+    if not 0 <= root < size:
+        raise ValueError(f"root {root} outside 0..{size - 1}")
+    if block_bytes < 0:
+        raise ValueError("block_bytes must be >= 0")
+    if dst.nbytes < block_bytes * size:
+        raise ValueError("dst must hold size * block_bytes")
+    if block_bytes == 0 or size == 0:
+        return
+
+    rel = (cc.rank - root) % size
+    # Own block goes to its relative slot.
+    yield from cc.local_copy(dst.sub(rel * block_bytes, block_bytes), src, block_bytes)
+
+    mask = 1
+    while mask < size:
+        if rel & mask:
+            # My subtree [rel, rel + mask) is complete: forward and stop.
+            parent = (cc.rank - mask) % size
+            span = (min(rel + mask, size) - rel) * block_bytes
+            yield from cc.send(parent, dst.sub(rel * block_bytes, span), span)
+            return
+        if rel + mask < size:
+            child = (cc.rank + mask) % size
+            lo = rel + mask
+            span = (min(lo + mask, size) - lo) * block_bytes
+            yield from cc.recv(child, dst.sub(lo * block_bytes, span), span)
+        mask <<= 1

@@ -1,0 +1,101 @@
+"""Binomial-tree reduction over two-sided send/recv.
+
+Element-wise combination is expressed as a :class:`ReduceOp` (dtype +
+NumPy ufunc) applied to byte buffers, so reductions move through exactly
+the same send/recv path as broadcasts -- the two-sided cost structure the
+paper's Section 7 extension study compares OC-style collectives against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Generator
+
+import numpy as np
+
+from ..scc.memory import MemRef
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..rcce.comm import CoreComm
+
+
+@dataclass(frozen=True)
+class ReduceOp:
+    """An element-wise reduction operator over a fixed dtype."""
+
+    name: str
+    dtype: np.dtype
+    ufunc: np.ufunc
+
+    def combine(self, acc: bytes, other: bytes) -> bytes:
+        a = np.frombuffer(acc, dtype=self.dtype)
+        b = np.frombuffer(other, dtype=self.dtype)
+        if a.shape != b.shape:
+            raise ValueError("reduce operands differ in length")
+        return self.ufunc(a, b).astype(self.dtype, copy=False).tobytes()
+
+    # -- common operators ---------------------------------------------------
+
+    @classmethod
+    def sum(cls, dtype: str = "<i8") -> "ReduceOp":
+        return cls("sum", np.dtype(dtype), np.add)
+
+    @classmethod
+    def prod(cls, dtype: str = "<i8") -> "ReduceOp":
+        return cls("prod", np.dtype(dtype), np.multiply)
+
+    @classmethod
+    def max(cls, dtype: str = "<i8") -> "ReduceOp":
+        return cls("max", np.dtype(dtype), np.maximum)
+
+    @classmethod
+    def min(cls, dtype: str = "<i8") -> "ReduceOp":
+        return cls("min", np.dtype(dtype), np.minimum)
+
+
+def binomial_reduce(
+    cc: "CoreComm",
+    root: int,
+    sendbuf: MemRef,
+    recvbuf: MemRef | None,
+    nbytes: int,
+    op: ReduceOp,
+) -> Generator:
+    """Reduce ``nbytes`` from every rank's ``sendbuf`` into ``root``'s
+    ``recvbuf`` (ignored elsewhere; pass a scratch buffer of ``nbytes``
+    on every rank -- it is used to accumulate partial results).
+    """
+    size = cc.size
+    if not 0 <= root < size:
+        raise ValueError(f"root {root} outside 0..{size - 1}")
+    if nbytes % op.dtype.itemsize:
+        raise ValueError(
+            f"{nbytes} bytes is not a whole number of {op.dtype} elements"
+        )
+    if recvbuf is None or recvbuf.nbytes < nbytes:
+        raise ValueError("every rank must pass a recv/scratch buffer of nbytes")
+    if nbytes == 0:
+        return
+
+    # Accumulate into recvbuf so sendbuf stays untouched (MPI semantics).
+    yield from cc.local_copy(recvbuf, sendbuf, nbytes)
+    scratch = cc.alloc(nbytes)
+
+    rel = (cc.rank - root) % size
+    mask = 1
+    while mask < size:
+        if rel & mask:
+            parent = (cc.rank - mask) % size
+            yield from cc.send(parent, recvbuf.sub(0, nbytes), nbytes)
+            return
+        if rel + mask < size:
+            child = (cc.rank + mask) % size
+            yield from cc.recv(child, scratch, nbytes)
+            combined = op.combine(
+                recvbuf.sub(0, nbytes).read(), scratch.read()
+            )
+            # The combine itself is local compute over both operands.
+            yield from cc.core.mem_read(scratch)
+            yield from cc.core.mem_write(recvbuf.sub(0, nbytes))
+            recvbuf.sub(0, nbytes).write(combined)
+        mask <<= 1

@@ -1,0 +1,33 @@
+"""Binomial-tree scatter (the first phase of scatter-allgather, exposed
+as a collective of its own).
+
+After the call, the slice for relative rank ``rel`` sits at byte range
+``[rel*s, rel*s + len)`` of ``buf`` on that rank (``s = ceil(n/size)``).
+Every rank passes a full-size ``buf``; only the root's content matters on
+entry.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator
+
+from ..scc.memory import MemRef
+from .scatter_allgather import _scatter_phase, slice_range
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..rcce.comm import CoreComm
+
+
+def binomial_scatter(
+    cc: "CoreComm", root: int, buf: MemRef, nbytes: int
+) -> Generator:
+    """Scatter ``nbytes`` of ``root``'s ``buf`` so every rank holds its
+    slice in place.  Returns this rank's ``(offset, length)``."""
+    size = cc.size
+    if not 0 <= root < size:
+        raise ValueError(f"root {root} outside 0..{size - 1}")
+    if nbytes < 0:
+        raise ValueError("nbytes must be >= 0")
+    if size > 1 and nbytes > 0:
+        yield from _scatter_phase(cc, root, buf, nbytes)
+    return slice_range(nbytes, size, (cc.rank - root) % size)

@@ -1,0 +1,261 @@
+"""MPMD broadcast via inter-core interrupts (the paper's Section 7).
+
+"Our ongoing work includes extending OC-Bcast to handle the MPMD
+programming model by leveraging parallel inter-core interrupts.
+Many-core operating systems [3] are an interesting use-case for such a
+primitive."
+
+In MPMD, receiving cores run *different* programs and are not sitting in
+a matching broadcast call when a message arrives.  The design here:
+
+- every participating core starts a **daemon** coroutine
+  (:meth:`MpmdBcast.start_daemons`) that blocks on the IPI controller;
+- the *sender* (any core, any time) calls :meth:`publish`: it stages the
+  message chunk-wise in its MPB exactly like OC-Bcast's root and IPIs
+  its propagation children;
+- each daemon, on interrupt, relays IPIs down the family's notification
+  tree, pulls the chunks with one-sided gets (same doneFlag recycling
+  protocol as OC-Bcast), copies them to private memory and deposits the
+  message in the core's :class:`Mailbox`;
+- the application on that core collects delivered messages whenever it
+  likes with :meth:`deliver` (blocking) or :meth:`poll` (non-blocking) --
+  the multikernel-style upcall decoupling;
+- :meth:`stop_daemons` (sender side) shuts the tree down cleanly so the
+  simulation can drain.
+
+Interrupt entry is ~1 microsecond on the P54C, so this costs more per hop
+than SPMD flag polling -- the measured gap is reported by
+``benchmarks/bench_extension_mpmd.py``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Any, Generator
+
+from ..rcce.flags import Flag, FlagValue
+from ..scc.config import CACHE_LINE
+from ..scc.memory import MemRef
+from ..sim import Event
+from .trees import NotificationTree, PropagationTree
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..rcce.comm import Comm, CoreComm
+
+
+class Mailbox:
+    """Per-core queue of delivered broadcast payloads."""
+
+    def __init__(self) -> None:
+        self._messages: deque[bytes] = deque()
+        self._waiters: deque[Event] = deque()
+
+    def deposit(self, payload: bytes) -> None:
+        self._messages.append(payload)
+        if self._waiters:
+            self._waiters.popleft().succeed(None)
+
+    def poll(self) -> bytes | None:
+        return self._messages.popleft() if self._messages else None
+
+    def __len__(self) -> int:
+        return len(self._messages)
+
+
+class MpmdBcast:
+    """Interrupt-driven one-to-all publication for MPMD programs.
+
+    The propagation tree is rooted at a fixed ``publisher`` rank (an
+    MPMD pub/sub channel has one producer); k and chunking mirror
+    OC-Bcast.  Multiple sequential :meth:`publish` calls are supported;
+    subscribers may lag arbitrarily (mailboxes buffer).
+    """
+
+    def __init__(
+        self,
+        comm: "Comm",
+        publisher: int = 0,
+        k: int = 7,
+        chunk_lines: int = 96,
+        num_buffers: int = 2,
+        notify_degree: int = 2,
+    ) -> None:
+        if not 0 <= publisher < comm.size:
+            raise ValueError(f"publisher {publisher} outside 0..{comm.size - 1}")
+        if k < 1 or chunk_lines < 1 or num_buffers < 1 or notify_degree < 1:
+            raise ValueError("k, chunk_lines, num_buffers, notify_degree must be >= 1")
+        need = num_buffers * chunk_lines + k
+        if need > comm.layout.free_lines:
+            raise MemoryError(
+                f"MPMD broadcast needs {need} MPB lines, "
+                f"{comm.layout.free_lines} free"
+            )
+        self.comm = comm
+        self.publisher = publisher
+        self.k = k
+        self.chunk_lines = chunk_lines
+        self.num_buffers = num_buffers
+        self.notify_degree = notify_degree
+        self.tree = PropagationTree(comm.size, k, root=publisher)
+        done_region = comm.layout.alloc_lines(k)
+        self.done_flags = [
+            Flag(done_region.sub(i, 1), name=f"mpmd.done{i}") for i in range(k)
+        ]
+        self.buffers = [
+            comm.layout.alloc_lines(chunk_lines) for _ in range(num_buffers)
+        ]
+        self.mailboxes = [Mailbox() for _ in range(comm.size)]
+        self._chunk_base = 0  # publisher-side global chunk counter
+
+    @property
+    def chunk_bytes(self) -> int:
+        return self.chunk_lines * CACHE_LINE
+
+    # -- subscriber side ----------------------------------------------------
+
+    def start_daemons(self, chip) -> list:
+        """Spawn one daemon process per non-publisher rank; returns them."""
+        procs = []
+        for rank in range(self.comm.size):
+            if rank == self.publisher:
+                continue
+            core = chip.cores[self.comm.core_of(rank)]
+            cc = self.comm.attach(core)
+            procs.append(
+                chip.sim.process(self._daemon(cc), name=f"mpmd-daemon-r{rank}")
+            )
+        return procs
+
+    def deliver(self, cc: "CoreComm") -> Generator[Event, object, bytes]:
+        """Block the *application* until a broadcast payload is available."""
+        box = self.mailboxes[cc.rank]
+        while True:
+            payload = box.poll()
+            if payload is not None:
+                return payload
+            ev = Event(cc.core.sim, f"mailbox.wait(r{cc.rank})")
+            box._waiters.append(ev)
+            yield ev
+
+    def poll(self, cc: "CoreComm") -> bytes | None:
+        """Non-blocking mailbox check (untimed; a real check is a load)."""
+        return self.mailboxes[cc.rank].poll()
+
+    # -- publisher side ----------------------------------------------------
+
+    def publish(self, cc: "CoreComm", buf: MemRef, nbytes: int) -> Generator:
+        """Push ``nbytes`` from the publisher's ``buf`` to every mailbox."""
+        if cc.rank != self.publisher:
+            raise ValueError(f"only rank {self.publisher} may publish")
+        if nbytes <= 0:
+            raise ValueError("publish needs nbytes > 0")
+        if buf.nbytes < nbytes:
+            raise ValueError("buffer smaller than nbytes")
+        if self.comm.size == 1:
+            return
+        nchunks = -(-nbytes // self.chunk_bytes)
+        base = self._chunk_base
+        self._chunk_base += nchunks
+        children = self.tree.children_of(cc.rank)
+        family = NotificationTree(len(children), self.notify_degree)
+        done = self.done_flags[: len(children)]
+        for idx in range(nchunks):
+            seq = base + idx + 1
+            b = idx % self.num_buffers
+            off = idx * self.chunk_bytes
+            span = min(self.chunk_bytes, nbytes - off)
+            floor = seq - self.num_buffers
+            if children and floor >= 1:
+                yield from cc.wait_flags(
+                    done, lambda vs, f=floor: all(v.seq >= f for v in vs)
+                )
+            yield from cc.put(cc.rank, self.buffers[b].offset, buf.sub(off, span), span)
+            # Parallel IPIs down the notification tree carry the message
+            # descriptor (total size + chunk sequence number).
+            for slot in family.notify_targets(0):
+                yield from cc.chip.irq.send(
+                    cc.core,
+                    self.comm.core_of(children[slot - 1]),
+                    ("chunk", seq, nbytes, idx, nchunks),
+                )
+        final = base + nchunks
+        yield from cc.wait_flags(
+            done, lambda vs, f=final: all(v.seq >= f for v in vs)
+        )
+
+    def stop_daemons(self, cc: "CoreComm") -> Generator:
+        """Shut the daemon tree down (publisher only)."""
+        if cc.rank != self.publisher:
+            raise ValueError(f"only rank {self.publisher} may stop the daemons")
+        children = self.tree.children_of(cc.rank)
+        family = NotificationTree(len(children), self.notify_degree)
+        for slot in family.notify_targets(0):
+            yield from cc.chip.irq.send(
+                cc.core, self.comm.core_of(children[slot - 1]), ("stop",)
+            )
+
+    # -- the daemon ----------------------------------------------------------
+
+    def _daemon(self, cc: "CoreComm") -> Generator:
+        tree = self.tree
+        parent = tree.parent_of(cc.rank)
+        assert parent is not None
+        siblings = tree.children_of(parent)
+        my_slot = tree.child_index(cc.rank) + 1
+        parent_family = NotificationTree(len(siblings), self.notify_degree)
+        children = tree.children_of(cc.rank)
+        my_family = NotificationTree(len(children), self.notify_degree)
+        done = self.done_flags[: len(children)]
+        my_done_flag = self.done_flags[tree.child_index(cc.rank)]
+        irq = cc.chip.irq
+        scratch = cc.alloc(self.chunk_bytes)
+        assembly: bytearray | None = None
+
+        while True:
+            msg = yield from irq.wait(cc.core)
+            if msg[0] == "stop":
+                for slot in parent_family.notify_targets(my_slot):
+                    yield from irq.send(
+                        cc.core, self.comm.core_of(siblings[slot - 1]), ("stop",)
+                    )
+                for slot in my_family.notify_targets(0):
+                    yield from irq.send(
+                        cc.core, self.comm.core_of(children[slot - 1]), ("stop",)
+                    )
+                return
+            _, seq, nbytes, idx, nchunks = msg
+            b = idx % self.num_buffers
+            off = idx * self.chunk_bytes
+            span = min(self.chunk_bytes, nbytes - off)
+            # (i) relay the interrupt among siblings.
+            for slot in parent_family.notify_targets(my_slot):
+                yield from irq.send(
+                    cc.core, self.comm.core_of(siblings[slot - 1]), msg
+                )
+            # Recycle own buffer b (sequence numbers are global across
+            # publishes, so this also protects back-to-back messages).
+            floor = seq - self.num_buffers
+            if children and floor >= 1:
+                yield from cc.wait_flags(
+                    done, lambda vs, f=floor: all(v.seq >= f for v in vs)
+                )
+            # (ii) pull the chunk into the own MPB.
+            yield from cc.get(
+                parent, self.buffers[b].offset, self.buffers[b].offset, span
+            )
+            # (iii) release the parent's buffer.
+            yield from cc.flag_set(parent, my_done_flag, FlagValue(cc.rank, seq))
+            # (iv) interrupt own children.
+            for slot in my_family.notify_targets(0):
+                yield from irq.send(
+                    cc.core, self.comm.core_of(children[slot - 1]), msg
+                )
+            # (v) stage into the assembly buffer, deliver when complete.
+            if idx == 0:
+                assembly = bytearray(nbytes)
+            yield from cc.get(cc.rank, self.buffers[b].offset, scratch.sub(0, span), span)
+            assert assembly is not None
+            assembly[off : off + span] = scratch.sub(0, span).read()
+            if idx == nchunks - 1:
+                self.mailboxes[cc.rank].deposit(bytes(assembly))
+                assembly = None

@@ -1,0 +1,297 @@
+"""OC-Bcast: pipelined k-ary-tree broadcast on one-sided RMA.
+
+The paper's algorithm (Section 4), with every mechanism implemented:
+
+- **k-ary propagation tree** -- the k children of a node get each message
+  chunk *in parallel* from their parent's MPB (one-sided ``get``), with k
+  chosen below the MPB contention threshold (Section 3.3).
+- **Binary notification trees** -- a parent raises its children's
+  ``notifyFlag`` through a small binary tree spanning the family (itself
+  plus its k children), so notification costs O(log k) serial flag writes
+  instead of k (Figure 5).
+- **doneFlags** -- k flags in each parent's MPB, one per child; a child
+  sets its slot after copying a chunk out of the parent's buffer, and the
+  parent reuses a buffer only when every child has consumed its previous
+  occupant.
+- **Chunking, pipelining and double buffering** (Section 4.2) -- messages
+  move in chunks of ``M_oc = 96`` cache lines through (by default) two
+  MPB buffers, so a parent fills one buffer while children drain the
+  other and steady-state throughput is bounded by one MPB-to-MPB get plus
+  one MPB-to-memory get per chunk (Formula 15).
+
+Flags carry monotonically increasing sequence numbers (one per chunk,
+across all broadcasts on the same :class:`OcBcast` instance) instead of
+booleans, so they never need clearing -- the protocol's buffer-recycling
+waits double as flag recycling.
+
+Per-core protocol for an intermediate node, chunk by chunk (the paper's
+steps (i)-(v)): wait for ``notifyFlag``; (i) relay the notification to
+its notification-children among its *siblings*; (wait for its own
+children to free the target buffer;) (ii) get the chunk from the parent's
+MPB into its own MPB; (iii) set its ``doneFlag`` at the parent; (iv)
+notify its own propagation children; (v) get the chunk from its MPB to
+private off-chip memory.
+
+Options beyond the paper's defaults (all ablation subjects):
+``num_buffers=1`` disables double buffering; ``notify_degree`` changes
+the notification-tree arity; ``leaf_direct_to_memory`` applies the
+Section 5.4 leaf optimisation; ``NotifyMode.INTERRUPT`` models the
+Section 7 interrupt-driven notification (no polling detection delay).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Generator, Sequence
+
+from ..rcce.flags import Flag, FlagValue
+from ..scc.config import CACHE_LINE
+from ..scc.memory import MemRef
+from .trees import NotificationTree, PropagationTree
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..rcce.comm import Comm, CoreComm
+
+#: The paper's chunk size: 96 cache lines (leaves room for flags with any k).
+DEFAULT_CHUNK_LINES = 96
+
+
+class NotifyMode(enum.Enum):
+    """How children learn that a chunk is available."""
+
+    #: MPB flags, polled by the waiting core (the paper's design).
+    FLAGS = "flags"
+    #: Inter-core interrupts (the paper's Section 7 extension): the waiter
+    #: pays a fixed handler cost instead of a polling detection delay.
+    INTERRUPT = "interrupt"
+
+
+@dataclass(frozen=True)
+class OcBcastConfig:
+    """Tuning knobs of one OC-Bcast instance."""
+
+    k: int = 7
+    chunk_lines: int = DEFAULT_CHUNK_LINES
+    num_buffers: int = 2
+    notify_degree: int = 2
+    leaf_direct_to_memory: bool = False
+    notify_mode: NotifyMode = NotifyMode.FLAGS
+    #: Interrupt-handler cost (microseconds) in INTERRUPT mode.
+    irq_handler: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ValueError("k must be >= 1")
+        if self.chunk_lines < 1:
+            raise ValueError("chunk_lines must be >= 1")
+        if self.num_buffers < 1:
+            raise ValueError("num_buffers must be >= 1")
+        if self.notify_degree < 1:
+            raise ValueError("notify_degree must be >= 1")
+        if self.irq_handler < 0:
+            raise ValueError("irq_handler must be >= 0")
+
+    @property
+    def chunk_bytes(self) -> int:
+        return self.chunk_lines * CACHE_LINE
+
+
+class OcBcast:
+    """An OC-Bcast engine bound to a communicator.
+
+    Construction allocates the MPB resources (``num_buffers`` payload
+    buffers of ``chunk_lines`` each, one notifyFlag, ``k`` doneFlags --
+    the paper's k+1 flags per core) symmetrically on every rank.  The
+    engine is reusable: any number of broadcasts, from any root, may be
+    issued on the same instance.
+    """
+
+    def __init__(self, comm: "Comm", config: OcBcastConfig | None = None) -> None:
+        self.comm = comm
+        self.config = config or OcBcastConfig()
+        cfg = self.config
+        need = cfg.num_buffers * cfg.chunk_lines + cfg.k + 1
+        if need > comm.layout.free_lines:
+            raise MemoryError(
+                f"OC-Bcast needs {need} MPB lines ({cfg.num_buffers} x "
+                f"{cfg.chunk_lines} buffers + {cfg.k + 1} flags) but only "
+                f"{comm.layout.free_lines} are free"
+            )
+        self.notify = comm.flag("oc.notify")
+        done_region = comm.layout.alloc_lines(cfg.k)
+        self.done_flags = [
+            Flag(done_region.sub(i, 1), name=f"oc.done{i}") for i in range(cfg.k)
+        ]
+        self.buffers = [
+            comm.layout.alloc_lines(cfg.chunk_lines) for _ in range(cfg.num_buffers)
+        ]
+        # Per-rank global chunk-sequence base; advances by the chunk count
+        # of every broadcast (each rank tracks its own copy -- SPMD calls
+        # are matching, so the copies agree).
+        self._base = [0] * comm.size
+
+    # ------------------------------------------------------------------
+
+    def bcast(
+        self,
+        cc: "CoreComm",
+        root: int,
+        buf: MemRef,
+        nbytes: int,
+        order: Sequence[int] | None = None,
+    ) -> Generator:
+        """Broadcast ``nbytes`` from ``root``'s ``buf`` (private memory)
+        into every other rank's ``buf``.
+
+        ``order`` optionally overrides the position-to-rank assignment of
+        the propagation tree (see :func:`topology_aware_order`); all ranks
+        must pass the same value.
+        """
+        size = cc.size
+        cfg = self.config
+        if not 0 <= root < size:
+            raise ValueError(f"root {root} outside 0..{size - 1}")
+        if nbytes < 0:
+            raise ValueError("nbytes must be >= 0")
+        if buf.nbytes < nbytes:
+            raise ValueError(f"buffer of {buf.nbytes} bytes for {nbytes}-byte bcast")
+        if nbytes == 0 or size == 1:
+            return
+        nchunks = -(-nbytes // cfg.chunk_bytes)
+        base = self._base[cc.rank]
+        self._base[cc.rank] += nchunks
+
+        tree = PropagationTree(size, cfg.k, root, tuple(order) if order else ())
+        children = tree.children_of(cc.rank)
+        if tree.parent_of(cc.rank) is None:
+            yield from self._run_root(cc, tree, children, buf, nbytes, nchunks, base)
+        else:
+            yield from self._run_node(cc, tree, children, buf, nbytes, nchunks, base)
+
+    # -- root ------------------------------------------------------------
+
+    def _run_root(
+        self,
+        cc: "CoreComm",
+        tree: PropagationTree,
+        children: list[int],
+        buf: MemRef,
+        nbytes: int,
+        nchunks: int,
+        base: int,
+    ) -> Generator:
+        cfg = self.config
+        family = NotificationTree(len(children), cfg.notify_degree)
+        done = self.done_flags[: len(children)]
+        for idx in range(nchunks):
+            seq = base + idx + 1
+            b = idx % cfg.num_buffers
+            off = idx * cfg.chunk_bytes
+            span = min(cfg.chunk_bytes, nbytes - off)
+            # Recycle buffer b: children must have consumed its previous
+            # occupant (chunk idx - num_buffers).
+            if children and idx >= cfg.num_buffers:
+                floor = base + idx - cfg.num_buffers + 1
+                yield from cc.wait_flags(
+                    done, lambda vs, f=floor: all(v.seq >= f for v in vs)
+                )
+            yield from cc.put(cc.rank, self.buffers[b].offset, buf.sub(off, span), span)
+            cc.chip.trace(f"rank{cc.rank}", "oc.chunk_staged", idx=idx, seq=seq)
+            yield from self._notify(cc, tree, family, children, slot=0, seq=seq)
+        if children:
+            final = base + nchunks
+            yield from cc.wait_flags(
+                done, lambda vs, f=final: all(v.seq >= f for v in vs)
+            )
+
+    # -- intermediate nodes and leaves -------------------------------------
+
+    def _run_node(
+        self,
+        cc: "CoreComm",
+        tree: PropagationTree,
+        children: list[int],
+        buf: MemRef,
+        nbytes: int,
+        nchunks: int,
+        base: int,
+    ) -> Generator:
+        cfg = self.config
+        parent = tree.parent_of(cc.rank)
+        assert parent is not None
+        siblings = tree.children_of(parent)
+        my_slot = tree.child_index(cc.rank) + 1  # family slot (0 = parent)
+        parent_family = NotificationTree(len(siblings), cfg.notify_degree)
+        my_family = NotificationTree(len(children), cfg.notify_degree)
+        done = self.done_flags[: len(children)]
+        my_done_flag = self.done_flags[tree.child_index(cc.rank)]
+        leaf_direct = cfg.leaf_direct_to_memory and not children
+
+        for idx in range(nchunks):
+            seq = base + idx + 1
+            b = idx % cfg.num_buffers
+            off = idx * cfg.chunk_bytes
+            span = min(cfg.chunk_bytes, nbytes - off)
+            yield from self._wait_notify(cc, seq)
+            # (i) relay the notification among the siblings.
+            yield from self._notify(cc, tree, parent_family, siblings, my_slot, seq)
+            # Recycle own buffer b (not needed by leaves).
+            if children and idx >= cfg.num_buffers:
+                floor = base + idx - cfg.num_buffers + 1
+                yield from cc.wait_flags(
+                    done, lambda vs, f=floor: all(v.seq >= f for v in vs)
+                )
+            if leaf_direct:
+                # Section 5.4: a leaf copies straight to off-chip memory.
+                yield from cc.get(
+                    parent, self.buffers[b].offset, buf.sub(off, span), span
+                )
+                yield from cc.flag_set(parent, my_done_flag, FlagValue(cc.rank, seq))
+            else:
+                # (ii) parent's MPB buffer -> own MPB buffer (same offset:
+                # the layout is symmetric).
+                yield from cc.get(
+                    parent, self.buffers[b].offset, self.buffers[b].offset, span
+                )
+                # (iii) tell the parent this chunk is consumed.
+                yield from cc.flag_set(parent, my_done_flag, FlagValue(cc.rank, seq))
+                # (iv) notify own children.
+                yield from self._notify(cc, tree, my_family, children, slot=0, seq=seq)
+                # (v) own MPB -> private off-chip memory.
+                yield from cc.get(
+                    cc.rank, self.buffers[b].offset, buf.sub(off, span), span
+                )
+            cc.chip.trace(f"rank{cc.rank}", "oc.chunk_done", idx=idx, seq=seq)
+        if children:
+            final = base + nchunks
+            yield from cc.wait_flags(
+                done, lambda vs, f=final: all(v.seq >= f for v in vs)
+            )
+
+    # -- notification helpers -----------------------------------------------
+
+    def _notify(
+        self,
+        cc: "CoreComm",
+        tree: PropagationTree,
+        family: NotificationTree,
+        family_children: list[int],
+        slot: int,
+        seq: int,
+    ) -> Generator:
+        """Set the notifyFlag of this core's notification children within
+        ``family`` (slot 0 = family parent, slots 1.. = children)."""
+        for target_slot in family.notify_targets(slot):
+            target_rank = family_children[target_slot - 1]
+            yield from cc.flag_set(target_rank, self.notify, FlagValue(0, seq))
+
+    def _wait_notify(self, cc: "CoreComm", seq: int) -> Generator:
+        if self.config.notify_mode is NotifyMode.INTERRUPT:
+            # Event-driven wake-up plus a fixed handler cost: no sweep.
+            yield from cc.wait_flags(
+                [self.notify], lambda v: v[0].seq >= seq, sweep_flags=0
+            )
+            yield cc.core.compute(self.config.irq_handler)
+        else:
+            yield from cc.wait_flags([self.notify], lambda v, s=seq: v[0].seq >= s)

@@ -1,0 +1,244 @@
+"""One-sided scatter-allgather broadcast (the paper's Section 5.4 sketch).
+
+The discussion section names "adapting the two-sided scatter-allgather
+algorithm to use the one-sided primitives" as a good example of another
+RMA-based broadcast design.  This module builds it:
+
+- the *scatter* phase stays a binary recursive tree over (small-payload)
+  send/recv -- it moves each byte once, so there is little to gain;
+- the *allgather* ring is where two-sided RCCE loses (Formula 16 pays an
+  off-chip read AND write per hop per slice): here a slice travels the
+  ring **MPB-to-MPB**.  Each core keeps the slice it received this round
+  in an MPB buffer and forwards it next round with a direct remote get by
+  the downstream neighbour; the copy to private memory happens off the
+  forwarding path.  Double buffering overlaps the forward of round ``t``
+  with the receive of round ``t+1``, exactly like OC-Bcast's chunks.
+
+Large messages are processed in segments of ``P * slice_lines`` cache
+lines so a slice always fits the MPB buffer.
+
+The result (see ``benchmarks/bench_extension_onesided_sag.py``) sits far
+above the two-sided scatter-allgather and close to OC-Bcast's peak --
+evidence for the paper's closing claim that one-sided designs in general,
+not OC-Bcast specifically, are what unlocks the hardware.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator
+
+from ..rcce.flags import FlagSlotArray
+from ..rcce.twosided import TwoSidedState, recv as ts_recv, send as ts_send
+from ..scc.config import CACHE_LINE
+from ..scc.memory import MemRef
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..rcce.comm import Comm, CoreComm
+
+
+class OsagBcast:
+    """One-sided scatter-allgather broadcast engine.
+
+    MPB budget (per core): two slice buffers of ``slice_lines`` each, two
+    per-partner slot arrays for the ring, plus a private two-sided state
+    (``scatter_payload_lines`` + two more arrays) for the scatter phase.
+    The defaults fit the 256-line MPB at P=48 alongside nothing else.
+    """
+
+    def __init__(
+        self,
+        comm: "Comm",
+        slice_lines: int = 48,
+        scatter_payload_lines: int = 96,
+        enable_scatter: bool = True,
+    ) -> None:
+        if slice_lines < 1:
+            raise ValueError("slice_lines must be >= 1")
+        self.comm = comm
+        self.slice_lines = slice_lines
+        size = comm.size
+        flag_lines = FlagSlotArray.lines_needed(size)
+        need = 2 * slice_lines + 2 * flag_lines
+        if enable_scatter:
+            need += scatter_payload_lines + 2 * flag_lines
+        if need > comm.layout.free_lines:
+            raise MemoryError(
+                f"one-sided scatter-allgather needs {need} MPB lines, "
+                f"{comm.layout.free_lines} free"
+            )
+        self.scatter_state = (
+            TwoSidedState(comm, payload_lines=scatter_payload_lines)
+            if enable_scatter
+            else None
+        )
+        #: staged[s] in core i's MPB: ring slices its upstream s has made
+        #: available; drained[r] in core i's MPB: slices downstream r has
+        #: consumed from core i's buffers.
+        self.staged = FlagSlotArray(
+            comm.layout.alloc_lines(flag_lines), size, name="osag.staged"
+        )
+        self.drained = FlagSlotArray(
+            comm.layout.alloc_lines(flag_lines), size, name="osag.drained"
+        )
+        self.buffers = [comm.layout.alloc_lines(slice_lines) for _ in range(2)]
+        # Per-rank ring-step counter (each rank tracks its own copy).
+        self._base = [0] * size
+
+    @property
+    def slice_bytes(self) -> int:
+        return self.slice_lines * CACHE_LINE
+
+    @property
+    def segment_bytes(self) -> int:
+        return self.comm.size * self.slice_bytes
+
+    # ------------------------------------------------------------------
+
+    def bcast(self, cc: "CoreComm", root: int, buf: MemRef, nbytes: int) -> Generator:
+        """Broadcast ``nbytes`` from ``root``'s ``buf`` into every rank's
+        ``buf``."""
+        size = cc.size
+        if not 0 <= root < size:
+            raise ValueError(f"root {root} outside 0..{size - 1}")
+        if nbytes < 0:
+            raise ValueError("nbytes must be >= 0")
+        if buf.nbytes < nbytes:
+            raise ValueError(f"buffer of {buf.nbytes} bytes for {nbytes}-byte bcast")
+        if nbytes == 0 or size == 1:
+            return
+        if self.scatter_state is None:
+            raise ValueError("this engine was built with enable_scatter=False")
+        if size == 2:
+            # Degenerate ring: one pipelined pair transfer via the
+            # scatter machinery.
+            if cc.rank == root:
+                yield from ts_send(cc, 1 - root, buf.sub(0, nbytes), nbytes,
+                                   st=self.scatter_state)
+            else:
+                yield from ts_recv(cc, root, buf.sub(0, nbytes), nbytes,
+                                   st=self.scatter_state)
+            return
+        seg = self.segment_bytes
+        off = 0
+        while off < nbytes:
+            span = min(seg, nbytes - off)
+            yield from self._bcast_segment(cc, root, buf.sub(off, span), span)
+            off += seg
+
+    # -- one segment (slices fit the MPB buffers) -------------------------
+
+    def _slice(self, nbytes: int, index: int) -> tuple[int, int]:
+        size = self.comm.size
+        s = -(-nbytes // size)
+        off = min(index * s, nbytes)
+        return off, min(s, nbytes - off)
+
+    def _bcast_segment(
+        self, cc: "CoreComm", root: int, buf: MemRef, nbytes: int
+    ) -> Generator:
+        size = cc.size
+        rel = (cc.rank - root) % size
+
+        # ---- scatter: binary recursive tree over private send/recv ----
+        mask = 1
+        while mask < size and not rel & mask:
+            mask <<= 1
+        if rel != 0:
+            parent = (cc.rank - mask) % size
+            lo = self._slice(nbytes, rel)[0]
+            hi = self._slice(nbytes, min(rel + mask, size))[0]
+            yield from ts_recv(cc, parent, buf.sub(lo, hi - lo), hi - lo,
+                               st=self.scatter_state)
+        child_mask = mask >> 1
+        while child_mask > 0:
+            if rel + child_mask < size:
+                child = (cc.rank + child_mask) % size
+                lo = self._slice(nbytes, rel + child_mask)[0]
+                hi = self._slice(nbytes, min(rel + 2 * child_mask, size))[0]
+                yield from ts_send(cc, child, buf.sub(lo, hi - lo), hi - lo,
+                                   st=self.scatter_state)
+            child_mask >>= 1
+
+        # ---- allgather: one-sided MPB-to-MPB ring ----
+        yield from self._ring(cc, root, lambda i: self._slice(nbytes, i), buf)
+
+    # -- the one-sided ring (shared by bcast and allgather) ----------------
+
+    def _ring(self, cc: "CoreComm", root: int, slice_of, buf: MemRef) -> Generator:
+        """P-1 rounds of MPB-to-MPB slice forwarding.
+
+        ``slice_of(index)`` gives the (offset, length) within ``buf`` of
+        the slice owned by the rank at relative position ``index``; every
+        slice must fit one ring buffer.  On entry each rank holds its own
+        slice in ``buf``; on exit all slices are assembled everywhere.
+        """
+        size = cc.size
+        rel = (cc.rank - root) % size
+        core = cc.core
+        down_rank = (root + (rel - 1) % size) % size
+        up_rank = (root + (rel + 1) % size) % size
+        down_core = self.comm.core_of(down_rank)
+        up_core = self.comm.core_of(up_rank)
+        base = self._base[cc.rank]
+        self._base[cc.rank] += size - 1
+
+        for t in range(size - 1):
+            sbuf = self.buffers[t % 2]
+            rbuf = self.buffers[(t + 1) % 2]
+            out_off, out_len = slice_of((rel + t) % size)
+            in_off, in_len = slice_of((rel + t + 1) % size)
+            if t == 0:
+                # Stage my own slice; sbuf's previous occupant belongs to
+                # the previous segment, fully drained by the final wait.
+                if out_len:
+                    yield from cc.put(cc.rank, sbuf.offset, buf.sub(out_off, out_len), out_len)
+            # My round-t slice is ready for the downstream neighbour.
+            yield from self.staged.write(core, down_core, cc.rank, base + t + 1)
+            # Receive the upstream slice for the next round.
+            if t < size - 1:
+                yield from self.staged.wait_at_least(core, up_rank, base + t + 1)
+                if t >= 1:
+                    # rbuf still holds my round-(t-1) slice: downstream
+                    # must have consumed it before I overwrite.
+                    yield from self.drained.wait_at_least(core, down_rank, base + t)
+                if in_len:
+                    # Direct MPB-to-MPB move -- the one-sided adaptation.
+                    yield from cc.get(up_rank, sbuf.offset, rbuf.offset, in_len)
+                yield from self.drained.write(core, up_core, cc.rank, base + t + 1)
+                if in_len:
+                    # Assemble into private memory, off the forwarding path.
+                    yield from cc.get(cc.rank, rbuf.offset, buf.sub(in_off, in_len), in_len)
+        # Buffers must be clean for the next segment/broadcast.
+        yield from self.drained.wait_at_least(core, down_rank, base + size - 1)
+
+    # -- standalone one-sided allgather (Section 7 "other collectives") -----
+
+    def allgather(
+        self, cc: "CoreComm", src: MemRef, dst: MemRef, block_bytes: int
+    ) -> Generator:
+        """One-sided ring allgather: every rank contributes ``block_bytes``
+        from ``src``; ``dst`` (rank-major, ``P * block_bytes``) is
+        assembled on all ranks via MPB-to-MPB forwarding.  Large blocks
+        run in sub-block passes of the ring-buffer capacity."""
+        size = cc.size
+        if block_bytes < 0:
+            raise ValueError("block_bytes must be >= 0")
+        if dst.nbytes < block_bytes * size:
+            raise ValueError("dst must hold size * block_bytes")
+        if block_bytes == 0:
+            return
+        yield from cc.local_copy(
+            dst.sub(cc.rank * block_bytes, block_bytes), src, block_bytes
+        )
+        if size == 1:
+            return
+        cap = self.slice_bytes
+        off = 0
+        while off < block_bytes:
+            span = min(cap, block_bytes - off)
+
+            def slice_of(i: int, off=off, span=span) -> tuple[int, int]:
+                return (i * block_bytes + off, span)
+
+            yield from self._ring(cc, 0, slice_of, dst)
+            off += cap

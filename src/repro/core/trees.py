@@ -1,0 +1,224 @@
+"""Propagation and notification trees for OC-Bcast.
+
+Propagation tree (paper Section 4.1): a k-ary tree over *positions*
+``0..P-1`` -- position ``p``'s children are ``pk+1 .. pk+k`` -- combined
+with a position-to-rank assignment.  The paper's id-based assignment maps
+position ``p`` to rank ``(root + p) mod P``, giving exactly "the children
+of core i are the cores with ids (s + ik + 1) mod P to (s + (i+1)k) mod
+P".  A topology-aware assignment (:func:`topology_aware_order`) keeps the
+same shape but places ranks to shorten parent-child mesh distances -- the
+orthogonal optimisation the paper cites as [4] and leaves out; we include
+it as an ablation.
+
+Notification tree (paper Section 4.1, Figure 5): within each *family* --
+a parent and its j <= k propagation children -- notifications propagate
+down a small d-ary tree (binary by default, which the paper shows is
+latency-optimal) rooted at the parent: family slot ``t``'s notification
+children are slots ``dt+1 .. dt+d`` (slot 0 is the parent, slots 1..j the
+children in order).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+
+def kary_parent(rank: int, root: int, size: int, k: int) -> int | None:
+    """Propagation parent of ``rank`` under the id-based assignment."""
+    pos = (rank - root) % size
+    if pos == 0:
+        return None
+    return (root + (pos - 1) // k) % size
+
+
+def kary_children(rank: int, root: int, size: int, k: int) -> list[int]:
+    """Propagation children of ``rank`` under the id-based assignment."""
+    pos = (rank - root) % size
+    first = pos * k + 1
+    return [(root + p) % size for p in range(first, min(first + k, size))]
+
+
+def kary_depth(size: int, k: int) -> int:
+    """Number of tree levels below the root (0 for a single node)."""
+    if size < 1:
+        raise ValueError("size must be >= 1")
+    depth, reach = 0, 1
+    width = k
+    while reach < size:
+        reach += width
+        width *= k
+        depth += 1
+    return depth
+
+
+@dataclass(frozen=True)
+class NotificationTree:
+    """The d-ary notification tree inside one propagation family.
+
+    Family slots: 0 is the parent, 1..nchildren are the propagation
+    children in child-index order.
+    """
+
+    nchildren: int
+    degree: int = 2
+
+    def __post_init__(self) -> None:
+        if self.nchildren < 0:
+            raise ValueError("nchildren must be >= 0")
+        if self.degree < 1:
+            raise ValueError("notification degree must be >= 1")
+
+    def notify_targets(self, slot: int) -> list[int]:
+        """Family slots that ``slot`` notifies (its d-ary heap children)."""
+        if not 0 <= slot <= self.nchildren:
+            raise ValueError(f"slot {slot} outside family of {self.nchildren}")
+        first = self.degree * slot + 1
+        return [t for t in range(first, first + self.degree) if t <= self.nchildren]
+
+    def notifier_of(self, slot: int) -> int:
+        """The family slot that notifies ``slot`` (slots >= 1 only)."""
+        if not 1 <= slot <= self.nchildren:
+            raise ValueError(f"slot {slot} has no notifier")
+        return (slot - 1) // self.degree
+
+    def depth(self) -> int:
+        """Longest notifier chain from the parent to any child."""
+        d = 0
+        for slot in range(1, self.nchildren + 1):
+            hops, t = 0, slot
+            while t != 0:
+                t = self.notifier_of(t)
+                hops += 1
+            d = max(d, hops)
+        return d
+
+
+@dataclass(frozen=True)
+class PropagationTree:
+    """A k-ary propagation tree over ranks ``0..size-1``.
+
+    ``order[p]`` is the rank at position ``p``; ``order[0]`` is the root.
+    The default order is the paper's id-based assignment.
+    """
+
+    size: int
+    k: int
+    root: int = 0
+    order: tuple[int, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if self.size < 1:
+            raise ValueError("size must be >= 1")
+        if self.k < 1:
+            raise ValueError("k must be >= 1")
+        if not 0 <= self.root < self.size:
+            raise ValueError(f"root {self.root} outside 0..{self.size - 1}")
+        order = self.order or tuple(
+            (self.root + p) % self.size for p in range(self.size)
+        )
+        if sorted(order) != list(range(self.size)):
+            raise ValueError("order must be a permutation of ranks")
+        if order[0] != self.root:
+            raise ValueError("order[0] must be the root")
+        object.__setattr__(self, "order", order)
+        object.__setattr__(
+            self, "_pos", {rank: p for p, rank in enumerate(order)}
+        )
+
+    # -- navigation -----------------------------------------------------------
+
+    def position_of(self, rank: int) -> int:
+        return self._pos[rank]  # type: ignore[attr-defined]
+
+    def rank_at(self, pos: int) -> int:
+        return self.order[pos]
+
+    def parent_of(self, rank: int) -> int | None:
+        pos = self.position_of(rank)
+        if pos == 0:
+            return None
+        return self.order[(pos - 1) // self.k]
+
+    def children_of(self, rank: int) -> list[int]:
+        pos = self.position_of(rank)
+        first = pos * self.k + 1
+        return [self.order[p] for p in range(first, min(first + self.k, self.size))]
+
+    def child_index(self, rank: int) -> int:
+        """Index of ``rank`` among its parent's children (doneFlag slot)."""
+        pos = self.position_of(rank)
+        if pos == 0:
+            raise ValueError("the root has no child index")
+        return (pos - 1) % self.k
+
+    def is_leaf(self, rank: int) -> bool:
+        return not self.children_of(rank)
+
+    def depth(self) -> int:
+        return kary_depth(self.size, self.k)
+
+    def levels(self) -> list[list[int]]:
+        """Ranks grouped by tree level, root first."""
+        out: list[list[int]] = []
+        pos = 0
+        width = 1
+        while pos < self.size:
+            out.append([self.order[p] for p in range(pos, min(pos + width, self.size))])
+            pos += width
+            width *= self.k
+        return out
+
+
+def subtree_positions(pos: int, size: int, k: int) -> int:
+    """Number of positions in the array-tree subtree rooted at ``pos``."""
+    count = 0
+    frontier = [pos]
+    while frontier:
+        count += len(frontier)
+        nxt: list[int] = []
+        for p in frontier:
+            first = p * k + 1
+            nxt.extend(range(first, min(first + k, size)))
+        frontier = nxt
+    return count
+
+
+def topology_aware_order(
+    size: int,
+    k: int,
+    root: int,
+    distance: Callable[[int, int], int],
+) -> tuple[int, ...]:
+    """A position-to-rank assignment that keeps subtrees spatially compact.
+
+    For each child position of a node, a *leader* is picked nearest to
+    the node's rank, then the leader's whole subtree is filled from the
+    ranks nearest to the leader -- a recursive clustering that shortens
+    parent-child mesh distances at every level (the optimisation the
+    paper cites as [4] and treats as orthogonal).
+    """
+    if size < 1:
+        raise ValueError("size must be >= 1")
+    if not 0 <= root < size:
+        raise ValueError(f"root {root} outside 0..{size - 1}")
+    order: list[int] = [root] * size
+
+    def assign(pos: int, rank: int, pool: list[int]) -> None:
+        """Place ``rank`` at ``pos``; distribute ``pool`` over its strict
+        subtree."""
+        order[pos] = rank
+        first = pos * k + 1
+        remaining = list(pool)
+        for child_pos in range(first, min(first + k, size)):
+            want = subtree_positions(child_pos, size, k)
+            remaining.sort(key=lambda r: (distance(rank, r), r))
+            leader = remaining.pop(0)
+            remaining.sort(key=lambda r: (distance(leader, r), r))
+            cluster = remaining[: want - 1]
+            remaining = remaining[want - 1 :]
+            assign(child_pos, leader, cluster)
+        assert not remaining
+
+    assign(0, root, [r for r in range(size) if r != root])
+    return tuple(order)

@@ -1,0 +1,126 @@
+"""Least-squares recovery of the model parameters from measurements.
+
+The Table 1 parameters enter every put/get completion time linearly, so a
+sweep of measured completion times over message sizes and distances
+determines them by ordinary least squares.  The paper fits its Table 1
+from hardware micro-benchmarks (Figure 3); we fit from the simulator's
+micro-benchmarks, closing the loop: config constants -> simulated
+behaviour -> fitted parameters =~ config constants.
+
+Observation kinds and their linear forms (m lines, distances in hops):
+
+- ``put_mpb``  (MPB->MPB):  o_put_mpb + 2m*o_mpb + (2m + 2m*d_dst)*l_hop
+- ``get_mpb``  (MPB->MPB):  o_get_mpb + 2m*o_mpb + (2m*d_src + 2m)*l_hop
+- ``put_mem``  (mem->MPB):  o_put_mem + m*o_mem_r + m*o_mpb
+                            + (2m*d_src + 2m*d_dst)*l_hop
+- ``get_mem``  (MPB->mem):  o_get_mem + m*o_mpb + m*o_mem_w
+                            + (2m*d_src + 2m*d_dst)*l_hop
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from .params import ModelParams
+
+#: Order of the unknown vector theta.
+PARAM_NAMES: tuple[str, ...] = (
+    "l_hop",
+    "o_mpb",
+    "o_mem_w",
+    "o_mem_r",
+    "o_put_mpb",
+    "o_get_mpb",
+    "o_put_mem",
+    "o_get_mem",
+)
+
+KINDS = ("put_mpb", "get_mpb", "put_mem", "get_mem")
+
+
+@dataclass(frozen=True)
+class Observation:
+    """One measured completion time."""
+
+    kind: str
+    m: int
+    d_src: int
+    d_dst: int
+    time: float
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown observation kind {self.kind!r}")
+        if self.m < 1:
+            raise ValueError("m must be >= 1")
+        if self.d_src < 1 or self.d_dst < 1:
+            raise ValueError("distances must be >= 1")
+
+
+def design_row(obs: Observation) -> np.ndarray:
+    """The row of the design matrix for one observation."""
+    m, ds, dd = obs.m, obs.d_src, obs.d_dst
+    row = np.zeros(len(PARAM_NAMES))
+    i = {name: j for j, name in enumerate(PARAM_NAMES)}
+    if obs.kind == "put_mpb":
+        row[i["o_put_mpb"]] = 1.0
+        row[i["o_mpb"]] = 2.0 * m
+        row[i["l_hop"]] = 2.0 * m + 2.0 * m * dd
+    elif obs.kind == "get_mpb":
+        row[i["o_get_mpb"]] = 1.0
+        row[i["o_mpb"]] = 2.0 * m
+        row[i["l_hop"]] = 2.0 * m * ds + 2.0 * m
+    elif obs.kind == "put_mem":
+        row[i["o_put_mem"]] = 1.0
+        row[i["o_mem_r"]] = float(m)
+        row[i["o_mpb"]] = float(m)
+        row[i["l_hop"]] = 2.0 * m * ds + 2.0 * m * dd
+    else:  # get_mem
+        row[i["o_get_mem"]] = 1.0
+        row[i["o_mpb"]] = float(m)
+        row[i["o_mem_w"]] = float(m)
+        row[i["l_hop"]] = 2.0 * m * ds + 2.0 * m * dd
+    return row
+
+
+@dataclass(frozen=True)
+class FitResult:
+    params: ModelParams
+    residual_rms: float
+    n_observations: int
+
+    def compare(self, reference: ModelParams) -> dict[str, tuple[float, float, float]]:
+        """Per-parameter (fitted, reference, relative error)."""
+        fitted = self.params.as_dict()
+        ref = reference.as_dict()
+        out = {}
+        for name in PARAM_NAMES:
+            f, r = fitted[name], ref[name]
+            rel = abs(f - r) / r if r else float("inf")
+            out[name] = (f, r, rel)
+        return out
+
+
+def fit(observations: Iterable[Observation]) -> FitResult:
+    """Ordinary least squares over all observation kinds jointly."""
+    obs: Sequence[Observation] = list(observations)
+    if len(obs) < len(PARAM_NAMES):
+        raise ValueError(
+            f"need at least {len(PARAM_NAMES)} observations, got {len(obs)}"
+        )
+    kinds_seen = {o.kind for o in obs}
+    missing = set(KINDS) - kinds_seen
+    if missing:
+        raise ValueError(
+            f"observations must cover every kind; missing {sorted(missing)}"
+        )
+    a = np.vstack([design_row(o) for o in obs])
+    y = np.array([o.time for o in obs])
+    theta, *_ = np.linalg.lstsq(a, y, rcond=None)
+    resid = a @ theta - y
+    rms = float(np.sqrt(np.mean(resid**2)))
+    params = ModelParams(**dict(zip(PARAM_NAMES, map(float, theta))))
+    return FitResult(params=params, residual_rms=rms, n_observations=len(obs))

@@ -1,0 +1,74 @@
+"""Model parameters (the paper's Table 1).
+
+All values in microseconds; message sizes in cache lines; distances in
+router hops.  :meth:`ModelParams.from_config` derives the parameter set
+from a simulator configuration so model and simulation stay in sync when
+a study changes a constant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any
+
+from ..scc.config import SccConfig
+
+
+@dataclass(frozen=True)
+class ModelParams:
+    """LogP-style parameters of the SCC communication model."""
+
+    #: Per-router traversal time of one cache-line packet.
+    l_hop: float = 0.005
+    #: Core overhead of one cache-line MPB read or write.
+    o_mpb: float = 0.126
+    #: Overhead of writing one cache line to off-chip memory.
+    o_mem_w: float = 0.461
+    #: Overhead of reading one cache line from off-chip memory.
+    o_mem_r: float = 0.208
+    #: Call overhead of put() from an MPB source.
+    o_put_mpb: float = 0.069
+    #: Call overhead of get() to an MPB destination.
+    o_get_mpb: float = 0.33
+    #: Call overhead of put() from an off-chip source.
+    o_put_mem: float = 0.19
+    #: Call overhead of get() to an off-chip destination.
+    o_get_mem: float = 0.095
+    #: Cost of polling one flag (extension of the paper's model used by
+    #: the "complete" broadcast formulas; an L1 invalidate plus local MPB
+    #: read, roughly two o_mpb).
+    t_poll: float = 0.25
+
+    @classmethod
+    def from_config(cls, config: SccConfig) -> "ModelParams":
+        """The parameter set matching a simulator configuration."""
+        return cls(
+            l_hop=config.l_hop,
+            o_mpb=config.o_mpb,
+            o_mem_w=config.o_mem_w,
+            o_mem_r=config.o_mem_r,
+            o_put_mpb=config.o_put_mpb,
+            o_get_mpb=config.o_get_mpb,
+            o_put_mem=config.o_put_mem,
+            o_get_mem=config.o_get_mem,
+            t_poll=config.t_poll,
+        )
+
+    def with_(self, **changes: Any) -> "ModelParams":
+        return replace(self, **changes)
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "l_hop": self.l_hop,
+            "o_mpb": self.o_mpb,
+            "o_mem_w": self.o_mem_w,
+            "o_mem_r": self.o_mem_r,
+            "o_put_mpb": self.o_put_mpb,
+            "o_get_mpb": self.o_get_mpb,
+            "o_put_mem": self.o_put_mem,
+            "o_get_mem": self.o_get_mem,
+        }
+
+
+#: The values measured on real silicon (paper Table 1).
+TABLE_1 = ModelParams()

@@ -1,0 +1,197 @@
+"""An MPI-flavoured facade over the collective stack.
+
+The paper's Section 7 plans to "integrate [RMA collectives] in an MPI
+library, so we can analyze the overall performance gain in parallel
+applications".  This module is that integration layer: one object that
+owns the MPB budget and picks algorithms the way RCCE_comm (and MPICH)
+do -- by message size and by backend:
+
+- ``backend="rma"`` -- OC-Bcast, OC-Reduce, OC-Barrier (the paper's
+  designs, one MPB budget shared between them);
+- ``backend="two_sided"`` -- RCCE_comm's binomial tree for small
+  broadcasts, scatter-allgather for large ones, binomial reduce,
+  dissemination barrier.
+
+Usage::
+
+    chip = SccChip()
+    mpi = Mpi(Comm(chip), backend="rma")
+
+    def program(core):
+        rank = mpi.attach(core)
+        buf = rank.alloc(4096)
+        ...
+        yield from rank.bcast(buf, 4096, root=0)
+        yield from rank.barrier()
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator
+
+from .collectives import (
+    BarrierState,
+    ReduceOp,
+    binomial_bcast,
+    binomial_gather,
+    binomial_reduce,
+    dissemination_barrier,
+    ring_allgather,
+    scatter_allgather_bcast,
+)
+from .core import OcBarrier, OcBcast, OcBcastConfig, OcReduce, OsagBcast
+from .rcce import Comm, CoreComm
+from .scc.config import CACHE_LINE
+from .scc.memory import MemRef
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .scc.core import Core
+
+BACKENDS = ("rma", "two_sided")
+
+#: RCCE_comm-style switch point between the binomial tree and
+#: scatter-allgather for two-sided broadcasts (cache lines).  Figure 8
+#: puts the crossover in the few-hundred-line range.
+SAG_THRESHOLD_LINES = 256
+
+
+class Mpi:
+    """A communicator-wide collective library instance.
+
+    Owns all MPB allocations; construct exactly one per :class:`Comm`.
+    """
+
+    def __init__(
+        self,
+        comm: Comm,
+        backend: str = "rma",
+        *,
+        k: int = 7,
+        bcast_chunk_lines: int = 32,
+        reduce_chunk_lines: int = 4,
+        allgather_slice_lines: int = 16,
+        p2p_payload_lines: int = 64,
+    ) -> None:
+        if backend not in BACKENDS:
+            raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
+        self.comm = comm
+        self.backend = backend
+        if backend == "rma":
+            # One MPB hosts all four RMA engines PLUS a send/recv payload
+            # for point-to-point traffic (halo exchanges and the like);
+            # reserving it explicitly keeps p2p from being starved down
+            # to a few lines by the engines.
+            from .rcce.twosided import TwoSidedState
+
+            comm._twosided = TwoSidedState(comm, payload_lines=p2p_payload_lines)
+            self._bcast = OcBcast(
+                comm, OcBcastConfig(k=k, chunk_lines=bcast_chunk_lines)
+            )
+            self._reduce = OcReduce(comm, k=k, chunk_lines=reduce_chunk_lines)
+            self._barrier = OcBarrier(comm, k=k)
+            self._allgather = OsagBcast(
+                comm, slice_lines=allgather_slice_lines, enable_scatter=False
+            )
+        else:
+            self._barrier_state = BarrierState(comm)
+            comm.twosided  # allocate the send/recv state eagerly
+
+    @property
+    def size(self) -> int:
+        return self.comm.size
+
+    def attach(self, core: "Core") -> "MpiRank":
+        return MpiRank(self, self.comm.attach(core))
+
+
+class MpiRank:
+    """Per-core view: the collective calls a rank's program makes."""
+
+    def __init__(self, mpi: Mpi, cc: CoreComm) -> None:
+        self.mpi = mpi
+        self.cc = cc
+        self.rank = cc.rank
+        self.size = cc.size
+
+    # -- memory & point-to-point (plain RCCE) ------------------------------
+
+    def alloc(self, nbytes: int) -> MemRef:
+        return self.cc.alloc(nbytes)
+
+    def send(self, dst: int, buf: MemRef, nbytes: int) -> Generator:
+        yield from self.cc.send(dst, buf, nbytes)
+
+    def recv(self, src: int, buf: MemRef, nbytes: int) -> Generator:
+        yield from self.cc.recv(src, buf, nbytes)
+
+    def isend(self, dst: int, buf: MemRef, nbytes: int):
+        """Post a non-blocking send (progress via :meth:`wait_all`)."""
+        return self.cc.isend(dst, buf, nbytes)
+
+    def irecv(self, src: int, buf: MemRef, nbytes: int):
+        """Post a non-blocking receive (progress via :meth:`wait_all`)."""
+        return self.cc.irecv(src, buf, nbytes)
+
+    def wait_all(self, requests) -> Generator:
+        yield from self.cc.wait_all(requests)
+
+    # -- collectives ----------------------------------------------------------
+
+    def bcast(self, buf: MemRef, nbytes: int, root: int = 0) -> Generator:
+        """Broadcast; algorithm chosen by backend and message size."""
+        mpi = self.mpi
+        if mpi.backend == "rma":
+            yield from mpi._bcast.bcast(self.cc, root, buf, nbytes)
+        elif nbytes <= SAG_THRESHOLD_LINES * CACHE_LINE:
+            yield from binomial_bcast(self.cc, root, buf, nbytes)
+        else:
+            yield from scatter_allgather_bcast(self.cc, root, buf, nbytes)
+
+    def reduce(
+        self,
+        sendbuf: MemRef,
+        recvbuf: MemRef,
+        nbytes: int,
+        op: ReduceOp,
+        root: int = 0,
+    ) -> Generator:
+        """Reduce to ``root``; ``recvbuf`` is scratch on other ranks."""
+        mpi = self.mpi
+        if mpi.backend == "rma":
+            yield from mpi._reduce.reduce(self.cc, root, sendbuf, recvbuf, nbytes, op)
+        else:
+            yield from binomial_reduce(self.cc, root, sendbuf, recvbuf, nbytes, op)
+
+    def barrier(self) -> Generator:
+        mpi = self.mpi
+        if mpi.backend == "rma":
+            yield from mpi._barrier.barrier(self.cc)
+        else:
+            yield from dissemination_barrier(self.cc, mpi._barrier_state)
+
+    def gather(
+        self, src: MemRef, dst: MemRef, block_bytes: int, root: int = 0
+    ) -> Generator:
+        """Tree gather (two-sided on either backend; blocks land by
+        relative rank, see :func:`binomial_gather`)."""
+        yield from binomial_gather(self.cc, root, src, dst, block_bytes)
+
+    def allgather(self, src: MemRef, dst: MemRef, block_bytes: int) -> Generator:
+        """Allgather: one-sided MPB-forwarding ring on the RMA backend,
+        two-sided ring otherwise."""
+        if self.mpi.backend == "rma":
+            yield from self.mpi._allgather.allgather(self.cc, src, dst, block_bytes)
+        else:
+            yield from ring_allgather(self.cc, src, dst, block_bytes)
+
+    def allreduce(
+        self, sendbuf: MemRef, recvbuf: MemRef, nbytes: int, op: ReduceOp
+    ) -> Generator:
+        """Reduce to rank 0, then broadcast the result (the classic
+        reduce+bcast composition; every rank ends with the result in
+        ``recvbuf``)."""
+        yield from self.reduce(sendbuf, recvbuf, nbytes, op, root=0)
+        yield from self.bcast(recvbuf, nbytes, root=0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<MpiRank {self.rank}/{self.size} backend={self.mpi.backend}>"

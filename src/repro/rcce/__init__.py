@@ -1,0 +1,39 @@
+"""RCCE-style communication library on the simulated chip.
+
+Mirrors the layering of Intel's RCCE / iRCCE libraries that the paper's
+baselines use:
+
+- :mod:`repro.rcce.layout` -- symmetric MPB space allocation,
+- :mod:`repro.rcce.flags` -- cache-line synchronization flags,
+- :mod:`repro.rcce.onesided` -- one-sided ``put``/``get`` (Formulas 7-12),
+- :mod:`repro.rcce.twosided` -- blocking ``send``/``recv`` built on top,
+- :mod:`repro.rcce.ircce` -- iRCCE-style double-buffered point-to-point,
+- :mod:`repro.rcce.comm` -- the :class:`Comm` world object gluing it all
+  to a chip and to per-core :class:`CoreComm` handles.
+
+Programs obtain a :class:`CoreComm` via ``comm.attach(core)`` and drive
+all operations with ``yield from``.
+"""
+
+from .comm import Comm, CoreComm
+from .flags import Flag, FlagSlotArray, FlagValue
+from .ircce import IrcceState, pipelined_recv, pipelined_send
+from .nonblocking import Request, irecv, isend, wait_all
+from .layout import MpbLayout, MpbRegion
+
+__all__ = [
+    "Comm",
+    "CoreComm",
+    "Flag",
+    "FlagSlotArray",
+    "FlagValue",
+    "IrcceState",
+    "MpbLayout",
+    "MpbRegion",
+    "Request",
+    "irecv",
+    "isend",
+    "pipelined_recv",
+    "pipelined_send",
+    "wait_all",
+]

@@ -1,0 +1,206 @@
+"""The communication world: ranks, MPB layout, per-core handles.
+
+A :class:`Comm` binds a set of participating cores (by chip core id) to
+ranks ``0..P-1``, owns the symmetric MPB layout, and hands out per-core
+:class:`CoreComm` handles that programs drive with ``yield from``.
+
+All collective algorithms in :mod:`repro.collectives` and
+:mod:`repro.core` are written against :class:`CoreComm`, so they are
+rank-based and agnostic of which physical cores participate.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Generator, Sequence
+
+from ..scc.chip import SccChip
+from ..scc.memory import MemRef
+from .flags import Flag, FlagValue, flag_read_local, flag_write, wait_local_flags
+from .layout import MpbLayout, MpbRegion
+from . import onesided
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..scc.core import Core
+    from .twosided import TwoSidedState
+
+
+class Comm:
+    """A communicator over a subset (default: all) of the chip's cores."""
+
+    def __init__(self, chip: SccChip, ranks: Sequence[int] | None = None) -> None:
+        self.chip = chip
+        self.core_ids: tuple[int, ...] = (
+            tuple(ranks) if ranks is not None else tuple(range(chip.num_cores))
+        )
+        if len(set(self.core_ids)) != len(self.core_ids):
+            raise ValueError("duplicate core ids in communicator")
+        for cid in self.core_ids:
+            if not 0 <= cid < chip.num_cores:
+                raise ValueError(f"core id {cid} outside chip")
+        self._rank_of = {cid: r for r, cid in enumerate(self.core_ids)}
+        self.layout = MpbLayout(chip.config.mpb_lines)
+        self._twosided: "TwoSidedState | None" = None
+        # Per-core tail of the outstanding non-blocking send chain (the
+        # payload staging buffer is shared, so sends gate on each other).
+        self._send_tails: dict[int, object] = {}
+
+    @property
+    def size(self) -> int:
+        return len(self.core_ids)
+
+    def rank_of(self, core_id: int) -> int:
+        try:
+            return self._rank_of[core_id]
+        except KeyError:
+            raise ValueError(f"core {core_id} is not in this communicator") from None
+
+    def core_of(self, rank: int) -> int:
+        if not 0 <= rank < self.size:
+            raise ValueError(f"rank {rank} outside 0..{self.size - 1}")
+        return self.core_ids[rank]
+
+    def flag(self, name: str) -> Flag:
+        """Allocate one symmetric flag line."""
+        return Flag(self.layout.alloc_lines(1), name=name)
+
+    def attach(self, core: "Core") -> "CoreComm":
+        """Per-core handle for the program running on ``core``."""
+        return CoreComm(self, core)
+
+    @property
+    def twosided(self) -> "TwoSidedState":
+        """Lazily allocated RCCE send/recv state (flags + payload buffer)."""
+        if self._twosided is None:
+            from .twosided import TwoSidedState
+
+            self._twosided = TwoSidedState(self)
+        return self._twosided
+
+    def reset_mpb(self) -> None:
+        """Zero all participating MPBs (when switching algorithms whose
+        regions alias; sequence-numbered flags normally make this
+        unnecessary)."""
+        for cid in self.core_ids:
+            mpb = self.chip.mpbs[cid]
+            mpb.write_bytes(0, bytes(mpb.size))
+
+
+class CoreComm:
+    """The view of a :class:`Comm` from one core's program."""
+
+    def __init__(self, comm: Comm, core: "Core") -> None:
+        self.comm = comm
+        self.core = core
+        self.chip = comm.chip
+        self.rank = comm.rank_of(core.id)
+
+    @property
+    def size(self) -> int:
+        return self.comm.size
+
+    # -- memory -----------------------------------------------------------
+
+    def alloc(self, nbytes: int) -> MemRef:
+        """Allocate private off-chip memory on this core."""
+        return self.core.mem.alloc(nbytes)
+
+    def local_copy(self, dst: MemRef, src: MemRef, nbytes: int) -> Generator:
+        """Timed private-memory-to-private-memory copy on this core."""
+        if src.owner != self.core.id or dst.owner != self.core.id:
+            raise ValueError("local_copy operates on this core's memory only")
+        if nbytes < 0 or nbytes > src.nbytes or nbytes > dst.nbytes:
+            raise ValueError(f"bad local_copy length {nbytes}")
+        if nbytes == 0:
+            return
+        yield from self.core.mem_read(src.sub(0, nbytes))
+        yield from self.core.mem_write(dst.sub(0, nbytes))
+        dst.sub(0, nbytes).write(src.sub(0, nbytes).read())
+
+    # -- one-sided ----------------------------------------------------------
+
+    def put(
+        self, dst_rank: int, dst_offset: int, src: "MemRef | int", nbytes: int
+    ) -> Generator:
+        """One-sided put to ``dst_rank``'s MPB (offset in bytes)."""
+        yield from onesided.put(
+            self.core, self.comm.core_of(dst_rank), dst_offset, src, nbytes
+        )
+
+    def get(
+        self, src_rank: int, src_offset: int, dst: "MemRef | int", nbytes: int
+    ) -> Generator:
+        """One-sided get from ``src_rank``'s MPB (offset in bytes)."""
+        yield from onesided.get(
+            self.core, self.comm.core_of(src_rank), src_offset, dst, nbytes
+        )
+
+    # -- flags ---------------------------------------------------------------
+
+    def flag_set(self, owner_rank: int, flag: Flag, value: FlagValue) -> Generator:
+        """Write ``value`` into ``flag`` in ``owner_rank``'s MPB."""
+        yield from flag_write(self.core, self.comm.core_of(owner_rank), flag, value)
+
+    def flag_poll(self, flag: Flag) -> Generator[object, object, FlagValue]:
+        """One timed poll of this core's own copy of ``flag``."""
+        return (yield from flag_read_local(self.core, flag))
+
+    def wait_flags(
+        self,
+        flags: Sequence[Flag],
+        predicate: Callable[[Sequence[FlagValue]], bool],
+        *,
+        sweep_flags: int | None = None,
+    ) -> Generator[object, object, list[FlagValue]]:
+        """Block until ``predicate`` holds over own copies of ``flags``."""
+        return (
+            yield from wait_local_flags(
+                self.core, flags, predicate, sweep_flags=sweep_flags
+            )
+        )
+
+    def wait_flag_equals(self, flag: Flag, value: FlagValue) -> Generator:
+        """Block until own copy of ``flag`` equals ``value`` exactly."""
+        yield from wait_local_flags(self.core, [flag], lambda v: v[0] == value)
+
+    def wait_flag_at_least(self, flag: Flag, tag: int, seq: int) -> Generator:
+        """Block until own ``flag`` has ``tag`` and ``seq >= seq``."""
+        yield from wait_local_flags(
+            self.core, [flag], lambda v: v[0].tag == tag and v[0].seq >= seq
+        )
+
+    # -- two-sided -------------------------------------------------------------
+
+    def send(self, dst_rank: int, src: MemRef, nbytes: int) -> Generator:
+        """Blocking RCCE-style send (matching :meth:`recv` required)."""
+        from .twosided import send
+
+        yield from send(self, dst_rank, src, nbytes)
+
+    def recv(self, src_rank: int, dst: MemRef, nbytes: int) -> Generator:
+        """Blocking RCCE-style receive."""
+        from .twosided import recv
+
+        yield from recv(self, src_rank, dst, nbytes)
+
+    # -- non-blocking (explicit progress, iRCCE-style) ----------------------
+
+    def isend(self, dst_rank: int, src: MemRef, nbytes: int):
+        """Post a non-blocking send; progress with :meth:`wait_all`."""
+        from .nonblocking import isend
+
+        return isend(self, dst_rank, src, nbytes)
+
+    def irecv(self, src_rank: int, dst: MemRef, nbytes: int):
+        """Post a non-blocking receive; progress with :meth:`wait_all`."""
+        from .nonblocking import irecv
+
+        return irecv(self, src_rank, dst, nbytes)
+
+    def wait_all(self, requests) -> Generator:
+        """Progress and complete the given non-blocking requests."""
+        from .nonblocking import wait_all
+
+        yield from wait_all(self, requests)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<CoreComm rank={self.rank} core={self.core.id}>"

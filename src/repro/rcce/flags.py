@@ -1,0 +1,242 @@
+"""MPB synchronization flags.
+
+The SCC guarantees read/write atomicity at cache-line (32 B) granularity,
+so one cache line per flag needs no locks (paper Section 5.1).  A flag
+here carries a :class:`FlagValue` -- a ``(tag, seq)`` pair -- rather than
+a bare boolean: monotonically increasing sequence numbers let OC-Bcast's
+double buffering and RCCE's send/recv reuse the same flag line across
+chunks and invocations without clearing it (clearing would cost an extra
+remote put per chunk).
+
+Polling cost model
+------------------
+A core waiting on flags continuously sweeps them, each flag read costing
+``t_poll``.  Simulating every sweep would explode the event count, so the
+wait primitive (:func:`wait_local_flags`) is event-driven -- it sleeps on
+MPB write-watchers -- and charges the *detection delay* a sweep would add:
+on the wake-up that satisfies the predicate, the core pays half a sweep
+(``0.5 * nflags * t_poll``) plus one flag read.  This reproduces the
+paper's observation that large ``k`` makes the root slow to notice its 47
+doneFlags, while keeping waits O(#writes) in events.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Generator, Sequence
+
+from ..sim import any_of
+from ..scc.config import CACHE_LINE
+from .layout import MpbRegion
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..scc.chip import SccChip
+    from ..scc.core import Core
+
+_STRUCT = struct.Struct("<qq")  # tag, seq -- 16 of the 32 flag bytes
+
+
+@dataclass(frozen=True, order=True)
+class FlagValue:
+    """The content of a flag line: an opaque tag and a sequence number."""
+
+    tag: int = 0
+    seq: int = 0
+
+    def encode(self) -> bytes:
+        return _STRUCT.pack(self.tag, self.seq) + b"\x00" * (
+            CACHE_LINE - _STRUCT.size
+        )
+
+    @classmethod
+    def decode(cls, raw: bytes) -> "FlagValue":
+        tag, seq = _STRUCT.unpack_from(raw)
+        return cls(tag, seq)
+
+
+ZERO = FlagValue(0, 0)
+
+
+@dataclass(frozen=True)
+class Flag:
+    """A symmetric one-cache-line flag: core ``i``'s copy lives at
+    ``region.offset`` in core ``i``'s MPB."""
+
+    region: MpbRegion
+    name: str = "flag"
+
+    def __post_init__(self) -> None:
+        if self.region.nbytes != CACHE_LINE:
+            raise ValueError(f"flag must be exactly one cache line, got {self.region.nbytes}")
+
+    @property
+    def offset(self) -> int:
+        return self.region.offset
+
+    def peek(self, chip: "SccChip", owner_core: int) -> FlagValue:
+        """Untimed read of the flag in ``owner_core``'s MPB (for tests)."""
+        raw = chip.mpbs[owner_core].read_bytes(self.offset, CACHE_LINE)
+        return FlagValue.decode(raw)
+
+    def poke(self, chip: "SccChip", owner_core: int, value: FlagValue) -> None:
+        """Untimed write (for initialisation in tests)."""
+        chip.mpbs[owner_core].write_bytes(self.offset, value.encode())
+
+
+class FlagSlotArray:
+    """Per-partner flag slots packed into few cache lines (RCCE-style).
+
+    Real RCCE keeps one flag per communication partner and bit-packs them
+    so 48 partners cost a handful of bytes rather than 48 cache lines; we
+    model the same with one little-endian 16-bit sequence counter per
+    partner (16 slots per line).  Each slot has exactly ONE writer (the
+    partner it is named after), so there are no write races; the packing
+    means a write touches only its own bytes -- the property RCCE's
+    bit-flags rely on.
+
+    The array is symmetric: every core's MPB holds its own copy at
+    ``region.offset``.
+    """
+
+    SLOT_BYTES = 2
+    MAX_SEQ = 0xFFFF
+
+    def __init__(self, region: MpbRegion, nslots: int, name: str = "slots") -> None:
+        need = -(-nslots * self.SLOT_BYTES // CACHE_LINE)
+        if region.lines < need:
+            raise ValueError(
+                f"slot array {name!r} needs {need} lines for {nslots} slots, "
+                f"got {region.lines}"
+            )
+        self.region = region
+        self.nslots = nslots
+        self.name = name
+
+    @classmethod
+    def lines_needed(cls, nslots: int) -> int:
+        return -(-nslots * cls.SLOT_BYTES // CACHE_LINE)
+
+    def _check(self, slot: int) -> int:
+        if not 0 <= slot < self.nslots:
+            raise IndexError(f"slot {slot} outside 0..{self.nslots - 1}")
+        return slot
+
+    def slot_offset(self, slot: int) -> int:
+        return self.region.offset + self._check(slot) * self.SLOT_BYTES
+
+    def peek(self, chip: "SccChip", owner_core: int, slot: int) -> int:
+        raw = chip.mpbs[owner_core].read_bytes(self.slot_offset(slot), self.SLOT_BYTES)
+        return int.from_bytes(raw, "little")
+
+    def write(
+        self, core: "Core", owner_core: int, slot: int, value: int
+    ) -> Generator:
+        """Timed remote write of one slot (costs one 1-line flag put)."""
+        if not 0 <= value <= self.MAX_SEQ:
+            raise ValueError(
+                f"slot value {value} exceeds 16-bit sequence space; "
+                f"reinitialise the communicator for longer runs"
+            )
+        chip = core.chip
+        yield core.compute(chip.config.o_put_mpb)
+        yield from core.mpb_access(owner_core, 1, write=True)
+        chip.mpbs[owner_core].write_bytes(
+            self.slot_offset(slot), value.to_bytes(self.SLOT_BYTES, "little")
+        )
+        chip.trace(
+            f"core{core.id}", "slot_write",
+            array=self.name, owner=owner_core, slot=slot, value=value,
+        )
+
+    def wait_at_least(
+        self, core: "Core", slot: int, value: int
+    ) -> Generator[object, object, int]:
+        """Wait until the core's own copy of ``slot`` is >= ``value``.
+
+        Same polling cost model as :func:`wait_local_flags`; wakes on any
+        write to the slot's cache line (sharing a line with other slots
+        only causes spurious re-checks, never missed wake-ups).
+        """
+        mpb = core.mpb
+        off = self.slot_offset(slot)
+
+        def read() -> int:
+            return int.from_bytes(mpb.read_bytes(off, self.SLOT_BYTES), "little")
+
+        yield core.compute(core.config.t_poll)
+        while True:
+            current = read()
+            if current >= value:
+                return current
+            watcher = mpb.watch(off)
+            current = read()
+            if current >= value:
+                return current
+            yield watcher
+            current = read()
+            if current >= value:
+                yield core.compute(1.5 * core.config.t_poll)
+                return read()
+
+
+def flag_write(
+    core: "Core", owner_core: int, flag: Flag, value: FlagValue
+) -> Generator:
+    """Set ``flag`` in ``owner_core``'s MPB to ``value`` (a 1-line put
+    whose source is a register/L1-resident variable, so no source read)."""
+    chip = core.chip
+    yield core.compute(chip.config.o_put_mpb)
+    yield from core.mpb_access(owner_core, 1, write=True)
+    chip.mpbs[owner_core].write_bytes(flag.offset, value.encode())
+    chip.trace(f"core{core.id}", "flag_write", flag=flag.name, owner=owner_core,
+               tag=value.tag, seq=value.seq)
+
+
+def flag_read_local(core: "Core", flag: Flag) -> Generator[object, object, FlagValue]:
+    """One timed poll of the core's own copy of ``flag``."""
+    yield core.compute(core.config.t_poll)
+    raw = core.mpb.read_bytes(flag.offset, CACHE_LINE)
+    return FlagValue.decode(raw)
+
+
+def wait_local_flags(
+    core: "Core",
+    flags: Sequence[Flag],
+    predicate: Callable[[Sequence[FlagValue]], bool],
+    *,
+    sweep_flags: int | None = None,
+) -> Generator[object, object, list[FlagValue]]:
+    """Wait until ``predicate(values)`` holds over the core's own copies of
+    ``flags``; returns the satisfying values.
+
+    ``sweep_flags`` overrides the number of flags the core is sweeping (for
+    algorithms that poll a superset of the flags the predicate needs).
+    """
+    if not flags:
+        return []
+    mpb = core.mpb
+    nscan = sweep_flags if sweep_flags is not None else len(flags)
+
+    def values() -> list[FlagValue]:
+        return [
+            FlagValue.decode(mpb.read_bytes(f.offset, CACHE_LINE)) for f in flags
+        ]
+
+    # Entry check costs one sweep position; full sweeps while blocked are
+    # concurrent with the wait and charged only as the detection delay.
+    yield core.compute(core.config.t_poll)
+    while True:
+        vals = values()
+        if predicate(vals):
+            return vals
+        watchers = [mpb.watch(f.offset) for f in flags]
+        vals = values()
+        if predicate(vals):  # value changed while registering: no sleep
+            return vals
+        yield any_of(core.sim, watchers, name=f"core{core.id}.wait_flags")
+        vals = values()
+        if predicate(vals):
+            # Detection delay: half a sweep on average, plus the final read.
+            yield core.compute(0.5 * nscan * core.config.t_poll + core.config.t_poll)
+            return values()

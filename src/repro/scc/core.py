@@ -1,0 +1,171 @@
+"""A P54C core: the timed cache-line primitives everything builds on.
+
+The core executes one memory transaction at a time (the paper notes the
+P54C cannot overlap them -- why LogP's ``g`` is unnecessary).  All timed
+operations are generators driven with ``yield from``; their durations
+implement Formulas 1-6 with the configured Table 1 constants, plus
+queueing at the target MPB's port and (optionally) on mesh links.
+
+Primitives:
+
+- :meth:`mpb_access` -- read or write ``n`` cache lines of some core's MPB.
+- :meth:`mem_read` / :meth:`mem_write` -- off-chip private memory, through
+  the L1 model.
+- :meth:`compute` -- plain local work.
+
+Byte movement is done by the RCCE layer after/els alongside the timing;
+the core layer deals in durations and arbitration only.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator
+
+import numpy as np
+
+from ..sim import Event
+from .config import CACHE_LINE, ContentionMode, SccConfig
+from .memory import L1Cache, MemRef, PrivateMemory
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .chip import SccChip
+
+
+def lines_of(nbytes: int) -> int:
+    """Number of cache-line packets needed for ``nbytes`` of payload."""
+    return -(-nbytes // CACHE_LINE)
+
+
+class Core:
+    """One core of the simulated chip."""
+
+    def __init__(self, chip: "SccChip", core_id: int) -> None:
+        self.chip = chip
+        self.sim = chip.sim
+        self.config: SccConfig = chip.config
+        self.id = core_id
+        self.tile = chip.mesh.tile_of_core(core_id)
+        self.mpb = chip.mpbs[core_id]
+        self.mem = PrivateMemory(chip.config, core_id)
+        self.l1: L1Cache | None = (
+            L1Cache(chip.config.l1_lines) if chip.config.model_l1 else None
+        )
+        self.mem_dist = chip.mesh.mem_distance(core_id)
+        # Independent, reproducible jitter stream per core.
+        self.rng = np.random.default_rng(np.random.SeedSequence([chip.config.seed, core_id]))
+
+    # -- cost helpers --------------------------------------------------------
+
+    def mpb_line_cost(self, d: int) -> float:
+        """Round-trip cost of one cache-line MPB access at distance ``d``
+        (Formulas 2/3: read and write-completion are both o_mpb + 2d*Lhop)."""
+        return self.config.o_mpb + 2 * d * self.config.l_hop
+
+    def mem_read_line_cost(self) -> float:
+        """Off-chip read of one line, L1 miss (Formula 6)."""
+        return self.config.o_mem_r + 2 * self.mem_dist * self.config.l_hop
+
+    def mem_write_line_cost(self) -> float:
+        """Off-chip write completion of one line (Formula 5)."""
+        return self.config.o_mem_w + 2 * self.mem_dist * self.config.l_hop
+
+    def jittered(self, t: float) -> float:
+        """Apply the configured core-overhead jitter to a duration."""
+        j = self.config.jitter
+        if j <= 0.0 or t <= 0.0:
+            return t
+        return t * (1.0 + self.rng.uniform(-j, j))
+
+    # -- timed primitives ------------------------------------------------------
+
+    def compute(self, duration: float) -> Event:
+        """Local work for ``duration`` microseconds (no arbitration)."""
+        return self.sim.timeout(self.jittered(duration))
+
+    def mpb_access(
+        self,
+        target_core: int,
+        n_lines: int,
+        *,
+        write: bool = False,
+        extra_per_line: float = 0.0,
+    ) -> Generator[Event, object, None]:
+        """Access ``n_lines`` cache lines of ``target_core``'s MPB.
+
+        Charges ``n * (o_mpb + 2d*Lhop + extra_per_line)`` and arbitrates
+        the target MPB's port according to the contention mode.  Reads and
+        writes have the same *completion cost* in the model (Formulas 2-3)
+        but writes occupy the target port longer; callers move the bytes.
+        """
+        if n_lines <= 0:
+            return
+        cfg = self.config
+        d = self.chip.mesh.core_distance(self.id, target_core)
+        per_line = self.mpb_line_cost(d) + extra_per_line
+        per_line = self.jittered(per_line)
+        service = cfg.t_mpb_port_write if write else cfg.t_mpb_port
+        mode = cfg.contention_mode
+        if mode is ContentionMode.IDEAL:
+            yield self.sim.timeout(n_lines * per_line)
+            return
+        port = self.chip.mpbs[target_core].port
+        if mode is ContentionMode.BATCH:
+            yield from port.serve(n_lines * service)
+            rest = n_lines * (per_line - service)
+            if rest > 0:
+                yield self.sim.timeout(rest)
+            return
+        # EXACT: per-line arbitration (and per-line link occupancy).  The
+        # port arbiter structurally favours mesh-closer requesters -- the
+        # source of the persistent per-core unfairness of Figure 4.
+        walk_links = cfg.model_links
+        src_tile = self.tile
+        dst_tile = self.chip.mesh.tile_of_core(target_core)
+        rest = max(0.0, per_line - service)
+        retry_factor = cfg.t_retry_per_hop * d
+        for _ in range(n_lines):
+            if walk_links:
+                # Occupy links on the data-carrying direction.
+                yield from self.chip.mesh.transfer_packet(src_tile, dst_tile)
+            waited = yield from port.serve(service, priority=float(d))
+            if waited > 0.0 and retry_factor > 0.0:
+                # A request that lost arbitration was NACKed and retried
+                # over the full mesh path: the farther the core, the more
+                # each lost race costs (Figure 4's distance unfairness).
+                yield self.sim.timeout(waited * retry_factor)
+            if rest > 0:
+                yield self.sim.timeout(rest)
+
+    def mem_read(self, ref: MemRef) -> Generator[Event, object, None]:
+        """Read ``ref`` from private off-chip memory (through the L1)."""
+        if ref.owner != self.id:
+            raise ValueError(
+                f"core {self.id} cannot access private memory of core {ref.owner}"
+            )
+        total = 0.0
+        if self.l1 is not None:
+            hit_cost = self.config.t_l1_hit
+            miss_cost = self.mem_read_line_cost()
+            for line in ref.line_addrs():
+                total += hit_cost if self.l1.access(line) else miss_cost
+        else:
+            total = len(ref.line_addrs()) * self.mem_read_line_cost()
+        if total > 0:
+            yield self.sim.timeout(self.jittered(total))
+
+    def mem_write(self, ref: MemRef) -> Generator[Event, object, None]:
+        """Write ``ref`` to private off-chip memory (write-allocate)."""
+        if ref.owner != self.id:
+            raise ValueError(
+                f"core {self.id} cannot access private memory of core {ref.owner}"
+            )
+        n = len(ref.line_addrs())
+        if self.l1 is not None:
+            for line in ref.line_addrs():
+                self.l1.access(line)
+        total = n * self.mem_write_line_cost()
+        if total > 0:
+            yield self.sim.timeout(self.jittered(total))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Core {self.id} tile={self.tile}>"

@@ -1,0 +1,69 @@
+"""Inter-processor interrupts (IPIs).
+
+The SCC can raise an interrupt on a remote core by writing that core's
+configuration register through the mesh; the paper's Section 7 names
+"parallel inter-core interrupts" as the mechanism for extending OC-Bcast
+to MPMD programs, where receivers are not sitting in a matching
+collective call.
+
+Model: a sender pays ``t_ipi_send`` plus the mesh traversal to the
+target; the interrupt lands in the target's vector queue and wakes its
+handler (a waiting process) after ``t_ipi_handler`` -- interrupt entry on
+the P54C costs on the order of a microsecond, which is exactly why the
+paper's SPMD design polls flags instead.  Payloads model the small
+message-identifying state a real implementation would place in a mailbox
+register or MPB header line.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Any, Generator
+
+from ..sim import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .chip import SccChip
+    from .core import Core
+
+
+class IrqController:
+    """Chip-wide IPI fabric: one vector queue per core."""
+
+    def __init__(self, chip: "SccChip") -> None:
+        self.chip = chip
+        self._queues: list[deque[Any]] = [deque() for _ in range(chip.num_cores)]
+        self._waiters: list[deque[Event]] = [deque() for _ in range(chip.num_cores)]
+        self.sent = 0
+        self.delivered = 0
+
+    def send(self, sender: "Core", dst_core: int, payload: Any) -> Generator:
+        """Raise an interrupt on ``dst_core`` carrying ``payload``."""
+        chip = self.chip
+        if not 0 <= dst_core < chip.num_cores:
+            raise ValueError(f"core id {dst_core} outside chip")
+        cfg = chip.config
+        d = chip.mesh.core_distance(sender.id, dst_core)
+        yield sender.compute(cfg.t_ipi_send + d * cfg.l_hop)
+        self.sent += 1
+        queue = self._queues[dst_core]
+        queue.append(payload)
+        waiters = self._waiters[dst_core]
+        if waiters:
+            waiters.popleft().succeed(None)
+        chip.trace(f"core{sender.id}", "ipi", dst=dst_core, payload=payload)
+
+    def wait(self, core: "Core") -> Generator[Event, object, Any]:
+        """Block until an interrupt arrives; returns its payload after
+        the handler-entry cost."""
+        queue = self._queues[core.id]
+        while not queue:
+            ev = Event(core.sim, f"irq.wait(core{core.id})")
+            self._waiters[core.id].append(ev)
+            yield ev
+        yield core.compute(core.config.t_ipi_handler)
+        self.delivered += 1
+        return queue.popleft()
+
+    def pending(self, core_id: int) -> int:
+        return len(self._queues[core_id])

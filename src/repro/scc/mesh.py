@@ -1,0 +1,152 @@
+"""The 2D-mesh network-on-chip: coordinates, X-Y routing, distances, links.
+
+Distance convention (matches the paper's Figure 3 x-axes): the hop count
+``d`` between a core and a target MPB or memory controller is the number
+of routers a packet traverses, i.e. ``manhattan(src_tile, dst_tile) + 1``.
+Accessing the MPB of the *other core on the same tile* therefore has
+``d = 1`` (through the local router), and the maximum on the 6x4 SCC mesh
+is ``5 + 3 + 1 = 9``.
+
+Memory controllers sit at the four mesh corners; each core uses the
+controller of its quadrant, which bounds the memory distance to 4 on the
+SCC -- again matching Figure 3.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..sim import Resource, Simulator
+from .config import SccConfig
+
+Coord = tuple[int, int]
+
+
+class Mesh:
+    """Geometry and (optionally) link-occupancy model of the NoC."""
+
+    def __init__(self, sim: Simulator, config: SccConfig) -> None:
+        self.sim = sim
+        self.config = config
+        self.cols = config.mesh_cols
+        self.rows = config.mesh_rows
+        self._links: dict[tuple[Coord, Coord], Resource] = {}
+        if config.model_links:
+            for src in self.tiles():
+                for dst in self._neighbours(src):
+                    self._links[(src, dst)] = Resource(
+                        sim, capacity=1, name=f"link{src}->{dst}"
+                    )
+        # Memory controllers at the four corners (two per vertical edge on
+        # the real chip; corners give the same quadrant distances).
+        self.mc_tiles: tuple[Coord, ...] = tuple(
+            sorted({
+                (0, 0),
+                (self.cols - 1, 0),
+                (0, self.rows - 1),
+                (self.cols - 1, self.rows - 1),
+            })
+        )
+
+    # -- geometry -----------------------------------------------------------
+
+    def tiles(self) -> Iterator[Coord]:
+        for y in range(self.rows):
+            for x in range(self.cols):
+                yield (x, y)
+
+    def tile_of_core(self, core_id: int) -> Coord:
+        """Tile coordinate of a core (cores are numbered tile-major)."""
+        self._check_core(core_id)
+        tile = core_id // self.config.cores_per_tile
+        return (tile % self.cols, tile // self.cols)
+
+    def cores_of_tile(self, tile: Coord) -> tuple[int, ...]:
+        x, y = tile
+        base = (y * self.cols + x) * self.config.cores_per_tile
+        return tuple(range(base, base + self.config.cores_per_tile))
+
+    def manhattan(self, a: Coord, b: Coord) -> int:
+        return abs(a[0] - b[0]) + abs(a[1] - b[1])
+
+    def core_distance(self, src_core: int, dst_core: int) -> int:
+        """Routers traversed by a packet from ``src_core`` to the MPB of
+        ``dst_core`` (>= 1 even on the same tile: the local router is used
+        because direct local-MPB access is buggy on real silicon)."""
+        return (
+            self.manhattan(self.tile_of_core(src_core), self.tile_of_core(dst_core))
+            + 1
+        )
+
+    def mc_tile_of_core(self, core_id: int) -> Coord:
+        """The memory controller serving this core: nearest corner, ties
+        broken toward the lower-left (deterministic quadrant split)."""
+        tile = self.tile_of_core(core_id)
+        return min(self.mc_tiles, key=lambda mc: (self.manhattan(tile, mc), mc))
+
+    def mem_distance(self, core_id: int) -> int:
+        """Routers traversed to reach the core's memory controller."""
+        tile = self.tile_of_core(core_id)
+        return self.manhattan(tile, self.mc_tile_of_core(core_id)) + 1
+
+    # -- X-Y routing ---------------------------------------------------------
+
+    def route(self, src: Coord, dst: Coord) -> list[Coord]:
+        """Tiles visited from ``src`` to ``dst`` under X-Y routing,
+        inclusive of both endpoints."""
+        self._check_tile(src)
+        self._check_tile(dst)
+        path = [src]
+        x, y = src
+        step = 1 if dst[0] > x else -1
+        while x != dst[0]:
+            x += step
+            path.append((x, y))
+        step = 1 if dst[1] > y else -1
+        while y != dst[1]:
+            y += step
+            path.append((x, y))
+        return path
+
+    def path_links(self, src: Coord, dst: Coord) -> list[tuple[Coord, Coord]]:
+        """Directed links crossed on the X-Y route from src to dst."""
+        path = self.route(src, dst)
+        return list(zip(path, path[1:]))
+
+    def link(self, src: Coord, dst: Coord) -> Resource:
+        """The :class:`Resource` modeling a directed link (requires
+        ``config.model_links``)."""
+        try:
+            return self._links[(src, dst)]
+        except KeyError:
+            raise KeyError(
+                f"no link {src}->{dst} (adjacent tiles only; "
+                f"model_links={self.config.model_links})"
+            ) from None
+
+    def transfer_packet(self, src: Coord, dst: Coord):
+        """Sub-generator: move one cache-line packet, occupying each link on
+        the X-Y path for ``t_link``.  Only meaningful with link modeling on;
+        hop *latency* is charged separately by the caller."""
+        for a, b in self.path_links(src, dst):
+            yield from self._links[(a, b)].serve(self.config.t_link)
+
+    # -- validation -----------------------------------------------------------
+
+    def _check_core(self, core_id: int) -> None:
+        if not 0 <= core_id < self.config.num_cores:
+            raise ValueError(
+                f"core id {core_id} out of range 0..{self.config.num_cores - 1}"
+            )
+
+    def _check_tile(self, tile: Coord) -> None:
+        x, y = tile
+        if not (0 <= x < self.cols and 0 <= y < self.rows):
+            raise ValueError(f"tile {tile} outside {self.cols}x{self.rows} mesh")
+
+    def _neighbours(self, tile: Coord) -> Iterator[Coord]:
+        x, y = tile
+        for dx, dy in ((1, 0), (-1, 0), (0, 1), (0, -1)):
+            nx, ny = x + dx, y + dy
+            if 0 <= nx < self.cols and 0 <= ny < self.rows:
+                yield (nx, ny)

@@ -1,0 +1,82 @@
+"""Per-core message-passing buffer: byte-accurate storage + access port.
+
+Every core owns one MPB (8 KB on the SCC).  All accesses -- by the owner
+or by remote cores -- go through the buffer's single access port, which is
+the contention point the paper measures in Figure 4: the port serves one
+cache-line access at a time, each occupying it for ``t_mpb_port``.
+
+The MPB also supports *write watchers*: a core polling a flag registers a
+watcher on the flag's cache line and is woken when any write touches it.
+The polling sweep cost itself is charged by the flag layer
+(:mod:`repro.rcce.flags`); the watcher mechanism only keeps the event
+count low (no busy-poll events while nothing changes).
+"""
+
+from __future__ import annotations
+
+from ..sim import Event, Resource, Simulator
+from .config import CACHE_LINE, SccConfig
+
+
+class Mpb:
+    """One core's message-passing buffer."""
+
+    def __init__(self, sim: Simulator, config: SccConfig, owner: int) -> None:
+        self.sim = sim
+        self.config = config
+        self.owner = owner
+        self.data = bytearray(config.mpb_bytes)
+        self.port = Resource(sim, capacity=1, name=f"mpb{owner}.port")
+        # offset (line-aligned) -> list of pending wake events
+        self._watchers: dict[int, list[Event]] = {}
+
+    @property
+    def size(self) -> int:
+        return len(self.data)
+
+    @property
+    def lines(self) -> int:
+        return len(self.data) // CACHE_LINE
+
+    # -- storage --------------------------------------------------------------
+
+    def read_bytes(self, offset: int, nbytes: int) -> bytes:
+        self._check_range(offset, nbytes)
+        return bytes(self.data[offset : offset + nbytes])
+
+    def write_bytes(self, offset: int, payload: bytes | bytearray | memoryview) -> None:
+        nbytes = len(payload)
+        self._check_range(offset, nbytes)
+        self.data[offset : offset + nbytes] = payload
+        self._wake_watchers(offset, nbytes)
+
+    # -- watchers ----------------------------------------------------------------
+
+    def watch(self, offset: int) -> Event:
+        """An event that fires at the next write touching the cache line
+        containing ``offset``."""
+        line = (offset // CACHE_LINE) * CACHE_LINE
+        ev = Event(self.sim, f"mpb{self.owner}.watch@{line}")
+        self._watchers.setdefault(line, []).append(ev)
+        return ev
+
+    def _wake_watchers(self, offset: int, nbytes: int) -> None:
+        if not self._watchers:
+            return
+        first = (offset // CACHE_LINE) * CACHE_LINE
+        last = ((offset + nbytes - 1) // CACHE_LINE) * CACHE_LINE
+        for line in range(first, last + CACHE_LINE, CACHE_LINE):
+            waiters = self._watchers.pop(line, None)
+            if waiters:
+                for ev in waiters:
+                    if not ev.triggered:
+                        ev.succeed(line)
+
+    # -- validation -----------------------------------------------------------
+
+    def _check_range(self, offset: int, nbytes: int) -> None:
+        if offset < 0 or nbytes < 0 or offset + nbytes > len(self.data):
+            raise IndexError(
+                f"MPB {self.owner}: access [{offset}, {offset + nbytes}) "
+                f"outside 0..{len(self.data)}"
+            )

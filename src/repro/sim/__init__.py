@@ -1,0 +1,37 @@
+"""Minimal deterministic discrete-event simulation kernel.
+
+The kernel follows the classic process-interaction style (compare SimPy):
+model code is written as Python generators that ``yield`` :class:`Event`
+objects and are resumed when those events fire.  Everything is single
+threaded and deterministic: events scheduled for the same timestamp fire
+in scheduling order.
+
+Public surface:
+
+- :class:`Simulator` -- the event loop (``now``, ``run``, ``process``,
+  ``timeout``, ``event``).
+- :class:`Event` -- one-shot occurrence carrying an optional value.
+- :class:`Process` -- a running generator; itself an event that fires when
+  the generator returns (its value is the generator's return value).
+- :class:`Resource` -- FIFO server used to model contended hardware ports.
+- :func:`all_of` / :func:`any_of` -- event combinators.
+"""
+
+from .errors import DeadlockError, Interrupted, SimError
+from .kernel import Event, Process, Simulator, all_of, any_of
+from .resources import Resource
+from .trace import TraceRecord, Tracer
+
+__all__ = [
+    "DeadlockError",
+    "Event",
+    "Interrupted",
+    "Process",
+    "Resource",
+    "SimError",
+    "Simulator",
+    "TraceRecord",
+    "Tracer",
+    "all_of",
+    "any_of",
+]

@@ -1,0 +1,26 @@
+"""Exception types raised by the simulation kernel."""
+
+
+class SimError(Exception):
+    """Base class for all simulation-kernel errors."""
+
+
+class DeadlockError(SimError):
+    """Raised by :meth:`Simulator.run` when processes remain blocked but the
+    event queue is empty, i.e. no event can ever wake them again.
+
+    The message lists the stuck processes so protocol bugs (e.g. a flag that
+    is polled but never set) are diagnosable from the test failure alone.
+    """
+
+
+class Interrupted(SimError):
+    """Thrown into a process generator by :meth:`Process.interrupt`."""
+
+    def __init__(self, cause: object = None) -> None:
+        super().__init__(f"process interrupted: {cause!r}")
+        self.cause = cause
+
+
+class ScheduleInPastError(SimError):
+    """Raised when an event is scheduled with a negative delay."""

@@ -1,0 +1,331 @@
+"""Event loop, one-shot events and generator-based processes.
+
+Determinism contract
+--------------------
+Two runs of the same model with the same inputs produce identical event
+orders.  This is guaranteed by (a) a single global sequence number that
+breaks timestamp ties in FIFO order and (b) callbacks being invoked in
+registration order.  Model code must not consult wall-clock time or
+unseeded RNGs.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from .errors import DeadlockError, Interrupted, ScheduleInPastError, SimError
+
+# A model coroutine: yields Events, may `return` a value.
+ProcessGen = Generator["Event", Any, Any]
+
+
+class Event:
+    """A one-shot occurrence in simulated time.
+
+    An event starts *pending*; calling :meth:`succeed` or :meth:`fail`
+    makes it *triggered* and schedules its callbacks to run at the current
+    simulation time.  Processes wait on events by yielding them.
+    """
+
+    __slots__ = ("sim", "_value", "_exc", "triggered", "_callbacks", "name")
+
+    def __init__(self, sim: "Simulator", name: str = "") -> None:
+        self.sim = sim
+        self.name = name
+        self.triggered = False
+        self._value: Any = None
+        self._exc: Optional[BaseException] = None
+        self._callbacks: list[Callable[["Event"], None]] = []
+
+    @property
+    def value(self) -> Any:
+        """The value passed to :meth:`succeed`. Only valid once triggered."""
+        if not self.triggered:
+            raise SimError(f"event {self.name!r} not yet triggered")
+        if self._exc is not None:
+            raise self._exc
+        return self._value
+
+    @property
+    def failed(self) -> bool:
+        return self.triggered and self._exc is not None
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event, delivering ``value`` to all waiters."""
+        if self.triggered:
+            raise SimError(f"event {self.name!r} already triggered")
+        self.triggered = True
+        self._value = value
+        self.sim._dispatch(self)
+        return self
+
+    def fail(self, exc: BaseException) -> "Event":
+        """Trigger the event so that waiters see ``exc`` raised."""
+        if self.triggered:
+            raise SimError(f"event {self.name!r} already triggered")
+        self.triggered = True
+        self._exc = exc
+        self.sim._dispatch(self)
+        return self
+
+    def add_callback(self, fn: Callable[["Event"], None]) -> None:
+        """Run ``fn(event)`` when the event triggers (immediately if it
+        already has)."""
+        if self.triggered:
+            # Late subscription: run in the current dispatch step.
+            self.sim._schedule(0.0, fn, self)
+        else:
+            self._callbacks.append(fn)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "triggered" if self.triggered else "pending"
+        return f"<{type(self).__name__} {self.name!r} {state}>"
+
+
+class Process(Event):
+    """A running model generator.
+
+    A ``Process`` is itself an :class:`Event`: it triggers when the
+    generator returns, with the generator's return value as the event
+    value, so processes can wait for each other by yielding the process.
+    """
+
+    __slots__ = ("_gen", "_waiting_on")
+
+    def __init__(self, sim: "Simulator", gen: ProcessGen, name: str = "") -> None:
+        super().__init__(sim, name or getattr(gen, "__name__", "process"))
+        self._gen = gen
+        self._waiting_on: Optional[Event] = None
+        sim._live_processes.add(self)
+        # Start the process at the current simulation time.
+        sim._schedule(0.0, self._resume, None)
+
+    @property
+    def is_alive(self) -> bool:
+        return not self.triggered
+
+    def interrupt(self, cause: object = None) -> None:
+        """Throw :class:`Interrupted` into the generator at the current time.
+
+        A process blocked on an event is detached from it; the event itself
+        is unaffected and may still fire for other waiters.
+        """
+        if self.triggered:
+            return
+        self.sim._schedule(0.0, self._throw, Interrupted(cause))
+
+    # -- internal ---------------------------------------------------------
+
+    def _resume(self, triggering: Optional[Event]) -> None:
+        if self.triggered:
+            return  # e.g. interrupted while a wake-up was already queued
+        if triggering is not None and triggering is not self._waiting_on:
+            return  # stale wake-up after an interrupt re-targeted us
+        self._waiting_on = None
+        try:
+            if triggering is not None and triggering.failed:
+                target = self._gen.throw(triggering._exc)  # type: ignore[arg-type]
+            else:
+                value = triggering._value if triggering is not None else None
+                target = self._gen.send(value)
+        except StopIteration as stop:
+            self._finish_ok(stop.value)
+            return
+        except BaseException as exc:
+            self._finish_fail(exc)
+            return
+        self._block_on(target)
+
+    def _throw(self, exc: BaseException) -> None:
+        if self.triggered:
+            return
+        self._waiting_on = None
+        try:
+            target = self._gen.throw(exc)
+        except StopIteration as stop:
+            self._finish_ok(stop.value)
+            return
+        except BaseException as err:
+            self._finish_fail(err)
+            return
+        self._block_on(target)
+
+    def _block_on(self, target: Any) -> None:
+        if not isinstance(target, Event):
+            self._finish_fail(
+                SimError(f"process {self.name!r} yielded non-event {target!r}")
+            )
+            return
+        self._waiting_on = target
+        target.add_callback(self._resume)
+
+    def _finish_ok(self, value: Any) -> None:
+        self.sim._live_processes.discard(self)
+        self.succeed(value)
+
+    def _finish_fail(self, exc: BaseException) -> None:
+        self.sim._live_processes.discard(self)
+        if not self._callbacks:
+            # Nobody is waiting on this process: surface the error instead
+            # of swallowing it silently.
+            self.sim._crashed.append((self, exc))
+        self.fail(exc)
+
+
+class Simulator:
+    """The discrete-event loop.
+
+    Typical use::
+
+        sim = Simulator()
+
+        def prog():
+            yield sim.timeout(1.5)
+            return "done"
+
+        proc = sim.process(prog())
+        sim.run()
+        assert sim.now == 1.5 and proc.value == "done"
+    """
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: list[tuple[float, int, Callable[..., None], Any]] = []
+        self._seq = 0
+        self._live_processes: set[Process] = set()
+        self._crashed: list[tuple[Process, BaseException]] = []
+
+    # -- scheduling -------------------------------------------------------
+
+    def _schedule(self, delay: float, fn: Callable[..., None], arg: Any) -> None:
+        if delay < 0:
+            raise ScheduleInPastError(f"negative delay {delay!r}")
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + delay, self._seq, fn, arg))
+
+    def _dispatch(self, event: Event) -> None:
+        callbacks, event._callbacks = event._callbacks, []
+        for fn in callbacks:
+            self._schedule(0.0, fn, event)
+
+    # -- public factory methods -------------------------------------------
+
+    def event(self, name: str = "") -> Event:
+        """Create a pending one-shot event."""
+        return Event(self, name)
+
+    def timeout(self, delay: float, value: Any = None, name: str = "") -> Event:
+        """An event that fires ``delay`` time units from now."""
+        ev = Event(self, name or f"timeout({delay})")
+        if delay < 0:
+            raise ScheduleInPastError(f"negative timeout {delay!r}")
+        self._seq += 1
+        heapq.heappush(
+            self._heap, (self.now + delay, self._seq, ev.succeed, value)
+        )
+        return ev
+
+    def process(self, gen: ProcessGen, name: str = "") -> Process:
+        """Start a generator as a process at the current time."""
+        return Process(self, gen, name)
+
+    # -- running ----------------------------------------------------------
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the event queue drains (or simulated ``until`` passes).
+
+        Raises :class:`DeadlockError` if processes remain alive with no
+        scheduled events, and re-raises the first unobserved process crash.
+        Returns the final simulation time.
+        """
+        while self._heap:
+            t, _, fn, arg = self._heap[0]
+            if until is not None and t > until:
+                self.now = until
+                return self.now
+            heapq.heappop(self._heap)
+            self.now = t
+            fn(arg)
+            if self._crashed:
+                proc, exc = self._crashed.pop(0)
+                raise SimError(f"process {proc.name!r} crashed") from exc
+        if self._live_processes and until is None:
+            stuck = ", ".join(sorted(p.name for p in self._live_processes))
+            raise DeadlockError(
+                f"no events left but {len(self._live_processes)} process(es) "
+                f"still blocked: {stuck}"
+            )
+        return self.now
+
+    def step(self) -> bool:
+        """Execute a single scheduled callback. Returns False when empty."""
+        if not self._heap:
+            return False
+        t, _, fn, arg = heapq.heappop(self._heap)
+        self.now = t
+        fn(arg)
+        return True
+
+    @property
+    def queued_events(self) -> int:
+        return len(self._heap)
+
+
+def all_of(sim: Simulator, events: Iterable[Event], name: str = "all_of") -> Event:
+    """An event that fires once every event in ``events`` has fired.
+
+    Its value is the list of the constituent values, in input order.
+    """
+    events = list(events)
+    done = sim.event(name)
+    remaining = len(events)
+    if remaining == 0:
+        done.succeed([])
+        return done
+    results: list[Any] = [None] * remaining
+
+    def make_cb(i: int) -> Callable[[Event], None]:
+        def cb(ev: Event) -> None:
+            nonlocal remaining
+            if done.triggered:
+                return
+            if ev.failed:
+                done.fail(ev._exc)  # type: ignore[arg-type]
+                return
+            results[i] = ev._value
+            remaining -= 1
+            if remaining == 0:
+                done.succeed(results)
+
+        return cb
+
+    for i, ev in enumerate(events):
+        ev.add_callback(make_cb(i))
+    return done
+
+
+def any_of(sim: Simulator, events: Iterable[Event], name: str = "any_of") -> Event:
+    """An event that fires when the first of ``events`` fires.
+
+    Its value is ``(index, value)`` of the winning event.
+    """
+    events = list(events)
+    if not events:
+        raise SimError("any_of requires at least one event")
+    done = sim.event(name)
+
+    def make_cb(i: int) -> Callable[[Event], None]:
+        def cb(ev: Event) -> None:
+            if done.triggered:
+                return
+            if ev.failed:
+                done.fail(ev._exc)  # type: ignore[arg-type]
+                return
+            done.succeed((i, ev._value))
+
+        return cb
+
+    for i, ev in enumerate(events):
+        ev.add_callback(make_cb(i))
+    return done

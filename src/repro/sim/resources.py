@@ -1,0 +1,130 @@
+"""Contended resources for hardware modeling.
+
+:class:`Resource` models a server (an MPB access port, a mesh link) that
+serves requests strictly FIFO, one at a time.  Model code uses it either
+with explicit acquire/release::
+
+    yield port.acquire()
+    ... hold ...
+    port.release()
+
+or, for the common "occupy for a fixed service time" pattern, with
+:meth:`Resource.serve`, which combines queueing and the hold in one
+sub-generator::
+
+    yield from port.serve(hold=0.0126)
+
+The resource keeps utilisation statistics so benches can report port
+occupancy directly.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Generator
+
+from .errors import SimError
+from .kernel import Event, Simulator
+
+
+class Resource:
+    """A server with a fixed number of identical slots (default 1).
+
+    Grant policy: waiters are served in ascending ``priority`` order,
+    ties broken FIFO.  The default priority of 0 for every request gives
+    plain FIFO.  Hardware arbiters that structurally favour some
+    requesters (e.g. the SCC MPB port favouring mesh-closer cores, the
+    source of Figure 4's unfairness) are modeled by passing a priority.
+    """
+
+    def __init__(self, sim: Simulator, capacity: int = 1, name: str = "resource") -> None:
+        if capacity < 1:
+            raise SimError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._in_use = 0
+        # Heap of (priority, seq, requested_at, event).
+        self._waiters: list[tuple[float, int, float, Event]] = []
+        self._seq = 0
+        # Statistics.
+        self.total_acquisitions = 0
+        self.total_wait_time = 0.0
+        self.busy_time = 0.0
+        self._busy_since: float | None = None
+
+    # -- core protocol ------------------------------------------------------
+
+    def acquire(self, priority: float = 0.0) -> Event:
+        """Return an event that fires when a slot is granted to the caller.
+
+        The caller must eventually call :meth:`release`.
+        """
+        self.total_acquisitions += 1
+        ev = Event(self.sim, f"{self.name}.acquire")
+        if self._in_use < self.capacity and not self._waiters:
+            self._grant(ev, waited=0.0)
+        else:
+            self._seq += 1
+            heapq.heappush(self._waiters, (priority, self._seq, self.sim.now, ev))
+        return ev
+
+    def release(self) -> None:
+        """Release one slot and grant it to the best waiter, if any."""
+        if self._in_use <= 0:
+            raise SimError(f"{self.name}: release() without matching acquire()")
+        self._in_use -= 1
+        if self._in_use == 0 and self._busy_since is not None:
+            self.busy_time += self.sim.now - self._busy_since
+            self._busy_since = None
+        if self._waiters:
+            _, _, requested_at, ev = heapq.heappop(self._waiters)
+            self._grant(ev, self.sim.now - requested_at)
+
+    def _grant(self, ev: Event, waited: float) -> None:
+        self._in_use += 1
+        if self._busy_since is None:
+            self._busy_since = self.sim.now
+        self.total_wait_time += waited
+        ev.succeed(waited)
+
+    # -- conveniences --------------------------------------------------------
+
+    def serve(
+        self, hold: float, priority: float = 0.0
+    ) -> Generator[Event, object, float]:
+        """Queue for a slot, hold it ``hold`` time units, then release.
+
+        Returns the time spent waiting in the queue (0.0 if uncontended).
+        """
+        waited = yield self.acquire(priority)
+        try:
+            if hold > 0:
+                yield self.sim.timeout(hold)
+        finally:
+            self.release()
+        return float(waited)  # type: ignore[arg-type]
+
+    # -- introspection --------------------------------------------------------
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiters)
+
+    def utilisation(self, elapsed: float | None = None) -> float:
+        """Fraction of time at least one slot was busy."""
+        busy = self.busy_time
+        if self._busy_since is not None:
+            busy += self.sim.now - self._busy_since
+        span = elapsed if elapsed is not None else self.sim.now
+        return busy / span if span > 0 else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<Resource {self.name!r} {self._in_use}/{self.capacity} busy, "
+            f"{len(self._waiters)} queued>"
+        )

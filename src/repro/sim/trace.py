@@ -1,0 +1,64 @@
+"""Lightweight event tracing.
+
+A :class:`Tracer` collects timestamped records emitted by model components
+(cores, ports, algorithms).  It is off by default and costs one branch per
+emit when disabled, so leaving emit calls in hot paths is acceptable.
+
+Benches use traces to derive per-phase timings (e.g. "when did the last
+leaf finish its off-chip copy"), and tests use them to assert protocol
+ordering properties (a child never gets a chunk before its notify).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One traced occurrence."""
+
+    time: float
+    source: str
+    kind: str
+    detail: dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        items = " ".join(f"{k}={v}" for k, v in self.detail.items())
+        return f"[{self.time:12.4f}] {self.source:<14} {self.kind:<20} {items}"
+
+
+class Tracer:
+    """Collects :class:`TraceRecord` objects when enabled."""
+
+    def __init__(self, enabled: bool = False) -> None:
+        self.enabled = enabled
+        self.records: list[TraceRecord] = []
+        self._filters: list[Callable[[TraceRecord], bool]] = []
+
+    def emit(self, time: float, source: str, kind: str, **detail: Any) -> None:
+        if not self.enabled:
+            return
+        rec = TraceRecord(time, source, kind, detail)
+        if all(f(rec) for f in self._filters):
+            self.records.append(rec)
+
+    def add_filter(self, predicate: Callable[[TraceRecord], bool]) -> None:
+        """Only keep records for which ``predicate`` is true."""
+        self._filters.append(predicate)
+
+    def clear(self) -> None:
+        self.records.clear()
+
+    def of_kind(self, kind: str) -> list[TraceRecord]:
+        return [r for r in self.records if r.kind == kind]
+
+    def from_source(self, source: str) -> list[TraceRecord]:
+        return [r for r in self.records if r.source == source]
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records)
+
+    def __len__(self) -> int:
+        return len(self.records)

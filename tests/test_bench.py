@@ -1,0 +1,138 @@
+"""Tests for the benchmark harness itself."""
+
+import os
+
+import pytest
+
+from repro.bench import (
+    BcastSpec,
+    concurrent_access,
+    format_series,
+    format_table,
+    run_broadcast,
+    sweep_broadcast,
+    sweep_putget,
+    write_csv,
+)
+from repro.bench.contention import contention_sweep
+from repro.bench.microbench import core_at_mem_distance, core_at_mpb_distance
+from repro.core import NotifyMode
+from repro.model import TABLE_1, fitting
+from repro.scc import SccChip, SccConfig
+
+
+class TestBcastSpec:
+    def test_labels(self):
+        assert BcastSpec("oc", k=7).label == "OC-Bcast k=7"
+        assert BcastSpec("binomial").label == "binomial"
+        assert BcastSpec("scatter_allgather").label == "scatter-allgather"
+
+    def test_invalid_algo(self):
+        with pytest.raises(ValueError):
+            BcastSpec("bogus")
+
+    def test_spec_carries_oc_options(self):
+        spec = BcastSpec("oc", k=3, num_buffers=1, notify_mode=NotifyMode.INTERRUPT)
+        assert spec.k == 3 and spec.num_buffers == 1
+
+
+class TestRunBroadcast:
+    def test_latencies_and_verification(self):
+        res = run_broadcast(BcastSpec("oc", k=7), 4 * 32, iters=3, warmup=1)
+        assert len(res.latencies) == 3
+        assert res.verified
+        assert res.mean_latency > 0
+        assert res.throughput_mb_s > 0
+        assert res.cache_lines == 4
+
+    def test_warmup_discarded(self):
+        res = run_broadcast(BcastSpec("binomial"), 64, iters=2, warmup=2)
+        assert len(res.latencies) == 2
+
+    def test_bad_arguments(self):
+        with pytest.raises(ValueError):
+            run_broadcast(BcastSpec("oc"), 0)
+        with pytest.raises(ValueError):
+            run_broadcast(BcastSpec("oc"), 32, iters=0)
+
+    def test_sweep_shape(self):
+        out = sweep_broadcast(
+            [BcastSpec("oc", k=7), BcastSpec("binomial")],
+            [1, 4],
+            iters=1,
+            warmup=0,
+        )
+        assert set(out) == {"OC-Bcast k=7", "binomial"}
+        assert len(out["binomial"]) == 2
+        assert out["binomial"][0].cache_lines == 1
+
+
+class TestMicrobench:
+    def test_distance_helpers(self):
+        chip = SccChip(SccConfig())
+        for d in (1, 5, 9):
+            c = core_at_mpb_distance(chip, 0, d)
+            assert chip.mesh.core_distance(0, c) == d
+        for d in (1, 4):
+            c = core_at_mem_distance(chip, d)
+            assert chip.mesh.mem_distance(c) == d
+        with pytest.raises(ValueError):
+            core_at_mpb_distance(chip, 0, 10)
+
+    def test_sweep_feeds_fit_exactly(self):
+        obs = sweep_putget(sizes=(1, 8), mpb_distances=(1, 9), mem_distances=(1, 4), iters=2)
+        result = fitting.fit(obs)
+        assert result.residual_rms < 1e-9
+        for name, (_, _, rel) in result.compare(TABLE_1).items():
+            assert rel < 1e-6, name
+
+
+class TestContention:
+    def test_result_statistics(self):
+        r = concurrent_access("get", 4, 16, iters=4)
+        assert r.n_cores == 4
+        assert len(r.per_core_mean) == 4
+        assert r.fastest <= r.mean <= r.slowest
+        assert r.spread >= 1.0
+
+    def test_sweep_counts(self):
+        rows = contention_sweep("put", 1, counts=(1, 2), iters=3)
+        assert [r.n_cores for r in rows] == [1, 2]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            concurrent_access("move", 4, 1)
+        with pytest.raises(ValueError):
+            concurrent_access("get", 0, 1)
+        with pytest.raises(ValueError):
+            concurrent_access("get", 48, 1)
+
+
+class TestReporting:
+    def test_format_table_aligns(self):
+        text = format_table(["name", "value"], [["a", 1.5], ["bb", 20.25]])
+        lines = text.splitlines()
+        assert "name" in lines[0] and "value" in lines[0]
+        assert "20.25" in lines[-1]
+
+    def test_format_series(self):
+        text = format_series("x", [1, 2], {"s1": [0.1, 0.2], "s2": [3.0, 4.0]})
+        assert "s1" in text and "s2" in text
+        assert "4.00" in text
+
+    def test_write_csv(self, tmp_path):
+        path = str(tmp_path / "sub" / "out.csv")
+        write_csv(path, ["a", "b"], [[1, 2], [3, 4]])
+        assert os.path.exists(path)
+        with open(path) as fh:
+            content = fh.read()
+        assert "a,b" in content and "3,4" in content
+
+
+class TestOsagSpec:
+    def test_osag_label_and_run(self):
+        spec = BcastSpec("osag")
+        assert spec.label == "one-sided s-ag"
+        res = run_broadcast(spec, 96 * 32, iters=1, warmup=0)
+        assert res.verified
+        assert res.mean_latency > 0

@@ -1,0 +1,90 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import _parse_spec, build_parser, main
+
+
+class TestSpecParsing:
+    def test_oc_with_k(self):
+        spec = _parse_spec("oc:12")
+        assert spec.algo == "oc" and spec.k == 12
+
+    def test_oc_default_k(self):
+        spec = _parse_spec("oc")
+        assert spec.algo == "oc" and spec.k == 7
+
+    def test_named_algorithms(self):
+        assert _parse_spec("binomial").algo == "binomial"
+        assert _parse_spec("scatter_allgather").algo == "scatter_allgather"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            _parse_spec("telepathy")
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "48" in out and "6x4" in out
+
+    def test_info_custom_mesh(self, capsys):
+        assert main(["info", "--mesh-cols", "8", "--mesh-rows", "8"]) == 0
+        assert "128" in capsys.readouterr().out
+
+    def test_bcast(self, capsys):
+        rc = main(["bcast", "--algo", "oc", "--k", "3", "--cache-lines", "4",
+                   "--iters", "1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "OC-Bcast k=3" in out
+        assert "mean latency" in out
+
+    def test_bcast_binomial(self, capsys):
+        rc = main(["bcast", "--algo", "binomial", "--cache-lines", "2",
+                   "--iters", "1"])
+        assert rc == 0
+        assert "binomial" in capsys.readouterr().out
+
+    def test_sweep_latency(self, capsys):
+        rc = main(["sweep", "--algos", "oc:7", "--sizes", "1", "4",
+                   "--iters", "1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "OC-Bcast k=7" in out and "latency" in out
+
+    def test_sweep_throughput_with_chart(self, capsys):
+        rc = main(["sweep", "--algos", "oc:7", "binomial", "--sizes", "1", "16",
+                   "--iters", "1", "--throughput", "--chart"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "throughput" in out
+        assert "o=OC-Bcast k=7" in out  # chart legend
+
+    def test_contention(self, capsys):
+        rc = main(["contention", "--op", "put", "--lines", "1",
+                   "--counts", "1", "4", "--iters", "3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Concurrent put" in out
+
+    def test_fit(self, capsys):
+        rc = main(["fit", "--iters", "1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "l_hop" in out and "0.000%" in out
+
+    def test_model_table2(self, capsys):
+        assert main(["model", "--what", "table2"]) == 0
+        out = capsys.readouterr().out
+        assert "scatter-allgather" in out
+
+    def test_model_fig6_chart(self, capsys):
+        assert main(["model", "--what", "fig6"]) == 0
+        out = capsys.readouterr().out
+        assert "binomial" in out and "|" in out
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])

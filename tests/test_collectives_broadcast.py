@@ -1,0 +1,147 @@
+"""Correctness tests for the RCCE_comm baseline broadcasts."""
+
+import pytest
+
+from repro.collectives import (
+    binomial_bcast,
+    binomial_children,
+    binomial_parent,
+    scatter_allgather_bcast,
+)
+from repro.collectives.scatter_allgather import slice_range
+from repro.rcce import Comm
+from repro.scc import SccChip, SccConfig, run_spmd
+
+
+def broadcast_roundtrip(algo, P, nbytes, root=0, cores_per_tile=2, cols=6, rows=4):
+    chip = SccChip(SccConfig(mesh_cols=cols, mesh_rows=rows, cores_per_tile=cores_per_tile))
+    comm = Comm(chip, ranks=list(range(P)))
+    payload = bytes((i * 13 + root) % 256 for i in range(nbytes))
+    results = {}
+
+    def program(core):
+        cc = comm.attach(core)
+        buf = cc.alloc(nbytes)
+        if cc.rank == root:
+            buf.write(payload)
+        yield from algo(cc, root, buf, nbytes)
+        results[cc.rank] = buf.read()
+
+    run_spmd(chip, program, core_ids=list(range(P)))
+    return payload, results
+
+
+class TestBinomialTreeStructure:
+    def test_root_has_no_parent(self):
+        assert binomial_parent(0, 0, 8) is None
+        assert binomial_parent(3, 3, 8) is None
+
+    def test_parent_child_consistency(self):
+        for size in (1, 2, 3, 7, 8, 16, 48):
+            for root in (0, size // 2, size - 1):
+                for rank in range(size):
+                    for child in binomial_children(rank, root, size):
+                        assert binomial_parent(child, root, size) == rank
+
+    def test_tree_spans_all_ranks(self):
+        for size in (1, 5, 8, 48):
+            root = 2 % size
+            seen = {root}
+            frontier = [root]
+            while frontier:
+                node = frontier.pop()
+                for child in binomial_children(node, root, size):
+                    assert child not in seen, "duplicate delivery"
+                    seen.add(child)
+                    frontier.append(child)
+            assert seen == set(range(size))
+
+    def test_depth_is_max_popcount(self):
+        # The deepest rank is the one with the most set bits below P:
+        # rel 47 = 0b101111 -> 5 hops from the root (log2-bounded).
+        size = 48
+        def depth(rank):
+            d = 0
+            r = rank
+            while (p := binomial_parent(r, 0, size)) is not None:
+                r = p
+                d += 1
+            return d
+        assert max(depth(r) for r in range(size)) == 5
+        assert depth(47) == bin(47).count("1")
+
+
+class TestBinomialBroadcast:
+    @pytest.mark.parametrize("P", [2, 3, 7, 8, 16])
+    def test_various_sizes(self, P):
+        sent, got = broadcast_roundtrip(binomial_bcast, P, 100)
+        assert all(got[r] == sent for r in range(P))
+
+    @pytest.mark.parametrize("root", [0, 3, 7])
+    def test_nonzero_roots(self, root):
+        sent, got = broadcast_roundtrip(binomial_bcast, 8, 256, root=root)
+        assert all(got[r] == sent for r in range(8))
+
+    def test_full_chip(self):
+        sent, got = broadcast_roundtrip(binomial_bcast, 48, 500)
+        assert all(got[r] == sent for r in range(48))
+
+    def test_message_larger_than_payload_buffer(self):
+        sent, got = broadcast_roundtrip(binomial_bcast, 4, 251 * 32 * 2 + 40)
+        assert all(got[r] == sent for r in range(4))
+
+    def test_single_rank_is_noop(self):
+        sent, got = broadcast_roundtrip(binomial_bcast, 1, 64)
+        assert got[0] == sent
+
+    def test_invalid_root_rejected(self):
+        with pytest.raises(Exception):
+            broadcast_roundtrip(binomial_bcast, 4, 64, root=4)
+
+
+class TestSliceRange:
+    def test_slices_partition_message(self):
+        for nbytes in (0, 1, 31, 32, 100, 1536, 12345):
+            for size in (1, 2, 3, 48):
+                spans = [slice_range(nbytes, size, i) for i in range(size)]
+                # Contiguous, non-overlapping, complete.
+                pos = 0
+                for off, ln in spans:
+                    assert off == pos
+                    pos += ln
+                assert pos == nbytes
+
+    def test_trailing_slices_may_be_empty(self):
+        spans = [slice_range(10, 4, i) for i in range(4)]
+        assert spans == [(0, 3), (3, 3), (6, 3), (9, 1)]
+
+
+class TestScatterAllgatherBroadcast:
+    @pytest.mark.parametrize("P", [2, 3, 4, 5, 8, 16])
+    def test_various_sizes(self, P):
+        sent, got = broadcast_roundtrip(scatter_allgather_bcast, P, 777)
+        assert all(got[r] == sent for r in range(P))
+
+    @pytest.mark.parametrize("root", [0, 2, 7])
+    def test_nonzero_roots(self, root):
+        sent, got = broadcast_roundtrip(scatter_allgather_bcast, 8, 320, root=root)
+        assert all(got[r] == sent for r in range(8))
+
+    def test_full_chip_large_message(self):
+        sent, got = broadcast_roundtrip(scatter_allgather_bcast, 48, 48 * 96 * 32)
+        assert all(got[r] == sent for r in range(48))
+
+    def test_message_smaller_than_rank_count(self):
+        sent, got = broadcast_roundtrip(scatter_allgather_bcast, 16, 5)
+        assert all(got[r] == sent for r in range(16))
+
+    def test_single_byte(self):
+        sent, got = broadcast_roundtrip(scatter_allgather_bcast, 8, 1)
+        assert all(got[r] == sent for r in range(8))
+
+
+class TestCrossAlgorithmAgreement:
+    def test_all_broadcasts_deliver_identical_results(self):
+        for algo in (binomial_bcast, scatter_allgather_bcast):
+            sent, got = broadcast_roundtrip(algo, 12, 1000, root=5)
+            assert all(got[r] == sent for r in range(12)), algo.__name__

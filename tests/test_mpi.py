@@ -1,0 +1,169 @@
+"""Tests for the MPI-flavoured facade."""
+
+import numpy as np
+import pytest
+
+from repro.mpi import BACKENDS, Mpi, SAG_THRESHOLD_LINES
+from repro.rcce import Comm
+from repro.scc import SccChip, SccConfig, run_spmd
+from repro.collectives import ReduceOp
+
+
+def make_mpi(backend, P=12):
+    chip = SccChip(SccConfig())
+    comm = Comm(chip, ranks=list(range(P)))
+    return chip, Mpi(comm, backend=backend)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestCollectives:
+    def test_bcast_small(self, backend):
+        chip, mpi = make_mpi(backend)
+        payload = bytes(range(200))
+        results = {}
+
+        def program(core):
+            rank = mpi.attach(core)
+            buf = rank.alloc(len(payload))
+            if rank.rank == 0:
+                buf.write(payload)
+            yield from rank.bcast(buf, len(payload))
+            results[rank.rank] = buf.read()
+
+        run_spmd(chip, program, core_ids=list(range(mpi.size)))
+        assert all(v == payload for v in results.values())
+
+    def test_bcast_large_crosses_sag_threshold(self, backend):
+        chip, mpi = make_mpi(backend)
+        nbytes = (SAG_THRESHOLD_LINES + 64) * 32
+        payload = bytes(i % 251 for i in range(nbytes))
+        results = {}
+
+        def program(core):
+            rank = mpi.attach(core)
+            buf = rank.alloc(nbytes)
+            if rank.rank == 0:
+                buf.write(payload)
+            yield from rank.bcast(buf, nbytes)
+            results[rank.rank] = buf.read()
+
+        run_spmd(chip, program, core_ids=list(range(mpi.size)))
+        assert all(v == payload for v in results.values())
+
+    def test_reduce(self, backend):
+        chip, mpi = make_mpi(backend)
+        op = ReduceOp.sum()
+        n = 64
+        out = {}
+
+        def program(core):
+            rank = mpi.attach(core)
+            send = rank.alloc(n)
+            send.write(np.full(n // 8, rank.rank + 1, dtype="<i8").tobytes())
+            recv = rank.alloc(n)
+            yield from rank.reduce(send, recv, n, op)
+            if rank.rank == 0:
+                out["v"] = np.frombuffer(recv.read(), "<i8")
+
+        run_spmd(chip, program, core_ids=list(range(mpi.size)))
+        assert (out["v"] == sum(range(1, mpi.size + 1))).all()
+
+    def test_allreduce(self, backend):
+        chip, mpi = make_mpi(backend, P=8)
+        op = ReduceOp.max()
+        n = 32
+        results = {}
+
+        def program(core):
+            rank = mpi.attach(core)
+            send = rank.alloc(n)
+            send.write(np.full(n // 8, rank.rank, dtype="<i8").tobytes())
+            recv = rank.alloc(n)
+            yield from rank.allreduce(send, recv, n, op)
+            results[rank.rank] = np.frombuffer(recv.read(), "<i8").tolist()
+
+        run_spmd(chip, program, core_ids=list(range(mpi.size)))
+        assert all(v == [7] * 4 for v in results.values())
+
+    def test_barrier(self, backend):
+        chip, mpi = make_mpi(backend)
+        latest = [0.0]
+        exits = {}
+
+        def program(core):
+            rank = mpi.attach(core)
+            yield core.compute(float(rank.rank))
+            latest[0] = max(latest[0], chip.now)
+            yield from rank.barrier()
+            exits[rank.rank] = chip.now
+
+        run_spmd(chip, program, core_ids=list(range(mpi.size)))
+        assert min(exits.values()) >= latest[0]
+
+    def test_gather_and_allgather(self, backend):
+        chip, mpi = make_mpi(backend, P=6)
+        block = 32
+        out = {}
+
+        def program(core):
+            rank = mpi.attach(core)
+            src = rank.alloc(block)
+            src.write(bytes([rank.rank + 1]) * block)
+            gathered = rank.alloc(block * rank.size)
+            yield from rank.gather(src, gathered, block)
+            everyone = rank.alloc(block * rank.size)
+            yield from rank.allgather(src, everyone, block)
+            out[rank.rank] = everyone.read()
+            if rank.rank == 0:
+                out["root_gather"] = gathered.read()
+
+        run_spmd(chip, program, core_ids=list(range(mpi.size)))
+        expected = b"".join(bytes([r + 1]) * block for r in range(6))
+        assert out["root_gather"] == expected
+        assert all(out[r] == expected for r in range(6))
+
+    def test_point_to_point(self, backend):
+        chip, mpi = make_mpi(backend, P=4)
+        got = {}
+
+        def program(core):
+            rank = mpi.attach(core)
+            buf = rank.alloc(96)
+            if rank.rank == 0:
+                buf.write(b"Q" * 96)
+                yield from rank.send(3, buf, 96)
+            elif rank.rank == 3:
+                yield from rank.recv(0, buf, 96)
+                got["data"] = buf.read()
+
+        run_spmd(chip, program, core_ids=list(range(4)))
+        assert got["data"] == b"Q" * 96
+
+
+class TestBackendBehaviour:
+    def test_invalid_backend(self):
+        chip = SccChip(SccConfig())
+        with pytest.raises(ValueError):
+            Mpi(Comm(chip), backend="smoke-signals")
+
+    def test_rma_backend_faster_for_bcast(self):
+        def measure(backend):
+            chip, mpi = make_mpi(backend, P=12)
+            n = 96 * 32
+
+            def program(core):
+                rank = mpi.attach(core)
+                buf = rank.alloc(n)
+                if rank.rank == 0:
+                    buf.write(bytes(n))
+                yield from rank.bcast(buf, n)
+
+            return run_spmd(chip, program, core_ids=list(range(12))).makespan
+
+        assert measure("rma") < measure("two_sided")
+
+    def test_mpb_budget_fits_both_backends(self):
+        # Construction itself validates the MPB layouts.
+        for backend in BACKENDS:
+            chip = SccChip(SccConfig())
+            Mpi(Comm(chip), backend=backend)

@@ -1,0 +1,184 @@
+"""Tests for IPIs and the MPMD interrupt-driven broadcast."""
+
+import pytest
+
+from repro import Comm, SccChip, SccConfig, run_spmd
+from repro.core import Mailbox, MpmdBcast
+
+
+class TestIrqController:
+    def test_send_and_wait(self):
+        chip = SccChip(SccConfig())
+        got = {}
+
+        def receiver(core):
+            payload = yield from chip.irq.wait(core)
+            got["payload"] = payload
+            got["time"] = chip.now
+
+        def sender(core):
+            yield core.compute(5.0)
+            yield from chip.irq.send(core, 0, ("hello", 42))
+
+        run_spmd(chip, lambda c: receiver(c) if c.id == 0 else sender(c),
+                 core_ids=[0, 1])
+        assert got["payload"] == ("hello", 42)
+        # Delivery costs the handler entry (1 us) after the send at ~5.3.
+        assert got["time"] > 6.0
+
+    def test_queueing_preserves_order(self):
+        chip = SccChip(SccConfig())
+        got = []
+
+        def receiver(core):
+            for _ in range(3):
+                payload = yield from chip.irq.wait(core)
+                got.append(payload)
+
+        def sender(core):
+            for i in range(3):
+                yield from chip.irq.send(core, 0, i)
+
+        run_spmd(chip, lambda c: receiver(c) if c.id == 0 else sender(c),
+                 core_ids=[0, 1])
+        assert got == [0, 1, 2]
+
+    def test_pending_count(self):
+        chip = SccChip(SccConfig())
+
+        def sender(core):
+            yield from chip.irq.send(core, 5, "x")
+            yield from chip.irq.send(core, 5, "y")
+
+        run_spmd(chip, sender, core_ids=[0])
+        assert chip.irq.pending(5) == 2
+        assert chip.irq.sent == 2
+        assert chip.irq.delivered == 0
+
+    def test_invalid_target(self):
+        chip = SccChip(SccConfig())
+
+        def sender(core):
+            yield from chip.irq.send(core, 99, "x")
+
+        with pytest.raises(Exception):
+            run_spmd(chip, sender, core_ids=[0])
+
+
+class TestMailbox:
+    def test_fifo_and_len(self):
+        box = Mailbox()
+        box.deposit(b"a")
+        box.deposit(b"b")
+        assert len(box) == 2
+        assert box.poll() == b"a"
+        assert box.poll() == b"b"
+        assert box.poll() is None
+
+
+def run_pubsub(P, messages, k=3, chunk_lines=8, publisher=0, subscribers=None):
+    chip = SccChip(SccConfig())
+    comm = Comm(chip, ranks=list(range(P)))
+    mpmd = MpmdBcast(comm, publisher=publisher, k=k, chunk_lines=chunk_lines)
+    mpmd.start_daemons(chip)
+    received = {}
+
+    def pub(core):
+        cc = comm.attach(core)
+        for m in messages:
+            buf = cc.alloc(len(m))
+            buf.write(m)
+            yield from mpmd.publish(cc, buf, len(m))
+        yield from mpmd.stop_daemons(cc)
+
+    def sub(core):
+        cc = comm.attach(core)
+        got = []
+        for _ in messages:
+            got.append((yield from mpmd.deliver(cc)))
+        received[cc.rank] = got
+
+    run_spmd(
+        chip,
+        lambda c: pub(c) if comm.rank_of(c.id) == publisher else sub(c),
+        core_ids=list(range(P)),
+    )
+    return received
+
+
+class TestMpmdBcast:
+    @pytest.mark.parametrize("P", [2, 3, 8, 16])
+    def test_single_message(self, P):
+        msg = bytes((i * 3 + 1) % 256 for i in range(500))
+        received = run_pubsub(P, [msg])
+        assert len(received) == P - 1
+        assert all(got == [msg] for got in received.values())
+
+    def test_multiple_messages_in_order(self):
+        msgs = [bytes([i + 1]) * (8 * 32 * 2 + 3) for i in range(4)]
+        received = run_pubsub(8, msgs)
+        assert all(got == msgs for got in received.values())
+
+    def test_multi_chunk_message(self):
+        msg = bytes(i % 256 for i in range(8 * 32 * 5 + 7))
+        received = run_pubsub(6, [msg], chunk_lines=8)
+        assert all(got == [msg] for got in received.values())
+
+    def test_nonzero_publisher(self):
+        msg = b"published-from-three" * 10
+        received = run_pubsub(8, [msg], publisher=3)
+        assert set(received) == set(range(8)) - {3}
+        assert all(got == [msg] for got in received.values())
+
+    def test_lagging_subscriber_buffers_in_mailbox(self):
+        """A subscriber that collects late still sees every message."""
+        chip = SccChip(SccConfig())
+        comm = Comm(chip, ranks=list(range(4)))
+        mpmd = MpmdBcast(comm, k=2, chunk_lines=4)
+        mpmd.start_daemons(chip)
+        msgs = [bytes([i + 1]) * 64 for i in range(3)]
+        got = {}
+
+        def pub(core):
+            cc = comm.attach(core)
+            for m in msgs:
+                buf = cc.alloc(len(m))
+                buf.write(m)
+                yield from mpmd.publish(cc, buf, len(m))
+            yield from mpmd.stop_daemons(cc)
+
+        def lazy_sub(core):
+            cc = comm.attach(core)
+            yield core.compute(10000.0)  # far after all publishes
+            out = []
+            for _ in msgs:
+                out.append((yield from mpmd.deliver(cc)))
+            got[cc.rank] = out
+
+        run_spmd(chip, lambda c: pub(c) if c.id == 0 else lazy_sub(c),
+                 core_ids=[0, 1, 2, 3])
+        assert all(v == msgs for v in got.values())
+
+    def test_publish_validation(self):
+        chip = SccChip(SccConfig())
+        comm = Comm(chip, ranks=list(range(4)))
+        mpmd = MpmdBcast(comm, k=2, chunk_lines=4)
+
+        def not_publisher(core):
+            cc = comm.attach(core)
+            buf = cc.alloc(32)
+            yield from mpmd.publish(cc, buf, 32)
+
+        with pytest.raises(Exception):
+            run_spmd(chip, not_publisher, core_ids=[1])
+
+    def test_constructor_validation(self):
+        chip = SccChip(SccConfig())
+        comm = Comm(chip)
+        with pytest.raises(ValueError):
+            MpmdBcast(comm, publisher=99)
+        with pytest.raises(ValueError):
+            MpmdBcast(comm, k=0)
+        comm2 = Comm(chip)
+        with pytest.raises(MemoryError):
+            MpmdBcast(comm2, chunk_lines=130)  # 2x130 + k > 256

@@ -1,0 +1,158 @@
+"""Property-based tests over the full stack (hypothesis).
+
+These run small configurations (few ranks, IDEAL contention, small
+payloads) so each example is fast while still exercising the complete
+protocol paths.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.collectives import binomial_bcast, scatter_allgather_bcast
+from repro.core import OcBcast, OcBcastConfig
+from repro.rcce import Comm
+from repro.scc import ContentionMode, SccChip, SccConfig, run_spmd
+
+FAST = SccConfig(contention_mode=ContentionMode.IDEAL)
+
+common_settings = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def run_bcast(algo_builder, P, root, payload):
+    chip = SccChip(FAST)
+    comm = Comm(chip, ranks=list(range(P)))
+    bcast = algo_builder(comm)
+    nbytes = len(payload)
+    results = {}
+
+    def program(core):
+        cc = comm.attach(core)
+        buf = cc.alloc(nbytes)
+        if cc.rank == root:
+            buf.write(payload)
+        yield from bcast(cc, root, buf, nbytes)
+        results[cc.rank] = buf.read()
+
+    run_spmd(chip, program, core_ids=list(range(P)))
+    return results
+
+
+@common_settings
+@given(
+    P=st.integers(2, 10),
+    root=st.integers(0, 9),
+    k=st.integers(1, 9),
+    payload=st.binary(min_size=1, max_size=700),
+)
+def test_ocbcast_delivers_any_payload(P, root, k, payload):
+    root %= P
+    results = run_bcast(
+        lambda comm: OcBcast(comm, OcBcastConfig(k=k, chunk_lines=4)).bcast,
+        P,
+        root,
+        payload,
+    )
+    assert all(results[r] == payload for r in range(P))
+
+
+@common_settings
+@given(
+    P=st.integers(2, 10),
+    root=st.integers(0, 9),
+    payload=st.binary(min_size=1, max_size=600),
+)
+def test_binomial_delivers_any_payload(P, root, payload):
+    root %= P
+    results = run_bcast(lambda comm: binomial_bcast, P, root, payload)
+    assert all(results[r] == payload for r in range(P))
+
+
+@common_settings
+@given(
+    P=st.integers(2, 10),
+    root=st.integers(0, 9),
+    payload=st.binary(min_size=1, max_size=600),
+)
+def test_scatter_allgather_delivers_any_payload(P, root, payload):
+    root %= P
+    results = run_bcast(lambda comm: scatter_allgather_bcast, P, root, payload)
+    assert all(results[r] == payload for r in range(P))
+
+
+@common_settings
+@given(
+    P=st.integers(2, 8),
+    payload=st.binary(min_size=1, max_size=300),
+    nbuf=st.integers(1, 3),
+    chunk=st.integers(1, 6),
+)
+def test_ocbcast_buffering_never_changes_results(P, payload, nbuf, chunk):
+    results = run_bcast(
+        lambda comm: OcBcast(
+            comm, OcBcastConfig(k=2, chunk_lines=chunk, num_buffers=nbuf)
+        ).bcast,
+        P,
+        0,
+        payload,
+    )
+    assert all(results[r] == payload for r in range(P))
+
+
+@common_settings
+@given(
+    P=st.integers(2, 8),
+    payloads=st.lists(st.binary(min_size=1, max_size=200), min_size=1, max_size=4),
+)
+def test_ocbcast_back_to_back_broadcasts(P, payloads):
+    chip = SccChip(FAST)
+    comm = Comm(chip, ranks=list(range(P)))
+    oc = OcBcast(comm, OcBcastConfig(k=3, chunk_lines=3))
+    results = {i: {} for i in range(len(payloads))}
+
+    def program(core):
+        cc = comm.attach(core)
+        for i, payload in enumerate(payloads):
+            root = i % P
+            buf = cc.alloc(len(payload))
+            if cc.rank == root:
+                buf.write(payload)
+            yield from oc.bcast(cc, root, buf, len(payload))
+            results[i][cc.rank] = buf.read()
+
+    run_spmd(chip, program, core_ids=list(range(P)))
+    for i, payload in enumerate(payloads):
+        assert all(results[i][r] == payload for r in range(P))
+
+
+@common_settings
+@given(
+    P=st.integers(1, 10),
+    nbytes=st.integers(0, 400),
+    seed=st.integers(0, 10_000),
+)
+def test_latency_is_deterministic(P, nbytes, seed):
+    """Two identical runs produce bit-identical clocks."""
+    if nbytes == 0 or P == 1:
+        return
+
+    def one_run():
+        chip = SccChip(FAST)
+        comm = Comm(chip, ranks=list(range(P)))
+        oc = OcBcast(comm, OcBcastConfig(k=2, chunk_lines=4))
+        payload = bytes((seed + i) % 256 for i in range(nbytes))
+
+        def program(core):
+            cc = comm.attach(core)
+            buf = cc.alloc(nbytes)
+            if cc.rank == 0:
+                buf.write(payload)
+            yield from oc.bcast(cc, 0, buf, nbytes)
+
+        return run_spmd(chip, program, core_ids=list(range(P))).makespan
+
+    assert one_run() == one_run()

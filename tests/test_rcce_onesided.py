@@ -1,0 +1,248 @@
+"""Tests for one-sided put/get: data integrity and Formula 7-12 timing."""
+
+import pytest
+
+from repro.model import ModelParams, primitives
+from repro.rcce import Comm
+from repro.scc import ContentionMode, SccChip, SccConfig, run_spmd
+from repro.scc.config import CACHE_LINE
+
+
+def make_world(**cfg):
+    chip = SccChip(SccConfig(**cfg))
+    return chip, Comm(chip)
+
+
+def run_one(chip, comm, core_id, body):
+    out = {}
+
+    def prog(core):
+        cc = comm.attach(core)
+        t0 = chip.now
+        result = yield from body(cc)
+        out["elapsed"] = chip.now - t0
+        out["result"] = result
+        return None
+
+    run_spmd(chip, prog, core_ids=[core_id])
+    return out
+
+
+class TestDataMovement:
+    def test_put_mem_to_remote_mpb(self):
+        chip, comm = make_world()
+        region = comm.layout.alloc_lines(4)
+        payload = bytes(range(128))
+
+        def body(cc):
+            src = cc.alloc(128)
+            src.write(payload)
+            yield from cc.put(9, region.offset, src, 128)
+
+        run_one(chip, comm, 0, body)
+        assert chip.mpbs[9].read_bytes(region.offset, 128) == payload
+
+    def test_put_own_mpb_to_remote_mpb(self):
+        chip, comm = make_world()
+        region = comm.layout.alloc_lines(2)
+        payload = bytes(range(64))
+        chip.mpbs[0].write_bytes(region.offset, payload)
+
+        def body(cc):
+            yield from cc.put(7, region.offset, region.offset, 64)
+
+        run_one(chip, comm, 0, body)
+        assert chip.mpbs[7].read_bytes(region.offset, 64) == payload
+
+    def test_get_remote_mpb_to_mem(self):
+        chip, comm = make_world()
+        region = comm.layout.alloc_lines(4)
+        payload = bytes(reversed(range(128)))
+        chip.mpbs[5].write_bytes(region.offset, payload)
+
+        def body(cc):
+            dst = cc.alloc(128)
+            yield from cc.get(5, region.offset, dst, 128)
+            return dst.read()
+
+        out = run_one(chip, comm, 0, body)
+        assert out["result"] == payload
+
+    def test_get_remote_mpb_to_own_mpb(self):
+        chip, comm = make_world()
+        region = comm.layout.alloc_lines(2)
+        payload = b"\xab" * 64
+        chip.mpbs[5].write_bytes(region.offset, payload)
+
+        def body(cc):
+            yield from cc.get(5, region.offset, region.offset, 64)
+
+        run_one(chip, comm, 0, body)
+        assert chip.mpbs[0].read_bytes(region.offset, 64) == payload
+
+    def test_partial_line_transfer_preserves_exact_bytes(self):
+        chip, comm = make_world()
+        region = comm.layout.alloc_lines(2)
+        payload = b"hello-partial-line!"  # 19 bytes
+
+        def body(cc):
+            src = cc.alloc(len(payload))
+            src.write(payload)
+            yield from cc.put(3, region.offset, src, len(payload))
+
+        run_one(chip, comm, 0, body)
+        assert chip.mpbs[3].read_bytes(region.offset, len(payload)) == payload
+
+    def test_put_to_self_mpb(self):
+        chip, comm = make_world()
+        region = comm.layout.alloc_lines(1)
+        payload = b"x" * 32
+
+        def body(cc):
+            src = cc.alloc(32)
+            src.write(payload)
+            yield from cc.put(cc.rank, region.offset, src, 32)
+
+        run_one(chip, comm, 0, body)
+        assert chip.mpbs[0].read_bytes(region.offset, 32) == payload
+
+
+class TestTimingMatchesModel:
+    """In IDEAL mode the simulator must equal Formulas 7-12 exactly."""
+
+    @pytest.mark.parametrize("m", [1, 4, 16])
+    @pytest.mark.parametrize("target", [1, 13, 46])
+    def test_put_mpb_completion(self, m, target):
+        chip, comm = make_world(contention_mode=ContentionMode.IDEAL)
+        p = ModelParams.from_config(chip.config)
+        region = comm.layout.alloc_lines(m)
+        d = chip.mesh.core_distance(0, target)
+
+        def body(cc):
+            yield from cc.put(target, region.offset, region.offset, m * CACHE_LINE)
+
+        out = run_one(chip, comm, 0, body)
+        assert out["elapsed"] == pytest.approx(primitives.c_put_mpb(p, m, d))
+
+    @pytest.mark.parametrize("m", [1, 8])
+    @pytest.mark.parametrize("source", [1, 46])
+    def test_get_mpb_completion(self, m, source):
+        chip, comm = make_world(contention_mode=ContentionMode.IDEAL)
+        p = ModelParams.from_config(chip.config)
+        region = comm.layout.alloc_lines(m)
+        d = chip.mesh.core_distance(0, source)
+
+        def body(cc):
+            yield from cc.get(source, region.offset, region.offset, m * CACHE_LINE)
+
+        out = run_one(chip, comm, 0, body)
+        assert out["elapsed"] == pytest.approx(primitives.c_get_mpb(p, m, d))
+
+    @pytest.mark.parametrize("m", [1, 8])
+    def test_put_mem_completion(self, m):
+        chip, comm = make_world(contention_mode=ContentionMode.IDEAL)
+        p = ModelParams.from_config(chip.config)
+        region = comm.layout.alloc_lines(m)
+        target = 1
+        d_dst = chip.mesh.core_distance(0, target)
+        d_src = chip.mesh.mem_distance(0)
+
+        def body(cc):
+            src = cc.alloc(m * CACHE_LINE)
+            yield from cc.put(target, region.offset, src, m * CACHE_LINE)
+
+        out = run_one(chip, comm, 0, body)
+        assert out["elapsed"] == pytest.approx(primitives.c_put_mem(p, m, d_src, d_dst))
+
+    @pytest.mark.parametrize("m", [1, 8])
+    def test_get_mem_completion(self, m):
+        chip, comm = make_world(contention_mode=ContentionMode.IDEAL)
+        p = ModelParams.from_config(chip.config)
+        region = comm.layout.alloc_lines(m)
+        source = 1
+        d_src = chip.mesh.core_distance(0, source)
+        d_dst = chip.mesh.mem_distance(0)
+
+        def body(cc):
+            dst = cc.alloc(m * CACHE_LINE)
+            yield from cc.get(source, region.offset, dst, m * CACHE_LINE)
+
+        out = run_one(chip, comm, 0, body)
+        assert out["elapsed"] == pytest.approx(primitives.c_get_mem(p, m, d_src, d_dst))
+
+    def test_batch_mode_matches_ideal_when_uncontended(self):
+        times = {}
+        for mode in (ContentionMode.IDEAL, ContentionMode.BATCH, ContentionMode.EXACT):
+            chip, comm = make_world(contention_mode=mode)
+            region = comm.layout.alloc_lines(8)
+
+            def body(cc):
+                yield from cc.get(20, region.offset, region.offset, 8 * CACHE_LINE)
+
+            times[mode] = run_one(chip, comm, 0, body)["elapsed"]
+        assert times[ContentionMode.BATCH] == pytest.approx(times[ContentionMode.IDEAL])
+        assert times[ContentionMode.EXACT] == pytest.approx(times[ContentionMode.IDEAL])
+
+    def test_distance_spread_1_to_9_hops_is_small(self):
+        """Paper Section 3.2: 1-hop vs 9-hop differ by only ~30%."""
+        chip, comm = make_world(contention_mode=ContentionMode.IDEAL)
+        region = comm.layout.alloc_lines(16)
+        times = {}
+        for target_d in (1, 9):
+            target = next(
+                c for c in range(1, 48) if chip.mesh.core_distance(0, c) == target_d
+            )
+            chip2, comm2 = make_world(contention_mode=ContentionMode.IDEAL)
+            region2 = comm2.layout.alloc_lines(16)
+
+            def body(cc, t=comm2.rank_of(target)):
+                yield from cc.get(t, region2.offset, region2.offset, 16 * CACHE_LINE)
+
+            times[target_d] = run_one(chip2, comm2, 0, body)["elapsed"]
+        spread = times[9] / times[1] - 1
+        assert 0.1 < spread < 0.4
+
+
+class TestValidation:
+    def test_put_foreign_memref_rejected(self):
+        chip, comm = make_world()
+        region = comm.layout.alloc_lines(1)
+        foreign = chip.cores[3].mem.alloc(32)
+
+        def body(cc):
+            yield from cc.put(1, region.offset, foreign, 32)
+
+        with pytest.raises(Exception):
+            run_one(chip, comm, 0, body)
+
+    def test_put_oversized_from_buffer_rejected(self):
+        chip, comm = make_world()
+        region = comm.layout.alloc_lines(4)
+
+        def body(cc):
+            src = cc.alloc(32)
+            yield from cc.put(1, region.offset, src, 64)
+
+        with pytest.raises(Exception):
+            run_one(chip, comm, 0, body)
+
+    def test_zero_bytes_is_noop(self):
+        chip, comm = make_world()
+        region = comm.layout.alloc_lines(1)
+
+        def body(cc):
+            src = cc.alloc(32)
+            yield from cc.put(1, region.offset, src, 0)
+
+        out = run_one(chip, comm, 0, body)
+        assert out["elapsed"] == 0.0
+
+    def test_negative_bytes_rejected(self):
+        chip, comm = make_world()
+
+        def body(cc):
+            src = cc.alloc(32)
+            yield from cc.put(1, 0, src, -5)
+
+        with pytest.raises(Exception):
+            run_one(chip, comm, 0, body)

@@ -1,0 +1,67 @@
+"""Tests for chip configuration validation and derived values."""
+
+import pytest
+
+from repro.scc import ContentionMode, SccConfig
+from repro.scc.config import CACHE_LINE, MPB_BYTES, MPB_LINES
+
+
+def test_defaults_describe_the_scc():
+    cfg = SccConfig()
+    assert cfg.num_tiles == 24
+    assert cfg.num_cores == 48
+    assert cfg.mpb_bytes == 8192
+    assert cfg.mpb_lines == 256
+    assert cfg.contention_mode is ContentionMode.BATCH
+
+
+def test_module_constants():
+    assert CACHE_LINE == 32
+    assert MPB_BYTES == 8192
+    assert MPB_LINES == 256
+
+
+def test_table1_defaults():
+    cfg = SccConfig()
+    assert cfg.l_hop == 0.005
+    assert cfg.o_mpb == 0.126
+    assert cfg.o_mem_w == 0.461
+    assert cfg.o_mem_r == 0.208
+    assert cfg.o_put_mpb == 0.069
+    assert cfg.o_get_mpb == 0.33
+    assert cfg.o_put_mem == 0.19
+    assert cfg.o_get_mem == 0.095
+
+
+def test_with_creates_modified_copy():
+    cfg = SccConfig()
+    cfg2 = cfg.with_(mesh_cols=8, jitter=0.05)
+    assert cfg2.mesh_cols == 8
+    assert cfg2.jitter == 0.05
+    assert cfg.mesh_cols == 6  # original untouched
+    assert cfg2.num_cores == 8 * 4 * 2
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"mesh_cols": 0},
+        {"mesh_rows": 0},
+        {"cores_per_tile": 0},
+        {"mpb_bytes": 100},  # not a cache-line multiple
+        {"l_hop": -0.1},
+        {"o_mpb": -1.0},
+        {"t_mpb_port": -0.01},
+        {"t_mpb_port_write": -0.01},
+        {"jitter": 1.0},
+        {"jitter": -0.1},
+    ],
+)
+def test_invalid_configs_rejected(kwargs):
+    with pytest.raises(ValueError):
+        SccConfig(**kwargs)
+
+
+def test_scaled_mesh_core_count():
+    cfg = SccConfig(mesh_cols=16, mesh_rows=16, cores_per_tile=4)
+    assert cfg.num_cores == 1024

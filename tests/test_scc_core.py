@@ -1,0 +1,145 @@
+"""Tests for the core's timed primitives across contention modes."""
+
+import pytest
+
+from repro.scc import ContentionMode, SccChip, SccConfig
+
+
+def run_on_core(chip, core_id, gen_factory):
+    core = chip.cores[core_id]
+
+    def prog():
+        t0 = chip.sim.now
+        yield from gen_factory(core)
+        return chip.sim.now - t0
+
+    p = chip.sim.process(prog())
+    chip.sim.run()
+    return p.value
+
+
+class TestCosts:
+    def test_mpb_line_cost_formula(self):
+        chip = SccChip(SccConfig())
+        core = chip.cores[0]
+        cfg = chip.config
+        for d in (1, 4, 9):
+            assert core.mpb_line_cost(d) == pytest.approx(cfg.o_mpb + 2 * d * cfg.l_hop)
+
+    def test_mem_line_costs_use_mc_distance(self):
+        chip = SccChip(SccConfig())
+        core = chip.cores[0]  # tile (0,0), MC distance 1
+        cfg = chip.config
+        assert core.mem_dist == 1
+        assert core.mem_read_line_cost() == pytest.approx(cfg.o_mem_r + 2 * cfg.l_hop)
+        assert core.mem_write_line_cost() == pytest.approx(cfg.o_mem_w + 2 * cfg.l_hop)
+
+
+class TestMpbAccessTiming:
+    @pytest.mark.parametrize(
+        "mode", [ContentionMode.IDEAL, ContentionMode.BATCH, ContentionMode.EXACT]
+    )
+    def test_uncontended_duration_identical_across_modes(self, mode):
+        chip = SccChip(SccConfig(contention_mode=mode))
+        core = chip.cores[0]
+        target = 10
+        d = chip.mesh.core_distance(0, target)
+        expected = 8 * core.mpb_line_cost(d)
+        elapsed = run_on_core(chip, 0, lambda c: c.mpb_access(target, 8))
+        assert elapsed == pytest.approx(expected)
+
+    def test_zero_lines_is_free(self):
+        chip = SccChip(SccConfig())
+        elapsed = run_on_core(chip, 0, lambda c: c.mpb_access(5, 0))
+        assert elapsed == 0.0
+
+    def test_ideal_mode_ignores_port(self):
+        chip = SccChip(SccConfig(contention_mode=ContentionMode.IDEAL))
+        done = []
+
+        def prog(core):
+            yield from core.mpb_access(5, 100)
+            done.append(core.id)
+
+        for c in (0, 1, 2):
+            core = chip.cores[c]
+            chip.sim.process(prog(core))
+        chip.sim.run()
+        assert chip.mpbs[5].port.total_acquisitions == 0
+
+    def test_batch_mode_serialises_port_holds(self):
+        cfg = SccConfig(contention_mode=ContentionMode.BATCH)
+        chip = SccChip(cfg)
+        finish = {}
+
+        def prog(core):
+            yield from core.mpb_access(5, 100)
+            finish[core.id] = chip.sim.now
+
+        for c in (0, 1):
+            chip.sim.process(prog(chip.cores[c]))
+        chip.sim.run()
+        # The second core waits for the first's 100-line port hold.
+        assert abs(finish[0] - finish[1]) >= 100 * cfg.t_mpb_port * 0.99
+
+    def test_exact_mode_interleaves_fairly(self):
+        cfg = SccConfig(contention_mode=ContentionMode.EXACT)
+        chip = SccChip(cfg)
+        finish = {}
+
+        def prog(core):
+            yield from core.mpb_access(5, 100)
+            finish[core.id] = chip.sim.now
+
+        # Two same-distance cores interleave per line: near-equal finish.
+        for c in (0, 1):
+            chip.sim.process(prog(chip.cores[c]))
+        chip.sim.run()
+        assert abs(finish[0] - finish[1]) < 1.0
+
+    def test_write_access_holds_port_longer(self):
+        cfg = SccConfig(contention_mode=ContentionMode.BATCH)
+        chip = SccChip(cfg)
+        port = chip.mpbs[5].port
+
+        def prog(core):
+            yield from core.mpb_access(5, 10, write=True)
+
+        chip.sim.process(prog(chip.cores[0]))
+        chip.sim.run()
+        assert port.busy_time == pytest.approx(10 * cfg.t_mpb_port_write)
+
+
+class TestJitter:
+    def test_no_jitter_is_deterministic(self):
+        chip = SccChip(SccConfig(jitter=0.0))
+        assert chip.cores[0].jittered(1.0) == 1.0
+
+    def test_jitter_bounded(self):
+        chip = SccChip(SccConfig(jitter=0.1))
+        core = chip.cores[0]
+        for _ in range(100):
+            v = core.jittered(1.0)
+            assert 0.9 <= v <= 1.1
+
+    def test_jitter_reproducible_across_chips(self):
+        a = SccChip(SccConfig(jitter=0.1, seed=7))
+        b = SccChip(SccConfig(jitter=0.1, seed=7))
+        va = [a.cores[3].jittered(1.0) for _ in range(10)]
+        vb = [b.cores[3].jittered(1.0) for _ in range(10)]
+        assert va == vb
+
+    def test_jitter_differs_per_core(self):
+        chip = SccChip(SccConfig(jitter=0.1))
+        va = [chip.cores[0].jittered(1.0) for _ in range(5)]
+        vb = [chip.cores[1].jittered(1.0) for _ in range(5)]
+        assert va != vb
+
+
+class TestLinkOccupancy:
+    def test_links_walked_in_exact_mode(self):
+        cfg = SccConfig(contention_mode=ContentionMode.EXACT, model_links=True)
+        chip = SccChip(cfg)
+        run_on_core(chip, 0, lambda c: c.mpb_access(46, 4))  # (0,0) -> (5,3)
+        first_link = chip.mesh.link((0, 0), (1, 0))
+        assert first_link.total_acquisitions == 4

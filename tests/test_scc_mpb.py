@@ -1,0 +1,103 @@
+"""Tests for the message-passing buffer: storage, bounds, watchers."""
+
+import pytest
+
+from repro.scc import SccChip, SccConfig
+from repro.scc.config import CACHE_LINE
+
+
+@pytest.fixture()
+def chip():
+    return SccChip(SccConfig())
+
+
+def test_mpb_size_and_lines(chip):
+    mpb = chip.mpbs[0]
+    assert mpb.size == 8192
+    assert mpb.lines == 256
+
+
+def test_write_then_read_roundtrip(chip):
+    mpb = chip.mpbs[3]
+    payload = bytes(range(64))
+    mpb.write_bytes(128, payload)
+    assert mpb.read_bytes(128, 64) == payload
+
+
+def test_mpb_starts_zeroed(chip):
+    assert chip.mpbs[7].read_bytes(0, 8192) == bytes(8192)
+
+
+@pytest.mark.parametrize(
+    "offset,nbytes",
+    [(-1, 4), (0, 8193), (8192, 1), (8190, 4)],
+)
+def test_out_of_range_access_rejected(chip, offset, nbytes):
+    with pytest.raises(IndexError):
+        chip.mpbs[0].read_bytes(offset, nbytes)
+    with pytest.raises(IndexError):
+        chip.mpbs[0].write_bytes(offset, bytes(nbytes))
+
+
+def test_negative_length_read_rejected(chip):
+    with pytest.raises(IndexError):
+        chip.mpbs[0].read_bytes(4, -1)
+
+
+def test_watcher_fires_on_write_to_line(chip):
+    mpb = chip.mpbs[0]
+    ev = mpb.watch(64)
+    assert not ev.triggered
+    mpb.write_bytes(64, b"\x01")
+    assert ev.triggered
+
+
+def test_watcher_fires_on_any_byte_of_the_line(chip):
+    mpb = chip.mpbs[0]
+    ev = mpb.watch(64)  # line covers bytes 64..95
+    mpb.write_bytes(95, b"\x01")
+    assert ev.triggered
+
+
+def test_watcher_not_fired_by_other_lines(chip):
+    mpb = chip.mpbs[0]
+    ev = mpb.watch(64)
+    mpb.write_bytes(0, b"\x01")
+    mpb.write_bytes(96, b"\x01")
+    assert not ev.triggered
+
+
+def test_watcher_fires_on_spanning_write(chip):
+    mpb = chip.mpbs[0]
+    ev_lo = mpb.watch(32)
+    ev_hi = mpb.watch(96)
+    # Write covering lines 1..3 wakes both watchers.
+    mpb.write_bytes(40, bytes(80))
+    assert ev_lo.triggered
+    assert ev_hi.triggered
+
+
+def test_multiple_watchers_same_line_all_fire(chip):
+    mpb = chip.mpbs[0]
+    evs = [mpb.watch(0) for _ in range(3)]
+    mpb.write_bytes(0, b"z")
+    assert all(e.triggered for e in evs)
+
+
+def test_watch_offset_normalised_to_line(chip):
+    mpb = chip.mpbs[0]
+    ev = mpb.watch(70)  # inside line starting at 64
+    mpb.write_bytes(64, b"\x01")
+    assert ev.triggered
+
+
+def test_each_core_has_its_own_port(chip):
+    ports = {id(m.port) for m in chip.mpbs}
+    assert len(ports) == chip.num_cores
+
+
+def test_watchers_cleared_after_fire(chip):
+    mpb = chip.mpbs[0]
+    mpb.watch(0)
+    mpb.write_bytes(0, b"a")
+    assert (0 // CACHE_LINE) * CACHE_LINE not in mpb._watchers

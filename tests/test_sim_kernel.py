@@ -1,0 +1,341 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.sim import (
+    DeadlockError,
+    Event,
+    Simulator,
+    SimError,
+    all_of,
+    any_of,
+)
+from repro.sim.errors import Interrupted, ScheduleInPastError
+
+
+def test_timeout_advances_clock():
+    sim = Simulator()
+
+    def prog():
+        yield sim.timeout(1.5)
+        yield sim.timeout(2.5)
+        return "done"
+
+    proc = sim.process(prog())
+    sim.run()
+    assert sim.now == 4.0
+    assert proc.value == "done"
+
+
+def test_zero_delay_timeout_runs_at_current_time():
+    sim = Simulator()
+
+    def prog():
+        yield sim.timeout(0.0)
+        return sim.now
+
+    proc = sim.process(prog())
+    sim.run()
+    assert proc.value == 0.0
+
+
+def test_negative_timeout_rejected():
+    sim = Simulator()
+    with pytest.raises(ScheduleInPastError):
+        sim.timeout(-1.0)
+
+
+def test_event_value_delivery():
+    sim = Simulator()
+    ev = sim.event("data")
+
+    def producer():
+        yield sim.timeout(3.0)
+        ev.succeed(42)
+
+    def consumer():
+        value = yield ev
+        return value
+
+    sim.process(producer())
+    cons = sim.process(consumer())
+    sim.run()
+    assert cons.value == 42
+    assert sim.now == 3.0
+
+
+def test_event_cannot_trigger_twice():
+    sim = Simulator()
+    ev = sim.event()
+    ev.succeed(1)
+    with pytest.raises(SimError):
+        ev.succeed(2)
+
+
+def test_event_value_before_trigger_raises():
+    sim = Simulator()
+    ev = sim.event("pending")
+    with pytest.raises(SimError):
+        _ = ev.value
+
+
+def test_processes_wait_on_processes():
+    sim = Simulator()
+
+    def child():
+        yield sim.timeout(5.0)
+        return "child-result"
+
+    def parent():
+        proc = sim.process(child())
+        result = yield proc
+        return result
+
+    par = sim.process(parent())
+    sim.run()
+    assert par.value == "child-result"
+    assert sim.now == 5.0
+
+
+def test_same_time_events_fire_in_fifo_order():
+    sim = Simulator()
+    order = []
+
+    def prog(tag):
+        yield sim.timeout(1.0)
+        order.append(tag)
+
+    for i in range(5):
+        sim.process(prog(i))
+    sim.run()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_determinism_two_identical_runs():
+    def build():
+        sim = Simulator()
+        log = []
+
+        def prog(tag, delays):
+            for d in delays:
+                yield sim.timeout(d)
+                log.append((sim.now, tag))
+
+        sim.process(prog("a", [1.0, 2.0, 1.0]))
+        sim.process(prog("b", [2.0, 1.0, 1.0]))
+        sim.process(prog("c", [0.5, 3.5]))
+        sim.run()
+        return log
+
+    assert build() == build()
+
+
+def test_deadlock_detection_names_stuck_processes():
+    sim = Simulator()
+    ev = sim.event("never")
+
+    def stuck():
+        yield ev
+
+    sim.process(stuck(), name="stucky")
+    with pytest.raises(DeadlockError, match="stucky"):
+        sim.run()
+
+
+def test_run_until_stops_early():
+    sim = Simulator()
+    fired = []
+
+    def prog():
+        yield sim.timeout(10.0)
+        fired.append(True)
+
+    sim.process(prog())
+    sim.run(until=5.0)
+    assert sim.now == 5.0
+    assert not fired
+    sim.run()
+    assert fired and sim.now == 10.0
+
+
+def test_process_crash_propagates():
+    sim = Simulator()
+
+    def bad():
+        yield sim.timeout(1.0)
+        raise RuntimeError("boom")
+
+    sim.process(bad(), name="bad")
+    with pytest.raises(SimError, match="bad"):
+        sim.run()
+
+
+def test_failed_event_raises_in_waiter():
+    sim = Simulator()
+    ev = sim.event()
+    caught = []
+
+    def waiter():
+        try:
+            yield ev
+        except ValueError as exc:
+            caught.append(str(exc))
+
+    def failer():
+        yield sim.timeout(1.0)
+        ev.fail(ValueError("nope"))
+
+    sim.process(waiter())
+    sim.process(failer())
+    sim.run()
+    assert caught == ["nope"]
+
+
+def test_yielding_non_event_fails_the_process():
+    sim = Simulator()
+
+    def bad():
+        yield 42
+
+    sim.process(bad(), name="bad")
+    with pytest.raises(SimError):
+        sim.run()
+
+
+def test_all_of_collects_values_in_order():
+    sim = Simulator()
+    evs = [sim.event(f"e{i}") for i in range(3)]
+
+    def setter(i, delay):
+        yield sim.timeout(delay)
+        evs[i].succeed(i * 10)
+
+    def waiter():
+        values = yield all_of(sim, evs)
+        return values
+
+    # Fire out of order; results must keep input order.
+    sim.process(setter(2, 1.0))
+    sim.process(setter(0, 2.0))
+    sim.process(setter(1, 3.0))
+    w = sim.process(waiter())
+    sim.run()
+    assert w.value == [0, 10, 20]
+
+
+def test_all_of_empty_fires_immediately():
+    sim = Simulator()
+
+    def waiter():
+        values = yield all_of(sim, [])
+        return values
+
+    w = sim.process(waiter())
+    sim.run()
+    assert w.value == []
+
+
+def test_any_of_returns_first():
+    sim = Simulator()
+    evs = [sim.event(f"e{i}") for i in range(3)]
+
+    def setter(i, delay):
+        yield sim.timeout(delay)
+        if not evs[i].triggered:
+            evs[i].succeed(f"v{i}")
+
+    def waiter():
+        result = yield any_of(sim, evs)
+        return result
+
+    sim.process(setter(1, 1.0))
+    sim.process(setter(0, 2.0))
+    sim.process(setter(2, 3.0))
+    w = sim.process(waiter())
+    sim.run()
+    assert w.value == (1, "v1")
+
+
+def test_any_of_requires_events():
+    sim = Simulator()
+    with pytest.raises(SimError):
+        any_of(sim, [])
+
+
+def test_interrupt_wakes_blocked_process():
+    sim = Simulator()
+    never = sim.event()
+    caught = []
+
+    def sleeper():
+        try:
+            yield never
+        except Interrupted as exc:
+            caught.append(exc.cause)
+            yield sim.timeout(1.0)
+        return "recovered"
+
+    proc = sim.process(sleeper())
+
+    def interrupter():
+        yield sim.timeout(2.0)
+        proc.interrupt("wake-up")
+
+    sim.process(interrupter())
+    sim.run()
+    assert caught == ["wake-up"]
+    assert proc.value == "recovered"
+    assert sim.now == 3.0
+
+
+def test_interrupt_after_completion_is_noop():
+    sim = Simulator()
+
+    def quick():
+        yield sim.timeout(1.0)
+        return 7
+
+    proc = sim.process(quick())
+    sim.run()
+    proc.interrupt("late")
+    sim.run()
+    assert proc.value == 7
+
+
+def test_late_callback_on_triggered_event_runs():
+    sim = Simulator()
+    ev = sim.event()
+    ev.succeed("x")
+    got = []
+
+    def waiter():
+        value = yield ev
+        got.append(value)
+
+    sim.process(waiter())
+    sim.run()
+    assert got == ["x"]
+
+
+def test_step_executes_single_callback():
+    sim = Simulator()
+    marks = []
+
+    def prog():
+        yield sim.timeout(1.0)
+        marks.append("a")
+        yield sim.timeout(1.0)
+        marks.append("b")
+
+    sim.process(prog())
+    assert sim.step()  # start the process
+    assert sim.step()  # first timeout fires
+    assert sim.step()  # process resumes, marks "a"
+    assert marks == ["a"]
+
+
+def test_queued_events_counter():
+    sim = Simulator()
+    assert sim.queued_events == 0
+    sim.timeout(1.0)
+    assert sim.queued_events == 1

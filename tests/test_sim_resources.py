@@ -1,0 +1,202 @@
+"""Unit tests for FIFO/priority resources."""
+
+import pytest
+
+from repro.sim import Resource, Simulator, SimError
+
+
+def test_uncontended_acquire_is_immediate():
+    sim = Simulator()
+    res = Resource(sim, name="r")
+
+    def prog():
+        waited = yield res.acquire()
+        res.release()
+        return waited
+
+    p = sim.process(prog())
+    sim.run()
+    assert p.value == 0.0
+    assert sim.now == 0.0
+
+
+def test_fifo_ordering_under_contention():
+    sim = Simulator()
+    res = Resource(sim)
+    grants = []
+
+    def prog(tag):
+        yield res.acquire()
+        grants.append((tag, sim.now))
+        yield sim.timeout(1.0)
+        res.release()
+
+    for i in range(4):
+        sim.process(prog(i))
+    sim.run()
+    assert [g[0] for g in grants] == [0, 1, 2, 3]
+    assert [g[1] for g in grants] == [0.0, 1.0, 2.0, 3.0]
+
+
+def test_priority_overrides_fifo():
+    sim = Simulator()
+    res = Resource(sim)
+    grants = []
+
+    def holder():
+        yield res.acquire()
+        yield sim.timeout(1.0)
+        res.release()
+
+    def prog(tag, prio):
+        # Arrive while the holder owns the slot.
+        yield sim.timeout(0.5)
+        yield res.acquire(priority=prio)
+        grants.append(tag)
+        yield sim.timeout(0.1)
+        res.release()
+
+    sim.process(holder())
+    sim.process(prog("far", 9.0))
+    sim.process(prog("near", 1.0))
+    sim.process(prog("mid", 5.0))
+    sim.run()
+    assert grants == ["near", "mid", "far"]
+
+
+def test_equal_priority_ties_break_fifo():
+    sim = Simulator()
+    res = Resource(sim)
+    grants = []
+
+    def holder():
+        yield res.acquire()
+        yield sim.timeout(1.0)
+        res.release()
+
+    def prog(tag):
+        yield sim.timeout(0.5)
+        yield res.acquire(priority=3.0)
+        grants.append(tag)
+        res.release()
+
+    sim.process(holder())
+    for i in range(3):
+        sim.process(prog(i))
+    sim.run()
+    assert grants == [0, 1, 2]
+
+
+def test_capacity_allows_parallel_holders():
+    sim = Simulator()
+    res = Resource(sim, capacity=2)
+    active = []
+    peak = []
+
+    def prog():
+        yield res.acquire()
+        active.append(1)
+        peak.append(len(active))
+        yield sim.timeout(1.0)
+        active.pop()
+        res.release()
+
+    for _ in range(4):
+        sim.process(prog())
+    sim.run()
+    assert max(peak) == 2
+    assert sim.now == 2.0
+
+
+def test_serve_reports_wait_time():
+    sim = Simulator()
+    res = Resource(sim)
+    waits = []
+
+    def prog():
+        waited = yield from res.serve(hold=1.0)
+        waits.append(waited)
+
+    sim.process(prog())
+    sim.process(prog())
+    sim.run()
+    assert waits == [0.0, 1.0]
+    assert sim.now == 2.0
+
+
+def test_release_without_acquire_raises():
+    sim = Simulator()
+    res = Resource(sim, name="r")
+    with pytest.raises(SimError):
+        res.release()
+
+
+def test_capacity_must_be_positive():
+    sim = Simulator()
+    with pytest.raises(SimError):
+        Resource(sim, capacity=0)
+
+
+def test_utilisation_statistics():
+    sim = Simulator()
+    res = Resource(sim)
+
+    def prog():
+        yield from res.serve(hold=2.0)
+        yield sim.timeout(2.0)  # idle period
+        yield from res.serve(hold=2.0)
+
+    sim.process(prog())
+    sim.run()
+    assert sim.now == 6.0
+    assert res.utilisation() == pytest.approx(4.0 / 6.0)
+    assert res.total_acquisitions == 2
+
+
+def test_queue_length_and_in_use():
+    sim = Simulator()
+    res = Resource(sim)
+    seen = []
+
+    def holder():
+        yield res.acquire()
+        yield sim.timeout(1.0)
+        seen.append((res.in_use, res.queue_length))
+        res.release()
+
+    def waiter():
+        yield sim.timeout(0.5)
+        yield res.acquire()
+        res.release()
+
+    sim.process(holder())
+    sim.process(waiter())
+    sim.run()
+    assert seen == [(1, 1)]
+
+
+def test_serve_releases_even_if_interrupted_mid_hold():
+    sim = Simulator()
+    res = Resource(sim)
+
+    def victim():
+        yield from res.serve(hold=100.0)
+
+    proc = sim.process(victim())
+
+    def killer():
+        yield sim.timeout(1.0)
+        proc.interrupt()
+
+    def after():
+        yield sim.timeout(2.0)
+        waited = yield res.acquire()
+        res.release()
+        return waited
+
+    sim.process(killer())
+    a = sim.process(after())
+    with pytest.raises(SimError):
+        sim.run()  # the interrupt surfaces as a crash of the victim
+    sim.run()
+    assert a.value == 0.0  # slot was released by serve()'s finally
