@@ -1,0 +1,21 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test faults bench lint
+
+## Tier-1: the fast default test suite (fault campaigns deselected).
+test:
+	$(PYTHON) -m pytest -x -q
+
+## Fault-injection smoke: the marked campaign tests plus a 50-trial
+## CLI campaign comparing FT OC-Bcast against the baseline.
+faults:
+	$(PYTHON) -m pytest -q -m faults tests
+	$(PYTHON) -m repro faults --trials 50 --kinds drop_flag corrupt_flag crash --timeline
+
+## Paper tables/figures (slow; writes benchmarks/results/).
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+lint:
+	$(PYTHON) -m compileall -q src tests benchmarks

@@ -10,6 +10,8 @@ and figures on the simulated chip.
   the loaded-mesh-link probe (Section 3.3).
 - :mod:`repro.bench.paper_data` -- the numbers the paper reports, for
   side-by-side comparison.
+- :mod:`repro.bench.faultcampaign` -- seeded fault-injection campaigns
+  comparing fault-tolerant OC-Bcast against the baseline.
 - :mod:`repro.bench.reporting` -- ASCII tables/series and CSV output.
 - :mod:`repro.bench.analysis` -- trace-based pipeline timelines, overlap
   metrics and MPB-port utilisation.
@@ -25,15 +27,25 @@ from .analysis import (
     pipeline_overlap,
 )
 from .ascii_plot import ascii_chart
+from .faultcampaign import (
+    CampaignResult,
+    FaultCampaign,
+    TrialResult,
+    TrialRun,
+)
 from .harness import BcastResult, BcastSpec, run_broadcast, sweep_broadcast
 from .microbench import PutGetSample, sweep_putget
 from .contention import ContentionResult, concurrent_access, mesh_link_probe
-from .reporting import format_series, format_table, write_csv
+from .reporting import format_fault_timeline, format_series, format_table, write_csv
 
 __all__ = [
     "BcastResult",
     "BcastSpec",
+    "CampaignResult",
     "ContentionResult",
+    "FaultCampaign",
+    "TrialResult",
+    "TrialRun",
     "PutGetSample",
     "ascii_chart",
     "busiest_port",
@@ -43,6 +55,7 @@ __all__ = [
     "mpb_port_utilisation",
     "pipeline_depth",
     "pipeline_overlap",
+    "format_fault_timeline",
     "format_series",
     "format_table",
     "mesh_link_probe",

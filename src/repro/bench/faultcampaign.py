@@ -1,0 +1,402 @@
+"""Fault-injection campaigns: N seeded trials of a collective under fault.
+
+A :class:`FaultCampaign` measures what the fault-tolerant OC-Bcast mode
+buys.  It first *profiles* a fault-free run (an attached
+:class:`~repro.faults.FaultInjector` counts candidate fault sites of each
+class even with an empty plan), then draws per-trial fault coordinates
+from a seeded :class:`random.Random` -- every trial is an exact,
+replayable :class:`~repro.faults.FaultPlan`, so a campaign is reproduced
+bit-for-bit by its seed.  Each trial runs on a fresh chip with the
+kernel watchdog armed and is classified as:
+
+- ``delivered`` -- every core got the payload, no fault fired;
+- ``recovered`` -- a fault fired and every *live* core still got the
+  payload (crashed cores excepted when the plan crashes one);
+- ``deadlock``  -- the run hung until the watchdog (or the kernel's
+  deadlock detector) killed it;
+- ``timeout``   -- an FT retry budget was exhausted
+  (:class:`repro.sim.TimeoutError` escaped);
+- ``corrupt``   -- the run finished but some core holds wrong bytes;
+- ``crashed``   -- a fault crashed a core and the rest did not finish
+  cleanly either.
+
+By default the message is one chunk (96 cache lines): with OC-Bcast's
+monotonic sequence flags, a dropped flag write *mid-stream* is masked by
+the following chunk's write, so single-chunk messages are the adversarial
+case where **every** flag write is fatal to the baseline.  The campaign
+also reports the robustness tax: fault-free FT latency versus fault-free
+baseline latency on the same chip configuration.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Generator, Sequence
+
+import numpy as np
+
+from ..core import OcBcast, OcBcastConfig, PropagationTree
+from ..faults import FaultInjector, FaultKind, FaultPlan, FaultSpec
+from ..rcce import Comm
+from ..scc import SccChip, SccConfig, run_spmd
+from ..scc.config import CACHE_LINE
+from ..sim import DeadlockError, FaultInjected, SimError, Tracer, WatchdogError
+from ..sim.errors import TimeoutError as SimTimeoutError
+from ..sim.trace import TraceRecord
+
+#: Trial classifications, in reporting order.
+OUTCOMES = ("delivered", "recovered", "deadlock", "timeout", "corrupt", "crashed")
+
+#: Trace kinds that make up a fault timeline.
+TIMELINE_KINDS = (
+    "fault.injected",
+    "fault.recovered",
+    "flag_write_retry_ok",
+    "put_retry_ok",
+    "oc.ft.renotify",
+    "oc.ft.child_dead",
+)
+
+
+@dataclass(frozen=True)
+class TrialRun:
+    """One execution (FT or baseline) of one trial's fault plan."""
+
+    outcome: str
+    latency: float  # makespan in us; 0.0 when the run did not finish
+    n_injected: int
+    n_recovered: int
+    detail: str = ""
+
+    @property
+    def finished(self) -> bool:
+        return self.outcome in ("delivered", "recovered", "corrupt")
+
+
+@dataclass(frozen=True)
+class TrialResult:
+    """One seeded trial: the plan plus its FT (and baseline) runs."""
+
+    index: int
+    plan: FaultPlan
+    ft: TrialRun
+    baseline: TrialRun | None = None
+
+
+@dataclass(frozen=True)
+class CampaignResult:
+    """Aggregate outcome of a fault campaign."""
+
+    trials: tuple[TrialResult, ...]
+    ft_counts: Counter
+    baseline_counts: Counter | None
+    #: Fault-free latencies (us) of both modes -- the robustness tax.
+    base_latency: float
+    ft_latency: float
+    profile: dict[str, int]
+    nbytes: int
+    seed: int
+    #: Fault timeline of the first FT trial that saw an injection.
+    timeline: tuple[TraceRecord, ...] = ()
+
+    @property
+    def n_trials(self) -> int:
+        return len(self.trials)
+
+    @property
+    def ft_overhead_pct(self) -> float:
+        """Fault-free FT latency overhead over the baseline, in percent."""
+        if self.base_latency <= 0.0:
+            return 0.0
+        return (self.ft_latency / self.base_latency - 1.0) * 100.0
+
+    @property
+    def ft_survival_rate(self) -> float:
+        """Fraction of trials the FT mode finished with correct payloads."""
+        good = self.ft_counts["delivered"] + self.ft_counts["recovered"]
+        return good / self.n_trials if self.n_trials else 0.0
+
+    def summary(self) -> str:
+        from .reporting import format_table
+
+        headers = ["outcome", "FT"]
+        if self.baseline_counts is not None:
+            headers.append("baseline")
+        rows = []
+        for outcome in OUTCOMES:
+            row = [outcome, self.ft_counts.get(outcome, 0)]
+            if self.baseline_counts is not None:
+                row.append(self.baseline_counts.get(outcome, 0))
+            rows.append(row)
+        lines = [
+            format_table(
+                headers, rows,
+                title=f"Fault campaign: {self.n_trials} trials, seed={self.seed}, "
+                      f"{self.nbytes // CACHE_LINE} CL",
+            ),
+            "",
+            f"fault-free latency: baseline {self.base_latency:.2f} us, "
+            f"FT {self.ft_latency:.2f} us "
+            f"({self.ft_overhead_pct:+.2f}% robustness tax)",
+            f"FT survival rate: {100.0 * self.ft_survival_rate:.1f}%",
+        ]
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class FaultCampaign:
+    """A seeded campaign of fault-injection trials over OC-Bcast.
+
+    ``kinds`` cycles round-robin over the trials, so a 100-trial campaign
+    over two kinds runs 50 of each; per-trial coordinates (which nth
+    matching operation, which core, stall/pause length) come from one
+    :class:`random.Random` seeded with ``seed``.
+    """
+
+    trials: int = 100
+    seed: int = 1
+    kinds: tuple[FaultKind, ...] = (FaultKind.DROP_FLAG_WRITE,)
+    nbytes: int = 96 * CACHE_LINE
+    config: SccConfig | None = None
+    root: int = 0
+    k: int = 7
+    chunk_lines: int = 96
+    num_buffers: int = 2
+    compare_baseline: bool = True
+    #: Kernel watchdog period (us); must exceed every legitimate idle wait.
+    watchdog_interval: float = 50_000.0
+    stall_duration: float = 500.0
+    pause_duration: float = 1_000.0
+    ft_max_retries: int = 3
+
+    def __post_init__(self) -> None:
+        if self.trials < 1:
+            raise ValueError("need at least one trial")
+        if not self.kinds:
+            raise ValueError("need at least one fault kind")
+        if self.nbytes <= 0:
+            raise ValueError("nbytes must be > 0")
+
+    # -- building blocks -----------------------------------------------------
+
+    def _oc_config(self, ft: bool) -> OcBcastConfig:
+        return OcBcastConfig(
+            k=self.k,
+            chunk_lines=self.chunk_lines,
+            num_buffers=self.num_buffers,
+            ft=ft,
+            ft_max_retries=self.ft_max_retries,
+            # Acked data puts only pay off when data writes can be faulted.
+            ft_ack_data=FaultKind.DROP_DATA_WRITE in self.kinds,
+        )
+
+    def _payload(self) -> bytes:
+        rng = np.random.default_rng(self.seed)
+        return rng.integers(0, 256, size=self.nbytes, dtype=np.uint8).tobytes()
+
+    def run_one(
+        self, plan: FaultPlan, *, ft: bool, trace: bool = False
+    ) -> tuple[TrialRun, tuple[TraceRecord, ...]]:
+        """Run one broadcast under ``plan`` on a fresh chip and classify it.
+
+        Returns the classified run plus (when ``trace``) the fault-relevant
+        trace records.
+        """
+        tracer = Tracer(enabled=trace)
+        injector = FaultInjector(plan)
+        chip = SccChip(self.config, tracer=tracer, faults=injector)
+        comm = Comm(chip)
+        oc = OcBcast(comm, self._oc_config(ft))
+        payload = self._payload()
+        nbytes = self.nbytes
+        root = self.root
+
+        def program(core) -> Generator:
+            cc = comm.attach(core)
+            buf = cc.alloc(nbytes)
+            if cc.rank == root:
+                buf.write(payload)
+            try:
+                yield from oc.bcast(cc, root, buf, nbytes)
+            except FaultInjected:
+                return "crashed"
+            return buf.read() == payload
+
+        chip.sim.start_watchdog(self.watchdog_interval)
+        start = chip.now
+        outcome, latency, detail = "", 0.0, ""
+        try:
+            res = run_spmd(chip, program)
+        except SimError as exc:
+            # The kernel wraps an exception escaping a process in
+            # SimError(...) from exc; classify by the original cause.
+            cause = exc if exc.__cause__ is None else exc.__cause__
+            if isinstance(cause, WatchdogError):
+                outcome, detail = "deadlock", f"watchdog: {cause}"
+            elif isinstance(cause, DeadlockError):
+                outcome, detail = "deadlock", str(cause)
+            elif isinstance(cause, SimTimeoutError):
+                outcome, detail = "timeout", str(cause)
+            elif isinstance(cause, FaultInjected):
+                outcome, detail = "crashed", str(cause)
+            else:
+                raise
+        else:
+            latency = res.end_time - start
+            vals = list(res.values)
+            n_bad = sum(1 for v in vals if v is False)
+            n_crashed = sum(1 for v in vals if v == "crashed")
+            if n_bad:
+                outcome = "corrupt"
+                detail = f"{n_bad} core(s) hold wrong bytes"
+            elif injector.n_injected:
+                outcome = "recovered"
+                if n_crashed:
+                    detail = f"{n_crashed} core(s) crashed, survivors delivered"
+            else:
+                outcome = "delivered"
+        records = tuple(
+            r for r in tracer.records if r.kind in TIMELINE_KINDS
+        )
+        return (
+            TrialRun(
+                outcome=outcome,
+                latency=latency,
+                n_injected=injector.n_injected,
+                n_recovered=injector.n_recovered,
+                detail=detail,
+            ),
+            records,
+        )
+
+    def trial_plans(self) -> list[FaultPlan]:
+        """The campaign's per-trial fault plans -- a pure function of the
+        seed and the profiled fault-free run, so two calls agree exactly."""
+        profile = self.profile_sites()
+        rng = random.Random(self.seed)
+        size = (self.config or SccConfig()).num_cores
+        tree = PropagationTree(size, self.k, self.root)
+        leaves = [
+            r for r in range(size)
+            if r != self.root and not tree.children_of(r)
+        ]
+        non_root = [r for r in range(size) if r != self.root]
+        plans: list[FaultPlan] = []
+        for i in range(self.trials):
+            kind = self.kinds[i % len(self.kinds)]
+            if kind in (FaultKind.DROP_FLAG_WRITE, FaultKind.CORRUPT_FLAG_WRITE):
+                n = profile.get("flag_write", 0)
+                spec = FaultSpec(kind, nth=rng.randint(1, max(1, n)))
+            elif kind is FaultKind.DROP_DATA_WRITE:
+                n = profile.get("data_write", 0)
+                spec = FaultSpec(kind, nth=rng.randint(1, max(1, n)))
+            elif kind is FaultKind.LINK_STALL:
+                n = profile.get("mpb_access", 0)
+                spec = FaultSpec(
+                    kind,
+                    nth=rng.randint(1, max(1, n)),
+                    duration=self.stall_duration,
+                )
+            elif kind is FaultKind.CORE_PAUSE:
+                core = rng.choice(non_root)
+                n = profile.get(f"core_op@core{core}", 0)
+                spec = FaultSpec(
+                    kind,
+                    core=core,
+                    nth=rng.randint(1, max(1, n)),
+                    duration=self.pause_duration,
+                )
+            else:  # CORE_CRASH: crash a leaf so live cores can still deliver
+                core = rng.choice(leaves)
+                n = profile.get(f"core_op@core{core}", 0)
+                spec = FaultSpec(kind, core=core, nth=rng.randint(1, max(1, n)))
+            plans.append(FaultPlan((spec,), label=f"trial{i}:{kind.value}"))
+        return plans
+
+    def profile_sites(self) -> dict[str, int]:
+        """Count candidate fault sites with a fault-free baseline run."""
+        injector = FaultInjector(FaultPlan())
+        chip = SccChip(self.config, faults=injector)
+        self._bcast_once(chip, ft=False)
+        return injector.profile()
+
+    def _bcast_once(self, chip: SccChip, *, ft: bool) -> float:
+        comm = Comm(chip)
+        oc = OcBcast(comm, self._oc_config(ft))
+        payload = self._payload()
+        nbytes, root = self.nbytes, self.root
+
+        def program(core) -> Generator:
+            cc = comm.attach(core)
+            buf = cc.alloc(nbytes)
+            if cc.rank == root:
+                buf.write(payload)
+            yield from oc.bcast(cc, root, buf, nbytes)
+            if cc.rank != root and buf.read() != payload:
+                raise AssertionError(f"rank {cc.rank}: fault-free run corrupt")
+            return None
+
+        start = chip.now
+        res = run_spmd(chip, program)
+        return res.end_time - start
+
+    # -- the campaign --------------------------------------------------------
+
+    def run(self) -> CampaignResult:
+        """Profile, then run every trial (FT first, baseline if enabled)."""
+        profile = self.profile_sites()
+        base_latency = self._bcast_once(SccChip(self.config), ft=False)
+        ft_latency = self._bcast_once(SccChip(self.config), ft=True)
+
+        trials: list[TrialResult] = []
+        ft_counts: Counter = Counter()
+        baseline_counts: Counter | None = Counter() if self.compare_baseline else None
+        timeline: tuple[TraceRecord, ...] = ()
+        for i, plan in enumerate(self.trial_plans()):
+            want_trace = not timeline
+            ft_run, records = self.run_one(plan, ft=True, trace=want_trace)
+            if want_trace and ft_run.n_injected:
+                timeline = records
+            ft_counts[ft_run.outcome] += 1
+            base_run = None
+            if self.compare_baseline:
+                base_run, _ = self.run_one(plan, ft=False)
+                baseline_counts[base_run.outcome] += 1
+            trials.append(
+                TrialResult(index=i, plan=plan, ft=ft_run, baseline=base_run)
+            )
+        return CampaignResult(
+            trials=tuple(trials),
+            ft_counts=ft_counts,
+            baseline_counts=baseline_counts,
+            base_latency=base_latency,
+            ft_latency=ft_latency,
+            profile=profile,
+            nbytes=self.nbytes,
+            seed=self.seed,
+            timeline=timeline,
+        )
+
+
+def parse_kinds(names: Sequence[str]) -> tuple[FaultKind, ...]:
+    """Map CLI names (``drop_flag``, ``corrupt_flag``, ``drop_data``,
+    ``stall``, ``pause``, ``crash``) to :class:`FaultKind`."""
+    alias = {
+        "drop_flag": FaultKind.DROP_FLAG_WRITE,
+        "corrupt_flag": FaultKind.CORRUPT_FLAG_WRITE,
+        "drop_data": FaultKind.DROP_DATA_WRITE,
+        "stall": FaultKind.LINK_STALL,
+        "pause": FaultKind.CORE_PAUSE,
+        "crash": FaultKind.CORE_CRASH,
+    }
+    kinds = []
+    for name in names:
+        try:
+            kinds.append(alias[name])
+        except KeyError:
+            raise ValueError(
+                f"unknown fault kind {name!r}; choose from {sorted(alias)}"
+            ) from None
+    return tuple(kinds)

@@ -55,6 +55,30 @@ def format_series(
     return format_table(headers, rows, title=title, float_fmt=float_fmt)
 
 
+def format_fault_timeline(
+    records: Iterable[Any],
+    title: str | None = "Fault timeline",
+) -> str:
+    """Render fault/recovery trace records as an aligned timeline.
+
+    Accepts :class:`repro.sim.trace.TraceRecord` objects (typically the
+    ``timeline`` of a :class:`repro.bench.faultcampaign.CampaignResult`,
+    or a tracer filtered to ``fault.*`` / retry / ``oc.ft.*`` kinds).
+    """
+    rows = [
+        [
+            f"{r.time:.4f}",
+            r.source,
+            r.kind,
+            " ".join(f"{k}={v}" for k, v in r.detail.items()),
+        ]
+        for r in records
+    ]
+    if not rows:
+        return "(no fault events)"
+    return format_table(["t (us)", "source", "event", "detail"], rows, title=title)
+
+
 def write_csv(
     path: str,
     headers: Sequence[str],

@@ -8,6 +8,7 @@ Examples::
     python -m repro sweep --algos oc:7 scatter_allgather \\
         --sizes 16 96 1024 4096 --throughput --chart
     python -m repro contention --op get --lines 128
+    python -m repro faults --trials 50 --kinds drop_flag crash --timeline
     python -m repro fit
     python -m repro model --what table2
 
@@ -23,12 +24,15 @@ from typing import Sequence
 
 from .bench import (
     BcastSpec,
+    FaultCampaign,
+    format_fault_timeline,
     format_series,
     format_table,
     run_broadcast,
     sweep_broadcast,
     sweep_putget,
 )
+from .bench.faultcampaign import parse_kinds
 from .bench.ascii_plot import ascii_chart
 from .bench.contention import contention_sweep
 from .model import TABLE_1, broadcast as model_bcast, fitting
@@ -140,6 +144,29 @@ def cmd_contention(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_faults(args: argparse.Namespace) -> int:
+    try:
+        campaign = FaultCampaign(
+            trials=args.trials,
+            seed=args.seed,
+            kinds=parse_kinds(args.kinds),
+            nbytes=args.cache_lines * CACHE_LINE,
+            config=_config(args),
+            compare_baseline=not args.no_baseline,
+        )
+    except ValueError as exc:
+        print(f"ERROR: {exc}", file=sys.stderr)
+        return 2
+    result = campaign.run()
+    print(result.summary())
+    if args.timeline:
+        print()
+        print(format_fault_timeline(result.timeline))
+    # A campaign "fails" only if the FT mode lost a trial it should win.
+    lost = result.ft_counts["deadlock"] + result.ft_counts["corrupt"]
+    return 1 if lost else 0
+
+
 def cmd_fit(args: argparse.Namespace) -> int:
     obs = sweep_putget(_config(args), iters=args.iters)
     result = fitting.fit(obs)
@@ -228,6 +255,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--iters", type=int, default=10)
     _add_mesh_args(p)
     p.set_defaults(fn=cmd_contention)
+
+    p = sub.add_parser(
+        "faults", help="seeded fault-injection campaign (FT vs baseline)"
+    )
+    p.add_argument("--trials", type=int, default=50)
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument(
+        "--kinds", nargs="+", default=["drop_flag"],
+        help="fault kinds: drop_flag corrupt_flag drop_data stall pause crash",
+    )
+    p.add_argument("--cache-lines", type=int, default=96,
+                   help="message size (96 = one chunk, every flag write fatal)")
+    p.add_argument("--no-baseline", action="store_true",
+                   help="skip the (slow, deadlock-prone) baseline runs")
+    p.add_argument("--timeline", action="store_true",
+                   help="print the fault timeline of the first faulty trial")
+    _add_mesh_args(p)
+    p.set_defaults(fn=cmd_faults)
 
     p = sub.add_parser("fit", help="recover Table 1 from simulated sweeps")
     p.add_argument("--iters", type=int, default=3)

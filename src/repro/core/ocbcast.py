@@ -37,6 +37,34 @@ Options beyond the paper's defaults (all ablation subjects):
 the notification-tree arity; ``leaf_direct_to_memory`` applies the
 Section 5.4 leaf optimisation; ``NotifyMode.INTERRUPT`` models the
 Section 7 interrupt-driven notification (no polling detection delay).
+
+Fault-tolerant mode (``ft=True``)
+---------------------------------
+The paper's protocol assumes every MPB store lands and every core stays
+alive; one lost flag write deadlocks the whole SPMD program.  FT mode
+(see ``docs/FAULTS.md``) hardens every mechanism:
+
+- all flag writes are *acked* (readback-verified, bounded re-send --
+  :func:`repro.rcce.flags.flag_write_acked`), so dropped or corrupted
+  notifications are re-sent by the writer;
+- all doneFlag waits carry a poll budget (``ft_flag_timeout``); on
+  expiry the parent re-notifies the lagging children directly, and after
+  ``ft_max_retries`` budgets it declares them crashed and *routes around
+  them* (their doneFlags are dropped from every later wait, and
+  notification falls back from the relay tree to direct parent fan-out,
+  which does not depend on dead siblings relaying);
+- a child's notify wait carries a generous ``ft_notify_timeout`` so a
+  dead parent yields a diagnosable :class:`repro.sim.TimeoutError`
+  rather than an infinite spin;
+- optionally (``ft_ack_data=True``) the data path is verified too: the
+  root's chunk staging uses acked puts that re-send un-acked cache
+  lines, and every node's chunk fetch into its own MPB uses verified
+  gets that re-fetch on a lost deposit.
+
+With no faults injected the FT path costs only the acked-write readbacks
+(one extra 1-line MPB read per flag write), keeping its latency within a
+few percent of the baseline -- the "robustness tax" that
+``repro.bench.faultcampaign`` quantifies.
 """
 
 from __future__ import annotations
@@ -48,6 +76,7 @@ from typing import TYPE_CHECKING, Generator, Sequence
 from ..rcce.flags import Flag, FlagValue
 from ..scc.config import CACHE_LINE
 from ..scc.memory import MemRef
+from ..sim.errors import TimeoutError as SimTimeoutError
 from .trees import NotificationTree, PropagationTree
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -79,6 +108,19 @@ class OcBcastConfig:
     notify_mode: NotifyMode = NotifyMode.FLAGS
     #: Interrupt-handler cost (microseconds) in INTERRUPT mode.
     irq_handler: float = 0.1
+    #: Fault-tolerant mode: acked flag writes, poll budgets, re-notify
+    #: retries and crashed-leaf routing (see the module docstring).
+    ft: bool = False
+    #: Poll budget (us) for doneFlag waits before suspecting a child.
+    ft_flag_timeout: float = 300.0
+    #: Poll budget (us) for a child's notify wait (generous: firing means
+    #: the parent itself is gone, which FT mode does not mask).
+    ft_notify_timeout: float = 10_000.0
+    #: Re-send / re-notify attempts before declaring a peer crashed.
+    ft_max_retries: int = 3
+    #: Also ack the root's chunk-staging puts (re-send un-acked cache
+    #: lines).  Off by default: it doubles staging MPB traffic.
+    ft_ack_data: bool = False
 
     def __post_init__(self) -> None:
         if self.k < 1:
@@ -91,6 +133,10 @@ class OcBcastConfig:
             raise ValueError("notify_degree must be >= 1")
         if self.irq_handler < 0:
             raise ValueError("irq_handler must be >= 0")
+        if self.ft_flag_timeout <= 0 or self.ft_notify_timeout <= 0:
+            raise ValueError("FT timeouts must be > 0")
+        if self.ft_max_retries < 0:
+            raise ValueError("ft_max_retries must be >= 0")
 
     @property
     def chunk_bytes(self) -> int:
@@ -184,6 +230,7 @@ class OcBcast:
         cfg = self.config
         family = NotificationTree(len(children), cfg.notify_degree)
         done = self.done_flags[: len(children)]
+        dead: set[int] = set()
         for idx in range(nchunks):
             seq = base + idx + 1
             b = idx % cfg.num_buffers
@@ -193,16 +240,19 @@ class OcBcast:
             # occupant (chunk idx - num_buffers).
             if children and idx >= cfg.num_buffers:
                 floor = base + idx - cfg.num_buffers + 1
-                yield from cc.wait_flags(
-                    done, lambda vs, f=floor: all(v.seq >= f for v in vs)
+                yield from self._wait_done(
+                    cc, children, done, floor, dead, last_seq=base + idx
                 )
-            yield from cc.put(cc.rank, self.buffers[b].offset, buf.sub(off, span), span)
+            yield from self._stage(
+                cc, self.buffers[b].offset, buf.sub(off, span), span
+            )
             cc.chip.trace(f"rank{cc.rank}", "oc.chunk_staged", idx=idx, seq=seq)
-            yield from self._notify(cc, tree, family, children, slot=0, seq=seq)
+            yield from self._notify(cc, tree, family, children, slot=0, seq=seq,
+                                    dead=dead)
         if children:
             final = base + nchunks
-            yield from cc.wait_flags(
-                done, lambda vs, f=final: all(v.seq >= f for v in vs)
+            yield from self._wait_done(
+                cc, children, done, final, dead, last_seq=final
             )
 
     # -- intermediate nodes and leaves -------------------------------------
@@ -227,6 +277,7 @@ class OcBcast:
         done = self.done_flags[: len(children)]
         my_done_flag = self.done_flags[tree.child_index(cc.rank)]
         leaf_direct = cfg.leaf_direct_to_memory and not children
+        dead: set[int] = set()
 
         for idx in range(nchunks):
             seq = base + idx + 1
@@ -239,25 +290,30 @@ class OcBcast:
             # Recycle own buffer b (not needed by leaves).
             if children and idx >= cfg.num_buffers:
                 floor = base + idx - cfg.num_buffers + 1
-                yield from cc.wait_flags(
-                    done, lambda vs, f=floor: all(v.seq >= f for v in vs)
+                yield from self._wait_done(
+                    cc, children, done, floor, dead, last_seq=base + idx
                 )
             if leaf_direct:
                 # Section 5.4: a leaf copies straight to off-chip memory.
                 yield from cc.get(
                     parent, self.buffers[b].offset, buf.sub(off, span), span
                 )
-                yield from cc.flag_set(parent, my_done_flag, FlagValue(cc.rank, seq))
+                yield from self._set_flag(
+                    cc, parent, my_done_flag, FlagValue(cc.rank, seq)
+                )
             else:
                 # (ii) parent's MPB buffer -> own MPB buffer (same offset:
                 # the layout is symmetric).
-                yield from cc.get(
-                    parent, self.buffers[b].offset, self.buffers[b].offset, span
+                yield from self._fetch(
+                    cc, parent, self.buffers[b].offset, self.buffers[b].offset, span
                 )
                 # (iii) tell the parent this chunk is consumed.
-                yield from cc.flag_set(parent, my_done_flag, FlagValue(cc.rank, seq))
+                yield from self._set_flag(
+                    cc, parent, my_done_flag, FlagValue(cc.rank, seq)
+                )
                 # (iv) notify own children.
-                yield from self._notify(cc, tree, my_family, children, slot=0, seq=seq)
+                yield from self._notify(cc, tree, my_family, children, slot=0,
+                                        seq=seq, dead=dead)
                 # (v) own MPB -> private off-chip memory.
                 yield from cc.get(
                     cc.rank, self.buffers[b].offset, buf.sub(off, span), span
@@ -265,9 +321,110 @@ class OcBcast:
             cc.chip.trace(f"rank{cc.rank}", "oc.chunk_done", idx=idx, seq=seq)
         if children:
             final = base + nchunks
-            yield from cc.wait_flags(
-                done, lambda vs, f=final: all(v.seq >= f for v in vs)
+            yield from self._wait_done(
+                cc, children, done, final, dead, last_seq=final
             )
+
+    # -- FT primitives -------------------------------------------------------
+
+    def _set_flag(
+        self, cc: "CoreComm", owner_rank: int, flag: Flag, value: FlagValue
+    ) -> Generator:
+        """One protocol flag write: plain in the paper's mode, acked
+        (readback-verified, bounded re-send) in FT mode."""
+        if self.config.ft:
+            yield from cc.flag_set_acked(
+                owner_rank, flag, value, max_retries=self.config.ft_max_retries
+            )
+        else:
+            yield from cc.flag_set(owner_rank, flag, value)
+
+    def _stage(
+        self, cc: "CoreComm", offset: int, src: MemRef, span: int
+    ) -> Generator:
+        """The root's chunk-staging put (acked when ``ft_ack_data``)."""
+        if self.config.ft and self.config.ft_ack_data:
+            yield from cc.put_acked(
+                cc.rank, offset, src, span, max_retries=self.config.ft_max_retries
+            )
+        else:
+            yield from cc.put(cc.rank, offset, src, span)
+
+    def _fetch(
+        self, cc: "CoreComm", parent: int, src_off: int, dst_off: int, span: int
+    ) -> Generator:
+        """The step-(ii) chunk fetch into own MPB -- the deposit is an
+        unacknowledged local write, so it is verified when data acks are
+        on.  (Step (v) writes private memory, which cannot be faulted.)"""
+        if self.config.ft and self.config.ft_ack_data:
+            yield from cc.get_acked(
+                parent, src_off, dst_off, span,
+                max_retries=self.config.ft_max_retries,
+            )
+        else:
+            yield from cc.get(parent, src_off, dst_off, span)
+
+    def _wait_done(
+        self,
+        cc: "CoreComm",
+        children: list[int],
+        done: list[Flag],
+        floor: int,
+        dead: set[int],
+        last_seq: int,
+    ) -> Generator:
+        """Wait until every *live* child's doneFlag reaches ``floor``.
+
+        In FT mode each wait carries a poll budget; on expiry the parent
+        re-notifies the lagging children directly (with ``last_seq``, the
+        highest notification already issued -- flags are monotonic, so
+        this can never advance a child prematurely) and, once
+        ``ft_max_retries`` budgets have expired, declares the remaining
+        laggards crashed and stops waiting on them for good.
+        """
+        cfg = self.config
+        if not cfg.ft:
+            yield from cc.wait_flags(
+                done, lambda vs, f=floor: all(v.seq >= f for v in vs)
+            )
+            return
+        retries = 0
+        while True:
+            live = [i for i in range(len(children)) if children[i] not in dead]
+            if not live:
+                return
+            flags = [done[i] for i in live]
+            try:
+                yield from cc.wait_flags(
+                    flags,
+                    lambda vs, f=floor: all(v.seq >= f for v in vs),
+                    timeout=cfg.ft_flag_timeout,
+                    site="oc.done",
+                )
+                return
+            except SimTimeoutError:
+                lag = [
+                    i for i in live
+                    if done[i].peek(cc.chip, cc.core.id).seq < floor
+                ]
+                if retries >= cfg.ft_max_retries:
+                    for i in lag:
+                        dead.add(children[i])
+                        cc.chip.trace(
+                            f"rank{cc.rank}", "oc.ft.child_dead",
+                            child=children[i], floor=floor,
+                        )
+                    continue  # re-check: the others may already be done
+                retries += 1
+                for i in lag:
+                    cc.chip.trace(
+                        f"rank{cc.rank}", "oc.ft.renotify",
+                        child=children[i], seq=last_seq,
+                    )
+                    yield from cc.flag_set_acked(
+                        children[i], self.notify, FlagValue(0, last_seq),
+                        max_retries=cfg.ft_max_retries,
+                    )
 
     # -- notification helpers -----------------------------------------------
 
@@ -279,19 +436,41 @@ class OcBcast:
         family_children: list[int],
         slot: int,
         seq: int,
+        dead: frozenset[int] | set[int] = frozenset(),
     ) -> Generator:
         """Set the notifyFlag of this core's notification children within
-        ``family`` (slot 0 = family parent, slots 1.. = children)."""
+        ``family`` (slot 0 = family parent, slots 1.. = children).
+
+        Once any child is suspected dead (FT mode), the family parent
+        falls back from the relay tree to direct fan-out over the live
+        children: the relay tree depends on every sibling forwarding, a
+        property dead cores no longer have.
+        """
+        if dead and slot == 0:
+            for target_rank in family_children:
+                if target_rank in dead:
+                    continue
+                yield from self._set_flag(
+                    cc, target_rank, self.notify, FlagValue(0, seq)
+                )
+            return
         for target_slot in family.notify_targets(slot):
             target_rank = family_children[target_slot - 1]
-            yield from cc.flag_set(target_rank, self.notify, FlagValue(0, seq))
+            if target_rank in dead:
+                continue
+            yield from self._set_flag(cc, target_rank, self.notify, FlagValue(0, seq))
 
     def _wait_notify(self, cc: "CoreComm", seq: int) -> Generator:
+        timeout = self.config.ft_notify_timeout if self.config.ft else None
         if self.config.notify_mode is NotifyMode.INTERRUPT:
             # Event-driven wake-up plus a fixed handler cost: no sweep.
             yield from cc.wait_flags(
-                [self.notify], lambda v: v[0].seq >= seq, sweep_flags=0
+                [self.notify], lambda v: v[0].seq >= seq, sweep_flags=0,
+                timeout=timeout, site="oc.notify",
             )
             yield cc.core.compute(self.config.irq_handler)
         else:
-            yield from cc.wait_flags([self.notify], lambda v, s=seq: v[0].seq >= s)
+            yield from cc.wait_flags(
+                [self.notify], lambda v, s=seq: v[0].seq >= s,
+                timeout=timeout, site="oc.notify",
+            )

@@ -1,0 +1,210 @@
+"""The fault injector: deterministic hooks into the chip models.
+
+A :class:`FaultInjector` is attached to a chip at construction time
+(``SccChip(config, faults=FaultInjector(plan))``) and consulted from the
+narrow waist of each hardware model:
+
+- :meth:`filter_mpb_write` -- from :meth:`repro.scc.mpb.Mpb.write_bytes`,
+  for every *protocol* write (flag or data; raw initialisation writes are
+  never faulted).  May drop or corrupt the write.
+- :meth:`link_stall` -- from :meth:`repro.scc.mesh.Mesh.fault_stall`, on
+  every MPB transaction; returns extra mesh delay.
+- :meth:`core_op` -- from the timed primitives of
+  :class:`repro.scc.core.Core`; returns extra pause delay or raises
+  :class:`repro.sim.FaultInjected` once the core has been crashed.
+
+The injector holds no RNG: plans are decided before the run, occurrence
+counters advance deterministically, so two runs with the same plan are
+byte-identical.  Counters are maintained even with an empty plan, which
+is how campaigns *profile* a run to learn how many candidate fault sites
+of each class exist.
+
+Every injected fault and every recovery reported by a fault-tolerant
+protocol layer is (a) recorded on the injector and (b) emitted through
+the chip tracer (kinds ``fault.injected`` / ``fault.recovered``), so
+fault timelines can be rendered next to latency results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from ..sim.errors import FaultInjected
+from .plan import FaultKind, FaultPlan, FaultSpec
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..scc.chip import SccChip
+
+#: Actions :meth:`filter_mpb_write` can take.
+DELIVER, DROP, CORRUPT = "deliver", "drop", "corrupt"
+
+
+@dataclass(frozen=True)
+class InjectionRecord:
+    """One fault that actually fired."""
+
+    time: float
+    spec: FaultSpec
+    site: str  # concrete location, e.g. "mpb12@4064" or "core7"
+
+    def __str__(self) -> str:
+        return f"[{self.time:12.4f}] {self.spec.kind.value} at {self.site}"
+
+
+@dataclass(frozen=True)
+class RecoveryRecord:
+    """One recovery action reported by an FT protocol layer."""
+
+    time: float
+    site: str
+    note: str = ""
+
+    def __str__(self) -> str:
+        return f"[{self.time:12.4f}] recovered {self.site} {self.note}".rstrip()
+
+
+@dataclass
+class _Armed:
+    """A plan spec plus its fired flag (specs fire at most once)."""
+
+    spec: FaultSpec
+    fired: bool = field(default=False)
+
+
+class FaultInjector:
+    """Deterministic fault injection for one chip."""
+
+    def __init__(self, plan: FaultPlan | None = None) -> None:
+        self.plan = plan if plan is not None else FaultPlan()
+        self.chip: "SccChip | None" = None
+        #: Occurrence counts: global per category, and per (category, core).
+        self.counts: dict[str, int] = {}
+        self.injected: list[InjectionRecord] = []
+        self.recoveries: list[RecoveryRecord] = []
+        self._dead: set[int] = set()
+        self._armed: dict[str, list[_Armed]] = {}
+        for spec in self.plan:
+            self._armed.setdefault(spec.category, []).append(_Armed(spec))
+
+    # -- wiring ------------------------------------------------------------
+
+    def attach(self, chip: "SccChip") -> None:
+        """Hook this injector into every model of ``chip``."""
+        self.chip = chip
+        chip.faults = self
+        for mpb in chip.mpbs:
+            mpb.injector = self
+        chip.mesh.injector = self
+
+    # -- bookkeeping --------------------------------------------------------
+
+    def _bump(self, category: str, core: int | None) -> tuple[int, int]:
+        """Advance the global and per-core counters; returns both counts."""
+        g = self.counts.get(category, 0) + 1
+        self.counts[category] = g
+        if core is None:
+            return g, 0
+        key = f"{category}@core{core}"
+        c = self.counts.get(key, 0) + 1
+        self.counts[key] = c
+        return g, c
+
+    def _match(
+        self, category: str, core: int | None, n_global: int, n_core: int
+    ) -> FaultSpec | None:
+        """The first unfired plan spec matching this occurrence, if any."""
+        for armed in self._armed.get(category, ()):
+            if armed.fired:
+                continue
+            spec = armed.spec
+            if spec.core is None:
+                if spec.nth == n_global:
+                    armed.fired = True
+                    return spec
+            elif spec.core == core and spec.nth == n_core:
+                armed.fired = True
+                return spec
+        return None
+
+    def _record(self, spec: FaultSpec, site: str) -> None:
+        now = self.chip.sim.now if self.chip is not None else 0.0
+        self.injected.append(InjectionRecord(now, spec, site))
+        if self.chip is not None:
+            self.chip.trace(
+                "faults", "fault.injected",
+                fault=spec.kind.value, site=site, nth=spec.nth,
+            )
+
+    def note_recovery(self, site: str, note: str = "") -> None:
+        """Called by FT protocol layers when a fault was masked (a retried
+        flag write landed, a lagging child was re-notified, ...)."""
+        now = self.chip.sim.now if self.chip is not None else 0.0
+        self.recoveries.append(RecoveryRecord(now, site, note))
+        if self.chip is not None:
+            self.chip.trace("faults", "fault.recovered", site=site, note=note)
+
+    # -- hooks (called by the chip models) -----------------------------------
+
+    def filter_mpb_write(
+        self, *, owner: int, offset: int, nbytes: int, source: int, op: str
+    ) -> str:
+        """Decide the fate of one protocol MPB write.  ``op`` is ``"flag"``
+        or ``"data"``; returns one of DELIVER / DROP / CORRUPT."""
+        category = "flag_write" if op == "flag" else "data_write"
+        n_global, n_core = self._bump(category, owner)
+        spec = self._match(category, owner, n_global, n_core)
+        if spec is None:
+            return DELIVER
+        self._record(spec, f"mpb{owner}@{offset} (from core{source})")
+        return CORRUPT if spec.kind is FaultKind.CORRUPT_FLAG_WRITE else DROP
+
+    def link_stall(self, src_core: int, dst_core: int) -> float:
+        """Extra mesh delay for one MPB transaction of ``src_core``."""
+        n_global, n_core = self._bump("mpb_access", src_core)
+        spec = self._match("mpb_access", src_core, n_global, n_core)
+        if spec is None:
+            return 0.0
+        self._record(spec, f"core{src_core}->core{dst_core}")
+        return spec.duration
+
+    def core_op(self, core_id: int) -> float:
+        """Called at every timed core primitive.  Returns extra pause
+        delay; raises :class:`FaultInjected` if the core is (now) dead."""
+        if core_id in self._dead:
+            self._raise_dead(core_id)
+        n_global, n_core = self._bump("core_op", core_id)
+        spec = self._match("core_op", core_id, n_global, n_core)
+        if spec is None:
+            return 0.0
+        self._record(spec, f"core{core_id}")
+        if spec.kind is FaultKind.CORE_CRASH:
+            self._dead.add(core_id)
+            self._raise_dead(core_id)
+        return spec.duration
+
+    def is_dead(self, core_id: int) -> bool:
+        return core_id in self._dead
+
+    def _raise_dead(self, core_id: int) -> None:
+        now = self.chip.sim.now if self.chip is not None else 0.0
+        raise FaultInjected(
+            f"core {core_id} crashed by fault plan at t={now:.4f}",
+            kind=FaultKind.CORE_CRASH.value,
+            site=f"core{core_id}",
+            sim_time=now,
+        )
+
+    # -- reporting -----------------------------------------------------------
+
+    @property
+    def n_injected(self) -> int:
+        return len(self.injected)
+
+    @property
+    def n_recovered(self) -> int:
+        return len(self.recoveries)
+
+    def profile(self) -> dict[str, int]:
+        """A copy of the occurrence counters (for campaign site sampling)."""
+        return dict(self.counts)

@@ -1,0 +1,126 @@
+"""Fault plans: *what* to inject, *where*, and *when*.
+
+A :class:`FaultPlan` is a static, fully deterministic description of the
+faults one simulation run will experience.  There is no randomness at
+injection time -- campaigns (:mod:`repro.bench.faultcampaign`) draw plans
+from a seeded RNG *before* the run, so the simulator's determinism
+contract (same inputs, same event order) extends verbatim to faulted
+runs: same seed + same plan => byte-identical trace.
+
+Faults are addressed by *occurrence counting*: "the 3rd protocol flag
+write whose destination is core 12", "the 40th timed operation of
+core 7".  Occurrence counts are stable across runs (determinism again),
+which makes them a precise, replayable coordinate system for fault
+sites -- the same scheme hardware fault-injection rigs use with
+instruction counts.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class FaultKind(enum.Enum):
+    """The fault classes the injector understands.
+
+    The write faults model the SCC's unacknowledged MPB stores (a remote
+    write is fire-and-forget; nothing tells the sender it was lost); the
+    stall/pause/crash faults model mesh congestion transients, cores held
+    in an SMM handler, and cores dying outright.
+    """
+
+    #: Silently discard one protocol flag write (the receiving MPB line is
+    #: never updated and no poll watcher wakes -- a lost notification).
+    DROP_FLAG_WRITE = "drop_flag_write"
+    #: Deliver one protocol flag write with its bytes inverted.
+    CORRUPT_FLAG_WRITE = "corrupt_flag_write"
+    #: Silently discard one payload (data) MPB write.
+    DROP_DATA_WRITE = "drop_data_write"
+    #: Delay one MPB transaction by ``duration`` (a transient mesh-link
+    #: stall on the access path).
+    LINK_STALL = "link_stall"
+    #: Freeze a core for ``duration`` at its nth timed operation.
+    CORE_PAUSE = "core_pause"
+    #: Kill a core at its nth timed operation; every later operation of
+    #: that core raises :class:`repro.sim.FaultInjected`.
+    CORE_CRASH = "core_crash"
+
+
+#: Counter category each kind matches against (see :class:`FaultInjector`).
+CATEGORY_OF = {
+    FaultKind.DROP_FLAG_WRITE: "flag_write",
+    FaultKind.CORRUPT_FLAG_WRITE: "flag_write",
+    FaultKind.DROP_DATA_WRITE: "data_write",
+    FaultKind.LINK_STALL: "mpb_access",
+    FaultKind.CORE_PAUSE: "core_op",
+    FaultKind.CORE_CRASH: "core_op",
+}
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault to inject.
+
+    ``nth`` is the 1-based occurrence of the matching operation at which
+    the fault fires (each spec fires at most once).  ``core`` narrows the
+    match: for write faults it is the *destination* (MPB owner) core, for
+    stalls the *accessing* core, for pause/crash the victim core; ``None``
+    matches any core and counts occurrences globally.
+    """
+
+    kind: FaultKind
+    nth: int = 1
+    core: int | None = None
+    #: Stall/pause length in microseconds (stall and pause kinds only).
+    duration: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.nth < 1:
+            raise ValueError(f"nth must be >= 1, got {self.nth}")
+        if self.duration < 0:
+            raise ValueError(f"duration must be >= 0, got {self.duration}")
+        needs_duration = self.kind in (FaultKind.LINK_STALL, FaultKind.CORE_PAUSE)
+        if needs_duration and self.duration == 0.0:
+            raise ValueError(f"{self.kind.value} needs a positive duration")
+        if self.kind in (FaultKind.CORE_PAUSE, FaultKind.CORE_CRASH) and self.core is None:
+            raise ValueError(f"{self.kind.value} needs an explicit victim core")
+
+    @property
+    def category(self) -> str:
+        return CATEGORY_OF[self.kind]
+
+    @property
+    def site(self) -> str:
+        where = "*" if self.core is None else f"core{self.core}"
+        return f"{self.kind.value}@{where}#{self.nth}"
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable set of faults for one run."""
+
+    specs: tuple[FaultSpec, ...] = ()
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "specs", tuple(self.specs))
+
+    def __iter__(self):
+        return iter(self.specs)
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def __bool__(self) -> bool:
+        return bool(self.specs)
+
+    def describe(self) -> str:
+        if not self.specs:
+            return self.label or "no faults"
+        body = ", ".join(s.site for s in self.specs)
+        return f"{self.label}: {body}" if self.label else body
+
+
+#: Convenience: the empty plan (used for profiling / fault-free runs).
+NO_FAULTS = FaultPlan()

@@ -16,10 +16,11 @@ all operations with ``yield from``.
 """
 
 from .comm import Comm, CoreComm
-from .flags import Flag, FlagSlotArray, FlagValue
+from .flags import Flag, FlagSlotArray, FlagValue, flag_write_acked
 from .ircce import IrcceState, pipelined_recv, pipelined_send
 from .nonblocking import Request, irecv, isend, wait_all
 from .layout import MpbLayout, MpbRegion
+from .onesided import get_acked, put_acked
 
 __all__ = [
     "Comm",
@@ -27,6 +28,9 @@ __all__ = [
     "Flag",
     "FlagSlotArray",
     "FlagValue",
+    "flag_write_acked",
+    "get_acked",
+    "put_acked",
     "IrcceState",
     "MpbLayout",
     "MpbRegion",

@@ -15,7 +15,14 @@ from typing import TYPE_CHECKING, Callable, Generator, Sequence
 
 from ..scc.chip import SccChip
 from ..scc.memory import MemRef
-from .flags import Flag, FlagValue, flag_read_local, flag_write, wait_local_flags
+from .flags import (
+    Flag,
+    FlagValue,
+    flag_read_local,
+    flag_write,
+    flag_write_acked,
+    wait_local_flags,
+)
 from .layout import MpbLayout, MpbRegion
 from . import onesided
 
@@ -134,11 +141,71 @@ class CoreComm:
             self.core, self.comm.core_of(src_rank), src_offset, dst, nbytes
         )
 
+    def put_acked(
+        self,
+        dst_rank: int,
+        dst_offset: int,
+        src: "MemRef | int",
+        nbytes: int,
+        *,
+        max_retries: int = 3,
+    ) -> Generator:
+        """Acked, bounded-retry put: re-sends un-acked cache lines (see
+        :func:`repro.rcce.onesided.put_acked`)."""
+        yield from onesided.put_acked(
+            self.core,
+            self.comm.core_of(dst_rank),
+            dst_offset,
+            src,
+            nbytes,
+            max_retries=max_retries,
+        )
+
+    def get_acked(
+        self,
+        src_rank: int,
+        src_offset: int,
+        dst: "MemRef | int",
+        nbytes: int,
+        *,
+        max_retries: int = 3,
+    ) -> Generator:
+        """Verified, bounded-retry get: re-fetches until the destination
+        matches the source (see :func:`repro.rcce.onesided.get_acked`)."""
+        yield from onesided.get_acked(
+            self.core,
+            self.comm.core_of(src_rank),
+            src_offset,
+            dst,
+            nbytes,
+            max_retries=max_retries,
+        )
+
     # -- flags ---------------------------------------------------------------
 
     def flag_set(self, owner_rank: int, flag: Flag, value: FlagValue) -> Generator:
         """Write ``value`` into ``flag`` in ``owner_rank``'s MPB."""
         yield from flag_write(self.core, self.comm.core_of(owner_rank), flag, value)
+
+    def flag_set_acked(
+        self,
+        owner_rank: int,
+        flag: Flag,
+        value: FlagValue,
+        *,
+        max_retries: int = 3,
+    ) -> Generator[object, object, FlagValue]:
+        """Acknowledged flag write: verify by readback, re-send until it
+        lands (see :func:`repro.rcce.flags.flag_write_acked`)."""
+        return (
+            yield from flag_write_acked(
+                self.core,
+                self.comm.core_of(owner_rank),
+                flag,
+                value,
+                max_retries=max_retries,
+            )
+        )
 
     def flag_poll(self, flag: Flag) -> Generator[object, object, FlagValue]:
         """One timed poll of this core's own copy of ``flag``."""
@@ -150,11 +217,20 @@ class CoreComm:
         predicate: Callable[[Sequence[FlagValue]], bool],
         *,
         sweep_flags: int | None = None,
+        timeout: float | None = None,
+        site: str = "",
     ) -> Generator[object, object, list[FlagValue]]:
-        """Block until ``predicate`` holds over own copies of ``flags``."""
+        """Block until ``predicate`` holds over own copies of ``flags``.
+        With ``timeout``, raise :class:`repro.sim.TimeoutError` when the
+        poll budget expires instead of spinning forever."""
         return (
             yield from wait_local_flags(
-                self.core, flags, predicate, sweep_flags=sweep_flags
+                self.core,
+                flags,
+                predicate,
+                sweep_flags=sweep_flags,
+                timeout=timeout,
+                site=site,
             )
         )
 

@@ -18,6 +18,21 @@ on the wake-up that satisfies the predicate, the core pays half a sweep
 (``0.5 * nflags * t_poll``) plus one flag read.  This reproduces the
 paper's observation that large ``k`` makes the root slow to notice its 47
 doneFlags, while keeping waits O(#writes) in events.
+
+Fault tolerance
+---------------
+Plain flag waits spin forever if the awaited write was lost (the SCC's
+MPB stores are unacknowledged), which turns a single dropped write into
+a whole-program deadlock.  Two escape hatches, both opt-in:
+
+- every wait primitive takes a ``timeout`` (a polling budget in
+  simulated microseconds); an expired budget raises
+  :class:`repro.sim.TimeoutError` naming the waiting core, the flag and
+  the simulated time, instead of spinning silently;
+- :func:`flag_write_acked` reads the flag line back after writing and
+  re-sends until it verifies (bounded retries), converting the
+  fire-and-forget store into an acknowledged one at the cost of one
+  remote read per attempt.
 """
 
 from __future__ import annotations
@@ -27,6 +42,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Generator, Sequence
 
 from ..sim import any_of
+from ..sim.errors import TimeoutError as SimTimeoutError
 from ..scc.config import CACHE_LINE
 from .layout import MpbRegion
 
@@ -142,7 +158,10 @@ class FlagSlotArray:
         yield core.compute(chip.config.o_put_mpb)
         yield from core.mpb_access(owner_core, 1, write=True)
         chip.mpbs[owner_core].write_bytes(
-            self.slot_offset(slot), value.to_bytes(self.SLOT_BYTES, "little")
+            self.slot_offset(slot),
+            value.to_bytes(self.SLOT_BYTES, "little"),
+            source=core.id,
+            op="flag",
         )
         chip.trace(
             f"core{core.id}", "slot_write",
@@ -150,16 +169,20 @@ class FlagSlotArray:
         )
 
     def wait_at_least(
-        self, core: "Core", slot: int, value: int
+        self, core: "Core", slot: int, value: int, *, timeout: float | None = None
     ) -> Generator[object, object, int]:
         """Wait until the core's own copy of ``slot`` is >= ``value``.
 
         Same polling cost model as :func:`wait_local_flags`; wakes on any
         write to the slot's cache line (sharing a line with other slots
-        only causes spurious re-checks, never missed wake-ups).
+        only causes spurious re-checks, never missed wake-ups).  With a
+        ``timeout``, an exhausted poll budget raises
+        :class:`repro.sim.TimeoutError` instead of spinning forever.
         """
         mpb = core.mpb
         off = self.slot_offset(slot)
+        sim = core.sim
+        deadline = None if timeout is None else sim.now + timeout
 
         def read() -> int:
             return int.from_bytes(mpb.read_bytes(off, self.SLOT_BYTES), "little")
@@ -173,11 +196,32 @@ class FlagSlotArray:
             current = read()
             if current >= value:
                 return current
-            yield watcher
+            if deadline is None:
+                yield watcher
+            else:
+                remaining = deadline - sim.now
+                if remaining <= 0:
+                    _raise_wait_timeout(core, f"{self.name}[{slot}]", timeout)
+                timer = sim.timeout(
+                    remaining, name=f"core{core.id}.{self.name}.budget"
+                )
+                yield any_of(sim, [watcher, timer], name=f"core{core.id}.wait_slot")
+                if read() < value and sim.now >= deadline:
+                    _raise_wait_timeout(core, f"{self.name}[{slot}]", timeout)
             current = read()
             if current >= value:
                 yield core.compute(1.5 * core.config.t_poll)
                 return read()
+
+
+def _raise_wait_timeout(core: "Core", site: str, timeout: float | None) -> None:
+    raise SimTimeoutError(
+        f"core {core.id} exhausted its {timeout}-us poll budget waiting on "
+        f"{site!r} at t={core.sim.now:.4f}",
+        process=f"core{core.id}",
+        sim_time=core.sim.now,
+        site=site,
+    )
 
 
 def flag_write(
@@ -188,9 +232,58 @@ def flag_write(
     chip = core.chip
     yield core.compute(chip.config.o_put_mpb)
     yield from core.mpb_access(owner_core, 1, write=True)
-    chip.mpbs[owner_core].write_bytes(flag.offset, value.encode())
+    chip.mpbs[owner_core].write_bytes(
+        flag.offset, value.encode(), source=core.id, op="flag"
+    )
     chip.trace(f"core{core.id}", "flag_write", flag=flag.name, owner=owner_core,
                tag=value.tag, seq=value.seq)
+
+
+def flag_write_acked(
+    core: "Core",
+    owner_core: int,
+    flag: Flag,
+    value: FlagValue,
+    *,
+    max_retries: int = 3,
+) -> Generator[object, object, FlagValue]:
+    """An *acknowledged* flag write: write, read the line back, re-send
+    until it verifies (at most ``max_retries`` re-sends).
+
+    The SCC's MPB store is fire-and-forget; the ack here is a remote
+    read of the just-written line, costing one extra 1-line MPB access
+    per attempt -- the per-write robustness tax of the FT protocols.
+    Verification accepts any state at least as new as ``value`` (another
+    writer may legitimately have advanced a monotonic flag further).
+    Raises :class:`repro.sim.TimeoutError` when every attempt was lost.
+    """
+    chip = core.chip
+    for attempt in range(max_retries + 1):
+        yield from flag_write(core, owner_core, flag, value)
+        # The ack: read the remote line back and compare.
+        yield from core.mpb_access(owner_core, 1)
+        got = FlagValue.decode(
+            chip.mpbs[owner_core].read_bytes(flag.offset, CACHE_LINE)
+        )
+        if got.tag == value.tag and got.seq >= value.seq:
+            if attempt > 0:
+                chip.trace(
+                    f"core{core.id}", "flag_write_retry_ok",
+                    flag=flag.name, owner=owner_core, attempts=attempt + 1,
+                )
+                if chip.faults is not None:
+                    chip.faults.note_recovery(
+                        f"{flag.name}@core{owner_core}",
+                        note=f"flag re-sent x{attempt}",
+                    )
+            return got
+    raise SimTimeoutError(
+        f"core {core.id}: flag write {flag.name!r} to core {owner_core} "
+        f"un-acked after {max_retries + 1} attempts at t={core.sim.now:.4f}",
+        process=f"core{core.id}",
+        sim_time=core.sim.now,
+        site=f"{flag.name}@core{owner_core}",
+    )
 
 
 def flag_read_local(core: "Core", flag: Flag) -> Generator[object, object, FlagValue]:
@@ -206,17 +299,28 @@ def wait_local_flags(
     predicate: Callable[[Sequence[FlagValue]], bool],
     *,
     sweep_flags: int | None = None,
+    timeout: float | None = None,
+    site: str = "",
 ) -> Generator[object, object, list[FlagValue]]:
     """Wait until ``predicate(values)`` holds over the core's own copies of
     ``flags``; returns the satisfying values.
 
     ``sweep_flags`` overrides the number of flags the core is sweeping (for
     algorithms that poll a superset of the flags the predicate needs).
+
+    ``timeout`` bounds the wait (simulated microseconds of polling
+    budget); on expiry :class:`repro.sim.TimeoutError` is raised with the
+    waiting core, ``site`` (defaults to the flag names) and the sim time
+    in its structured fields -- the FT protocols build their retry and
+    crash-suspicion logic on this.
     """
     if not flags:
         return []
     mpb = core.mpb
+    sim = core.sim
     nscan = sweep_flags if sweep_flags is not None else len(flags)
+    deadline = None if timeout is None else sim.now + timeout
+    where = site or "+".join(f.name for f in flags)
 
     def values() -> list[FlagValue]:
         return [
@@ -234,7 +338,18 @@ def wait_local_flags(
         vals = values()
         if predicate(vals):  # value changed while registering: no sleep
             return vals
-        yield any_of(core.sim, watchers, name=f"core{core.id}.wait_flags")
+        if deadline is None:
+            yield any_of(sim, watchers, name=f"core{core.id}.wait_flags")
+        else:
+            remaining = deadline - sim.now
+            if remaining <= 0:
+                _raise_wait_timeout(core, where, timeout)
+            timer = sim.timeout(remaining, name=f"core{core.id}.poll_budget")
+            yield any_of(
+                sim, [*watchers, timer], name=f"core{core.id}.wait_flags"
+            )
+            if not predicate(values()) and sim.now >= deadline:
+                _raise_wait_timeout(core, where, timeout)
         vals = values()
         if predicate(vals):
             # Detection delay: half a sweep on average, plus the final read.

@@ -26,6 +26,7 @@ from typing import TYPE_CHECKING, Generator
 from ..scc.config import CACHE_LINE, ContentionMode
 from ..scc.core import lines_of
 from ..scc.memory import MemRef
+from ..sim.errors import TimeoutError as SimTimeoutError
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..scc.core import Core
@@ -75,8 +76,121 @@ def put(
             yield from core.mpb_access(dst_core, m, write=True)
         payload = core.mpb.read_bytes(src_off, nbytes)
 
-    core.chip.mpbs[dst_core].write_bytes(dst_offset, payload)
+    core.chip.mpbs[dst_core].write_bytes(
+        dst_offset, payload, source=core.id, op="data"
+    )
     core.chip.trace(f"core{core.id}", "put", dst=dst_core, off=dst_offset, n=nbytes)
+
+
+def put_acked(
+    core: "Core",
+    dst_core: int,
+    dst_offset: int,
+    src: "MemRef | int",
+    nbytes: int,
+    *,
+    max_retries: int = 3,
+) -> Generator:
+    """A :func:`put` with an acknowledgment: after writing, the calling
+    core reads the destination lines back and re-sends the whole transfer
+    until the readback matches (at most ``max_retries`` re-sends).
+
+    MPB writes on the SCC are unacknowledged, so a put can silently lose
+    cache lines; the verification read doubles the MPB traffic of the
+    put -- the data-path robustness tax, paid only when a protocol opts
+    in.  Raises :class:`repro.sim.TimeoutError` once retries are
+    exhausted (the destination is presumed unreachable).
+    """
+    if nbytes < 0:
+        raise ValueError("nbytes must be >= 0")
+    if nbytes == 0:
+        return
+    chip = core.chip
+    m = lines_of(nbytes)
+    for attempt in range(max_retries + 1):
+        yield from put(core, dst_core, dst_offset, src, nbytes)
+        # The ack: read the destination region back over the mesh.
+        yield from core.mpb_access(dst_core, m)
+        expected = (
+            src.sub(0, nbytes).read()
+            if isinstance(src, MemRef)
+            else core.mpb.read_bytes(int(src), nbytes)
+        )
+        got = chip.mpbs[dst_core].read_bytes(dst_offset, nbytes)
+        if got == expected:
+            if attempt > 0:
+                chip.trace(
+                    f"core{core.id}", "put_retry_ok",
+                    dst=dst_core, off=dst_offset, attempts=attempt + 1,
+                )
+                if chip.faults is not None:
+                    chip.faults.note_recovery(
+                        f"put->core{dst_core}@{dst_offset}",
+                        note=f"{nbytes}B re-sent x{attempt}",
+                    )
+            return
+    raise SimTimeoutError(
+        f"core {core.id}: put of {nbytes} B to core {dst_core}@{dst_offset} "
+        f"un-acked after {max_retries + 1} attempts at t={core.sim.now:.4f}",
+        process=f"core{core.id}",
+        sim_time=core.sim.now,
+        site=f"mpb{dst_core}@{dst_offset}",
+    )
+
+
+def get_acked(
+    core: "Core",
+    src_core: int,
+    src_offset: int,
+    dst: "MemRef | int",
+    nbytes: int,
+    *,
+    max_retries: int = 3,
+) -> Generator:
+    """A :func:`get` with verification: the destination is read back and
+    the transfer re-fetched until it matches the source lines (at most
+    ``max_retries`` re-fetches).
+
+    The vulnerable leg of a get is the deposit into the caller's *own*
+    MPB -- an unacknowledged write like any other -- so the readback is
+    a cheap local access; a private-memory destination pays one memory
+    read.  Raises :class:`repro.sim.TimeoutError` once retries are
+    exhausted.
+    """
+    if nbytes < 0:
+        raise ValueError("nbytes must be >= 0")
+    if nbytes == 0:
+        return
+    chip = core.chip
+    m = lines_of(nbytes)
+    for attempt in range(max_retries + 1):
+        yield from get(core, src_core, src_offset, dst, nbytes)
+        expected = chip.mpbs[src_core].read_bytes(src_offset, nbytes)
+        if isinstance(dst, MemRef):
+            yield from core.mem_read(dst.sub(0, nbytes))
+            got = dst.sub(0, nbytes).read()
+        else:
+            yield from core.mpb_access(core.id, m)
+            got = core.mpb.read_bytes(int(dst), nbytes)
+        if got == expected:
+            if attempt > 0:
+                chip.trace(
+                    f"core{core.id}", "get_retry_ok",
+                    src=src_core, off=src_offset, attempts=attempt + 1,
+                )
+                if chip.faults is not None:
+                    chip.faults.note_recovery(
+                        f"get<-core{src_core}@{src_offset}",
+                        note=f"{nbytes}B re-fetched x{attempt}",
+                    )
+            return
+    raise SimTimeoutError(
+        f"core {core.id}: get of {nbytes} B from core {src_core}@{src_offset} "
+        f"unverified after {max_retries + 1} attempts at t={core.sim.now:.4f}",
+        process=f"core{core.id}",
+        sim_time=core.sim.now,
+        site=f"mpb{src_core}@{src_offset}",
+    )
 
 
 def get(
@@ -123,6 +237,6 @@ def get(
             yield from core.mpb_access(src_core, m)
             yield from core.mpb_access(core.id, m, write=True)
         payload = core.chip.mpbs[src_core].read_bytes(src_offset, nbytes)
-        core.mpb.write_bytes(dst_off, payload)
+        core.mpb.write_bytes(dst_off, payload, source=core.id, op="data")
 
     core.chip.trace(f"core{core.id}", "get", src=src_core, off=src_offset, n=nbytes)

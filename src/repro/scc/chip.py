@@ -20,19 +20,34 @@ from .mpb import Mpb
 
 
 class SccChip:
-    """A simulated SCC (or SCC-like many-core) chip."""
+    """A simulated SCC (or SCC-like many-core) chip.
 
-    def __init__(self, config: SccConfig | None = None, *, tracer: Tracer | None = None) -> None:
+    ``faults`` optionally attaches a :class:`repro.faults.FaultInjector`
+    whose plan the chip models consult (dropped/corrupted MPB writes,
+    link stalls, core pauses/crashes); ``None`` means no injection and
+    zero overhead beyond one attribute check per protocol operation.
+    """
+
+    def __init__(
+        self,
+        config: SccConfig | None = None,
+        *,
+        tracer: Tracer | None = None,
+        faults: "Any | None" = None,
+    ) -> None:
         self.config = config or SccConfig()
         self.sim = Simulator()
         # `is not None` matters: an empty Tracer is falsy (it has __len__).
         self.tracer = tracer if tracer is not None else Tracer(enabled=False)
+        self.faults = None  # set by FaultInjector.attach below
         self.mesh = Mesh(self.sim, self.config)
         self.mpbs = [
             Mpb(self.sim, self.config, owner=i) for i in range(self.config.num_cores)
         ]
         self.cores = [Core(self, i) for i in range(self.config.num_cores)]
         self.irq = IrqController(self)
+        if faults is not None:
+            faults.attach(self)
 
     @property
     def num_cores(self) -> int:

@@ -76,11 +76,23 @@ class Core:
             return t
         return t * (1.0 + self.rng.uniform(-j, j))
 
+    def _fault_overhead(self) -> float:
+        """Consult the fault injector at the start of a timed primitive.
+
+        Returns extra pause delay (CORE_PAUSE); raises
+        :class:`repro.sim.FaultInjected` once this core has been crashed
+        (CORE_CRASH) so the running program dies at its next operation.
+        """
+        inj = self.chip.faults
+        if inj is None:
+            return 0.0
+        return inj.core_op(self.id)
+
     # -- timed primitives ------------------------------------------------------
 
     def compute(self, duration: float) -> Event:
         """Local work for ``duration`` microseconds (no arbitration)."""
-        return self.sim.timeout(self.jittered(duration))
+        return self.sim.timeout(self.jittered(duration) + self._fault_overhead())
 
     def mpb_access(
         self,
@@ -100,6 +112,11 @@ class Core:
         if n_lines <= 0:
             return
         cfg = self.config
+        stall = self._fault_overhead() + self.chip.mesh.fault_stall(
+            self.id, target_core
+        )
+        if stall > 0.0:
+            yield self.sim.timeout(stall)
         d = self.chip.mesh.core_distance(self.id, target_core)
         per_line = self.mpb_line_cost(d) + extra_per_line
         per_line = self.jittered(per_line)
@@ -142,14 +159,14 @@ class Core:
             raise ValueError(
                 f"core {self.id} cannot access private memory of core {ref.owner}"
             )
-        total = 0.0
+        total = self._fault_overhead()
         if self.l1 is not None:
             hit_cost = self.config.t_l1_hit
             miss_cost = self.mem_read_line_cost()
             for line in ref.line_addrs():
                 total += hit_cost if self.l1.access(line) else miss_cost
         else:
-            total = len(ref.line_addrs()) * self.mem_read_line_cost()
+            total += len(ref.line_addrs()) * self.mem_read_line_cost()
         if total > 0:
             yield self.sim.timeout(self.jittered(total))
 
@@ -163,7 +180,7 @@ class Core:
         if self.l1 is not None:
             for line in ref.line_addrs():
                 self.l1.access(line)
-        total = n * self.mem_write_line_cost()
+        total = n * self.mem_write_line_cost() + self._fault_overhead()
         if total > 0:
             yield self.sim.timeout(self.jittered(total))
 

@@ -10,12 +10,24 @@ watcher on the flag's cache line and is woken when any write touches it.
 The polling sweep cost itself is charged by the flag layer
 (:mod:`repro.rcce.flags`); the watcher mechanism only keeps the event
 count low (no busy-poll events while nothing changes).
+
+Fault injection: *protocol* writes (those carrying ``source``/``op``
+metadata -- flag and payload deposits from :mod:`repro.rcce`) pass
+through the chip's :class:`repro.faults.FaultInjector` when one is
+attached, and may be silently dropped (no byte change, no watcher
+wake-up -- a lost notification) or corrupted.  Raw writes (test pokes,
+initialisation) are never faulted.
 """
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from ..sim import Event, Resource, Simulator
 from .config import CACHE_LINE, SccConfig
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..faults.injector import FaultInjector
 
 
 class Mpb:
@@ -29,6 +41,8 @@ class Mpb:
         self.port = Resource(sim, capacity=1, name=f"mpb{owner}.port")
         # offset (line-aligned) -> list of pending wake events
         self._watchers: dict[int, list[Event]] = {}
+        #: Set by FaultInjector.attach; consulted on protocol writes.
+        self.injector: "FaultInjector | None" = None
 
     @property
     def size(self) -> int:
@@ -44,9 +58,31 @@ class Mpb:
         self._check_range(offset, nbytes)
         return bytes(self.data[offset : offset + nbytes])
 
-    def write_bytes(self, offset: int, payload: bytes | bytearray | memoryview) -> None:
+    def write_bytes(
+        self,
+        offset: int,
+        payload: bytes | bytearray | memoryview,
+        *,
+        source: int | None = None,
+        op: str = "raw",
+    ) -> None:
+        """Store ``payload`` at ``offset``.
+
+        ``source`` (writing core id) and ``op`` (``"flag"`` / ``"data"``)
+        classify protocol writes for fault injection; the default
+        ``op="raw"`` marks untimed initialisation writes, which are never
+        faulted.
+        """
         nbytes = len(payload)
         self._check_range(offset, nbytes)
+        if self.injector is not None and source is not None and op != "raw":
+            action = self.injector.filter_mpb_write(
+                owner=self.owner, offset=offset, nbytes=nbytes, source=source, op=op
+            )
+            if action == "drop":
+                return
+            if action == "corrupt":
+                payload = bytes(b ^ 0xFF for b in bytes(payload))
         self.data[offset : offset + nbytes] = payload
         self._wake_watchers(offset, nbytes)
 

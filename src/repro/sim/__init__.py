@@ -17,7 +17,14 @@ Public surface:
 - :func:`all_of` / :func:`any_of` -- event combinators.
 """
 
-from .errors import DeadlockError, Interrupted, SimError
+from .errors import (
+    DeadlockError,
+    FaultInjected,
+    Interrupted,
+    SimError,
+    TimeoutError,
+    WatchdogError,
+)
 from .kernel import Event, Process, Simulator, all_of, any_of
 from .resources import Resource
 from .trace import TraceRecord, Tracer
@@ -25,13 +32,16 @@ from .trace import TraceRecord, Tracer
 __all__ = [
     "DeadlockError",
     "Event",
+    "FaultInjected",
     "Interrupted",
     "Process",
     "Resource",
     "SimError",
     "Simulator",
+    "TimeoutError",
     "TraceRecord",
     "Tracer",
+    "WatchdogError",
     "all_of",
     "any_of",
 ]

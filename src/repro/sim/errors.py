@@ -1,4 +1,12 @@
-"""Exception types raised by the simulation kernel."""
+"""Exception types raised by the simulation kernel.
+
+The fault-tolerance layers (:mod:`repro.faults`, the FT protocol modes)
+need to *assert on* failures, not just observe strings, so the subclasses
+below carry structured fields: which process failed, at what simulated
+time, and at which fault site (a flag name, an MPB offset, a link).
+"""
+
+from __future__ import annotations
 
 
 class SimError(Exception):
@@ -9,9 +17,25 @@ class DeadlockError(SimError):
     """Raised by :meth:`Simulator.run` when processes remain blocked but the
     event queue is empty, i.e. no event can ever wake them again.
 
-    The message lists the stuck processes so protocol bugs (e.g. a flag that
-    is polled but never set) are diagnosable from the test failure alone.
+    The message lists each stuck process together with the event it was
+    last blocked on and the simulated time it last ran, so protocol bugs
+    (e.g. a flag that is polled but never set) and injected-fault
+    deadlocks are diagnosable from the traceback alone.
+
+    ``stuck`` holds ``(process_name, waiting_on_event_name, last_resume
+    _time)`` triples and ``sim_time`` the time of detection.
     """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        stuck: tuple[tuple[str, str, float], ...] = (),
+        sim_time: float = 0.0,
+    ) -> None:
+        super().__init__(message)
+        self.stuck = stuck
+        self.sim_time = sim_time
 
 
 class Interrupted(SimError):
@@ -24,3 +48,72 @@ class Interrupted(SimError):
 
 class ScheduleInPastError(SimError):
     """Raised when an event is scheduled with a negative delay."""
+
+
+class TimeoutError(SimError, TimeoutError):  # noqa: A001  (base resolves to the builtin)
+    """A bounded wait (flag poll budget, acked put) expired.
+
+    Subclasses the builtin ``TimeoutError`` as well, so generic
+    ``except TimeoutError`` handlers in model code also catch it.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        process: str = "",
+        sim_time: float = 0.0,
+        site: str = "",
+    ) -> None:
+        super().__init__(message)
+        self.process = process
+        self.sim_time = sim_time
+        self.site = site
+
+
+class WatchdogError(SimError):
+    """Thrown into a process by the kernel watchdog when the process has
+    not advanced for a full watchdog interval (a silent stall).
+
+    ``idle_for`` is the simulated time the process spent blocked;
+    ``site`` names the event it was blocked on.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        process: str = "",
+        sim_time: float = 0.0,
+        site: str = "",
+        idle_for: float = 0.0,
+    ) -> None:
+        super().__init__(message)
+        self.process = process
+        self.sim_time = sim_time
+        self.site = site
+        self.idle_for = idle_for
+
+
+class FaultInjected(SimError):
+    """An injected fault made the current operation impossible (e.g. the
+    executing core was crashed by the fault plan).
+
+    ``kind`` is the :class:`repro.faults.FaultKind` value string and
+    ``site`` the location the fault fired at (``core7``, ``mpb3@64``...).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        kind: str = "",
+        site: str = "",
+        sim_time: float = 0.0,
+        process: str = "",
+    ) -> None:
+        super().__init__(message)
+        self.kind = kind
+        self.site = site
+        self.sim_time = sim_time
+        self.process = process

@@ -14,7 +14,13 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, Generator, Iterable, Optional
 
-from .errors import DeadlockError, Interrupted, ScheduleInPastError, SimError
+from .errors import (
+    DeadlockError,
+    Interrupted,
+    ScheduleInPastError,
+    SimError,
+    WatchdogError,
+)
 
 # A model coroutine: yields Events, may `return` a value.
 ProcessGen = Generator["Event", Any, Any]
@@ -91,15 +97,22 @@ class Process(Event):
     value, so processes can wait for each other by yielding the process.
     """
 
-    __slots__ = ("_gen", "_waiting_on")
+    __slots__ = ("_gen", "_waiting_on", "last_resume")
 
     def __init__(self, sim: "Simulator", gen: ProcessGen, name: str = "") -> None:
         super().__init__(sim, name or getattr(gen, "__name__", "process"))
         self._gen = gen
         self._waiting_on: Optional[Event] = None
+        #: Simulated time this process last executed (for stall diagnosis).
+        self.last_resume: float = sim.now
         sim._live_processes.add(self)
         # Start the process at the current simulation time.
         sim._schedule(0.0, self._resume, None)
+
+    @property
+    def waiting_on_name(self) -> str:
+        """Name of the event this process is currently blocked on."""
+        return self._waiting_on.name if self._waiting_on is not None else ""
 
     @property
     def is_alive(self) -> bool:
@@ -123,6 +136,7 @@ class Process(Event):
         if triggering is not None and triggering is not self._waiting_on:
             return  # stale wake-up after an interrupt re-targeted us
         self._waiting_on = None
+        self.last_resume = self.sim.now
         try:
             if triggering is not None and triggering.failed:
                 target = self._gen.throw(triggering._exc)  # type: ignore[arg-type]
@@ -141,6 +155,7 @@ class Process(Event):
         if self.triggered:
             return
         self._waiting_on = None
+        self.last_resume = self.sim.now
         try:
             target = self._gen.throw(exc)
         except StopIteration as stop:
@@ -251,12 +266,70 @@ class Simulator:
                 proc, exc = self._crashed.pop(0)
                 raise SimError(f"process {proc.name!r} crashed") from exc
         if self._live_processes and until is None:
-            stuck = ", ".join(sorted(p.name for p in self._live_processes))
+            stuck = tuple(
+                sorted(
+                    (p.name, p.waiting_on_name, p.last_resume)
+                    for p in self._live_processes
+                )
+            )
+            detail = ", ".join(
+                f"{name} (waiting on {ev or '<nothing>'!r} since t={since:.4f})"
+                for name, ev, since in stuck
+            )
             raise DeadlockError(
-                f"no events left but {len(self._live_processes)} process(es) "
-                f"still blocked: {stuck}"
+                f"no events left at t={self.now:.4f} but "
+                f"{len(self._live_processes)} process(es) still blocked: {detail}",
+                stuck=stuck,
+                sim_time=self.now,
             )
         return self.now
+
+    def start_watchdog(self, interval: float, name: str = "watchdog") -> Process:
+        """Start a watchdog process that converts silent stalls into
+        :class:`WatchdogError`\\ s.
+
+        Every ``interval`` simulated time units the watchdog inspects all
+        other live processes; any process that has not advanced for at
+        least a full interval gets a :class:`WatchdogError` thrown into it
+        (naming the event it was blocked on and for how long), turning an
+        eventual :class:`DeadlockError` with no context into a precise,
+        per-process diagnosis.  ``interval`` must therefore exceed the
+        longest legitimate blocking wait of the model.
+
+        The watchdog exits once no other live processes remain, so a run
+        that completes normally still drains its event queue.
+        """
+        if interval <= 0:
+            raise SimError(f"watchdog interval must be > 0, got {interval!r}")
+        holder: list[Process] = []
+
+        def loop() -> ProcessGen:
+            while True:
+                yield self.timeout(interval, name=f"{name}.tick")
+                me = holder[0]
+                others = [p for p in self._live_processes if p is not me]
+                if not others:
+                    return
+                for p in others:
+                    idle = self.now - p.last_resume
+                    if idle >= interval and p._waiting_on is not None:
+                        self._schedule(
+                            0.0,
+                            p._throw,
+                            WatchdogError(
+                                f"process {p.name!r} stalled for {idle:.4f} "
+                                f"time units waiting on "
+                                f"{p.waiting_on_name!r} at t={self.now:.4f}",
+                                process=p.name,
+                                sim_time=self.now,
+                                site=p.waiting_on_name,
+                                idle_for=idle,
+                            ),
+                        )
+
+        proc = self.process(loop(), name=name)
+        holder.append(proc)
+        return proc
 
     def step(self) -> bool:
         """Execute a single scheduled callback. Returns False when empty."""

@@ -1,0 +1,361 @@
+"""Tests for the deterministic fault-injection subsystem.
+
+Covers the plan/spec model, occurrence-count addressing, one test per
+fault kind, the kernel-level detectors (rich deadlock diagnostics,
+watchdog, poll-budget timeouts), the acked-write recovery primitives,
+and the seeded-determinism contract (same plan => byte-identical trace).
+"""
+
+import pytest
+
+from repro.faults import (
+    FaultInjector,
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    InjectionRecord,
+)
+from repro.rcce import Comm
+from repro.rcce.flags import FlagValue
+from repro.scc import SccChip, SccConfig, run_spmd
+from repro.sim import (
+    DeadlockError,
+    FaultInjected,
+    SimError,
+    Simulator,
+    Tracer,
+    WatchdogError,
+)
+from repro.sim.errors import TimeoutError as SimTimeoutError
+
+
+def faulty_chip(*specs, tracer=None):
+    return SccChip(
+        SccConfig(), tracer=tracer, faults=FaultInjector(FaultPlan(specs))
+    )
+
+
+class TestPlanModel:
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            FaultSpec(FaultKind.DROP_FLAG_WRITE, nth=0)
+        with pytest.raises(ValueError):
+            FaultSpec(FaultKind.LINK_STALL)  # stall needs a duration
+        with pytest.raises(ValueError):
+            FaultSpec(FaultKind.CORE_CRASH)  # crash needs a target core
+
+    def test_plan_is_iterable_and_labelled(self):
+        spec = FaultSpec(FaultKind.DROP_FLAG_WRITE, nth=3)
+        plan = FaultPlan((spec,), label="x")
+        assert list(plan) == [spec]
+        assert plan.label == "x"
+
+    def test_category_mapping(self):
+        assert FaultSpec(FaultKind.DROP_FLAG_WRITE).category == "flag_write"
+        assert FaultSpec(FaultKind.DROP_DATA_WRITE).category == "data_write"
+        assert (
+            FaultSpec(FaultKind.LINK_STALL, duration=1.0).category == "mpb_access"
+        )
+        assert FaultSpec(FaultKind.CORE_CRASH, core=1).category == "core_op"
+
+
+class TestOccurrenceAddressing:
+    def test_nth_global_flag_write(self):
+        chip = faulty_chip(FaultSpec(FaultKind.DROP_FLAG_WRITE, nth=2))
+        comm = Comm(chip)
+        f = comm.flag("t")
+
+        def prog(core):
+            cc = comm.attach(core)
+            yield from cc.flag_set(1, f, FlagValue(0, 1))  # 1st: delivered
+            yield from cc.flag_set(1, f, FlagValue(0, 2))  # 2nd: dropped
+            yield from cc.flag_set(1, f, FlagValue(0, 3))  # 3rd: delivered
+
+        run_spmd(chip, prog, core_ids=[0])
+        assert f.peek(chip, 1) == FlagValue(0, 3)
+        assert chip.faults.n_injected == 1
+        assert chip.faults.injected[0].spec.nth == 2
+
+    def test_per_core_nth_targets_owner(self):
+        # nth counts per destination MPB when a core is named.
+        chip = faulty_chip(FaultSpec(FaultKind.DROP_FLAG_WRITE, nth=1, core=2))
+        comm = Comm(chip)
+        f = comm.flag("t")
+
+        def prog(core):
+            cc = comm.attach(core)
+            yield from cc.flag_set(1, f, FlagValue(0, 7))  # mpb1: untouched
+            yield from cc.flag_set(2, f, FlagValue(0, 7))  # mpb2: dropped
+
+        run_spmd(chip, prog, core_ids=[0])
+        assert f.peek(chip, 1) == FlagValue(0, 7)
+        assert f.peek(chip, 2) == FlagValue(0, 0)
+
+    def test_profile_counts_sites_with_empty_plan(self):
+        chip = faulty_chip()
+        comm = Comm(chip)
+        f = comm.flag("t")
+
+        def prog(core):
+            cc = comm.attach(core)
+            yield from cc.flag_set(1, f, FlagValue(0, 1))
+            yield from cc.flag_set(1, f, FlagValue(0, 2))
+
+        run_spmd(chip, prog, core_ids=[0])
+        profile = chip.faults.profile()
+        assert profile["flag_write"] == 2
+        assert profile["flag_write@core1"] == 2
+        assert chip.faults.n_injected == 0
+
+
+class TestEachFaultKind:
+    def test_drop_flag_write_leaves_flag_and_watchers_untouched(self):
+        chip = faulty_chip(FaultSpec(FaultKind.DROP_FLAG_WRITE, nth=1))
+        comm = Comm(chip)
+        f = comm.flag("t")
+
+        def prog(core):
+            cc = comm.attach(core)
+            yield from cc.flag_set(1, f, FlagValue(3, 9))
+
+        run_spmd(chip, prog, core_ids=[0])
+        assert f.peek(chip, 1) == FlagValue(0, 0)
+        assert chip.faults.n_injected == 1
+
+    def test_corrupt_flag_write_inverts_bytes(self):
+        chip = faulty_chip(FaultSpec(FaultKind.CORRUPT_FLAG_WRITE, nth=1))
+        comm = Comm(chip)
+        f = comm.flag("t")
+        value = FlagValue(3, 9)
+
+        def prog(core):
+            cc = comm.attach(core)
+            yield from cc.flag_set(1, f, value)
+
+        run_spmd(chip, prog, core_ids=[0])
+        got = chip.mpbs[1].read_bytes(f.region.offset, 32)
+        assert got == bytes(b ^ 0xFF for b in value.encode())
+        assert f.peek(chip, 1) != value
+
+    def test_drop_data_write_loses_the_put(self):
+        chip = faulty_chip(FaultSpec(FaultKind.DROP_DATA_WRITE, nth=1))
+        comm = Comm(chip)
+
+        def prog(core):
+            cc = comm.attach(core)
+            src = cc.alloc(64)
+            src.write(bytes(range(64)))
+            yield from cc.put(1, 0, src, 64)
+
+        run_spmd(chip, prog, core_ids=[0])
+        assert chip.mpbs[1].read_bytes(0, 64) == bytes(64)
+        assert chip.faults.n_injected == 1
+
+    def _putter(self, chip, comm):
+        def prog(core):
+            cc = comm.attach(core)
+            src = cc.alloc(64)
+            src.write(bytes(range(64)))
+            yield from cc.put(1, 0, src, 64)
+
+        return run_spmd(chip, prog, core_ids=[0]).makespan
+
+    def test_link_stall_delays_the_transaction(self):
+        plain = SccChip(SccConfig())
+        base = self._putter(plain, Comm(plain))
+        chip = faulty_chip(
+            FaultSpec(FaultKind.LINK_STALL, nth=1, duration=500.0)
+        )
+        stalled = self._putter(chip, Comm(chip))
+        assert stalled == pytest.approx(base + 500.0)
+
+    def test_core_pause_adds_duration_once(self):
+        plain = SccChip(SccConfig())
+        base = self._putter(plain, Comm(plain))
+        chip = faulty_chip(
+            FaultSpec(FaultKind.CORE_PAUSE, nth=1, core=0, duration=250.0)
+        )
+        paused = self._putter(chip, Comm(chip))
+        assert paused == pytest.approx(base + 250.0)
+
+    def test_core_crash_kills_every_later_op(self):
+        chip = faulty_chip(FaultSpec(FaultKind.CORE_CRASH, nth=1, core=0))
+        comm = Comm(chip)
+
+        def prog(core):
+            cc = comm.attach(core)
+            try:
+                yield core.compute(1.0)
+            except FaultInjected as exc:
+                assert exc.site == "core0"
+                return "crashed"
+            return "alive"
+
+        res = run_spmd(chip, prog, core_ids=[0])
+        assert res.values == ("crashed",)
+        assert chip.faults.is_dead(0)
+        with pytest.raises(FaultInjected):
+            chip.faults.core_op(0)  # stays dead
+
+    def test_raw_and_sourceless_writes_are_never_faulted(self):
+        chip = faulty_chip(FaultSpec(FaultKind.DROP_FLAG_WRITE, nth=1))
+        chip.mpbs[1].write_bytes(0, b"\x07" * 32)  # raw init write
+        assert chip.mpbs[1].read_bytes(0, 32) == b"\x07" * 32
+        assert chip.faults.n_injected == 0
+
+
+class TestFaultTracing:
+    def test_injection_and_recovery_emit_trace_records(self):
+        tracer = Tracer(enabled=True)
+        chip = faulty_chip(
+            FaultSpec(FaultKind.DROP_FLAG_WRITE, nth=1), tracer=tracer
+        )
+        comm = Comm(chip)
+        f = comm.flag("t")
+
+        def prog(core):
+            cc = comm.attach(core)
+            yield from cc.flag_set_acked(1, f, FlagValue(0, 5))
+
+        run_spmd(chip, prog, core_ids=[0])
+        assert f.peek(chip, 1) == FlagValue(0, 5)  # the retry landed
+        injected = tracer.of_kind("fault.injected")
+        recovered = tracer.of_kind("fault.recovered")
+        assert len(injected) == 1 and injected[0].detail["fault"] == "drop_flag_write"
+        assert len(recovered) == 1
+        assert chip.faults.n_recovered == 1
+        assert str(chip.faults.injected[0])  # records render
+
+    def test_injection_record_fields(self):
+        rec = InjectionRecord(
+            1.5, FaultSpec(FaultKind.DROP_FLAG_WRITE, nth=2), "mpb1@0"
+        )
+        assert "drop_flag_write" in str(rec) and "mpb1@0" in str(rec)
+
+
+class TestKernelDetectors:
+    def test_deadlock_message_names_event_and_time(self):
+        sim = Simulator()
+        ev = sim.event(name="never.signal")
+
+        def stuck():
+            yield sim.timeout(2.5)
+            yield ev
+
+        sim.process(stuck(), name="stucky")
+        with pytest.raises(DeadlockError) as ei:
+            sim.run()
+        msg = str(ei.value)
+        assert "stucky" in msg and "never.signal" in msg and "2.5" in msg
+        assert ei.value.stuck[0][0] == "stucky"
+        assert ei.value.sim_time == pytest.approx(2.5)
+
+    def test_watchdog_throws_into_stuck_process(self):
+        sim = Simulator()
+        ev = sim.event(name="never.signal")
+
+        def stuck():
+            try:
+                yield ev
+            except WatchdogError as exc:
+                return ("caught", exc.idle_for)
+            return "unreachable"
+
+        proc = sim.process(stuck(), name="stucky")
+        sim.start_watchdog(10.0)
+        sim.run()
+        kind, idle = proc.value
+        assert kind == "caught" and idle >= 10.0
+
+    def test_watchdog_is_silent_on_live_runs(self):
+        sim = Simulator()
+
+        def busy():
+            for _ in range(5):
+                yield sim.timeout(1.0)
+            return "done"
+
+        proc = sim.process(busy(), name="busy")
+        sim.start_watchdog(10.0)
+        sim.run()
+        assert proc.value == "done"
+
+    def test_wait_flags_poll_budget_times_out(self):
+        chip = SccChip(SccConfig())
+        comm = Comm(chip)
+        f = comm.flag("t")
+
+        def prog(core):
+            cc = comm.attach(core)
+            yield from cc.wait_flags(
+                [f], lambda v: v[0].seq >= 1, timeout=50.0, site="test.wait"
+            )
+
+        with pytest.raises(SimError) as ei:
+            run_spmd(chip, prog, core_ids=[0])
+        assert isinstance(ei.value.__cause__, SimTimeoutError)
+        assert ei.value.__cause__.site == "test.wait"
+
+    def test_get_acked_refetches_a_dropped_own_mpb_deposit(self):
+        # The get's deposit into the caller's own MPB is the 2nd data
+        # write overall (1st is the remote put that seeds the source).
+        chip = faulty_chip(FaultSpec(FaultKind.DROP_DATA_WRITE, nth=2))
+        comm = Comm(chip)
+        payload = bytes(range(64))
+
+        def prog(core):
+            cc = comm.attach(core)
+            src = cc.alloc(64)
+            src.write(payload)
+            yield from cc.put(1, 0, src, 64)
+            yield from cc.get_acked(1, 0, 128, 64)  # into own MPB @ 128
+
+        run_spmd(chip, prog, core_ids=[0])
+        assert chip.mpbs[0].read_bytes(128, 64) == payload
+        assert chip.faults.n_recovered == 1
+
+    def test_put_acked_retries_through_a_dropped_data_write(self):
+        chip = faulty_chip(FaultSpec(FaultKind.DROP_DATA_WRITE, nth=1))
+        comm = Comm(chip)
+        payload = bytes(range(64))
+
+        def prog(core):
+            cc = comm.attach(core)
+            src = cc.alloc(64)
+            src.write(payload)
+            yield from cc.put_acked(1, 0, src, 64)
+
+        run_spmd(chip, prog, core_ids=[0])
+        assert chip.mpbs[1].read_bytes(0, 64) == payload
+        assert chip.faults.n_recovered == 1
+
+
+class TestSeededDeterminism:
+    def _trace_once(self, specs):
+        tracer = Tracer(enabled=True)
+        chip = faulty_chip(*specs, tracer=tracer)
+        comm = Comm(chip)
+        f = comm.flag("t")
+
+        def prog(core):
+            cc = comm.attach(core)
+            for i in range(1, 4):
+                yield from cc.flag_set_acked(
+                    (core.id + 1) % 4, f, FlagValue(0, i)
+                )
+            yield from cc.wait_flags([f], lambda v: v[0].seq >= 3)
+
+        run_spmd(chip, prog, core_ids=[0, 1, 2, 3])
+        return "\n".join(str(r) for r in tracer.records)
+
+    def test_same_plan_gives_byte_identical_trace(self):
+        specs = (
+            FaultSpec(FaultKind.DROP_FLAG_WRITE, nth=3),
+            FaultSpec(FaultKind.LINK_STALL, nth=5, duration=40.0),
+        )
+        assert self._trace_once(specs) == self._trace_once(specs)
+
+    def test_different_plan_gives_different_trace(self):
+        a = self._trace_once((FaultSpec(FaultKind.DROP_FLAG_WRITE, nth=3),))
+        b = self._trace_once((FaultSpec(FaultKind.DROP_FLAG_WRITE, nth=4),))
+        assert a != b
