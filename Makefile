@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test faults bench lint
+.PHONY: test faults bench perf perf-check lint
 
 ## Tier-1: the fast default test suite (fault campaigns deselected).
 test:
@@ -16,6 +16,15 @@ faults:
 ## Paper tables/figures (slow; writes benchmarks/results/).
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+## Engine performance: measure events/sec, broadcasts/sec, trials/sec and
+## record them in benchmarks/BENCH_simulator.json (docs/PERFORMANCE.md).
+perf:
+	$(PYTHON) benchmarks/perf_report.py --label current
+
+## Compare a fresh (quick) measurement against the committed baseline.
+perf-check:
+	$(PYTHON) benchmarks/perf_check.py
 
 lint:
 	$(PYTHON) -m compileall -q src tests benchmarks

@@ -1,0 +1,67 @@
+"""Guard against simulator performance regressions.
+
+Re-measures the engine benchmarks (quick mode) and compares each metric
+against the committed ``current`` block of ``BENCH_simulator.json``.
+Fails (exit 1) if any metric falls more than ``--tolerance`` below the
+baseline; improvements always pass.  Wall-clock numbers on shared
+machines are noisy, hence the generous default tolerance -- the guard
+catches integer-factor regressions (a broken fast path), not percent
+drift.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf_check.py
+    PYTHONPATH=src python benchmarks/perf_check.py --tolerance 0.5
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from perf_report import RESULTS_PATH, measure
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument(
+        "--tolerance", type=float, default=0.30,
+        help="allowed fractional shortfall per metric (default 0.30)",
+    )
+    ap.add_argument("--baseline", default=RESULTS_PATH)
+    args = ap.parse_args(argv)
+
+    try:
+        with open(args.baseline) as fh:
+            doc = json.load(fh)
+        committed = doc["current"]
+    except (OSError, KeyError) as exc:
+        print(f"no committed 'current' baseline in {args.baseline}: {exc}")
+        print("run `make perf` first to record one")
+        return 2
+
+    fresh = measure(quick=True)
+    failed = []
+    width = max(len(k) for k in fresh)
+    for key, value in fresh.items():
+        base = committed.get(key)
+        if not isinstance(base, (int, float)) or base <= 0:
+            continue
+        ratio = value / base
+        verdict = "ok" if ratio >= 1.0 - args.tolerance else "REGRESSED"
+        if verdict != "ok":
+            failed.append(key)
+        print(f"{key:<{width}}  {value:>12.3f}  vs {base:>12.3f}  "
+              f"({ratio:5.2f}x)  {verdict}")
+
+    if failed:
+        print(f"\nFAIL: {len(failed)} metric(s) regressed beyond "
+              f"{args.tolerance:.0%}: {', '.join(failed)}")
+        return 1
+    print("\nall engine benchmarks within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,142 @@
+"""Measure simulator wall-clock performance and write BENCH_simulator.json.
+
+Engineering benchmark (not a paper figure): times the simulation engine
+itself -- raw kernel event throughput, full broadcasts per second at each
+contention fidelity, and fault-campaign trials per second -- so the perf
+trajectory of the reproduction is tracked across PRs the same way result
+regressions are.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf_report.py            # write JSON
+    PYTHONPATH=src python benchmarks/perf_report.py --label before
+    PYTHONPATH=src python benchmarks/perf_report.py --quick    # fewer reps
+
+The JSON keeps one measurement block per label (``before`` = pre-fast-path
+engine, ``current`` = this tree) plus the speedup of ``current`` over
+``before``, so a single committed file records the trajectory.
+``benchmarks/perf_check.py`` guards against regressions of ``current``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+from repro.bench import BcastSpec, FaultCampaign, run_broadcast
+from repro.scc import ContentionMode, SccConfig
+from repro.sim import Simulator
+
+RESULTS_PATH = os.path.join(os.path.dirname(__file__), "BENCH_simulator.json")
+
+#: Events per run of the kernel scenario (4 tickers x 5k timeouts, each
+#: timeout costing one timer event plus one process resumption).
+KERNEL_EVENTS = 4 * 5_000 * 2
+
+
+def _best_of(fn, reps: int) -> float:
+    """Best wall-clock seconds over ``reps`` runs (min filters GC noise)."""
+    best = float("inf")
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def bench_kernel() -> float:
+    sim = Simulator()
+
+    def ticker(n=5_000):
+        for _ in range(n):
+            yield sim.timeout(0.001)
+
+    for _ in range(4):
+        sim.process(ticker())
+    sim.run()
+    return sim.now
+
+
+def bench_broadcast(mode: ContentionMode, nbytes: int) -> float:
+    cfg = SccConfig(contention_mode=mode)
+    return run_broadcast(
+        BcastSpec("oc", k=7), nbytes, config=cfg, iters=1, warmup=0
+    ).mean_latency
+
+
+def bench_campaign(trials: int) -> None:
+    FaultCampaign(trials=trials, seed=1, compare_baseline=False).run()
+
+
+def measure(quick: bool) -> dict:
+    reps = 2 if quick else 3
+    # Same trial count in both modes: the campaign's fixed profiling
+    # overhead amortises over trials, so trials/sec is only comparable
+    # across runs at equal N.
+    trials = 4
+    out: dict[str, float] = {}
+
+    t = _best_of(bench_kernel, reps)
+    out["kernel_events_per_sec"] = KERNEL_EVENTS / t
+
+    t = _best_of(
+        lambda: bench_broadcast(ContentionMode.BATCH, 96 * 32 * 4), reps
+    )
+    out["broadcasts_per_sec_batch"] = 1.0 / t
+
+    t = _best_of(
+        lambda: bench_broadcast(ContentionMode.EXACT, 96 * 32 * 2), reps
+    )
+    out["broadcasts_per_sec_exact"] = 1.0 / t
+
+    t = _best_of(
+        lambda: bench_broadcast(ContentionMode.BATCH, 8192 * 32), 1
+    )
+    out["broadcasts_per_sec_1mib_batch"] = 1.0 / t
+
+    t = _best_of(lambda: bench_campaign(trials), 1)
+    out["campaign_trials_per_sec"] = trials / t
+
+    return {k: round(v, 3) for k, v in out.items()}
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--label", default="current", help="block to write (default: current)")
+    ap.add_argument("--quick", action="store_true", help="fewer repetitions")
+    ap.add_argument("--output", default=RESULTS_PATH)
+    args = ap.parse_args(argv)
+
+    doc: dict = {}
+    if os.path.exists(args.output):
+        with open(args.output) as fh:
+            doc = json.load(fh)
+
+    block = measure(args.quick)
+    block["python"] = sys.version.split()[0]
+    doc[args.label] = block
+
+    if "before" in doc and "current" in doc:
+        doc["speedup_current_over_before"] = {
+            k: round(doc["current"][k] / doc["before"][k], 2)
+            for k in doc["before"]
+            if k != "python" and doc["before"][k]
+        }
+
+    with open(args.output, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+    width = max(len(k) for k in block)
+    print(f"[{args.label}]")
+    for k, v in block.items():
+        print(f"  {k:<{width}}  {v}")
+    print(f"written to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,6 +12,8 @@ and figures on the simulated chip.
   side-by-side comparison.
 - :mod:`repro.bench.faultcampaign` -- seeded fault-injection campaigns
   comparing fault-tolerant OC-Bcast against the baseline.
+- :mod:`repro.bench.parallel` -- fan independent grid points / campaign
+  trials across worker processes with bit-identical merged results.
 - :mod:`repro.bench.reporting` -- ASCII tables/series and CSV output.
 - :mod:`repro.bench.analysis` -- trace-based pipeline timelines, overlap
   metrics and MPB-port utilisation.
@@ -35,6 +37,12 @@ from .faultcampaign import (
 )
 from .harness import BcastResult, BcastSpec, run_broadcast, sweep_broadcast
 from .microbench import PutGetSample, sweep_putget
+from .parallel import (
+    default_jobs,
+    parallel_map,
+    run_campaign_parallel,
+    sweep_broadcast_parallel,
+)
 from .contention import ContentionResult, concurrent_access, mesh_link_probe
 from .reporting import format_fault_timeline, format_series, format_table, write_csv
 
@@ -51,6 +59,10 @@ __all__ = [
     "busiest_port",
     "chunk_timeline",
     "concurrent_access",
+    "default_jobs",
+    "parallel_map",
+    "run_campaign_parallel",
+    "sweep_broadcast_parallel",
     "flag_traffic",
     "mpb_port_utilisation",
     "pipeline_depth",

@@ -1,0 +1,175 @@
+"""Parallel execution of independent simulation runs.
+
+Every benchmark in this package is a grid of *independent* simulations: a
+sweep runs one fresh chip per ``(spec, size)`` point, a fault campaign one
+fresh chip per trial.  Each point is deterministic given its inputs (the
+spec carries the algorithm, the config carries the jitter seed, the
+campaign derives per-trial plans from its seed), so the grid can be fanned
+out across worker processes and merged back **in submission order**
+without changing a single output bit -- ``jobs=1`` and ``jobs=N`` produce
+identical results, and both match the serial loops in
+:mod:`repro.bench.harness` / :mod:`repro.bench.faultcampaign`.
+
+The workers are plain module-level functions over picklable dataclasses,
+so the pool works with any start method.  ``jobs <= 1`` short-circuits to
+an in-process loop (no pool, no pickling) -- callers can pass ``--jobs``
+straight through without special-casing.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import Counter
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Iterable, Sequence, TypeVar
+
+from ..faults import FaultPlan
+from ..scc import SccChip, SccConfig
+from ..scc.config import CACHE_LINE
+from ..sim.trace import TraceRecord
+from .faultcampaign import CampaignResult, FaultCampaign, TrialResult
+from .harness import BcastResult, BcastSpec, run_broadcast
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+
+def default_jobs() -> int:
+    """A sensible worker count for this machine (cores, capped at 8 --
+    each worker is a full simulator, memory-hungry beyond that)."""
+    return min(os.cpu_count() or 1, 8)
+
+
+def parallel_map(
+    fn: Callable[[_T], _R], items: Iterable[_T], *, jobs: int = 1
+) -> list[_R]:
+    """Apply ``fn`` to every item, in worker processes when ``jobs > 1``.
+
+    Results come back in input order regardless of completion order, so a
+    deterministic ``fn`` makes the whole call deterministic.  ``fn`` must
+    be a module-level function and items/results picklable when
+    ``jobs > 1``.
+    """
+    work = list(items)
+    if jobs <= 1 or len(work) <= 1:
+        return [fn(item) for item in work]
+    with ProcessPoolExecutor(max_workers=min(jobs, len(work))) as pool:
+        return list(pool.map(fn, work))
+
+
+# -- broadcast sweeps ---------------------------------------------------------
+
+
+def _bcast_point(
+    point: tuple[BcastSpec, int, SccConfig | None, int, int, bool, int],
+) -> BcastResult:
+    """Worker: one ``(spec, size)`` grid point on a fresh chip."""
+    spec, nbytes, config, iters, warmup, verify, seed = point
+    return run_broadcast(
+        spec, nbytes, config=config,
+        iters=iters, warmup=warmup, verify=verify, seed=seed,
+    )
+
+
+def sweep_broadcast_parallel(
+    specs: Sequence[BcastSpec],
+    sizes_cache_lines: Sequence[int],
+    *,
+    config: SccConfig | None = None,
+    iters: int = 3,
+    warmup: int = 1,
+    verify: bool = True,
+    seed: int = 1,
+    jobs: int = 1,
+) -> dict[str, list[BcastResult]]:
+    """Parallel equivalent of :func:`repro.bench.sweep_broadcast`.
+
+    The full ``specs x sizes`` grid is fanned across ``jobs`` workers;
+    every point carries the same explicit ``seed`` the serial sweep uses,
+    and the merge is by grid position -- the returned mapping is equal to
+    the serial one for any ``jobs``.
+    """
+    points = [
+        (spec, ncl * CACHE_LINE, config, iters, warmup, verify, seed)
+        for spec in specs
+        for ncl in sizes_cache_lines
+    ]
+    flat = parallel_map(_bcast_point, points, jobs=jobs)
+    n = len(sizes_cache_lines)
+    return {
+        spec.label: flat[i * n:(i + 1) * n] for i, spec in enumerate(specs)
+    }
+
+
+# -- fault campaigns ----------------------------------------------------------
+
+
+def _campaign_trial(
+    arg: tuple[FaultCampaign, int, FaultPlan],
+) -> tuple[TrialResult, tuple[TraceRecord, ...]]:
+    """Worker: one seeded trial (FT run plus optional baseline run).
+
+    Always traces the FT run: tracing has no timing effect, and the
+    caller needs the records of whichever trial turns out to be the first
+    with an injection (unknowable before the merge).
+    """
+    campaign, index, plan = arg
+    ft_run, records = campaign.run_one(plan, ft=True, trace=True)
+    base_run = None
+    if campaign.compare_baseline:
+        base_run, _ = campaign.run_one(plan, ft=False)
+    return (
+        TrialResult(index=index, plan=plan, ft=ft_run, baseline=base_run),
+        records,
+    )
+
+
+def run_campaign_parallel(
+    campaign: FaultCampaign, *, jobs: int = 1
+) -> CampaignResult:
+    """Parallel equivalent of :meth:`FaultCampaign.run`.
+
+    The profile and the two fault-free reference runs stay in-process
+    (they seed the trial plans); the trials -- the bulk of the work --
+    fan out.  Results merge in trial order and the timeline is taken from
+    the lowest-index trial that saw an injection, exactly as the serial
+    loop encounters it, so the returned :class:`CampaignResult` is equal
+    for any ``jobs``.
+    """
+    if jobs <= 1:
+        return campaign.run()
+    profile = campaign.profile_sites()
+    base_latency = campaign._bcast_once(SccChip(campaign.config), ft=False)
+    ft_latency = campaign._bcast_once(SccChip(campaign.config), ft=True)
+
+    plans = campaign.trial_plans()
+    merged = parallel_map(
+        _campaign_trial,
+        [(campaign, i, plan) for i, plan in enumerate(plans)],
+        jobs=jobs,
+    )
+
+    ft_counts: Counter = Counter()
+    baseline_counts: Counter | None = (
+        Counter() if campaign.compare_baseline else None
+    )
+    timeline: tuple[TraceRecord, ...] = ()
+    trials: list[TrialResult] = []
+    for trial, records in merged:
+        ft_counts[trial.ft.outcome] += 1
+        if baseline_counts is not None and trial.baseline is not None:
+            baseline_counts[trial.baseline.outcome] += 1
+        if not timeline and trial.ft.n_injected:
+            timeline = records
+        trials.append(trial)
+    return CampaignResult(
+        trials=tuple(trials),
+        ft_counts=ft_counts,
+        baseline_counts=baseline_counts,
+        base_latency=base_latency,
+        ft_latency=ft_latency,
+        profile=profile,
+        nbytes=campaign.nbytes,
+        seed=campaign.seed,
+        timeline=timeline,
+    )

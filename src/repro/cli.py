@@ -28,8 +28,10 @@ from .bench import (
     format_fault_timeline,
     format_series,
     format_table,
+    default_jobs,
     run_broadcast,
-    sweep_broadcast,
+    run_campaign_parallel,
+    sweep_broadcast_parallel,
     sweep_putget,
 )
 from .bench.faultcampaign import parse_kinds
@@ -55,6 +57,14 @@ def _config(args: argparse.Namespace) -> SccConfig:
 def _add_mesh_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--mesh-cols", type=int, default=6, help="mesh columns (default 6)")
     p.add_argument("--mesh-rows", type=int, default=4, help="mesh rows (default 4)")
+
+
+def _add_jobs_arg(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for independent runs (0 = one per CPU core, "
+             "default 1 = in-process); results are identical for any N",
+    )
 
 
 def cmd_info(args: argparse.Namespace) -> int:
@@ -100,8 +110,9 @@ def cmd_bcast(args: argparse.Namespace) -> int:
 
 def cmd_sweep(args: argparse.Namespace) -> int:
     specs = [_parse_spec(a) for a in args.algos]
-    out = sweep_broadcast(
-        specs, args.sizes, config=_config(args), iters=args.iters, warmup=args.warmup
+    out = sweep_broadcast_parallel(
+        specs, args.sizes, config=_config(args), iters=args.iters,
+        warmup=args.warmup, jobs=args.jobs or default_jobs(),
     )
     if args.throughput:
         series = {
@@ -157,7 +168,7 @@ def cmd_faults(args: argparse.Namespace) -> int:
     except ValueError as exc:
         print(f"ERROR: {exc}", file=sys.stderr)
         return 2
-    result = campaign.run()
+    result = run_campaign_parallel(campaign, jobs=args.jobs or default_jobs())
     print(result.summary())
     if args.timeline:
         print()
@@ -245,6 +256,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="report steady throughput instead of latency")
     p.add_argument("--chart", action="store_true", help="also draw an ASCII chart")
     _add_mesh_args(p)
+    _add_jobs_arg(p)
     p.set_defaults(fn=cmd_sweep)
 
     p = sub.add_parser("contention", help="concurrent MPB access study (Fig. 4)")
@@ -272,6 +284,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--timeline", action="store_true",
                    help="print the fault timeline of the first faulty trial")
     _add_mesh_args(p)
+    _add_jobs_arg(p)
     p.set_defaults(fn=cmd_faults)
 
     p = sub.add_parser("fit", help="recover Table 1 from simulated sweeps")

@@ -127,6 +127,12 @@ class SccConfig:
     model_links: bool = False
     #: Model the per-core L1 over private memory (Formula 14's cache term).
     model_l1: bool = True
+    #: EXACT mode only: coalesce uncontended runs of cache-line port cycles
+    #: into one scheduled wake-up instead of per-line generator churn.
+    #: Bit-identical to the per-line loop (falls back the moment another
+    #: requester appears); off exists for A/B determinism checks.  Has no
+    #: effect in BATCH/IDEAL modes or with ``model_links`` on.
+    exact_coalescing: bool = True
 
     def __post_init__(self) -> None:
         if self.mesh_cols < 1 or self.mesh_rows < 1:

@@ -53,6 +53,14 @@ class Core:
         self.mem_dist = chip.mesh.mem_distance(core_id)
         # Independent, reproducible jitter stream per core.
         self.rng = np.random.default_rng(np.random.SeedSequence([chip.config.seed, core_id]))
+        # Constant per-core costs, precomputed once (Formulas 5/6 depend
+        # only on the core's memory-controller distance, fixed at build).
+        cfg = chip.config
+        self._mem_read_cost = cfg.o_mem_r + 2 * self.mem_dist * cfg.l_hop
+        self._mem_write_cost = cfg.o_mem_w + 2 * self.mem_dist * cfg.l_hop
+        #: Lazy per-target cache of (hop distance, uncontended MPB line
+        #: cost) pairs (Formulas 2/3); fixed after construction.
+        self._line_cost_to: dict[int, tuple[int, float]] = {}
 
     # -- cost helpers --------------------------------------------------------
 
@@ -63,11 +71,11 @@ class Core:
 
     def mem_read_line_cost(self) -> float:
         """Off-chip read of one line, L1 miss (Formula 6)."""
-        return self.config.o_mem_r + 2 * self.mem_dist * self.config.l_hop
+        return self._mem_read_cost
 
     def mem_write_line_cost(self) -> float:
         """Off-chip write completion of one line (Formula 5)."""
-        return self.config.o_mem_w + 2 * self.mem_dist * self.config.l_hop
+        return self._mem_write_cost
 
     def jittered(self, t: float) -> float:
         """Apply the configured core-overhead jitter to a duration."""
@@ -112,46 +120,80 @@ class Core:
         if n_lines <= 0:
             return
         cfg = self.config
+        sim = self.sim
         stall = self._fault_overhead() + self.chip.mesh.fault_stall(
             self.id, target_core
         )
         if stall > 0.0:
-            yield self.sim.timeout(stall)
-        d = self.chip.mesh.core_distance(self.id, target_core)
-        per_line = self.mpb_line_cost(d) + extra_per_line
-        per_line = self.jittered(per_line)
+            yield sim.timeout(stall)
+        cached = self._line_cost_to.get(target_core)
+        if cached is None:
+            d = self.chip.mesh.core_distance(self.id, target_core)
+            cached = self._line_cost_to[target_core] = (d, self.mpb_line_cost(d))
+        d, line_cost = cached
+        per_line = self.jittered(line_cost + extra_per_line)
         service = cfg.t_mpb_port_write if write else cfg.t_mpb_port
         mode = cfg.contention_mode
         if mode is ContentionMode.IDEAL:
-            yield self.sim.timeout(n_lines * per_line)
+            yield sim.timeout(n_lines * per_line)
             return
         port = self.chip.mpbs[target_core].port
         if mode is ContentionMode.BATCH:
-            yield from port.serve(n_lines * service)
+            # Inline of port.serve (one generator frame less per transfer).
+            yield port.acquire()
+            try:
+                hold = n_lines * service
+                if hold > 0:
+                    yield sim.timeout(hold)
+            finally:
+                port.release()
             rest = n_lines * (per_line - service)
             if rest > 0:
-                yield self.sim.timeout(rest)
+                yield sim.timeout(rest)
             return
         # EXACT: per-line arbitration (and per-line link occupancy).  The
         # port arbiter structurally favours mesh-closer requesters -- the
         # source of the persistent per-core unfairness of Figure 4.
         walk_links = cfg.model_links
-        src_tile = self.tile
-        dst_tile = self.chip.mesh.tile_of_core(target_core)
         rest = max(0.0, per_line - service)
         retry_factor = cfg.t_retry_per_hop * d
-        for _ in range(n_lines):
+        priority = float(d)
+        if walk_links:
+            src_tile = self.tile
+            dst_tile = self.chip.mesh.tile_of_core(target_core)
+        # Contention-aware coalescing: while the target port is idle, an
+        # uncontended run of lines is charged in a single wake-up; any
+        # other requester aborts the run at a line boundary and the loop
+        # falls back to per-line arbitration (bit-identical either way --
+        # see Resource.try_begin_run and docs/PERFORMANCE.md).
+        coalesce = cfg.exact_coalescing and not walk_links
+        i = 0
+        while i < n_lines:
+            if coalesce:
+                run_ev = port.try_begin_run(n_lines - i, service, rest)
+                if run_ev is not None:
+                    lines_done = yield run_ev
+                    i += lines_done
+                    continue
             if walk_links:
                 # Occupy links on the data-carrying direction.
                 yield from self.chip.mesh.transfer_packet(src_tile, dst_tile)
-            waited = yield from port.serve(service, priority=float(d))
+            # Inline of port.serve(service, priority) -- saves a generator
+            # frame per cache line on the hottest path in the simulator.
+            waited = yield port.acquire(priority)
+            try:
+                if service > 0:
+                    yield sim.timeout(service)
+            finally:
+                port.release()
             if waited > 0.0 and retry_factor > 0.0:
                 # A request that lost arbitration was NACKed and retried
                 # over the full mesh path: the farther the core, the more
                 # each lost race costs (Figure 4's distance unfairness).
-                yield self.sim.timeout(waited * retry_factor)
+                yield sim.timeout(waited * retry_factor)
             if rest > 0:
-                yield self.sim.timeout(rest)
+                yield sim.timeout(rest)
+            i += 1
 
     def mem_read(self, ref: MemRef) -> Generator[Event, object, None]:
         """Read ``ref`` from private off-chip memory (through the L1)."""
@@ -160,13 +202,15 @@ class Core:
                 f"core {self.id} cannot access private memory of core {ref.owner}"
             )
         total = self._fault_overhead()
+        lines = ref.line_addrs()  # computed once, reused below
         if self.l1 is not None:
             hit_cost = self.config.t_l1_hit
-            miss_cost = self.mem_read_line_cost()
-            for line in ref.line_addrs():
-                total += hit_cost if self.l1.access(line) else miss_cost
+            miss_cost = self._mem_read_cost
+            access = self.l1.access
+            for line in lines:
+                total += hit_cost if access(line) else miss_cost
         else:
-            total += len(ref.line_addrs()) * self.mem_read_line_cost()
+            total += len(lines) * self._mem_read_cost
         if total > 0:
             yield self.sim.timeout(self.jittered(total))
 
@@ -176,11 +220,12 @@ class Core:
             raise ValueError(
                 f"core {self.id} cannot access private memory of core {ref.owner}"
             )
-        n = len(ref.line_addrs())
+        lines = ref.line_addrs()  # computed once, reused below
         if self.l1 is not None:
-            for line in ref.line_addrs():
-                self.l1.access(line)
-        total = n * self.mem_write_line_cost() + self._fault_overhead()
+            access = self.l1.access
+            for line in lines:
+                access(line)
+        total = len(lines) * self._mem_write_cost + self._fault_overhead()
         if total > 0:
             yield self.sim.timeout(self.jittered(total))
 

@@ -61,7 +61,7 @@ class MemRef:
     algorithms address chunks without arithmetic on raw offsets.
     """
 
-    __slots__ = ("memory", "offset", "nbytes")
+    __slots__ = ("memory", "offset", "nbytes", "_lines")
 
     def __init__(self, memory: "PrivateMemory", offset: int, nbytes: int) -> None:
         if offset < 0 or nbytes < 0 or offset + nbytes > memory.size:
@@ -72,6 +72,7 @@ class MemRef:
         self.memory = memory
         self.offset = offset
         self.nbytes = nbytes
+        self._lines: range | None = None
 
     @property
     def owner(self) -> int:
@@ -97,10 +98,14 @@ class MemRef:
         self.memory.write_bytes(self.offset, payload)
 
     def line_addrs(self) -> range:
-        """Cache-line addresses covered by this buffer."""
-        first = self.offset // CACHE_LINE
-        last = (self.offset + self.nbytes - 1) // CACHE_LINE if self.nbytes else first - 1
-        return range(first, last + 1)
+        """Cache-line addresses covered by this buffer (cached: the span
+        is immutable)."""
+        lines = self._lines
+        if lines is None:
+            first = self.offset // CACHE_LINE
+            last = (self.offset + self.nbytes - 1) // CACHE_LINE if self.nbytes else first - 1
+            lines = self._lines = range(first, last + 1)
+        return lines
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<MemRef core{self.owner} [{self.offset}:{self.offset + self.nbytes}]>"

@@ -52,6 +52,31 @@ class Mesh:
                 (self.cols - 1, self.rows - 1),
             })
         )
+        # The mesh is static after construction: precompute per-core
+        # geometry so the hot paths (core_distance per MPB transaction,
+        # mem_distance per memory op) are table lookups, not arithmetic
+        # plus validation.
+        cpt = config.cores_per_tile
+        self._core_tiles: tuple[Coord, ...] = tuple(
+            ((cid // cpt) % self.cols, (cid // cpt) // self.cols)
+            for cid in range(config.num_cores)
+        )
+        self._mc_tile_of_core: tuple[Coord, ...] = tuple(
+            min(
+                self.mc_tiles,
+                key=lambda mc, t=tile: (abs(t[0] - mc[0]) + abs(t[1] - mc[1]), mc),
+            )
+            for tile in self._core_tiles
+        )
+        self._mem_dist: tuple[int, ...] = tuple(
+            abs(t[0] - mc[0]) + abs(t[1] - mc[1]) + 1
+            for t, mc in zip(self._core_tiles, self._mc_tile_of_core)
+        )
+        # Lazy caches for X-Y routes (tile-pair keyed; filled on demand so
+        # large scaled-up meshes never pay a quadratic precompute).
+        self._route_cache: dict[tuple[Coord, Coord], list[Coord]] = {}
+        self._path_links_cache: dict[tuple[Coord, Coord], list[tuple[Coord, Coord]]] = {}
+        self._path_resources: dict[tuple[Coord, Coord], tuple[Resource, ...]] = {}
 
     # -- geometry -----------------------------------------------------------
 
@@ -63,8 +88,7 @@ class Mesh:
     def tile_of_core(self, core_id: int) -> Coord:
         """Tile coordinate of a core (cores are numbered tile-major)."""
         self._check_core(core_id)
-        tile = core_id // self.config.cores_per_tile
-        return (tile % self.cols, tile // self.cols)
+        return self._core_tiles[core_id]
 
     def cores_of_tile(self, tile: Coord) -> tuple[int, ...]:
         x, y = tile
@@ -78,27 +102,34 @@ class Mesh:
         """Routers traversed by a packet from ``src_core`` to the MPB of
         ``dst_core`` (>= 1 even on the same tile: the local router is used
         because direct local-MPB access is buggy on real silicon)."""
-        return (
-            self.manhattan(self.tile_of_core(src_core), self.tile_of_core(dst_core))
-            + 1
-        )
+        tiles = self._core_tiles
+        n = len(tiles)
+        if not (0 <= src_core < n and 0 <= dst_core < n):
+            self._check_core(src_core)
+            self._check_core(dst_core)
+        a = tiles[src_core]
+        b = tiles[dst_core]
+        return abs(a[0] - b[0]) + abs(a[1] - b[1]) + 1
 
     def mc_tile_of_core(self, core_id: int) -> Coord:
         """The memory controller serving this core: nearest corner, ties
         broken toward the lower-left (deterministic quadrant split)."""
-        tile = self.tile_of_core(core_id)
-        return min(self.mc_tiles, key=lambda mc: (self.manhattan(tile, mc), mc))
+        self._check_core(core_id)
+        return self._mc_tile_of_core[core_id]
 
     def mem_distance(self, core_id: int) -> int:
         """Routers traversed to reach the core's memory controller."""
-        tile = self.tile_of_core(core_id)
-        return self.manhattan(tile, self.mc_tile_of_core(core_id)) + 1
+        self._check_core(core_id)
+        return self._mem_dist[core_id]
 
     # -- X-Y routing ---------------------------------------------------------
 
     def route(self, src: Coord, dst: Coord) -> list[Coord]:
         """Tiles visited from ``src`` to ``dst`` under X-Y routing,
-        inclusive of both endpoints."""
+        inclusive of both endpoints (cached: the mesh is static)."""
+        cached = self._route_cache.get((src, dst))
+        if cached is not None:
+            return list(cached)
         self._check_tile(src)
         self._check_tile(dst)
         path = [src]
@@ -111,12 +142,17 @@ class Mesh:
         while y != dst[1]:
             y += step
             path.append((x, y))
-        return path
+        self._route_cache[(src, dst)] = path
+        return list(path)
 
     def path_links(self, src: Coord, dst: Coord) -> list[tuple[Coord, Coord]]:
         """Directed links crossed on the X-Y route from src to dst."""
-        path = self.route(src, dst)
-        return list(zip(path, path[1:]))
+        cached = self._path_links_cache.get((src, dst))
+        if cached is None:
+            path = self.route(src, dst)
+            cached = list(zip(path, path[1:]))
+            self._path_links_cache[(src, dst)] = cached
+        return list(cached)
 
     def link(self, src: Coord, dst: Coord) -> Resource:
         """The :class:`Resource` modeling a directed link (requires
@@ -141,8 +177,14 @@ class Mesh:
         """Sub-generator: move one cache-line packet, occupying each link on
         the X-Y path for ``t_link``.  Only meaningful with link modeling on;
         hop *latency* is charged separately by the caller."""
-        for a, b in self.path_links(src, dst):
-            yield from self._links[(a, b)].serve(self.config.t_link)
+        resources = self._path_resources.get((src, dst))
+        if resources is None:
+            links = self._links
+            resources = tuple(links[ab] for ab in self.path_links(src, dst))
+            self._path_resources[(src, dst)] = resources
+        t_link = self.config.t_link
+        for link in resources:
+            yield from link.serve(t_link)
 
     # -- validation -----------------------------------------------------------
 

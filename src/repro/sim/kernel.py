@@ -12,6 +12,7 @@ unseeded RNGs.
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from typing import Any, Callable, Generator, Iterable, Optional
 
 from .errors import (
@@ -63,7 +64,16 @@ class Event:
             raise SimError(f"event {self.name!r} already triggered")
         self.triggered = True
         self._value = value
-        self.sim._dispatch(self)
+        callbacks = self._callbacks
+        if callbacks:  # inline of Simulator._dispatch (hot path)
+            self._callbacks = []
+            sim = self.sim
+            seq = sim._seq
+            nowq = sim._now_queue
+            for fn in callbacks:
+                seq += 1
+                nowq.append((seq, fn, self))
+            sim._seq = seq
         return self
 
     def fail(self, exc: BaseException) -> "Event":
@@ -138,18 +148,32 @@ class Process(Event):
         self._waiting_on = None
         self.last_resume = self.sim.now
         try:
-            if triggering is not None and triggering.failed:
-                target = self._gen.throw(triggering._exc)  # type: ignore[arg-type]
+            if triggering is None:
+                target = self._gen.send(None)
+            elif triggering._exc is not None:
+                target = self._gen.throw(triggering._exc)
             else:
-                value = triggering._value if triggering is not None else None
-                target = self._gen.send(value)
+                target = self._gen.send(triggering._value)
         except StopIteration as stop:
             self._finish_ok(stop.value)
             return
         except BaseException as exc:
             self._finish_fail(exc)
             return
-        self._block_on(target)
+        # Inline of _block_on: pending events (the overwhelmingly common
+        # case) take the two-line fast path.
+        if isinstance(target, Event):
+            self._waiting_on = target
+            if not target.triggered:
+                target._callbacks.append(self._resume)
+            else:
+                # Already fired (e.g. an uncontended Resource grant):
+                # resume via the zero-delay queue, no heap round-trip.
+                self.sim._schedule(0.0, self._resume, target)
+        else:
+            self._finish_fail(
+                SimError(f"process {self.name!r} yielded non-event {target!r}")
+            )
 
     def _throw(self, exc: BaseException) -> None:
         if self.triggered:
@@ -207,6 +231,11 @@ class Simulator:
     def __init__(self) -> None:
         self.now: float = 0.0
         self._heap: list[tuple[float, int, Callable[..., None], Any]] = []
+        #: Zero-delay fast path: callbacks scheduled for the *current*
+        #: timestamp, in FIFO (= global sequence) order.  Every entry here
+        #: would otherwise be a heap push/pop pair at time ``now``; the
+        #: deque keeps the exact (time, seq) execution order -- see run().
+        self._now_queue: deque[tuple[int, Callable[..., None], Any]] = deque()
         self._seq = 0
         self._live_processes: set[Process] = set()
         self._crashed: list[tuple[Process, BaseException]] = []
@@ -217,12 +246,39 @@ class Simulator:
         if delay < 0:
             raise ScheduleInPastError(f"negative delay {delay!r}")
         self._seq += 1
-        heapq.heappush(self._heap, (self.now + delay, self._seq, fn, arg))
+        if delay == 0.0:
+            # Fires at the current time: FIFO order == seq order, and the
+            # run loop interleaves it correctly with same-time heap entries.
+            self._now_queue.append((self._seq, fn, arg))
+        else:
+            heapq.heappush(self._heap, (self.now + delay, self._seq, fn, arg))
+
+    def _schedule_at(self, t: float, fn: Callable[..., None], arg: Any) -> None:
+        """Schedule ``fn(arg)`` at the *absolute* simulated time ``t``.
+
+        Unlike ``_schedule(t - now, ...)`` this avoids the float round trip
+        through a relative delay, so a caller that reconstructs timestamps
+        (e.g. a coalesced Resource run) hits bit-equal heap times.
+        """
+        if t < self.now:
+            raise ScheduleInPastError(f"time {t!r} is before now={self.now!r}")
+        self._seq += 1
+        if t == self.now:
+            self._now_queue.append((self._seq, fn, arg))
+        else:
+            heapq.heappush(self._heap, (t, self._seq, fn, arg))
 
     def _dispatch(self, event: Event) -> None:
-        callbacks, event._callbacks = event._callbacks, []
+        callbacks = event._callbacks
+        if not callbacks:
+            return
+        event._callbacks = []
+        nowq = self._now_queue
+        seq = self._seq
         for fn in callbacks:
-            self._schedule(0.0, fn, event)
+            seq += 1
+            nowq.append((seq, fn, event))
+        self._seq = seq
 
     # -- public factory methods -------------------------------------------
 
@@ -232,13 +288,18 @@ class Simulator:
 
     def timeout(self, delay: float, value: Any = None, name: str = "") -> Event:
         """An event that fires ``delay`` time units from now."""
-        ev = Event(self, name or f"timeout({delay})")
+        # A constant fallback name: formatting a per-timeout string would
+        # dominate the cost of creating the event itself.
+        ev = Event(self, name or "timeout")
         if delay < 0:
             raise ScheduleInPastError(f"negative timeout {delay!r}")
         self._seq += 1
-        heapq.heappush(
-            self._heap, (self.now + delay, self._seq, ev.succeed, value)
-        )
+        if delay == 0.0:
+            self._now_queue.append((self._seq, ev.succeed, value))
+        else:
+            heapq.heappush(
+                self._heap, (self.now + delay, self._seq, ev.succeed, value)
+            )
         return ev
 
     def process(self, gen: ProcessGen, name: str = "") -> Process:
@@ -252,20 +313,47 @@ class Simulator:
 
         Raises :class:`DeadlockError` if processes remain alive with no
         scheduled events, and re-raises the first unobserved process crash.
-        Returns the final simulation time.
+        Returns the final simulation time (``until`` itself when given and
+        the event queue drains before the deadline).
         """
-        while self._heap:
-            t, _, fn, arg = self._heap[0]
-            if until is not None and t > until:
-                self.now = until
-                return self.now
-            heapq.heappop(self._heap)
-            self.now = t
-            fn(arg)
-            if self._crashed:
-                proc, exc = self._crashed.pop(0)
+        heap = self._heap
+        nowq = self._now_queue
+        crashed = self._crashed
+        heappop = heapq.heappop
+        while heap or nowq:
+            # Exact (time, seq) order: the now-queue holds current-time
+            # entries sorted by seq; a heap entry at the same time runs
+            # first iff its seq is smaller.
+            if nowq:
+                if heap:
+                    top = heap[0]
+                    if top[0] == self.now and top[1] < nowq[0][0]:
+                        heappop(heap)
+                        top[2](top[3])
+                        if crashed:
+                            proc, exc = crashed.pop(0)
+                            raise SimError(f"process {proc.name!r} crashed") from exc
+                        continue
+                _, fn, arg = nowq.popleft()
+                fn(arg)
+            else:
+                t = heap[0][0]
+                if until is not None and t > until:
+                    self.now = until
+                    return until
+                _, _, fn, arg = heappop(heap)
+                self.now = t
+                fn(arg)
+            if crashed:
+                proc, exc = crashed.pop(0)
                 raise SimError(f"process {proc.name!r} crashed") from exc
-        if self._live_processes and until is None:
+        if until is not None:
+            # The queue drained before the deadline: the clock still
+            # advances to the requested time (nothing can happen between).
+            if until > self.now:
+                self.now = until
+            return self.now
+        if self._live_processes:
             stuck = tuple(
                 sorted(
                     (p.name, p.waiting_on_name, p.last_resume)
@@ -333,7 +421,14 @@ class Simulator:
 
     def step(self) -> bool:
         """Execute a single scheduled callback. Returns False when empty."""
-        if not self._heap:
+        nowq = self._now_queue
+        if nowq:
+            heap = self._heap
+            if not heap or heap[0][0] != self.now or heap[0][1] > nowq[0][0]:
+                _, fn, arg = nowq.popleft()
+                fn(arg)
+                return True
+        elif not self._heap:
             return False
         t, _, fn, arg = heapq.heappop(self._heap)
         self.now = t
@@ -342,7 +437,7 @@ class Simulator:
 
     @property
     def queued_events(self) -> int:
-        return len(self._heap)
+        return len(self._heap) + len(self._now_queue)
 
 
 def all_of(sim: Simulator, events: Iterable[Event], name: str = "all_of") -> Event:

@@ -14,6 +14,18 @@ sub-generator::
 
     yield from port.serve(hold=0.0126)
 
+For tight per-item loops (EXACT-mode cache-line arbitration) there is a
+third form: :meth:`Resource.try_begin_run` coalesces an *uncontended* run
+of ``n`` identical serve(service)+gap cycles into a single scheduled
+wake-up.  The run is optimistic: the moment any other requester calls
+:meth:`acquire`, the resource reconstructs the exact per-cycle state the
+per-item loop would have produced at that instant (who holds the slot,
+until when, with what queue wait) and wakes the runner at the next cycle
+boundary to fall back to per-item arbitration.  The reconstruction uses
+the same iterative float arithmetic as the per-item timeouts, so traces
+and latencies are bit-identical either way -- see docs/PERFORMANCE.md for
+the determinism contract.
+
 The resource keeps utilisation statistics so benches can report port
 occupancy directly.
 """
@@ -27,6 +39,164 @@ from .errors import SimError
 from .kernel import Event, Simulator
 
 
+class _CoalescedRun:
+    """Bookkeeping of one optimistic uncontended run on a Resource.
+
+    The run owner sleeps on :attr:`event`; it fires with the number of
+    completed cycles -- ``n`` at the natural end, fewer if an intruder
+    forced an abort at a cycle boundary.
+    """
+
+    __slots__ = (
+        "resource", "start", "n", "service", "gap", "event", "closed",
+    )
+
+    def __init__(
+        self,
+        resource: "Resource",
+        start: float,
+        n: int,
+        service: float,
+        gap: float,
+        event: Event,
+    ) -> None:
+        self.resource = resource
+        self.start = start
+        self.n = n
+        self.service = service
+        self.gap = gap
+        self.event = event
+        self.closed = False
+
+    # Exact-arithmetic contract: cycle windows are generated with the same
+    # sequence of float additions the per-item loop performs
+    # (t += service at the grant, t += gap after the release), never with
+    # a multiplication, so every reconstructed timestamp is bit-equal to
+    # the one the per-item loop would have scheduled.
+
+    def final_service_end(self) -> float:
+        """When the last cycle's service window closes (the run's port
+        occupancy ends; the final gap follows)."""
+        t = self.start
+        service, gap = self.service, self.gap
+        for _ in range(self.n - 1):
+            t = t + service
+            t = t + gap
+        return t + service
+
+    def _finalize(self, acquisitions: int, busy_cycles: int) -> None:
+        """Fold the run's virtual slot usage into the stats and detach
+        from the resource (waits were all zero, so only acquisition count
+        and busy time accrue)."""
+        self.closed = True
+        res = self.resource
+        res._run = None
+        res.total_acquisitions += acquisitions
+        res.busy_time += busy_cycles * self.service
+
+    def _pre_complete(self, _arg: object) -> None:
+        """Fires at :meth:`final_service_end` (scheduled at begin time).
+
+        The per-item loop frees the slot inside the owner's process
+        resumption -- a now-queue callback that runs *after* every heap
+        event of the instant.  Mirror that event shape: this heap marker
+        (whose seq, assigned at begin time, stands in for the last service
+        timer's) only enqueues :meth:`_finish`; the actual detach and the
+        owner's end-of-gap wake-up happen there, in now-queue position.
+        """
+        if self.closed:
+            return
+        sim = self.resource.sim
+        sim._schedule_at(sim.now, self._finish, None)
+
+    def _finish(self, _arg: object) -> None:
+        if self.closed:
+            # A same-instant intruder (with an older seq) got here first
+            # and already detached the run.
+            return
+        self._finalize(self.n, self.n)
+        sim = self.resource.sim
+        sim._schedule_at(sim.now + self.gap, _succeed_with, (self.event, self.n))
+
+    def _intrude(self) -> None:
+        """Another requester arrived mid-run: materialise the exact
+        per-cycle state at the current instant and schedule the owner's
+        fall-back wake-up.  Called by :meth:`Resource.acquire` *before*
+        the intruder's request is processed."""
+        res = self.resource
+        sim = res.sim
+        now = sim.now
+        service, gap = self.service, self.gap
+        # Locate the cycle containing `now` (exact float walk).  `now` is
+        # at most final_service_end(): past that, _pre_complete has
+        # already detached the run.
+        t = self.start
+        w_start = w_end = boundary = t
+        i = 0
+        for i in range(self.n):
+            w_start = t
+            w_end = t + service
+            boundary = w_end + gap
+            if now <= boundary:
+                break
+            t = boundary
+
+        done = i + 1  # cycle i's service completes before the owner yields
+        if now < w_end:
+            # Inside cycle i's service window: the owner virtually holds
+            # the slot until w_end; the intruder queues and is granted by
+            # a materialised release, exactly as the per-item loop would.
+            # The release is two-hop (heap marker at w_end, real release
+            # and owner wake-up in now-queue position) because that is
+            # where the per-item loop's process resumption runs it --
+            # same-instant events of other processes must interleave with
+            # it identically.
+            self._finalize(done, done - 1)  # window i's busy time accrues
+            res._in_use = 1                 # at the materialised release
+            res._busy_since = w_start
+            sim._schedule_at(
+                w_end, _hop_release, (res, self.event, boundary, done)
+            )
+        elif now < boundary:
+            # In the gap after cycle i: slot free, intruder granted
+            # immediately; the owner falls back at the cycle boundary.
+            self._finalize(done, done)
+            sim._schedule_at(boundary, _succeed_with, (self.event, done))
+        else:
+            # Exactly at cycle i's boundary: the intruder's triggering
+            # event outran the owner's (virtual) boundary timer, which in
+            # the per-item world was scheduled at w_end -- an event firing
+            # at this exact timestamp almost surely carries an older seq
+            # (it was scheduled before w_end; landing exactly on the
+            # boundary from within the gap would need an unrelated float
+            # coincidence).  So the intruder wins the instant: slot free,
+            # owner's wake-up queued behind the current event.
+            self._finalize(done, done)
+            sim._schedule_at(now, _succeed_with, (self.event, done))
+
+
+def _hop_release(arg: tuple["Resource", Event, float, int]) -> None:
+    """Heap marker at a materialised service window's end: defer the real
+    release to a now-queue callback (the per-item loop releases inside the
+    owner's process resumption, which runs in that position)."""
+    sim = arg[0].sim
+    sim._schedule_at(sim.now, _finish_release, arg)
+
+
+def _finish_release(arg: tuple["Resource", Event, float, int]) -> None:
+    """Release the materialised hold (granting the best waiter), then
+    schedule the run owner's fall-back wake-up -- in that order, matching
+    the per-item loop's release-then-rest-timer sequence."""
+    res, event, boundary, done = arg
+    res.release()
+    res.sim._schedule_at(boundary, _succeed_with, (event, done))
+
+
+def _succeed_with(pair: tuple[Event, int]) -> None:
+    ev, value = pair
+    ev.succeed(value)
+
+
 class Resource:
     """A server with a fixed number of identical slots (default 1).
 
@@ -36,6 +206,11 @@ class Resource:
     requesters (e.g. the SCC MPB port favouring mesh-closer cores, the
     source of Figure 4's unfairness) are modeled by passing a priority.
     """
+
+    __slots__ = (
+        "sim", "capacity", "name", "_in_use", "_waiters", "_seq", "_run",
+        "total_acquisitions", "total_wait_time", "busy_time", "_busy_since",
+    )
 
     def __init__(self, sim: Simulator, capacity: int = 1, name: str = "resource") -> None:
         if capacity < 1:
@@ -47,6 +222,8 @@ class Resource:
         # Heap of (priority, seq, requested_at, event).
         self._waiters: list[tuple[float, int, float, Event]] = []
         self._seq = 0
+        #: Active coalesced run, if any (see try_begin_run).
+        self._run: _CoalescedRun | None = None
         # Statistics.
         self.total_acquisitions = 0
         self.total_wait_time = 0.0
@@ -60,6 +237,8 @@ class Resource:
 
         The caller must eventually call :meth:`release`.
         """
+        if self._run is not None:
+            self._run._intrude()
         self.total_acquisitions += 1
         ev = Event(self.sim, f"{self.name}.acquire")
         if self._in_use < self.capacity and not self._waiters:
@@ -105,6 +284,35 @@ class Resource:
             self.release()
         return float(waited)  # type: ignore[arg-type]
 
+    def try_begin_run(self, n: int, service: float, gap: float) -> Event | None:
+        """Begin a coalesced run of ``n`` serve(``service``)+``gap`` cycles.
+
+        Only possible on an idle single-slot resource (free, no waiters, no
+        active run) with strictly positive ``service`` and ``gap`` -- the
+        regime where the coalesced schedule provably reproduces the
+        per-item loop's arbitration.  Returns an event whose value is the
+        number of cycles completed: ``n`` when the run finished untouched,
+        fewer when an intruder aborted it at a cycle boundary (the caller
+        then falls back to per-item serving for the remainder).  Returns
+        ``None`` when coalescing cannot engage.
+        """
+        if (
+            n < 1
+            or self.capacity != 1
+            or self._in_use
+            or self._waiters
+            or self._run is not None
+            or service <= 0.0
+            or gap <= 0.0
+        ):
+            return None
+        sim = self.sim
+        ev = Event(sim, f"{self.name}.run")
+        run = _CoalescedRun(self, sim.now, n, service, gap, ev)
+        self._run = run
+        sim._schedule_at(run.final_service_end(), run._pre_complete, None)
+        return ev
+
     # -- introspection --------------------------------------------------------
 
     @property
@@ -116,7 +324,11 @@ class Resource:
         return len(self._waiters)
 
     def utilisation(self, elapsed: float | None = None) -> float:
-        """Fraction of time at least one slot was busy."""
+        """Fraction of time at least one slot was busy.
+
+        Note: virtual occupancy of an in-flight coalesced run is folded in
+        only when the run ends, so sample after the simulation drains.
+        """
         busy = self.busy_time
         if self._busy_since is not None:
             busy += self.sim.now - self._busy_since

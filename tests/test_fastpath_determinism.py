@@ -1,0 +1,163 @@
+"""Determinism contract of the simulator fast path.
+
+The event-coalescing optimisation (``SccConfig.exact_coalescing``) must be
+*bit-identical* to the per-line EXACT loop -- same traces, same latencies,
+contended or not, faults armed or not.  These tests run every workload
+twice (coalescing on / off) and compare exactly; see docs/PERFORMANCE.md
+for why equality (not approximate closeness) is the contract.
+"""
+
+from typing import Generator
+
+import pytest
+
+from repro.bench import (
+    BcastSpec,
+    FaultCampaign,
+    concurrent_access,
+    run_broadcast,
+    run_campaign_parallel,
+    sweep_broadcast,
+    sweep_broadcast_parallel,
+)
+from repro.bench.parallel import parallel_map
+from repro.faults import FaultKind
+from repro.rcce import Comm
+from repro.scc import ContentionMode, SccChip, SccConfig, run_spmd
+from repro.scc.config import CACHE_LINE
+from repro.sim import Simulator, Tracer
+
+
+def _exact_config(coalesce: bool, **overrides) -> SccConfig:
+    return SccConfig(
+        contention_mode=ContentionMode.EXACT,
+        exact_coalescing=coalesce,
+        **overrides,
+    )
+
+
+def _traced_broadcast(cfg: SccConfig, nbytes: int = 24 * CACHE_LINE):
+    """One OC broadcast on a traced chip; returns (records, makespan)."""
+    tracer = Tracer(enabled=True)
+    chip = SccChip(cfg, tracer=tracer)
+    comm = Comm(chip)
+    bcast = BcastSpec("oc", k=7).build(comm)
+    payload = bytes(range(256)) * (nbytes // 256 + 1)
+
+    def program(core) -> Generator:
+        cc = comm.attach(core)
+        buf = cc.alloc(nbytes)
+        if cc.rank == 0:
+            buf.write(payload[:nbytes])
+        yield from bcast(cc, 0, buf, nbytes)
+        assert buf.read() == payload[:nbytes]
+        return None
+
+    res = run_spmd(chip, program)
+    return tuple(tracer.records), res.end_time
+
+
+class TestCoalescingBitIdentity:
+    def test_uncontended_broadcast_traces_identical(self):
+        on = _traced_broadcast(_exact_config(True))
+        off = _traced_broadcast(_exact_config(False))
+        assert on == off
+
+    def test_uncontended_broadcast_with_jitter(self):
+        on = _traced_broadcast(_exact_config(True, jitter=0.02))
+        off = _traced_broadcast(_exact_config(False, jitter=0.02))
+        assert on == off
+
+    @pytest.mark.parametrize("nbytes", [CACHE_LINE, 7 * CACHE_LINE, 192 * CACHE_LINE])
+    def test_broadcast_latencies_identical(self, nbytes):
+        def latencies(coalesce):
+            return run_broadcast(
+                BcastSpec("oc", k=7), nbytes,
+                config=_exact_config(coalesce), iters=2, warmup=1,
+            ).latencies
+
+        assert latencies(True) == latencies(False)
+
+    @pytest.mark.parametrize("op,n_cores", [("get", 8), ("get", 24), ("put", 24)])
+    def test_contended_figure4_identical(self, op, n_cores):
+        """At and past the Figure 4 knee every access intrudes on someone's
+        run -- the hardest case for the fall-back reconstruction."""
+        def result(coalesce):
+            res = concurrent_access(
+                op, n_cores, 32 if op == "get" else 1,
+                config=_exact_config(coalesce), iters=3,
+            )
+            return res.per_core_mean
+
+        assert result(True) == result(False)
+
+    @pytest.mark.parametrize(
+        "kind", [FaultKind.DROP_FLAG_WRITE, FaultKind.LINK_STALL]
+    )
+    def test_fault_campaign_identical(self, kind):
+        """Fault hooks fire outside the per-line loop, so armed plans must
+        not perturb the coalesced schedule either."""
+        def result(coalesce):
+            return FaultCampaign(
+                trials=3, seed=11, kinds=(kind,),
+                nbytes=24 * CACHE_LINE,
+                config=_exact_config(coalesce),
+                compare_baseline=False,
+            ).run()
+
+        assert result(True) == result(False)
+
+
+class TestRunUntilDrain:
+    def test_now_advances_to_until_when_heap_drains(self):
+        sim = Simulator()
+
+        def p():
+            yield sim.timeout(3.0)
+
+        sim.process(p())
+        assert sim.run(until=10.0) == 10.0
+        assert sim.now == 10.0
+
+    def test_now_stays_at_until_when_events_remain(self):
+        sim = Simulator()
+
+        def p():
+            yield sim.timeout(3.0)
+            yield sim.timeout(30.0)
+
+        sim.process(p())
+        assert sim.run(until=10.0) == 10.0
+        assert sim.now == 10.0
+        sim.run()
+        assert sim.now == 33.0
+
+    def test_empty_sim_run_until(self):
+        sim = Simulator()
+        assert sim.run(until=5.0) == 5.0
+        assert sim.now == 5.0
+
+
+class TestParallelRunner:
+    def test_parallel_map_orders_results(self):
+        assert parallel_map(_square, [3, 1, 2], jobs=2) == [9, 1, 4]
+        assert parallel_map(_square, [3, 1, 2], jobs=1) == [9, 1, 4]
+        assert parallel_map(_square, [], jobs=4) == []
+
+    def test_sweep_matches_serial(self):
+        specs = [BcastSpec("oc", k=7), BcastSpec("binomial")]
+        sizes = [1, 16]
+        serial = sweep_broadcast(specs, sizes, iters=1, warmup=0)
+        fanned = sweep_broadcast_parallel(specs, sizes, iters=1, warmup=0, jobs=2)
+        assert serial == fanned
+
+    def test_campaign_matches_serial(self):
+        campaign = FaultCampaign(trials=4, seed=5, compare_baseline=False)
+        serial = campaign.run()
+        fanned = run_campaign_parallel(campaign, jobs=2)
+        assert serial == fanned
+        assert fanned.timeline  # first injected trial's timeline survived
+
+
+def _square(x: int) -> int:
+    return x * x
