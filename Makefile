@@ -1,9 +1,10 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test faults bench perf perf-check lint
+.PHONY: test faults bench perf perf-check cov trace lint
 
-## Tier-1: the fast default test suite (fault campaigns deselected).
+## Tier-1: the fast default test suite (fault campaigns and perf guards
+## deselected -- see the marker list in pyproject.toml).
 test:
 	$(PYTHON) -m pytest -x -q
 
@@ -25,6 +26,16 @@ perf:
 ## Compare a fresh (quick) measurement against the committed baseline.
 perf-check:
 	$(PYTHON) benchmarks/perf_check.py
+
+## Function-coverage gate (stdlib-only; takes several minutes -- the
+## profiler hooks every call).  Uses coverage.py instead when installed.
+cov:
+	$(PYTHON) tools/funccov.py --prefer-coverage-py --fail-under 90
+
+## Export a Chrome/Perfetto trace of the paper's headline broadcast
+## (OC-Bcast k=7, 96 cache lines, 48 cores) to trace.json.
+trace:
+	$(PYTHON) -m repro trace --algo oc --k 7 --cache-lines 96 -o trace.json
 
 lint:
 	$(PYTHON) -m compileall -q src tests benchmarks

@@ -143,17 +143,25 @@ def run_broadcast(
     warmup: int = 1,
     verify: bool = True,
     seed: int = 1,
+    tracer=None,
+    metrics=None,
 ) -> BcastResult:
     """Run one broadcast configuration and measure per-iteration latency.
 
     A fresh chip is built per call (experiments are independent, as the
     paper's runs are); iterations share the chip back to back.
+
+    ``tracer`` (a :class:`repro.sim.Tracer`) and ``metrics`` (a
+    :class:`repro.obs.MetricsRegistry`) attach observability to the
+    run's chip; chip statistics are harvested into ``metrics`` after the
+    run.  Neither changes the measured latencies (bit-identical -- see
+    docs/OBSERVABILITY.md).
     """
     if nbytes <= 0:
         raise ValueError("nbytes must be > 0")
     if iters < 1 or warmup < 0:
         raise ValueError("need iters >= 1 and warmup >= 0")
-    chip = SccChip(config)
+    chip = SccChip(config, tracer=tracer, metrics=metrics)
     comm = Comm(chip)
     bcast = spec.build(comm)
     total_iters = warmup + iters
@@ -180,6 +188,10 @@ def run_broadcast(
         return None
 
     run_spmd(chip, program)
+    if metrics is not None:
+        from ..obs import collect_chip_metrics
+
+        collect_chip_metrics(chip)
     latencies = tuple(
         max(exits[i].values()) - enters[i][root]
         for i in range(warmup, total_iters)

@@ -7,6 +7,8 @@ Examples::
     python -m repro sweep --algos oc:7 oc:2 binomial --sizes 1 16 96 192
     python -m repro sweep --algos oc:7 scatter_allgather \\
         --sizes 16 96 1024 4096 --throughput --chart
+    python -m repro bcast --cache-lines 96 --metrics
+    python -m repro trace --algo oc --k 7 --cache-lines 96 -o trace.json
     python -m repro contention --op get --lines 128
     python -m repro faults --trials 50 --kinds drop_flag crash --timeline
     python -m repro fit
@@ -83,8 +85,45 @@ def cmd_info(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Headline metrics shown by ``bcast --metrics`` (the full registry goes
+#: to ``--metrics-out``); everything else is in docs/OBSERVABILITY.md.
+_HEADLINE_METRICS = (
+    "sim.events_scheduled",
+    "trace.records",
+    "mpb.port.acquisitions.total",
+    "mpb.port.wait_time.total",
+    "mpb.port.utilisation.max",
+    "mpb.port.max_queue.max",
+    "mpb.port.coalesced_cycles.total",
+    "core.compute_time.total",
+    "core.mpb_time.total",
+    "core.mem_time.total",
+    "core.poll_time.total",
+    "core.idle_time.total",
+)
+
+
+def _metrics_report(metrics, out_path: str | None) -> None:
+    flat = metrics.flat()
+    rows = [[k, f"{flat[k]:.4g}"] for k in _HEADLINE_METRICS if k in flat]
+    print()
+    print(format_table(["metric", "value"], rows, title="Metrics"))
+    if out_path:
+        payload = (
+            metrics.to_csv() if out_path.endswith(".csv") else metrics.to_json() + "\n"
+        )
+        with open(out_path, "w") as fh:
+            fh.write(payload)
+        print(f"full registry ({len(metrics)} metrics) written to {out_path}")
+
+
 def cmd_bcast(args: argparse.Namespace) -> int:
     spec = _parse_spec(args.algo if args.algo != "oc" else f"oc:{args.k}")
+    metrics = None
+    if args.metrics or args.metrics_out:
+        from .obs import MetricsRegistry
+
+        metrics = MetricsRegistry()
     res = run_broadcast(
         spec,
         args.cache_lines * CACHE_LINE,
@@ -92,6 +131,7 @@ def cmd_bcast(args: argparse.Namespace) -> int:
         root=args.root,
         iters=args.iters,
         warmup=args.warmup,
+        metrics=metrics,
     )
     if not res.verified:
         print("ERROR: payload verification failed", file=sys.stderr)
@@ -105,6 +145,58 @@ def cmd_bcast(args: argparse.Namespace) -> int:
         ["steady throughput", f"{res.steady_throughput_mb_s:.2f} MB/s"],
     ]
     print(format_table(["metric", "value"], rows, title="Broadcast"))
+    if metrics is not None:
+        _metrics_report(metrics, args.metrics_out)
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from .obs import (
+        InvariantChecker,
+        MetricsRegistry,
+        to_chrome_trace,
+        validate_chrome_trace,
+    )
+    from .sim import Tracer
+
+    spec = _parse_spec(args.algo if args.algo != "oc" else f"oc:{args.k}")
+    tracer = Tracer(enabled=True)
+    metrics = MetricsRegistry()
+    checker = InvariantChecker()
+    tracer.add_listener(checker.feed)
+    res = run_broadcast(
+        spec,
+        args.cache_lines * CACHE_LINE,
+        config=_config(args),
+        root=args.root,
+        iters=args.iters,
+        warmup=args.warmup,
+        metrics=metrics,
+        tracer=tracer,
+    )
+    doc = to_chrome_trace(tracer.records)
+    validate_chrome_trace(doc)
+    import json as _json
+
+    with open(args.output, "w") as fh:
+        _json.dump(doc, fh, indent=None, separators=(",", ":"))
+        fh.write("\n")
+    rows = [
+        ["algorithm", spec.label],
+        ["message", f"{args.cache_lines} cache lines ({res.nbytes} B)"],
+        ["mean latency", f"{res.mean_latency:.2f} us"],
+        ["trace records", len(tracer.records)],
+        ["trace events", len(doc["traceEvents"])],
+        ["invariants", "OK" if checker.ok else f"{len(checker.violations)} VIOLATED"],
+        ["output", args.output],
+    ]
+    print(format_table(["metric", "value"], rows, title="Trace export"))
+    print(f"load {args.output} in https://ui.perfetto.dev or chrome://tracing")
+    if args.metrics_out:
+        _metrics_report(metrics, args.metrics_out)
+    if not checker.ok:
+        print(f"\n{checker.violations[0]}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -242,8 +334,30 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--root", type=int, default=0)
     p.add_argument("--iters", type=int, default=3)
     p.add_argument("--warmup", type=int, default=1)
+    p.add_argument("--metrics", action="store_true",
+                   help="collect and print headline metrics for the run")
+    p.add_argument("--metrics-out", metavar="FILE", default=None,
+                   help="also dump the full metric registry (.csv or .json)")
     _add_mesh_args(p)
     p.set_defaults(fn=cmd_bcast)
+
+    p = sub.add_parser(
+        "trace",
+        help="run one broadcast and export a Chrome/Perfetto trace",
+    )
+    p.add_argument("--algo", default="oc",
+                   choices=["oc", "binomial", "scatter_allgather", "osag"])
+    p.add_argument("--k", type=int, default=7, help="OC-Bcast fan-out")
+    p.add_argument("--cache-lines", type=int, default=96)
+    p.add_argument("--root", type=int, default=0)
+    p.add_argument("--iters", type=int, default=1)
+    p.add_argument("--warmup", type=int, default=0)
+    p.add_argument("-o", "--output", default="trace.json",
+                   help="trace-event JSON path (default trace.json)")
+    p.add_argument("--metrics-out", metavar="FILE", default=None,
+                   help="also dump the full metric registry (.csv or .json)")
+    _add_mesh_args(p)
+    p.set_defaults(fn=cmd_trace)
 
     p = sub.add_parser("sweep", help="latency/throughput sweep over sizes")
     p.add_argument("--algos", nargs="+", default=["oc:7", "binomial"],

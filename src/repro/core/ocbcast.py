@@ -211,6 +211,10 @@ class OcBcast:
         tree = PropagationTree(size, cfg.k, root, tuple(order) if order else ())
         children = tree.children_of(cc.rank)
         if tree.parent_of(cc.rank) is None:
+            if cc.chip.metrics is not None:
+                cc.chip.metrics.inc("oc.bcasts")
+                cc.chip.metrics.inc("oc.chunks", nchunks)
+                cc.chip.metrics.inc("oc.bytes", nbytes)
             yield from self._run_root(cc, tree, children, buf, nbytes, nchunks, base)
         else:
             yield from self._run_node(cc, tree, children, buf, nbytes, nchunks, base)
@@ -236,6 +240,7 @@ class OcBcast:
             b = idx % cfg.num_buffers
             off = idx * cfg.chunk_bytes
             span = min(cfg.chunk_bytes, nbytes - off)
+            cc.chip.trace(f"rank{cc.rank}", "oc.chunk.begin", idx=idx, seq=seq)
             # Recycle buffer b: children must have consumed its previous
             # occupant (chunk idx - num_buffers).
             if children and idx >= cfg.num_buffers:
@@ -246,9 +251,17 @@ class OcBcast:
             yield from self._stage(
                 cc, self.buffers[b].offset, buf.sub(off, span), span
             )
-            cc.chip.trace(f"rank{cc.rank}", "oc.chunk_staged", idx=idx, seq=seq)
+            # ``floor`` self-describes the slot-reuse precondition: staging
+            # into buffer ``b`` is legal only once every live child's
+            # doneFlag has reached seq - num_buffers (vacuous for the
+            # first num_buffers chunks).
+            cc.chip.trace(
+                f"rank{cc.rank}", "oc.chunk_staged",
+                idx=idx, seq=seq, buf=b, floor=seq - cfg.num_buffers,
+            )
             yield from self._notify(cc, tree, family, children, slot=0, seq=seq,
                                     dead=dead)
+            cc.chip.trace(f"rank{cc.rank}", "oc.chunk.end", idx=idx, seq=seq)
         if children:
             final = base + nchunks
             yield from self._wait_done(
@@ -284,7 +297,10 @@ class OcBcast:
             b = idx % cfg.num_buffers
             off = idx * cfg.chunk_bytes
             span = min(cfg.chunk_bytes, nbytes - off)
+            cc.chip.trace(f"rank{cc.rank}", "oc.chunk.begin", idx=idx, seq=seq)
+            cc.chip.trace(f"rank{cc.rank}", "oc.wait.begin", idx=idx, seq=seq)
             yield from self._wait_notify(cc, seq)
+            cc.chip.trace(f"rank{cc.rank}", "oc.wait.end", idx=idx, seq=seq)
             # (i) relay the notification among the siblings.
             yield from self._notify(cc, tree, parent_family, siblings, my_slot, seq)
             # Recycle own buffer b (not needed by leaves).
@@ -295,6 +311,11 @@ class OcBcast:
                 )
             if leaf_direct:
                 # Section 5.4: a leaf copies straight to off-chip memory.
+                cc.chip.trace(
+                    f"rank{cc.rank}", "oc.fetch",
+                    idx=idx, seq=seq, parent=parent, buf=b,
+                    floor=seq - cfg.num_buffers, direct=True,
+                )
                 yield from cc.get(
                     parent, self.buffers[b].offset, buf.sub(off, span), span
                 )
@@ -304,6 +325,11 @@ class OcBcast:
             else:
                 # (ii) parent's MPB buffer -> own MPB buffer (same offset:
                 # the layout is symmetric).
+                cc.chip.trace(
+                    f"rank{cc.rank}", "oc.fetch",
+                    idx=idx, seq=seq, parent=parent, buf=b,
+                    floor=seq - cfg.num_buffers, direct=False,
+                )
                 yield from self._fetch(
                     cc, parent, self.buffers[b].offset, self.buffers[b].offset, span
                 )
@@ -319,6 +345,7 @@ class OcBcast:
                     cc.rank, self.buffers[b].offset, buf.sub(off, span), span
                 )
             cc.chip.trace(f"rank{cc.rank}", "oc.chunk_done", idx=idx, seq=seq)
+            cc.chip.trace(f"rank{cc.rank}", "oc.chunk.end", idx=idx, seq=seq)
         if children:
             final = base + nchunks
             yield from self._wait_done(
@@ -414,6 +441,8 @@ class OcBcast:
                             f"rank{cc.rank}", "oc.ft.child_dead",
                             child=children[i], floor=floor,
                         )
+                        if cc.chip.metrics is not None:
+                            cc.chip.metrics.inc("oc.ft.children_declared_dead")
                     continue  # re-check: the others may already be done
                 retries += 1
                 for i in lag:
@@ -421,6 +450,8 @@ class OcBcast:
                         f"rank{cc.rank}", "oc.ft.renotify",
                         child=children[i], seq=last_seq,
                     )
+                    if cc.chip.metrics is not None:
+                        cc.chip.metrics.inc("oc.ft.renotifies")
                     yield from cc.flag_set_acked(
                         children[i], self.notify, FlagValue(0, last_seq),
                         max_retries=cfg.ft_max_retries,

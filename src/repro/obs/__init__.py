@@ -1,0 +1,51 @@
+"""Observability: metrics, Chrome-trace export, online invariant checking.
+
+The layer every future perf PR profiles with and every protocol PR is
+checked against:
+
+- :class:`MetricsRegistry` -- counters/gauges/histograms.  Protocol code
+  feeds counters behind a single ``chip.metrics is not None`` branch;
+  everything structural (port/link occupancy, queue depths, per-core
+  busy/idle/poll time, engine event counts) is harvested *passively*
+  from existing statistics by :func:`collect_chip_metrics` after a run,
+  so enabling metrics never schedules an event and virtual-time results
+  stay bit-identical (asserted by ``tests/test_observability.py``).
+- :func:`to_chrome_trace` / :func:`write_chrome_trace` -- render
+  :class:`repro.sim.TraceRecord` streams as Chrome trace-event JSON
+  (loads in Perfetto / ``chrome://tracing``) with one track per core.
+- :class:`InvariantChecker` -- subscribes to a :class:`repro.sim.Tracer`
+  and asserts OC-Bcast protocol invariants online (notify-before-fetch,
+  per-writer flag FIFO, no buffer-slot reuse before ack, no lost writes
+  in lossless runs), raising :class:`InvariantViolation` with the
+  offending record window.
+- :func:`canonical_trace` / :func:`trace_digest` -- stable trace
+  serialization for the golden-trace regression fixtures.
+
+See docs/OBSERVABILITY.md for the metric catalogue and workflows.
+"""
+
+from .chrometrace import to_chrome_trace, validate_chrome_trace, write_chrome_trace
+from .goldens import canonical_trace, trace_digest
+from .invariants import InvariantChecker, InvariantViolation
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    collect_chip_metrics,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "InvariantChecker",
+    "InvariantViolation",
+    "MetricsRegistry",
+    "canonical_trace",
+    "collect_chip_metrics",
+    "to_chrome_trace",
+    "trace_digest",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+]

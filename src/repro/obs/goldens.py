@@ -1,0 +1,40 @@
+"""Canonical trace serialization and digests for golden-trace fixtures.
+
+A golden trace pins the *entire* event-level behaviour of a scenario to
+one sha256 digest: any engine or protocol change that moves, retimes,
+reorders, adds or drops a single trace record changes the digest and
+fails ``tests/test_golden_traces.py`` loudly.  That is the point -- an
+intentional behaviour change must re-record the goldens (see the test
+module for how), an unintentional one is caught.
+
+The serialization is canonical and version-stable:
+
+- one line per record: ``repr(time)<TAB>source<TAB>kind<TAB>details``;
+- ``repr`` of the float time preserves full precision (bit-identity,
+  not round-tripped through a format width);
+- details are ``key=repr(value)`` pairs sorted by key, so dict insertion
+  order (an implementation detail of the emitting site) cannot leak in.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable
+
+from ..sim.trace import TraceRecord
+
+
+def canonical_trace(records: Iterable[TraceRecord]) -> bytes:
+    """The canonical byte serialization of a record stream."""
+    lines = []
+    for rec in records:
+        detail = ",".join(
+            f"{k}={v!r}" for k, v in sorted(rec.detail.items())
+        )
+        lines.append(f"{rec.time!r}\t{rec.source}\t{rec.kind}\t{detail}")
+    return ("\n".join(lines) + "\n").encode()
+
+
+def trace_digest(records: Iterable[TraceRecord]) -> str:
+    """sha256 hex digest of :func:`canonical_trace`."""
+    return hashlib.sha256(canonical_trace(records)).hexdigest()

@@ -1,0 +1,265 @@
+"""Online protocol-invariant checking over the trace stream.
+
+An :class:`InvariantChecker` subscribes to a :class:`repro.sim.Tracer`
+(via :meth:`attach`) and verifies, record by record as the simulation
+runs, that the OC-Bcast protocol keeps its promises:
+
+I1 ``lost-write`` (lossless runs only)
+    No protocol MPB write may be dropped or corrupted: every
+    ``flag_write`` / ``slot_write`` / ``put`` / ``get`` record must carry
+    ``landed="ok"``.  Disabled (``lossless=False``) when a fault injector
+    is armed on purpose -- then the *negative* test uses exactly this
+    invariant to prove a seeded dropped flag is caught.
+
+I2 ``flag-fifo``
+    Per (writer, owner, flag line): sequence numbers are non-decreasing.
+    Flags are monotonic by design (the double-buffering floor relies on
+    it), and MPB writes of one core to one line are FIFO on the mesh, so
+    any regression means a protocol or engine reordering bug.  Keyed per
+    *writer* because FT direct fan-out legitimately lets a parent write
+    seq s+1 to a child while a slower sibling still relays seq s.
+
+I3 ``notify-before-fetch``
+    A node may fetch chunk seq from its parent (``oc.fetch``) only after
+    a notify-flag write with that seq (or later) *landed* in its MPB --
+    "a child never gets a chunk before its notify flag".
+
+I4 ``no-invented-notify``
+    A core may only send a notify seq it is entitled to: it staged that
+    chunk itself (root) or a notify for it landed at its own MPB first.
+    Catches relays/fan-outs running ahead of the data.
+
+I5 ``no-reuse-before-ack``
+    Re-staging (root, ``oc.chunk_staged``) or re-filling (node,
+    ``oc.fetch``) an MPB buffer slot whose ``floor`` is positive requires
+    every child doneFlag at that core to have reached the floor --
+    children declared dead (``oc.ft.child_dead``) exempted.  This is the
+    double-buffering handshake of paper Section 4.2.
+
+Violations carry the offending record plus a window of the most recent
+records for context.  By default they are collected and raised together
+by :meth:`check` (call it after the run); ``strict=True`` raises at the
+emitting site instead, which puts the failure at the exact virtual time
+it occurred but aborts the simulation mid-flight.
+
+Scope: rank/core identity is assumed to coincide (true for the default
+and prefix communicators this repo uses); attach one checker per chip.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING
+
+from ..sim.trace import TraceRecord
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..scc.chip import SccChip
+
+_WRITE_KINDS = frozenset({"flag_write", "slot_write", "put", "get"})
+
+
+class InvariantViolation(AssertionError):
+    """A protocol invariant failed; carries the evidence."""
+
+    def __init__(
+        self,
+        invariant: str,
+        message: str,
+        record: TraceRecord,
+        window: list[TraceRecord],
+    ) -> None:
+        self.invariant = invariant
+        self.record = record
+        self.window = list(window)
+        tail = "\n".join(f"    {r}" for r in self.window)
+        super().__init__(
+            f"[{invariant}] {message}\n  offending record:\n    {record}\n"
+            f"  last {len(self.window)} records:\n{tail}"
+        )
+
+
+class InvariantChecker:
+    """Streaming conformance oracle for OC-Bcast traces."""
+
+    def __init__(
+        self, *, lossless: bool = True, strict: bool = False, window: int = 16
+    ) -> None:
+        self.lossless = lossless
+        self.strict = strict
+        self.violations: list[InvariantViolation] = []
+        self.records_seen = 0
+        self._window: deque[TraceRecord] = deque(maxlen=window)
+        # I2: (source, owner, flag-name, offset) -> last seq written.
+        self._last_seq: dict[tuple, int] = {}
+        # I3/I4 credits: core id -> highest notify seq landed in its MPB /
+        # highest chunk seq it staged itself.
+        self._notified: dict[int, int] = {}
+        self._staged: dict[int, int] = {}
+        # I5: (owner core, done-flag name) -> (last landed seq, writer).
+        self._done: dict[tuple[int, str], tuple[int, int]] = {}
+        # FT: owner core -> set of child cores it declared dead.
+        self._dead: dict[int, set[int]] = {}
+
+    # -- wiring ------------------------------------------------------------
+
+    def attach(self, chip: "SccChip") -> "InvariantChecker":
+        """Subscribe to the chip's tracer (which must be enabled)."""
+        if not chip.tracer.enabled:
+            raise ValueError(
+                "InvariantChecker needs an enabled Tracer "
+                "(SccChip(tracer=Tracer(enabled=True)))"
+            )
+        chip.tracer.add_listener(self.feed)
+        return self
+
+    def check(self) -> None:
+        """Raise the first collected violation (call after the run)."""
+        if self.violations:
+            raise self.violations[0]
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    # -- streaming ---------------------------------------------------------
+
+    def feed(self, rec: TraceRecord) -> None:
+        self.records_seen += 1
+        kind = rec.kind
+        if kind == "flag_write":
+            self._on_flag_write(rec)
+        elif kind == "oc.fetch":
+            self._on_fetch(rec)
+        elif kind == "oc.chunk_staged":
+            self._on_staged(rec)
+        elif kind == "oc.ft.child_dead":
+            owner = _core_of(rec.source)
+            if owner is not None:
+                self._dead.setdefault(owner, set()).add(rec.detail["child"])
+        elif self.lossless and kind in _WRITE_KINDS:
+            if rec.detail.get("landed", "ok") != "ok":
+                self._fail(
+                    "lost-write",
+                    f"{kind} from {rec.source} was {rec.detail['landed']} "
+                    f"in a run declared lossless",
+                    rec,
+                )
+        self._window.append(rec)
+
+    # -- per-kind handlers -------------------------------------------------
+
+    def _on_flag_write(self, rec: TraceRecord) -> None:
+        d = rec.detail
+        landed = d.get("landed", "ok")
+        if self.lossless and landed != "ok":
+            self._fail(
+                "lost-write",
+                f"flag write {d.get('flag')!r} from {rec.source} to "
+                f"core{d.get('owner')} was {landed} in a run declared lossless",
+                rec,
+            )
+        source = _core_of(rec.source)
+        owner = d.get("owner")
+        flag = d.get("flag", "")
+        seq = d.get("seq")
+        if source is None or owner is None or seq is None:
+            return
+        key = (source, owner, flag, d.get("off"))
+        last = self._last_seq.get(key)
+        if last is not None and seq < last:
+            self._fail(
+                "flag-fifo",
+                f"core{source} wrote seq {seq} to {flag!r}@core{owner} "
+                f"after having written seq {last} (per-writer flag "
+                f"sequences must be non-decreasing)",
+                rec,
+            )
+        self._last_seq[key] = max(seq, last if last is not None else seq)
+        if flag == "oc.notify":
+            # I4: the writer must itself hold the chunk it announces.
+            credit = max(
+                self._staged.get(source, 0), self._notified.get(source, 0)
+            )
+            if seq > credit:
+                self._fail(
+                    "no-invented-notify",
+                    f"core{source} notified core{owner} of chunk seq {seq} "
+                    f"but has itself only staged/been notified up to "
+                    f"{credit}",
+                    rec,
+                )
+            if landed == "ok" and seq > self._notified.get(owner, 0):
+                self._notified[owner] = seq
+        elif flag.startswith("oc.done") and landed == "ok":
+            prev = self._done.get((owner, flag))
+            if prev is None or seq > prev[0]:
+                self._done[(owner, flag)] = (seq, source)
+
+    def _on_fetch(self, rec: TraceRecord) -> None:
+        d = rec.detail
+        node = _core_of(rec.source)
+        seq = d.get("seq")
+        if node is None or seq is None:
+            return
+        if seq > self._notified.get(node, 0):
+            self._fail(
+                "notify-before-fetch",
+                f"core{node} fetches chunk seq {seq} from "
+                f"core{d.get('parent')} but the highest notify landed in "
+                f"its MPB is {self._notified.get(node, 0)}",
+                rec,
+            )
+        self._check_floor(node, d, rec)
+
+    def _on_staged(self, rec: TraceRecord) -> None:
+        d = rec.detail
+        root = _core_of(rec.source)
+        seq = d.get("seq")
+        if root is None or seq is None:
+            return
+        if seq > self._staged.get(root, 0):
+            self._staged[root] = seq
+        self._check_floor(root, d, rec)
+
+    def _check_floor(self, owner: int, d: dict, rec: TraceRecord) -> None:
+        """I5: buffer-slot reuse requires every live child's doneFlag at
+        ``owner`` to have reached ``floor``."""
+        floor = d.get("floor")
+        if floor is None or floor < 1:
+            return  # first fill of this slot (or pre-floor records)
+        dead = self._dead.get(owner, ())
+        for (flag_owner, flag), (seq, writer) in self._done.items():
+            if flag_owner != owner or writer in dead:
+                continue
+            if seq < floor:
+                self._fail(
+                    "no-reuse-before-ack",
+                    f"core{owner} reuses buffer slot {d.get('buf')} for "
+                    f"chunk seq {d.get('seq')} but live child core{writer} "
+                    f"has only acked {flag!r} up to seq {seq} "
+                    f"(floor {floor})",
+                    rec,
+                )
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _fail(self, invariant: str, message: str, rec: TraceRecord) -> None:
+        violation = InvariantViolation(
+            invariant, message, rec, list(self._window)
+        )
+        self.violations.append(violation)
+        if self.strict:
+            raise violation
+
+
+def _core_of(source: str) -> int | None:
+    """Core id of a ``coreN`` / ``rankN`` trace source (rank == core id
+    for the communicators used here)."""
+    if source.startswith("core"):
+        tail = source[4:]
+    elif source.startswith("rank"):
+        tail = source[4:]
+    else:
+        return None
+    return int(tail) if tail.isdigit() else None

@@ -157,7 +157,7 @@ class FlagSlotArray:
         chip = core.chip
         yield core.compute(chip.config.o_put_mpb)
         yield from core.mpb_access(owner_core, 1, write=True)
-        chip.mpbs[owner_core].write_bytes(
+        landed = chip.mpbs[owner_core].write_bytes(
             self.slot_offset(slot),
             value.to_bytes(self.SLOT_BYTES, "little"),
             source=core.id,
@@ -166,7 +166,10 @@ class FlagSlotArray:
         chip.trace(
             f"core{core.id}", "slot_write",
             array=self.name, owner=owner_core, slot=slot, value=value,
+            landed=landed,
         )
+        if chip.metrics is not None:
+            chip.metrics.inc("flags.slot_writes")
 
     def wait_at_least(
         self, core: "Core", slot: int, value: int, *, timeout: float | None = None
@@ -187,7 +190,7 @@ class FlagSlotArray:
         def read() -> int:
             return int.from_bytes(mpb.read_bytes(off, self.SLOT_BYTES), "little")
 
-        yield core.compute(core.config.t_poll)
+        yield _charge_poll(core, core.config.t_poll)
         while True:
             current = read()
             if current >= value:
@@ -210,8 +213,16 @@ class FlagSlotArray:
                     _raise_wait_timeout(core, f"{self.name}[{slot}]", timeout)
             current = read()
             if current >= value:
-                yield core.compute(1.5 * core.config.t_poll)
+                yield _charge_poll(core, 1.5 * core.config.t_poll)
                 return read()
+
+
+def _charge_poll(core: "Core", duration: float):
+    """A poll-shaped compute: same timing as ``core.compute`` but also
+    accrued into the core's poll counters (nominal, pre-jitter time)."""
+    core.stats.polls += 1
+    core.stats.poll_time += duration
+    return core.compute(duration)
 
 
 def _raise_wait_timeout(core: "Core", site: str, timeout: float | None) -> None:
@@ -232,11 +243,15 @@ def flag_write(
     chip = core.chip
     yield core.compute(chip.config.o_put_mpb)
     yield from core.mpb_access(owner_core, 1, write=True)
-    chip.mpbs[owner_core].write_bytes(
+    landed = chip.mpbs[owner_core].write_bytes(
         flag.offset, value.encode(), source=core.id, op="flag"
     )
     chip.trace(f"core{core.id}", "flag_write", flag=flag.name, owner=owner_core,
-               tag=value.tag, seq=value.seq)
+               off=flag.offset, tag=value.tag, seq=value.seq, landed=landed)
+    if chip.metrics is not None:
+        chip.metrics.inc("flags.writes")
+        if landed != "ok":
+            chip.metrics.inc(f"flags.writes_{landed}")
 
 
 def flag_write_acked(
@@ -288,7 +303,7 @@ def flag_write_acked(
 
 def flag_read_local(core: "Core", flag: Flag) -> Generator[object, object, FlagValue]:
     """One timed poll of the core's own copy of ``flag``."""
-    yield core.compute(core.config.t_poll)
+    yield _charge_poll(core, core.config.t_poll)
     raw = core.mpb.read_bytes(flag.offset, CACHE_LINE)
     return FlagValue.decode(raw)
 
@@ -329,7 +344,7 @@ def wait_local_flags(
 
     # Entry check costs one sweep position; full sweeps while blocked are
     # concurrent with the wait and charged only as the detection delay.
-    yield core.compute(core.config.t_poll)
+    yield _charge_poll(core, core.config.t_poll)
     while True:
         vals = values()
         if predicate(vals):
@@ -353,5 +368,7 @@ def wait_local_flags(
         vals = values()
         if predicate(vals):
             # Detection delay: half a sweep on average, plus the final read.
-            yield core.compute(0.5 * nscan * core.config.t_poll + core.config.t_poll)
+            yield _charge_poll(
+                core, 0.5 * nscan * core.config.t_poll + core.config.t_poll
+            )
             return values()

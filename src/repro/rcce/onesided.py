@@ -76,10 +76,16 @@ def put(
             yield from core.mpb_access(dst_core, m, write=True)
         payload = core.mpb.read_bytes(src_off, nbytes)
 
-    core.chip.mpbs[dst_core].write_bytes(
+    landed = core.chip.mpbs[dst_core].write_bytes(
         dst_offset, payload, source=core.id, op="data"
     )
-    core.chip.trace(f"core{core.id}", "put", dst=dst_core, off=dst_offset, n=nbytes)
+    core.chip.trace(
+        f"core{core.id}", "put",
+        dst=dst_core, off=dst_offset, n=nbytes, landed=landed,
+    )
+    if core.chip.metrics is not None:
+        core.chip.metrics.inc("rcce.puts")
+        core.chip.metrics.inc("rcce.put_bytes", nbytes)
 
 
 def put_acked(
@@ -226,6 +232,7 @@ def get(
             yield from core.mem_write(dst.sub(0, nbytes))
         payload = core.chip.mpbs[src_core].read_bytes(src_offset, nbytes)
         dst.sub(0, nbytes).write(payload)
+        landed = "ok"
     else:
         dst_off = int(dst)
         yield core.compute(cfg.o_get_mpb)
@@ -237,6 +244,12 @@ def get(
             yield from core.mpb_access(src_core, m)
             yield from core.mpb_access(core.id, m, write=True)
         payload = core.chip.mpbs[src_core].read_bytes(src_offset, nbytes)
-        core.mpb.write_bytes(dst_off, payload, source=core.id, op="data")
+        landed = core.mpb.write_bytes(dst_off, payload, source=core.id, op="data")
 
-    core.chip.trace(f"core{core.id}", "get", src=src_core, off=src_offset, n=nbytes)
+    core.chip.trace(
+        f"core{core.id}", "get",
+        src=src_core, off=src_offset, n=nbytes, landed=landed,
+    )
+    if core.chip.metrics is not None:
+        core.chip.metrics.inc("rcce.gets")
+        core.chip.metrics.inc("rcce.get_bytes", nbytes)

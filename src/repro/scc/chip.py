@@ -26,6 +26,13 @@ class SccChip:
     whose plan the chip models consult (dropped/corrupted MPB writes,
     link stalls, core pauses/crashes); ``None`` means no injection and
     zero overhead beyond one attribute check per protocol operation.
+
+    ``metrics`` optionally attaches a :class:`repro.obs.MetricsRegistry`.
+    Attaching one wires shared wait histograms onto the MPB ports (one
+    ``is not None`` branch per grant) and lets protocol layers count
+    events; everything else is harvested passively after the run via
+    :func:`repro.obs.collect_chip_metrics`, so enabling metrics never
+    schedules an event and virtual-time results stay bit-identical.
     """
 
     def __init__(
@@ -34,12 +41,14 @@ class SccChip:
         *,
         tracer: Tracer | None = None,
         faults: "Any | None" = None,
+        metrics: "Any | None" = None,
     ) -> None:
         self.config = config or SccConfig()
         self.sim = Simulator()
         # `is not None` matters: an empty Tracer is falsy (it has __len__).
         self.tracer = tracer if tracer is not None else Tracer(enabled=False)
         self.faults = None  # set by FaultInjector.attach below
+        self.metrics = metrics
         self.mesh = Mesh(self.sim, self.config)
         self.mpbs = [
             Mpb(self.sim, self.config, owner=i) for i in range(self.config.num_cores)
@@ -48,6 +57,13 @@ class SccChip:
         self.irq = IrqController(self)
         if faults is not None:
             faults.attach(self)
+        if metrics is not None:
+            port_hist = metrics.histogram("mpb.port.wait_us")
+            for mpb in self.mpbs:
+                mpb.port.wait_hist = port_hist
+            link_hist = metrics.histogram("mesh.link.wait_us")
+            for link in self.mesh.links():
+                link.wait_hist = link_hist
 
     @property
     def num_cores(self) -> int:

@@ -36,6 +36,32 @@ def lines_of(nbytes: int) -> int:
     return -(-nbytes // CACHE_LINE)
 
 
+class CoreStats:
+    """Per-core virtual-time accounting, accrued by the timed primitives.
+
+    Pure float/int accruals -- no events, no branching on configuration --
+    so keeping them always-on cannot perturb the schedule.  Harvested by
+    :func:`repro.obs.collect_chip_metrics` after a run.
+    """
+
+    __slots__ = (
+        "compute_time", "mpb_lines", "mpb_time",
+        "mem_lines", "mem_time", "polls", "poll_time",
+    )
+
+    def __init__(self) -> None:
+        self.compute_time = 0.0  # local work (Core.compute)
+        self.mpb_lines = 0       # cache lines moved through any MPB port
+        self.mpb_time = 0.0      # elapsed virtual time inside mpb_access
+        self.mem_lines = 0       # off-chip lines read or written
+        self.mem_time = 0.0      # elapsed virtual time in mem_read/mem_write
+        self.polls = 0           # flag-poll detections (rcce.flags)
+        self.poll_time = 0.0     # charged polling-sweep time
+
+    def as_dict(self) -> dict[str, float]:
+        return {name: float(getattr(self, name)) for name in self.__slots__}
+
+
 class Core:
     """One core of the simulated chip."""
 
@@ -61,6 +87,8 @@ class Core:
         #: Lazy per-target cache of (hop distance, uncontended MPB line
         #: cost) pairs (Formulas 2/3); fixed after construction.
         self._line_cost_to: dict[int, tuple[int, float]] = {}
+        #: Virtual-time accounting (always on; see CoreStats).
+        self.stats = CoreStats()
 
     # -- cost helpers --------------------------------------------------------
 
@@ -100,7 +128,9 @@ class Core:
 
     def compute(self, duration: float) -> Event:
         """Local work for ``duration`` microseconds (no arbitration)."""
-        return self.sim.timeout(self.jittered(duration) + self._fault_overhead())
+        d = self.jittered(duration) + self._fault_overhead()
+        self.stats.compute_time += d
+        return self.sim.timeout(d)
 
     def mpb_access(
         self,
@@ -121,6 +151,9 @@ class Core:
             return
         cfg = self.config
         sim = self.sim
+        stats = self.stats
+        stats.mpb_lines += n_lines
+        t0 = sim.now
         stall = self._fault_overhead() + self.chip.mesh.fault_stall(
             self.id, target_core
         )
@@ -136,6 +169,7 @@ class Core:
         mode = cfg.contention_mode
         if mode is ContentionMode.IDEAL:
             yield sim.timeout(n_lines * per_line)
+            stats.mpb_time += sim.now - t0
             return
         port = self.chip.mpbs[target_core].port
         if mode is ContentionMode.BATCH:
@@ -150,6 +184,7 @@ class Core:
             rest = n_lines * (per_line - service)
             if rest > 0:
                 yield sim.timeout(rest)
+            stats.mpb_time += sim.now - t0
             return
         # EXACT: per-line arbitration (and per-line link occupancy).  The
         # port arbiter structurally favours mesh-closer requesters -- the
@@ -194,6 +229,7 @@ class Core:
             if rest > 0:
                 yield sim.timeout(rest)
             i += 1
+        stats.mpb_time += sim.now - t0
 
     def mem_read(self, ref: MemRef) -> Generator[Event, object, None]:
         """Read ``ref`` from private off-chip memory (through the L1)."""
@@ -211,8 +247,11 @@ class Core:
                 total += hit_cost if access(line) else miss_cost
         else:
             total += len(lines) * self._mem_read_cost
+        total = self.jittered(total)
+        self.stats.mem_lines += len(lines)
+        self.stats.mem_time += total
         if total > 0:
-            yield self.sim.timeout(self.jittered(total))
+            yield self.sim.timeout(total)
 
     def mem_write(self, ref: MemRef) -> Generator[Event, object, None]:
         """Write ``ref`` to private off-chip memory (write-allocate)."""
@@ -225,9 +264,11 @@ class Core:
             access = self.l1.access
             for line in lines:
                 access(line)
-        total = len(lines) * self._mem_write_cost + self._fault_overhead()
+        total = self.jittered(len(lines) * self._mem_write_cost + self._fault_overhead())
+        self.stats.mem_lines += len(lines)
+        self.stats.mem_time += total
         if total > 0:
-            yield self.sim.timeout(self.jittered(total))
+            yield self.sim.timeout(total)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<Core {self.id} tile={self.tile}>"

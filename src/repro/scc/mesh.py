@@ -154,6 +154,15 @@ class Mesh:
             self._path_links_cache[(src, dst)] = cached
         return list(cached)
 
+    def links(self) -> tuple[Resource, ...]:
+        """All directed-link resources (empty unless ``model_links``), in
+        deterministic construction order."""
+        return tuple(self._links.values())
+
+    def link_items(self) -> tuple[tuple[tuple[Coord, Coord], Resource], ...]:
+        """(directed link key, resource) pairs for metrics harvesting."""
+        return tuple(self._links.items())
+
     def link(self, src: Coord, dst: Coord) -> Resource:
         """The :class:`Resource` modeling a directed link (requires
         ``config.model_links``)."""

@@ -65,13 +65,17 @@ class Mpb:
         *,
         source: int | None = None,
         op: str = "raw",
-    ) -> None:
+    ) -> str:
         """Store ``payload`` at ``offset``.
 
         ``source`` (writing core id) and ``op`` (``"flag"`` / ``"data"``)
         classify protocol writes for fault injection; the default
         ``op="raw"`` marks untimed initialisation writes, which are never
         faulted.
+
+        Returns the write's fate -- ``"ok"``, ``"dropped"`` or
+        ``"corrupted"`` -- so callers can annotate trace records (the
+        invariant checker keys off this to flag lost notifications).
         """
         nbytes = len(payload)
         self._check_range(offset, nbytes)
@@ -80,11 +84,15 @@ class Mpb:
                 owner=self.owner, offset=offset, nbytes=nbytes, source=source, op=op
             )
             if action == "drop":
-                return
+                return "dropped"
             if action == "corrupt":
                 payload = bytes(b ^ 0xFF for b in bytes(payload))
+                self.data[offset : offset + nbytes] = payload
+                self._wake_watchers(offset, nbytes)
+                return "corrupted"
         self.data[offset : offset + nbytes] = payload
         self._wake_watchers(offset, nbytes)
+        return "ok"
 
     # -- watchers ----------------------------------------------------------------
 

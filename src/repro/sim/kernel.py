@@ -439,6 +439,24 @@ class Simulator:
     def queued_events(self) -> int:
         return len(self._heap) + len(self._now_queue)
 
+    @property
+    def events_scheduled(self) -> int:
+        """Total callbacks scheduled so far (the global sequence counter).
+
+        Read-only view for the metrics layer: the run loop pays nothing
+        for it, and it doubles as an exact proxy for engine work done.
+        """
+        return self._seq
+
+    def stats(self) -> dict[str, float]:
+        """Engine counters for :mod:`repro.obs` harvesting (no hot-path cost)."""
+        return {
+            "now": self.now,
+            "events_scheduled": float(self._seq),
+            "events_queued": float(self.queued_events),
+            "live_processes": float(len(self._live_processes)),
+        }
+
 
 def all_of(sim: Simulator, events: Iterable[Event], name: str = "all_of") -> Event:
     """An event that fires once every event in ``events`` has fired.

@@ -93,6 +93,10 @@ class _CoalescedRun:
         res._run = None
         res.total_acquisitions += acquisitions
         res.busy_time += busy_cycles * self.service
+        res.coalesced_runs += 1
+        res.coalesced_cycles += acquisitions
+        if res.wait_hist is not None:
+            res.wait_hist.observe_zeros(acquisitions)  # type: ignore[attr-defined]
 
     def _pre_complete(self, _arg: object) -> None:
         """Fires at :meth:`final_service_end` (scheduled at begin time).
@@ -210,6 +214,8 @@ class Resource:
     __slots__ = (
         "sim", "capacity", "name", "_in_use", "_waiters", "_seq", "_run",
         "total_acquisitions", "total_wait_time", "busy_time", "_busy_since",
+        "max_queue", "queue_time", "_q_mark",
+        "coalesced_runs", "coalesced_cycles", "wait_hist",
     )
 
     def __init__(self, sim: Simulator, capacity: int = 1, name: str = "resource") -> None:
@@ -224,11 +230,20 @@ class Resource:
         self._seq = 0
         #: Active coalesced run, if any (see try_begin_run).
         self._run: _CoalescedRun | None = None
-        # Statistics.
+        # Statistics.  Queue-depth bookkeeping lives entirely on the
+        # contended branches, so the uncontended fast path pays nothing;
+        # ``wait_hist`` is an optional sink (one `is not None` branch per
+        # grant) the metrics layer attaches -- see repro.obs.
         self.total_acquisitions = 0
         self.total_wait_time = 0.0
         self.busy_time = 0.0
         self._busy_since: float | None = None
+        self.max_queue = 0
+        self.queue_time = 0.0  # time-integral of queue depth
+        self._q_mark = 0.0     # last instant the queue depth changed
+        self.coalesced_runs = 0
+        self.coalesced_cycles = 0
+        self.wait_hist: object | None = None
 
     # -- core protocol ------------------------------------------------------
 
@@ -244,8 +259,13 @@ class Resource:
         if self._in_use < self.capacity and not self._waiters:
             self._grant(ev, waited=0.0)
         else:
+            now = self.sim.now
+            self.queue_time += len(self._waiters) * (now - self._q_mark)
+            self._q_mark = now
             self._seq += 1
-            heapq.heappush(self._waiters, (priority, self._seq, self.sim.now, ev))
+            heapq.heappush(self._waiters, (priority, self._seq, now, ev))
+            if len(self._waiters) > self.max_queue:
+                self.max_queue = len(self._waiters)
         return ev
 
     def release(self) -> None:
@@ -257,14 +277,19 @@ class Resource:
             self.busy_time += self.sim.now - self._busy_since
             self._busy_since = None
         if self._waiters:
+            now = self.sim.now
+            self.queue_time += len(self._waiters) * (now - self._q_mark)
+            self._q_mark = now
             _, _, requested_at, ev = heapq.heappop(self._waiters)
-            self._grant(ev, self.sim.now - requested_at)
+            self._grant(ev, now - requested_at)
 
     def _grant(self, ev: Event, waited: float) -> None:
         self._in_use += 1
         if self._busy_since is None:
             self._busy_since = self.sim.now
         self.total_wait_time += waited
+        if self.wait_hist is not None:
+            self.wait_hist.observe(waited)  # type: ignore[attr-defined]
         ev.succeed(waited)
 
     # -- conveniences --------------------------------------------------------
@@ -334,6 +359,27 @@ class Resource:
             busy += self.sim.now - self._busy_since
         span = elapsed if elapsed is not None else self.sim.now
         return busy / span if span > 0 else 0.0
+
+    def mean_queue_depth(self, elapsed: float | None = None) -> float:
+        """Time-averaged number of queued (not yet granted) requests."""
+        integral = self.queue_time
+        if self._waiters:
+            integral += len(self._waiters) * (self.sim.now - self._q_mark)
+        span = elapsed if elapsed is not None else self.sim.now
+        return integral / span if span > 0 else 0.0
+
+    def stats(self) -> dict[str, float]:
+        """Snapshot of the accumulated counters (for repro.obs harvesting)."""
+        return {
+            "acquisitions": float(self.total_acquisitions),
+            "wait_time": self.total_wait_time,
+            "busy_time": self.busy_time,
+            "utilisation": self.utilisation(),
+            "max_queue": float(self.max_queue),
+            "mean_queue_depth": self.mean_queue_depth(),
+            "coalesced_runs": float(self.coalesced_runs),
+            "coalesced_cycles": float(self.coalesced_cycles),
+        }
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

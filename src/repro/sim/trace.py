@@ -7,6 +7,15 @@ emit when disabled, so leaving emit calls in hot paths is acceptable.
 Benches use traces to derive per-phase timings (e.g. "when did the last
 leaf finish its off-chip copy"), and tests use them to assert protocol
 ordering properties (a child never gets a chunk before its notify).
+
+Beyond the stored record list, a tracer supports *listeners*: callables
+invoked synchronously with each record as it is emitted (after filters).
+The observability layer builds on this -- the online
+:class:`repro.obs.InvariantChecker` subscribes as a listener and verifies
+protocol invariants while the simulation runs, without a second pass over
+the record list.  Span-shaped records (kinds ending in ``.begin`` /
+``.end``) pair up into duration events in the Chrome-trace export
+(:func:`repro.obs.to_chrome_trace`).
 """
 
 from __future__ import annotations
@@ -36,6 +45,7 @@ class Tracer:
         self.enabled = enabled
         self.records: list[TraceRecord] = []
         self._filters: list[Callable[[TraceRecord], bool]] = []
+        self._listeners: list[Callable[[TraceRecord], None]] = []
 
     def emit(self, time: float, source: str, kind: str, **detail: Any) -> None:
         if not self.enabled:
@@ -43,10 +53,20 @@ class Tracer:
         rec = TraceRecord(time, source, kind, detail)
         if all(f(rec) for f in self._filters):
             self.records.append(rec)
+            for listener in self._listeners:
+                listener(rec)
 
     def add_filter(self, predicate: Callable[[TraceRecord], bool]) -> None:
         """Only keep records for which ``predicate`` is true."""
         self._filters.append(predicate)
+
+    def add_listener(self, listener: Callable[[TraceRecord], None]) -> None:
+        """Invoke ``listener`` synchronously with each kept record.
+
+        Listeners see records in emission order, after filters; they must
+        not mutate simulation state (they run inside model hot paths).
+        """
+        self._listeners.append(listener)
 
     def clear(self) -> None:
         self.records.clear()

@@ -1,0 +1,31 @@
+"""Shared fixtures: protocol-invariant checking for broadcast tests.
+
+``check_invariants`` is a factory fixture: call it with a chip (whose
+tracer must be enabled) and every attached
+:class:`repro.obs.InvariantChecker` is verified at test teardown, so a
+protocol regression fails the test that provoked it even when the test
+itself only asserts payload delivery.  Pass ``lossless=False`` when a
+fault plan is armed on purpose (dropped/corrupted writes are then the
+*subject* of the test, not a bug).
+"""
+
+import pytest
+
+from repro.obs import InvariantChecker
+
+
+@pytest.fixture
+def check_invariants():
+    """Factory: ``check_invariants(chip, lossless=True, **kw)`` attaches
+    an :class:`InvariantChecker` to ``chip`` and re-checks it at
+    teardown.  Returns the checker for in-test assertions."""
+    checkers: list[InvariantChecker] = []
+
+    def attach(chip, *, lossless: bool = True, **kw) -> InvariantChecker:
+        checker = InvariantChecker(lossless=lossless, **kw).attach(chip)
+        checkers.append(checker)
+        return checker
+
+    yield attach
+    for checker in checkers:
+        checker.check()

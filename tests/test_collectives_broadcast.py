@@ -11,10 +11,16 @@ from repro.collectives import (
 from repro.collectives.scatter_allgather import slice_range
 from repro.rcce import Comm
 from repro.scc import SccChip, SccConfig, run_spmd
+from repro.sim import Tracer
 
 
-def broadcast_roundtrip(algo, P, nbytes, root=0, cores_per_tile=2, cols=6, rows=4):
-    chip = SccChip(SccConfig(mesh_cols=cols, mesh_rows=rows, cores_per_tile=cores_per_tile))
+def broadcast_roundtrip(algo, P, nbytes, root=0, cores_per_tile=2, cols=6, rows=4,
+                        check=None):
+    tracer = Tracer(enabled=True) if check is not None else None
+    chip = SccChip(SccConfig(mesh_cols=cols, mesh_rows=rows,
+                             cores_per_tile=cores_per_tile), tracer=tracer)
+    if check is not None:
+        check(chip)
     comm = Comm(chip, ranks=list(range(P)))
     payload = bytes((i * 13 + root) % 256 for i in range(nbytes))
     results = {}
@@ -73,8 +79,9 @@ class TestBinomialTreeStructure:
 
 class TestBinomialBroadcast:
     @pytest.mark.parametrize("P", [2, 3, 7, 8, 16])
-    def test_various_sizes(self, P):
-        sent, got = broadcast_roundtrip(binomial_bcast, P, 100)
+    def test_various_sizes(self, P, check_invariants):
+        sent, got = broadcast_roundtrip(binomial_bcast, P, 100,
+                                        check=check_invariants)
         assert all(got[r] == sent for r in range(P))
 
     @pytest.mark.parametrize("root", [0, 3, 7])
@@ -82,8 +89,9 @@ class TestBinomialBroadcast:
         sent, got = broadcast_roundtrip(binomial_bcast, 8, 256, root=root)
         assert all(got[r] == sent for r in range(8))
 
-    def test_full_chip(self):
-        sent, got = broadcast_roundtrip(binomial_bcast, 48, 500)
+    def test_full_chip(self, check_invariants):
+        sent, got = broadcast_roundtrip(binomial_bcast, 48, 500,
+                                        check=check_invariants)
         assert all(got[r] == sent for r in range(48))
 
     def test_message_larger_than_payload_buffer(self):
@@ -118,8 +126,9 @@ class TestSliceRange:
 
 class TestScatterAllgatherBroadcast:
     @pytest.mark.parametrize("P", [2, 3, 4, 5, 8, 16])
-    def test_various_sizes(self, P):
-        sent, got = broadcast_roundtrip(scatter_allgather_bcast, P, 777)
+    def test_various_sizes(self, P, check_invariants):
+        sent, got = broadcast_roundtrip(scatter_allgather_bcast, P, 777,
+                                        check=check_invariants)
         assert all(got[r] == sent for r in range(P))
 
     @pytest.mark.parametrize("root", [0, 2, 7])
@@ -127,8 +136,9 @@ class TestScatterAllgatherBroadcast:
         sent, got = broadcast_roundtrip(scatter_allgather_bcast, 8, 320, root=root)
         assert all(got[r] == sent for r in range(8))
 
-    def test_full_chip_large_message(self):
-        sent, got = broadcast_roundtrip(scatter_allgather_bcast, 48, 48 * 96 * 32)
+    def test_full_chip_large_message(self, check_invariants):
+        sent, got = broadcast_roundtrip(scatter_allgather_bcast, 48, 48 * 96 * 32,
+                                        check=check_invariants)
         assert all(got[r] == sent for r in range(48))
 
     def test_message_smaller_than_rank_count(self):

@@ -7,6 +7,7 @@ twice (coalescing on / off) and compare exactly; see docs/PERFORMANCE.md
 for why equality (not approximate closeness) is the contract.
 """
 
+import random
 from typing import Generator
 
 import pytest
@@ -106,6 +107,61 @@ class TestCoalescingBitIdentity:
             ).run()
 
         assert result(True) == result(False)
+
+
+def _random_ab_cases(n=50, seed=0x5CC2012):
+    """``n`` seeded random workload configurations for the A/B sweep.
+
+    Geometry, algorithm, tuning and message size all vary; meshes stay
+    small (4-24 cores) and messages short (<= 64 cache lines) so the
+    whole sweep stays in tier-1 time.  The seed is fixed: the cases are
+    random once, then stable forever (reproducible failures).
+    """
+    rng = random.Random(seed)
+    cases = []
+    for i in range(n):
+        cols = rng.randint(1, 3)
+        rows = rng.randint(2, 4)
+        algo = rng.choice(["oc", "oc", "oc", "binomial", "scatter_allgather"])
+        k = rng.choice([2, 3, 7, 12])
+        chunk_lines = rng.choice([8, 16, 32, 96])
+        num_buffers = rng.choice([2, 3])
+        if num_buffers * chunk_lines + k + 1 > 256:  # must fit the MPB
+            num_buffers = 2
+        spec = BcastSpec(
+            algo,
+            k=k,
+            chunk_lines=chunk_lines,
+            num_buffers=num_buffers,
+            notify_degree=rng.choice([1, 2, 3]),
+            leaf_direct_to_memory=rng.random() < 0.25,
+        )
+        nbytes = rng.randint(1, 64 * CACHE_LINE)
+        jitter = rng.choice([0.0, 0.0, 0.02, 0.05])
+        cases.append(pytest.param(
+            spec, nbytes, cols, rows, jitter,
+            id=f"cfg{i:02d}-{algo}-{2 * cols * rows}cores",
+        ))
+    return cases
+
+
+class TestRandomizedAbSweep:
+    """Satellite of the bit-identity contract: 50 seeded random
+    configurations, each run with ``exact_coalescing`` on and off, must
+    produce byte-equal latencies.  The targeted tests above pick known
+    hard spots; this sweep guards the configuration space between them."""
+
+    @pytest.mark.parametrize("spec,nbytes,cols,rows,jitter", _random_ab_cases())
+    def test_latencies_identical(self, spec, nbytes, cols, rows, jitter):
+        def latencies(coalesce):
+            cfg = _exact_config(
+                coalesce, mesh_cols=cols, mesh_rows=rows, jitter=jitter
+            )
+            return run_broadcast(
+                spec, nbytes, config=cfg, iters=1, warmup=0
+            ).latencies
+
+        assert latencies(True) == latencies(False)
 
 
 class TestRunUntilDrain:

@@ -13,19 +13,27 @@ from repro.bench.faultcampaign import parse_kinds
 from repro.bench.reporting import format_fault_timeline
 from repro.core import OcBcast, OcBcastConfig, PropagationTree
 from repro.faults import FaultInjector, FaultKind, FaultPlan, FaultSpec
+from repro.obs import InvariantChecker
 from repro.rcce import Comm
 from repro.scc import SccChip, SccConfig, run_spmd
 from repro.scc.config import CACHE_LINE
-from repro.sim import FaultInjected
+from repro.sim import FaultInjected, Tracer
 
 ONE_CHUNK = 96 * CACHE_LINE
 
 
 def bcast_once(plan, *, ft, nbytes=ONE_CHUNK, watchdog=50_000.0):
     """One OC-Bcast on a fresh 48-core chip under ``plan``; returns the
-    per-rank outcomes (True / False / 'crashed') and the injector."""
+    per-rank outcomes (True / False / 'crashed') and the injector.
+
+    The ordering invariants (flag FIFO, notify-before-fetch, buffer-reuse
+    handshake) are checked online even under injected faults -- FT mode
+    must *recover* without ever reordering the protocol.  ``lossless`` is
+    off because dropped/corrupted writes are the point of the plan.
+    """
     injector = FaultInjector(plan)
-    chip = SccChip(SccConfig(), faults=injector)
+    chip = SccChip(SccConfig(), tracer=Tracer(enabled=True), faults=injector)
+    checker = InvariantChecker(lossless=False).attach(chip)
     comm = Comm(chip)
     oc = OcBcast(comm, OcBcastConfig(ft=ft))
     payload = bytes(i % 251 for i in range(nbytes))
@@ -44,6 +52,7 @@ def bcast_once(plan, *, ft, nbytes=ONE_CHUNK, watchdog=50_000.0):
     if watchdog:
         chip.sim.start_watchdog(watchdog)
     res = run_spmd(chip, prog)
+    checker.check()
     return res.values, injector
 
 

@@ -1,0 +1,113 @@
+"""Golden-trace pinning: whole-run behaviour digests.
+
+Each scenario runs one deterministic broadcast with tracing enabled and
+compares the sha256 of the canonical trace serialization
+(:func:`repro.obs.canonical_trace`) against ``tests/golden_digests.json``.
+A digest mismatch means *some* event moved, retimed, appeared or
+vanished -- the strongest regression net the simulator offers, far
+stricter than latency assertions.
+
+If a change is intentional (a model refinement, a protocol fix),
+re-record the goldens and commit the diff alongside the change:
+
+    PYTHONPATH=src python tests/test_golden_traces.py --record
+
+The test failure message says the same, so nobody has to find this
+docstring first.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.bench import BcastSpec, run_broadcast
+from repro.obs import trace_digest
+from repro.scc import ContentionMode, SccConfig
+from repro.scc.config import CACHE_LINE
+from repro.sim import Tracer
+
+GOLDEN_PATH = pathlib.Path(__file__).parent / "golden_digests.json"
+
+
+def _trace(spec: BcastSpec, cache_lines: int, config: SccConfig | None = None):
+    tracer = Tracer(enabled=True)
+    run_broadcast(
+        spec, cache_lines * CACHE_LINE, config=config,
+        iters=1, warmup=0, seed=1, tracer=tracer,
+    )
+    return tracer.records
+
+
+#: name -> zero-argument callable producing the scenario's trace records.
+#: Every scenario is fully deterministic (fixed seed, no wall clock).
+SCENARIOS = {
+    # The paper's headline configuration: OC-Bcast, one 96-cache-line
+    # chunk, the full 48-core chip, k=7.
+    "oc_k7_48core_96cl": lambda: _trace(BcastSpec("oc", k=7), 96),
+    # The two RCCE_comm baselines it is compared against (Section 6).
+    "binomial_48core_96cl": lambda: _trace(BcastSpec("binomial"), 96),
+    "scatter_allgather_48core_96cl": lambda: _trace(
+        BcastSpec("scatter_allgather"), 96
+    ),
+    # EXACT contention mode with coalescing on: pins the fast path's
+    # event stream, complementing the A/B equality tests.
+    "oc_k7_exact_24cl": lambda: _trace(
+        BcastSpec("oc", k=7), 24,
+        SccConfig(contention_mode=ContentionMode.EXACT),
+    ),
+}
+
+
+def _load_goldens() -> dict:
+    if not GOLDEN_PATH.exists():
+        pytest.fail(
+            f"{GOLDEN_PATH} missing -- record it with:\n"
+            "  PYTHONPATH=src python tests/test_golden_traces.py --record"
+        )
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_golden_digest(name):
+    golden = _load_goldens()
+    assert name in golden, (
+        f"no golden recorded for {name!r} -- re-record with:\n"
+        "  PYTHONPATH=src python tests/test_golden_traces.py --record"
+    )
+    records = SCENARIOS[name]()
+    got = trace_digest(records)
+    assert got == golden[name], (
+        f"golden trace drifted for {name!r}:\n"
+        f"  recorded {golden[name]}\n"
+        f"  current  {got}\n"
+        f"  ({len(records)} trace records)\n"
+        "An event moved, appeared or vanished.  If this change is "
+        "intentional, re-record and commit the goldens:\n"
+        "  PYTHONPATH=src python tests/test_golden_traces.py --record"
+    )
+
+
+def test_goldens_have_no_orphans():
+    """Every recorded digest corresponds to a live scenario."""
+    assert set(_load_goldens()) == set(SCENARIOS)
+
+
+def _record() -> None:
+    digests = {}
+    for name in sorted(SCENARIOS):
+        records = SCENARIOS[name]()
+        digests[name] = trace_digest(records)
+        print(f"{name}: {digests[name]} ({len(records)} records)")
+    GOLDEN_PATH.write_text(json.dumps(digests, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {GOLDEN_PATH}")
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--record" in sys.argv:
+        _record()
+    else:
+        print(__doc__)
+        sys.exit(2)

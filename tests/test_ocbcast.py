@@ -3,19 +3,24 @@
 import pytest
 
 from repro.core import NotifyMode, OcBcast, OcBcastConfig, topology_aware_order
+from repro.obs import InvariantChecker
 from repro.rcce import Comm
 from repro.scc import ContentionMode, SccChip, SccConfig, run_spmd
 from repro.sim import Tracer
 
 
-def make_world(P=48, **cfg):
-    chip = SccChip(SccConfig(**cfg))
+def make_world(P=48, tracer=None, **cfg):
+    chip = SccChip(SccConfig(**cfg), tracer=tracer)
     comm = Comm(chip, ranks=list(range(P)))
     return chip, comm
 
 
 def oc_roundtrip(P, nbytes, root=0, oc_config=None, order=None, repeats=1, **cfg):
-    chip, comm = make_world(P, **cfg)
+    # Every roundtrip runs under the online invariant checker: protocol
+    # regressions (lost writes, notify/fetch reordering, premature buffer
+    # reuse) fail here even when the payload still arrives intact.
+    chip, comm = make_world(P, tracer=Tracer(enabled=True), **cfg)
+    checker = InvariantChecker(lossless=True).attach(chip)
     oc = OcBcast(comm, oc_config)
     payloads = [
         bytes((i * 31 + rep) % 256 for i in range(nbytes)) for rep in range(repeats)
@@ -32,6 +37,7 @@ def oc_roundtrip(P, nbytes, root=0, oc_config=None, order=None, repeats=1, **cfg
             results[rep][cc.rank] = buf.read()
 
     run_spmd(chip, program, core_ids=list(range(P)))
+    checker.check()
     return payloads, results
 
 

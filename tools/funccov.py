@@ -1,0 +1,172 @@
+#!/usr/bin/env python
+"""Dependency-free function-coverage gate for ``make cov``.
+
+The container this repo targets has no ``coverage.py``; this tool fills
+the gap with the stdlib only.  A ``sys.setprofile`` hook records every
+function *called* under ``src/repro`` while the tier-1 pytest suite runs
+in-process; the set of functions *defined* comes from compiling every
+source file and walking its code objects.  Coverage is the quotient.
+
+Function coverage is coarser than line coverage, but it is exact, has no
+dependencies, and catches the regression that matters at this repo's
+scale: a subsystem silently falling out of the test net.  When a real
+``coverage.py`` is available, prefer it -- ``pyproject.toml`` carries a
+``[tool.coverage]`` configuration for exactly that case, and this tool
+defers to it with ``--prefer-coverage-py``.
+
+Usage:
+    PYTHONPATH=src python tools/funccov.py [--fail-under PCT] [pytest args]
+
+Exit status: pytest's if the suite fails, else 0/1 on the threshold.
+Writes ``.funccov.json`` (gitignored) with the full per-module table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import threading
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(ROOT, "src")
+PKG = os.path.join(SRC, "repro")
+
+sys.path.insert(0, SRC)
+
+#: Synthetic code-object names that are not functions worth counting.
+_SKIP_NAMES = ("<module>", "<lambda>", "<genexpr>", "<listcomp>",
+               "<setcomp>", "<dictcomp>")
+
+
+def defined_functions() -> set[tuple[str, str, int]]:
+    """Every function/method defined under ``src/repro``, as
+    (relative path, qualname, first line)."""
+    out: set[tuple[str, str, int]] = set()
+    for dirpath, _dirnames, filenames in os.walk(PKG):
+        for fn in filenames:
+            if not fn.endswith(".py"):
+                continue
+            path = os.path.join(dirpath, fn)
+            with open(path, "r") as fh:
+                try:
+                    code = compile(fh.read(), path, "exec")
+                except SyntaxError:  # pragma: no cover - repo must compile
+                    continue
+            rel = os.path.relpath(path, ROOT)
+            stack = [code]
+            while stack:
+                co = stack.pop()
+                for const in co.co_consts:
+                    if hasattr(const, "co_code"):
+                        stack.append(const)
+                if co.co_name not in _SKIP_NAMES:
+                    out.add((rel, co.co_qualname, co.co_firstlineno))
+    return out
+
+
+def run_suite_with_profile(pytest_args: list[str]) -> tuple[int, set]:
+    """Run pytest in-process with a call profiler; returns (exit code,
+    set of called functions keyed like :func:`defined_functions`)."""
+    import pytest
+
+    called: set[tuple[str, str, int]] = set()
+    prefix = PKG + os.sep
+
+    def profiler(frame, event, arg):
+        if event == "call":
+            co = frame.f_code
+            path = co.co_filename
+            if path.startswith(prefix) or path == PKG:
+                called.add((os.path.relpath(path, ROOT), co.co_qualname,
+                            co.co_firstlineno))
+
+    threading.setprofile(profiler)
+    sys.setprofile(profiler)
+    try:
+        rc = pytest.main(pytest_args)
+    finally:
+        sys.setprofile(None)
+        threading.setprofile(None)
+    return rc, called
+
+
+def report(defined: set, called: set, fail_under: float) -> int:
+    covered = defined & called
+    # Functions seen at runtime but missing from the static walk (e.g.
+    # decorators synthesising code) still count toward the numerator of
+    # their module, not the denominator.
+    by_module: dict[str, list[int]] = {}
+    for rel, _q, _l in defined:
+        by_module.setdefault(rel, [0, 0])[1] += 1
+    for rel, _q, _l in covered:
+        by_module[rel][0] += 1
+
+    pct = 100.0 * len(covered) / len(defined) if defined else 100.0
+    width = max(len(m) for m in by_module)
+    print(f"\n{'module':<{width}}  funcs  covered      %")
+    print("-" * (width + 26))
+    for rel in sorted(by_module):
+        got, total = by_module[rel]
+        mark = "" if got == total else ("  <-- uncovered" if got == 0 else "")
+        print(f"{rel:<{width}}  {total:5d}  {got:7d}  {100.0 * got / total:5.1f}{mark}")
+    print("-" * (width + 26))
+    print(f"{'TOTAL':<{width}}  {len(defined):5d}  {len(covered):7d}  {pct:5.1f}")
+
+    with open(os.path.join(ROOT, ".funccov.json"), "w") as fh:
+        json.dump(
+            {
+                "percent": round(pct, 2),
+                "functions": len(defined),
+                "covered": len(covered),
+                "fail_under": fail_under,
+                "modules": {
+                    m: {"functions": t, "covered": g,
+                        "percent": round(100.0 * g / t, 2)}
+                    for m, (g, t) in sorted(by_module.items())
+                },
+            },
+            fh, indent=2,
+        )
+        fh.write("\n")
+
+    if pct < fail_under:
+        print(f"\nFAIL: function coverage {pct:.1f}% < required {fail_under:.1f}%")
+        return 1
+    print(f"\nOK: function coverage {pct:.1f}% >= required {fail_under:.1f}%")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--fail-under", type=float, default=85.0,
+                    help="minimum function coverage percent (default 85)")
+    ap.add_argument("--prefer-coverage-py", action="store_true",
+                    help="delegate to coverage.py when it is installed")
+    ap.add_argument("pytest_args", nargs="*",
+                    help="extra pytest arguments (default: tier-1 tests/)")
+    args = ap.parse_args(argv)
+
+    if args.prefer_coverage_py:
+        try:
+            import coverage  # noqa: F401
+        except ImportError:
+            pass
+        else:
+            os.execvp(sys.executable, [
+                sys.executable, "-m", "coverage", "run", "-m", "pytest",
+                *(args.pytest_args or ["tests"]),
+            ])
+
+    pytest_args = args.pytest_args or ["tests", "-q"]
+    defined = defined_functions()
+    rc, called = run_suite_with_profile(pytest_args)
+    if rc not in (0, None):
+        print(f"\npytest exited with {rc}; coverage not evaluated")
+        return int(rc)
+    return report(defined, called, args.fail_under)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
