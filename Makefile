@@ -8,11 +8,16 @@ export PYTHONPATH := src
 test:
 	$(PYTHON) -m pytest -x -q
 
-## Fault-injection smoke: the marked campaign tests plus a 50-trial
-## CLI campaign comparing FT OC-Bcast against the baseline.
+## Fault-injection smoke: the marked campaign tests, a 50-trial CLI
+## campaign comparing FT OC-Bcast against the baseline, and a 10-trial
+## multi-fault service campaign (interior crash mid-stream + corrupted
+## data + link-down bursts) over the crash-surviving broadcast service.
 faults:
 	$(PYTHON) -m pytest -q -m faults tests
 	$(PYTHON) -m repro faults --trials 50 --kinds drop_flag corrupt_flag crash --timeline
+	$(PYTHON) -m repro faults --trials 10 --service --burst \
+		--kinds crash corrupt_data --crash-site interior --mid-stream \
+		--cache-lines 288 --faults-per-trial 2 --timeline
 
 ## Paper tables/figures (slow; writes benchmarks/results/).
 bench:

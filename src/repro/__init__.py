@@ -53,6 +53,12 @@ from .core import (
     PropagationTree,
     topology_aware_order,
 )
+from .member import (
+    MembershipConfig,
+    MembershipService,
+    MembershipView,
+    OcBcastService,
+)
 from .model import TABLE_1, ModelParams
 from .mpi import Mpi, MpiRank
 from .rcce import Comm, CoreComm
@@ -66,7 +72,11 @@ __all__ = [
     "ContentionMode",
     "CoreComm",
     "MemRef",
+    "MembershipConfig",
+    "MembershipService",
+    "MembershipView",
     "ModelParams",
+    "OcBcastService",
     "Mpi",
     "MpiRank",
     "NotifyMode",

@@ -32,13 +32,15 @@ from __future__ import annotations
 
 import random
 from collections import Counter
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Generator, Sequence
 
 import numpy as np
 
 from ..core import OcBcast, OcBcastConfig, PropagationTree
 from ..faults import FaultInjector, FaultKind, FaultPlan, FaultSpec
+from ..member.service import DEFAULT_SERVICE_OC, OcBcastService
+from ..obs import MetricsRegistry
 from ..rcce import Comm
 from ..scc import SccChip, SccConfig, run_spmd
 from ..scc.config import CACHE_LINE
@@ -62,13 +64,19 @@ TIMELINE_KINDS = (
 
 @dataclass(frozen=True)
 class TrialRun:
-    """One execution (FT or baseline) of one trial's fault plan."""
+    """One execution (service, FT or baseline) of one trial's fault plan."""
 
     outcome: str
     latency: float  # makespan in us; 0.0 when the run did not finish
     n_injected: int
     n_recovered: int
     detail: str = ""
+    #: Live cores evicted from the group (service runs only).
+    n_evicted: int = 0
+    #: Time-to-detect / time-to-repair (us) harvested from the service
+    #: run's ``member.ttd_us`` / ``member.ttr_us`` histograms.
+    ttd: float | None = None
+    ttr: float | None = None
 
     @property
     def finished(self) -> bool:
@@ -77,12 +85,13 @@ class TrialRun:
 
 @dataclass(frozen=True)
 class TrialResult:
-    """One seeded trial: the plan plus its FT (and baseline) runs."""
+    """One seeded trial: the plan plus its per-mode runs."""
 
     index: int
     plan: FaultPlan
     ft: TrialRun
     baseline: TrialRun | None = None
+    service: TrialRun | None = None
 
 
 @dataclass(frozen=True)
@@ -100,6 +109,9 @@ class CampaignResult:
     seed: int
     #: Fault timeline of the first FT trial that saw an injection.
     timeline: tuple[TraceRecord, ...] = ()
+    #: Service-mode outcome counts / fault-free latency (``service=True``).
+    service_counts: Counter | None = None
+    service_latency: float = 0.0
 
     @property
     def n_trials(self) -> int:
@@ -118,17 +130,53 @@ class CampaignResult:
         good = self.ft_counts["delivered"] + self.ft_counts["recovered"]
         return good / self.n_trials if self.n_trials else 0.0
 
+    @property
+    def service_overhead_pct(self) -> float:
+        """Fault-free service-mode latency overhead over the baseline."""
+        if self.base_latency <= 0.0 or self.service_latency <= 0.0:
+            return 0.0
+        return (self.service_latency / self.base_latency - 1.0) * 100.0
+
+    @property
+    def service_survival_rate(self) -> float:
+        """Fraction of trials the service committed with correct payloads
+        on every live member."""
+        if self.service_counts is None or not self.n_trials:
+            return 0.0
+        good = (self.service_counts["delivered"]
+                + self.service_counts["recovered"])
+        return good / self.n_trials
+
+    def _service_times(self, attr: str) -> list[float]:
+        return [
+            getattr(t.service, attr)
+            for t in self.trials
+            if t.service is not None and getattr(t.service, attr) is not None
+        ]
+
+    def ttd_summary(self) -> dict[str, float]:
+        """count/mean/min/max of the service runs' time-to-detect (us)."""
+        return _describe(self._service_times("ttd"))
+
+    def ttr_summary(self) -> dict[str, float]:
+        """count/mean/min/max of the service runs' time-to-repair (us)."""
+        return _describe(self._service_times("ttr"))
+
     def summary(self) -> str:
         from .reporting import format_table
 
         headers = ["outcome", "FT"]
         if self.baseline_counts is not None:
             headers.append("baseline")
+        if self.service_counts is not None:
+            headers.append("service")
         rows = []
         for outcome in OUTCOMES:
             row = [outcome, self.ft_counts.get(outcome, 0)]
             if self.baseline_counts is not None:
                 row.append(self.baseline_counts.get(outcome, 0))
+            if self.service_counts is not None:
+                row.append(self.service_counts.get(outcome, 0))
             rows.append(row)
         lines = [
             format_table(
@@ -142,7 +190,40 @@ class CampaignResult:
             f"({self.ft_overhead_pct:+.2f}% robustness tax)",
             f"FT survival rate: {100.0 * self.ft_survival_rate:.1f}%",
         ]
+        if self.service_counts is not None:
+            lines.append(
+                f"service fault-free latency: {self.service_latency:.2f} us "
+                f"({self.service_overhead_pct:+.2f}% service tax)"
+            )
+            lines.append(
+                "service survival rate: "
+                f"{100.0 * self.service_survival_rate:.1f}%"
+            )
+            ttd, ttr = self.ttd_summary(), self.ttr_summary()
+            if ttd["count"]:
+                lines.append(
+                    f"time-to-detect:  n={ttd['count']:.0f} "
+                    f"mean={ttd['mean']:.0f} us "
+                    f"[{ttd['min']:.0f}, {ttd['max']:.0f}]"
+                )
+            if ttr["count"]:
+                lines.append(
+                    f"time-to-repair:  n={ttr['count']:.0f} "
+                    f"mean={ttr['mean']:.0f} us "
+                    f"[{ttr['min']:.0f}, {ttr['max']:.0f}]"
+                )
         return "\n".join(lines)
+
+
+def _describe(xs: list[float]) -> dict[str, float]:
+    if not xs:
+        return {"count": 0.0, "mean": 0.0, "min": 0.0, "max": 0.0}
+    return {
+        "count": float(len(xs)),
+        "mean": sum(xs) / len(xs),
+        "min": min(xs),
+        "max": max(xs),
+    }
 
 
 @dataclass(frozen=True)
@@ -170,6 +251,22 @@ class FaultCampaign:
     stall_duration: float = 500.0
     pause_duration: float = 1_000.0
     ft_max_retries: int = 3
+    #: Also run every trial against the crash-surviving broadcast
+    #: service (:class:`repro.member.OcBcastService`).
+    service: bool = False
+    #: Faults per trial plan (multi-fault campaigns cycle ``kinds``
+    #: *within* each trial, so one plan can crash a core and corrupt a
+    #: data line in the same run).
+    faults_per_trial: int = 1
+    #: Where CORE_CRASH strikes: ``"leaf"`` (the FT layer can route
+    #: around it), ``"interior"`` (orphans a subtree -- only the service
+    #: survives), or ``"any"``.
+    crash_site: str = "leaf"
+    #: Draw crash occurrences from the middle third of the profiled
+    #: range, so multi-chunk broadcasts lose the core *mid-stream*.
+    mid_stream: bool = False
+    #: LINK_DOWN burst window (us of silently dropped protocol writes).
+    link_down_duration: float = 400.0
 
     def __post_init__(self) -> None:
         if self.trials < 1:
@@ -178,6 +275,14 @@ class FaultCampaign:
             raise ValueError("need at least one fault kind")
         if self.nbytes <= 0:
             raise ValueError("nbytes must be > 0")
+        if self.faults_per_trial < 1:
+            raise ValueError("faults_per_trial must be >= 1")
+        if self.crash_site not in ("leaf", "interior", "any"):
+            raise ValueError(
+                f"crash_site must be leaf/interior/any, got {self.crash_site!r}"
+            )
+        if self.link_down_duration <= 0:
+            raise ValueError("link_down_duration must be > 0")
 
     # -- building blocks -----------------------------------------------------
 
@@ -192,41 +297,82 @@ class FaultCampaign:
             ft_ack_data=FaultKind.DROP_DATA_WRITE in self.kinds,
         )
 
+    def _service_oc_config(self) -> OcBcastConfig:
+        return replace(
+            DEFAULT_SERVICE_OC,
+            k=self.k,
+            chunk_lines=self.chunk_lines,
+            num_buffers=self.num_buffers,
+            ft_max_retries=self.ft_max_retries,
+        )
+
     def _payload(self) -> bytes:
         rng = np.random.default_rng(self.seed)
         return rng.integers(0, 256, size=self.nbytes, dtype=np.uint8).tobytes()
 
     def run_one(
-        self, plan: FaultPlan, *, ft: bool, trace: bool = False
+        self,
+        plan: FaultPlan,
+        *,
+        ft: bool,
+        service: bool = False,
+        trace: bool = False,
     ) -> tuple[TrialRun, tuple[TraceRecord, ...]]:
         """Run one broadcast under ``plan`` on a fresh chip and classify it.
 
-        Returns the classified run plus (when ``trace``) the fault-relevant
-        trace records.
+        ``service=True`` runs the crash-surviving service
+        (:class:`repro.member.OcBcastService`) instead of a bare OC-Bcast
+        (``ft`` is then ignored -- the service is always fault-tolerant)
+        and harvests its TTD/TTR histograms into the returned run.
+        Returns the classified run plus (when ``trace``) the
+        fault-relevant trace records.
         """
         tracer = Tracer(enabled=trace)
         injector = FaultInjector(plan)
-        chip = SccChip(self.config, tracer=tracer, faults=injector)
+        metrics = MetricsRegistry() if service else None
+        chip = SccChip(
+            self.config, tracer=tracer, faults=injector, metrics=metrics
+        )
         comm = Comm(chip)
-        oc = OcBcast(comm, self._oc_config(ft))
         payload = self._payload()
         nbytes = self.nbytes
         root = self.root
 
-        def program(core) -> Generator:
-            cc = comm.attach(core)
-            buf = cc.alloc(nbytes)
-            if cc.rank == root:
-                buf.write(payload)
-            try:
-                yield from oc.bcast(cc, root, buf, nbytes)
-            except FaultInjected:
-                return "crashed"
-            return buf.read() == payload
+        if service:
+            svc = OcBcastService(
+                comm, root=root, oc_config=self._service_oc_config()
+            )
+
+            def program(core) -> Generator:
+                cc = comm.attach(core)
+                buf = cc.alloc(nbytes)
+                if cc.rank == root:
+                    buf.write(payload)
+                try:
+                    status = yield from svc.bcast(cc, buf, nbytes)
+                except FaultInjected:
+                    return "crashed"
+                if status == "evicted":
+                    return "evicted"
+                return buf.read() == payload
+        else:
+            oc = OcBcast(comm, self._oc_config(ft))
+
+            def program(core) -> Generator:
+                cc = comm.attach(core)
+                buf = cc.alloc(nbytes)
+                if cc.rank == root:
+                    buf.write(payload)
+                try:
+                    yield from oc.bcast(cc, root, buf, nbytes)
+                except FaultInjected:
+                    return "crashed"
+                return buf.read() == payload
 
         chip.sim.start_watchdog(self.watchdog_interval)
         start = chip.now
         outcome, latency, detail = "", 0.0, ""
+        n_evicted = 0
         try:
             res = run_spmd(chip, program)
         except SimError as exc:
@@ -248,18 +394,30 @@ class FaultCampaign:
             vals = list(res.values)
             n_bad = sum(1 for v in vals if v is False)
             n_crashed = sum(1 for v in vals if v == "crashed")
+            n_evicted = sum(1 for v in vals if v == "evicted")
             if n_bad:
                 outcome = "corrupt"
                 detail = f"{n_bad} core(s) hold wrong bytes"
             elif injector.n_injected:
                 outcome = "recovered"
+                parts = []
                 if n_crashed:
-                    detail = f"{n_crashed} core(s) crashed, survivors delivered"
+                    parts.append(f"{n_crashed} crashed")
+                if n_evicted:
+                    parts.append(f"{n_evicted} evicted")
+                if parts:
+                    detail = ", ".join(parts) + ", survivors delivered"
             else:
                 outcome = "delivered"
         records = tuple(
             r for r in tracer.records if r.kind in TIMELINE_KINDS
         )
+        ttd = ttr = None
+        if metrics is not None:
+            h = metrics.histograms.get("member.ttd_us")
+            ttd = h.mean if h is not None and h.count else None
+            h = metrics.histograms.get("member.ttr_us")
+            ttr = h.mean if h is not None and h.count else None
         return (
             TrialRun(
                 outcome=outcome,
@@ -267,13 +425,31 @@ class FaultCampaign:
                 n_injected=injector.n_injected,
                 n_recovered=injector.n_recovered,
                 detail=detail,
+                n_evicted=n_evicted,
+                ttd=ttd,
+                ttr=ttr,
             ),
             records,
         )
 
+    def _draw_nth(self, rng: random.Random, n: int) -> int:
+        """An occurrence number inside the profiled range (middle third
+        when ``mid_stream`` targets a fault partway through the run)."""
+        n = max(1, n)
+        if self.mid_stream and n >= 3:
+            return rng.randint(max(1, n // 3), max(1, 2 * n // 3))
+        return rng.randint(1, n)
+
     def trial_plans(self) -> list[FaultPlan]:
         """The campaign's per-trial fault plans -- a pure function of the
-        seed and the profiled fault-free run, so two calls agree exactly."""
+        seed and the profiled fault-free run, so two calls agree exactly.
+
+        With ``faults_per_trial > 1`` the kinds cycle *within* each trial,
+        so one plan combines e.g. a mid-stream interior crash with a
+        corrupted data line.  Specs are drawn rejection-style so no two
+        claim the same ``(category, core, nth)`` site (which
+        :class:`~repro.faults.FaultPlan` rejects).
+        """
         profile = self.profile_sites()
         rng = random.Random(self.seed)
         size = (self.config or SccConfig()).num_cores
@@ -282,37 +458,79 @@ class FaultCampaign:
             r for r in range(size)
             if r != self.root and not tree.children_of(r)
         ]
+        interior = [
+            r for r in range(size)
+            if r != self.root and tree.children_of(r)
+        ]
+        crash_pool = {
+            "leaf": leaves,
+            "interior": interior or leaves,
+            "any": leaves + interior,
+        }[self.crash_site]
         non_root = [r for r in range(size) if r != self.root]
-        plans: list[FaultPlan] = []
-        for i in range(self.trials):
-            kind = self.kinds[i % len(self.kinds)]
+
+        def draw(kind: FaultKind) -> FaultSpec:
             if kind in (FaultKind.DROP_FLAG_WRITE, FaultKind.CORRUPT_FLAG_WRITE):
-                n = profile.get("flag_write", 0)
-                spec = FaultSpec(kind, nth=rng.randint(1, max(1, n)))
-            elif kind is FaultKind.DROP_DATA_WRITE:
-                n = profile.get("data_write", 0)
-                spec = FaultSpec(kind, nth=rng.randint(1, max(1, n)))
-            elif kind is FaultKind.LINK_STALL:
-                n = profile.get("mpb_access", 0)
-                spec = FaultSpec(
+                return FaultSpec(
+                    kind, nth=self._draw_nth(rng, profile.get("flag_write", 0))
+                )
+            if kind in (FaultKind.DROP_DATA_WRITE, FaultKind.CORRUPT_DATA_WRITE):
+                return FaultSpec(
+                    kind, nth=self._draw_nth(rng, profile.get("data_write", 0))
+                )
+            if kind is FaultKind.LINK_STALL:
+                return FaultSpec(
                     kind,
-                    nth=rng.randint(1, max(1, n)),
+                    nth=self._draw_nth(rng, profile.get("mpb_access", 0)),
                     duration=self.stall_duration,
                 )
-            elif kind is FaultKind.CORE_PAUSE:
+            if kind is FaultKind.LINK_DOWN:
                 core = rng.choice(non_root)
-                n = profile.get(f"core_op@core{core}", 0)
-                spec = FaultSpec(
+                return FaultSpec(
                     kind,
                     core=core,
-                    nth=rng.randint(1, max(1, n)),
+                    nth=self._draw_nth(
+                        rng, profile.get(f"mpb_access@core{core}", 0)
+                    ),
+                    duration=self.link_down_duration,
+                )
+            if kind is FaultKind.CORE_PAUSE:
+                core = rng.choice(non_root)
+                return FaultSpec(
+                    kind,
+                    core=core,
+                    nth=self._draw_nth(
+                        rng, profile.get(f"core_op@core{core}", 0)
+                    ),
                     duration=self.pause_duration,
                 )
-            else:  # CORE_CRASH: crash a leaf so live cores can still deliver
-                core = rng.choice(leaves)
-                n = profile.get(f"core_op@core{core}", 0)
-                spec = FaultSpec(kind, core=core, nth=rng.randint(1, max(1, n)))
-            plans.append(FaultPlan((spec,), label=f"trial{i}:{kind.value}"))
+            # CORE_CRASH: site chosen by ``crash_site`` -- a crashed leaf
+            # is routable by the FT layer alone, a crashed interior node
+            # orphans its subtree and takes the service to survive.
+            core = rng.choice(crash_pool)
+            return FaultSpec(
+                kind,
+                core=core,
+                nth=self._draw_nth(rng, profile.get(f"core_op@core{core}", 0)),
+            )
+
+        plans: list[FaultPlan] = []
+        for i in range(self.trials):
+            specs: list[FaultSpec] = []
+            claimed: set[tuple[str, int | None, int]] = set()
+            for j in range(self.faults_per_trial):
+                kind = self.kinds[(i * self.faults_per_trial + j) % len(self.kinds)]
+                for _ in range(32):
+                    spec = draw(kind)
+                    site = (spec.category, spec.core, spec.nth)
+                    if site not in claimed:
+                        break
+                else:  # pragma: no cover - 32 collisions needs a tiny profile
+                    continue
+                claimed.add(site)
+                specs.append(spec)
+            label = "+".join(s.kind.value for s in specs)
+            plans.append(FaultPlan(tuple(specs), label=f"trial{i}:{label}"))
         return plans
 
     def profile_sites(self) -> dict[str, int]:
@@ -344,15 +562,42 @@ class FaultCampaign:
 
     # -- the campaign --------------------------------------------------------
 
+    def service_latency_once(self) -> float:
+        """Fault-free service-mode makespan (the service tax numerator)."""
+        chip = SccChip(self.config)
+        comm = Comm(chip)
+        svc = OcBcastService(
+            comm, root=self.root, oc_config=self._service_oc_config()
+        )
+        payload = self._payload()
+        nbytes, root = self.nbytes, self.root
+
+        def program(core) -> Generator:
+            cc = comm.attach(core)
+            buf = cc.alloc(nbytes)
+            if cc.rank == root:
+                buf.write(payload)
+            status = yield from svc.bcast(cc, buf, nbytes)
+            if status != "ok" or (cc.rank != root and buf.read() != payload):
+                raise AssertionError(f"rank {cc.rank}: fault-free service run bad")
+            return None
+
+        start = chip.now
+        res = run_spmd(chip, program)
+        return res.end_time - start
+
     def run(self) -> CampaignResult:
-        """Profile, then run every trial (FT first, baseline if enabled)."""
+        """Profile, then run every trial (FT first, then baseline and the
+        service when enabled)."""
         profile = self.profile_sites()
         base_latency = self._bcast_once(SccChip(self.config), ft=False)
         ft_latency = self._bcast_once(SccChip(self.config), ft=True)
+        service_latency = self.service_latency_once() if self.service else 0.0
 
         trials: list[TrialResult] = []
         ft_counts: Counter = Counter()
         baseline_counts: Counter | None = Counter() if self.compare_baseline else None
+        service_counts: Counter | None = Counter() if self.service else None
         timeline: tuple[TraceRecord, ...] = ()
         for i, plan in enumerate(self.trial_plans()):
             want_trace = not timeline
@@ -364,8 +609,15 @@ class FaultCampaign:
             if self.compare_baseline:
                 base_run, _ = self.run_one(plan, ft=False)
                 baseline_counts[base_run.outcome] += 1
+            service_run = None
+            if self.service:
+                service_run, _ = self.run_one(plan, ft=True, service=True)
+                service_counts[service_run.outcome] += 1
             trials.append(
-                TrialResult(index=i, plan=plan, ft=ft_run, baseline=base_run)
+                TrialResult(
+                    index=i, plan=plan, ft=ft_run,
+                    baseline=base_run, service=service_run,
+                )
             )
         return CampaignResult(
             trials=tuple(trials),
@@ -377,17 +629,22 @@ class FaultCampaign:
             nbytes=self.nbytes,
             seed=self.seed,
             timeline=timeline,
+            service_counts=service_counts,
+            service_latency=service_latency,
         )
 
 
 def parse_kinds(names: Sequence[str]) -> tuple[FaultKind, ...]:
     """Map CLI names (``drop_flag``, ``corrupt_flag``, ``drop_data``,
-    ``stall``, ``pause``, ``crash``) to :class:`FaultKind`."""
+    ``corrupt_data``, ``stall``, ``link_down``, ``pause``, ``crash``) to
+    :class:`FaultKind`."""
     alias = {
         "drop_flag": FaultKind.DROP_FLAG_WRITE,
         "corrupt_flag": FaultKind.CORRUPT_FLAG_WRITE,
         "drop_data": FaultKind.DROP_DATA_WRITE,
+        "corrupt_data": FaultKind.CORRUPT_DATA_WRITE,
         "stall": FaultKind.LINK_STALL,
+        "link_down": FaultKind.LINK_DOWN,
         "pause": FaultKind.CORE_PAUSE,
         "crash": FaultKind.CORE_CRASH,
     }

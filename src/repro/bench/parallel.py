@@ -118,8 +118,14 @@ def _campaign_trial(
     base_run = None
     if campaign.compare_baseline:
         base_run, _ = campaign.run_one(plan, ft=False)
+    service_run = None
+    if campaign.service:
+        service_run, _ = campaign.run_one(plan, ft=True, service=True)
     return (
-        TrialResult(index=index, plan=plan, ft=ft_run, baseline=base_run),
+        TrialResult(
+            index=index, plan=plan, ft=ft_run,
+            baseline=base_run, service=service_run,
+        ),
         records,
     )
 
@@ -141,6 +147,7 @@ def run_campaign_parallel(
     profile = campaign.profile_sites()
     base_latency = campaign._bcast_once(SccChip(campaign.config), ft=False)
     ft_latency = campaign._bcast_once(SccChip(campaign.config), ft=True)
+    service_latency = campaign.service_latency_once() if campaign.service else 0.0
 
     plans = campaign.trial_plans()
     merged = parallel_map(
@@ -153,12 +160,15 @@ def run_campaign_parallel(
     baseline_counts: Counter | None = (
         Counter() if campaign.compare_baseline else None
     )
+    service_counts: Counter | None = Counter() if campaign.service else None
     timeline: tuple[TraceRecord, ...] = ()
     trials: list[TrialResult] = []
     for trial, records in merged:
         ft_counts[trial.ft.outcome] += 1
         if baseline_counts is not None and trial.baseline is not None:
             baseline_counts[trial.baseline.outcome] += 1
+        if service_counts is not None and trial.service is not None:
+            service_counts[trial.service.outcome] += 1
         if not timeline and trial.ft.n_injected:
             timeline = records
         trials.append(trial)
@@ -172,4 +182,6 @@ def run_campaign_parallel(
         nbytes=campaign.nbytes,
         seed=campaign.seed,
         timeline=timeline,
+        service_counts=service_counts,
+        service_latency=service_latency,
     )

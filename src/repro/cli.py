@@ -249,13 +249,21 @@ def cmd_contention(args: argparse.Namespace) -> int:
 
 def cmd_faults(args: argparse.Namespace) -> int:
     try:
+        names = list(args.kinds)
+        if args.burst and "link_down" not in names:
+            names.append("link_down")
         campaign = FaultCampaign(
             trials=args.trials,
             seed=args.seed,
-            kinds=parse_kinds(args.kinds),
+            kinds=parse_kinds(names),
             nbytes=args.cache_lines * CACHE_LINE,
             config=_config(args),
             compare_baseline=not args.no_baseline,
+            service=args.service,
+            faults_per_trial=args.faults_per_trial,
+            crash_site=args.crash_site,
+            mid_stream=args.mid_stream,
+            link_down_duration=args.burst_duration,
         )
     except ValueError as exc:
         print(f"ERROR: {exc}", file=sys.stderr)
@@ -265,8 +273,13 @@ def cmd_faults(args: argparse.Namespace) -> int:
     if args.timeline:
         print()
         print(format_fault_timeline(result.timeline))
-    # A campaign "fails" only if the FT mode lost a trial it should win.
+    # A campaign "fails" only if a hardened mode lost a trial it should
+    # win: the FT layer against its single-fault adversary, the service
+    # against anything (it must never wedge or deliver wrong bytes).
     lost = result.ft_counts["deadlock"] + result.ft_counts["corrupt"]
+    if result.service_counts is not None:
+        lost += (result.service_counts["deadlock"]
+                 + result.service_counts["corrupt"])
     return 1 if lost else 0
 
 
@@ -389,7 +402,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=1)
     p.add_argument(
         "--kinds", nargs="+", default=["drop_flag"],
-        help="fault kinds: drop_flag corrupt_flag drop_data stall pause crash",
+        help="fault kinds: drop_flag corrupt_flag drop_data corrupt_data "
+             "stall link_down pause crash",
     )
     p.add_argument("--cache-lines", type=int, default=96,
                    help="message size (96 = one chunk, every flag write fatal)")
@@ -397,6 +411,23 @@ def build_parser() -> argparse.ArgumentParser:
                    help="skip the (slow, deadlock-prone) baseline runs")
     p.add_argument("--timeline", action="store_true",
                    help="print the fault timeline of the first faulty trial")
+    p.add_argument("--service", action="store_true",
+                   help="also run every trial against the crash-surviving "
+                        "broadcast service (membership + integrity)")
+    p.add_argument("--burst", action="store_true",
+                   help="add link_down correlated-burst faults to the mix")
+    p.add_argument("--burst-duration", type=float, default=400.0,
+                   help="link-down burst window in us (with --burst)")
+    p.add_argument("--faults-per-trial", type=int, default=1,
+                   help="faults injected per trial (kinds cycle within "
+                        "each multi-fault plan)")
+    p.add_argument("--crash-site", choices=["leaf", "interior", "any"],
+                   default="leaf",
+                   help="where crash faults strike (interior orphans a "
+                        "subtree -- only the service survives)")
+    p.add_argument("--mid-stream", action="store_true",
+                   help="aim faults at the middle of the run (pair with a "
+                        "multi-chunk --cache-lines)")
     _add_mesh_args(p)
     _add_jobs_arg(p)
     p.set_defaults(fn=cmd_faults)

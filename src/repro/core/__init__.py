@@ -16,6 +16,7 @@ from .occollectives import OcBarrier, OcReduce
 from .mpmd import Mailbox, MpmdBcast
 from .osag import OsagBcast
 from .trees import (
+    MemberTree,
     NotificationTree,
     PropagationTree,
     kary_children,
@@ -26,6 +27,7 @@ from .trees import (
 
 __all__ = [
     "Mailbox",
+    "MemberTree",
     "MpmdBcast",
     "NotificationTree",
     "NotifyMode",

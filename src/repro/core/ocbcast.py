@@ -65,11 +65,47 @@ With no faults injected the FT path costs only the acked-write readbacks
 (one extra 1-line MPB read per flag write), keeping its latency within a
 few percent of the baseline -- the "robustness tax" that
 ``repro.bench.faultcampaign`` quantifies.
+
+Payload integrity (``integrity=True``)
+--------------------------------------
+Acked flag writes protect the control path but say nothing about the
+*data*: a corrupted payload line is delivered silently.  Integrity mode
+prepends one header line to every MPB buffer carrying ``(seq, crc32,
+span)`` of the staged chunk.  Every fetch copies header plus payload and
+verifies the checksum against its own deposit (the CRC is accumulated
+while the lines stream through the fetching core's registers, so it
+costs ``integrity_crc_us_per_line`` per line, not a second pass over the
+mesh); a mismatch -- corrupted or dropped deposit, stale or torn header
+-- triggers a bounded re-fetch (the NACK path).  A corruption upstream
+of the fetch (the staged copy itself is bad) re-fetches the same bad
+bytes and escalates as a :class:`repro.sim.TimeoutError` instead of a
+silent delivery; the membership service (:mod:`repro.member`) turns that
+escalation into a re-broadcast.
+
+Service mode (``service=True``, used by :class:`repro.member.OcBcastService`)
+-----------------------------------------------------------------------------
+Two protocol changes, both confined to the end of a broadcast, give the
+root *global* delivery knowledge at ~zero fault-free cost:
+
+- **NACK done-chain**: a node reports its final-chunk doneFlag only
+  after its own children's final doneFlags arrive, and the flag's tag
+  carries a NACK when anything below it failed (a child declared dead, a
+  NACK from a grandchild).  The root's final wait therefore covers the
+  *whole tree*, not just its direct children.
+- **Commit notification**: one extra notification sequence number per
+  broadcast, relayed through the same notification trees, tells every
+  node whether the broadcast committed (tag ``COMMIT_OK``) or will be
+  retried by the service layer (tag ``COMMIT_RETRY``).
+
+``bcast`` then returns ``"ok"``/``"retry"`` (or ``"evicted"`` for ranks
+outside the supplied member tree) instead of ``None``.
 """
 
 from __future__ import annotations
 
 import enum
+import struct
+import zlib
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Generator, Sequence
 
@@ -77,13 +113,27 @@ from ..rcce.flags import Flag, FlagValue
 from ..scc.config import CACHE_LINE
 from ..scc.memory import MemRef
 from ..sim.errors import TimeoutError as SimTimeoutError
-from .trees import NotificationTree, PropagationTree
+from .trees import MemberTree, NotificationTree, PropagationTree
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..rcce.comm import Comm, CoreComm
 
 #: The paper's chunk size: 96 cache lines (leaves room for flags with any k).
 DEFAULT_CHUNK_LINES = 96
+
+#: Chunk header: (seq, crc32, span) in 16 of the header line's 32 bytes.
+_HEADER = struct.Struct("<qII")
+
+#: Commit-notification tags (service mode).  Normal chunk notifications
+#: carry tag 0; the commit notification reuses the notify flag with the
+#: broadcast's reserved final sequence number and one of these tags.
+COMMIT_OK = 1
+COMMIT_RETRY = 2
+
+#: DoneFlag NACK encoding: a node that saw a failure in its subtree
+#: reports its final doneFlag with tag ``-1 - rank`` instead of ``rank``.
+def _nack_tag(rank: int) -> int:
+    return -1 - rank
 
 
 class NotifyMode(enum.Enum):
@@ -121,6 +171,18 @@ class OcBcastConfig:
     #: Also ack the root's chunk-staging puts (re-send un-acked cache
     #: lines).  Off by default: it doubles staging MPB traffic.
     ft_ack_data: bool = False
+    #: End-to-end payload integrity: one header line per buffer carrying
+    #: (seq, crc32, span); every fetch verifies and re-fetches on
+    #: mismatch (see the module docstring).
+    integrity: bool = False
+    #: Bounded re-fetches on a checksum mismatch before escalating.
+    integrity_retries: int = 3
+    #: CRC cost per cache line (accumulated in-registers during the
+    #: copy, so it is cheap -- the lines are already passing through).
+    integrity_crc_us_per_line: float = 0.01
+    #: Service mode: NACK done-chain + commit notification (requires ft;
+    #: used by :class:`repro.member.OcBcastService`).
+    service: bool = False
 
     def __post_init__(self) -> None:
         if self.k < 1:
@@ -137,10 +199,21 @@ class OcBcastConfig:
             raise ValueError("FT timeouts must be > 0")
         if self.ft_max_retries < 0:
             raise ValueError("ft_max_retries must be >= 0")
+        if self.integrity_retries < 0:
+            raise ValueError("integrity_retries must be >= 0")
+        if self.integrity_crc_us_per_line < 0:
+            raise ValueError("integrity_crc_us_per_line must be >= 0")
+        if self.service and not self.ft:
+            raise ValueError("service mode requires ft=True")
 
     @property
     def chunk_bytes(self) -> int:
         return self.chunk_lines * CACHE_LINE
+
+    @property
+    def buffer_lines(self) -> int:
+        """MPB lines per buffer: the chunk plus the integrity header."""
+        return self.chunk_lines + (1 if self.integrity else 0)
 
 
 class OcBcast:
@@ -157,11 +230,11 @@ class OcBcast:
         self.comm = comm
         self.config = config or OcBcastConfig()
         cfg = self.config
-        need = cfg.num_buffers * cfg.chunk_lines + cfg.k + 1
+        need = cfg.num_buffers * cfg.buffer_lines + cfg.k + 1
         if need > comm.layout.free_lines:
             raise MemoryError(
                 f"OC-Bcast needs {need} MPB lines ({cfg.num_buffers} x "
-                f"{cfg.chunk_lines} buffers + {cfg.k + 1} flags) but only "
+                f"{cfg.buffer_lines} buffers + {cfg.k + 1} flags) but only "
                 f"{comm.layout.free_lines} are free"
             )
         self.notify = comm.flag("oc.notify")
@@ -170,7 +243,7 @@ class OcBcast:
             Flag(done_region.sub(i, 1), name=f"oc.done{i}") for i in range(cfg.k)
         ]
         self.buffers = [
-            comm.layout.alloc_lines(cfg.chunk_lines) for _ in range(cfg.num_buffers)
+            comm.layout.alloc_lines(cfg.buffer_lines) for _ in range(cfg.num_buffers)
         ]
         # Per-rank global chunk-sequence base; advances by the chunk count
         # of every broadcast (each rank tracks its own copy -- SPMD calls
@@ -186,6 +259,7 @@ class OcBcast:
         buf: MemRef,
         nbytes: int,
         order: Sequence[int] | None = None,
+        tree: "PropagationTree | MemberTree | None" = None,
     ) -> Generator:
         """Broadcast ``nbytes`` from ``root``'s ``buf`` (private memory)
         into every other rank's ``buf``.
@@ -193,6 +267,13 @@ class OcBcast:
         ``order`` optionally overrides the position-to-rank assignment of
         the propagation tree (see :func:`topology_aware_order`); all ranks
         must pass the same value.
+
+        ``tree`` optionally supplies a prebuilt propagation tree -- in
+        particular a :class:`MemberTree` over the survivors of a
+        membership view, which is how the service layer routes later
+        broadcasts around dead cores.  A rank outside the tree returns
+        ``"evicted"`` immediately; in service mode the other ranks return
+        ``"ok"`` or ``"retry"`` (the commit outcome), otherwise ``None``.
         """
         size = cc.size
         cfg = self.config
@@ -202,29 +283,44 @@ class OcBcast:
             raise ValueError("nbytes must be >= 0")
         if buf.nbytes < nbytes:
             raise ValueError(f"buffer of {buf.nbytes} bytes for {nbytes}-byte bcast")
-        if nbytes == 0 or size == 1:
-            return
+        if tree is not None:
+            if order is not None:
+                raise ValueError("pass either a prebuilt tree or an order, not both")
+            if tree.root != root:
+                raise ValueError(f"tree root {tree.root} != bcast root {root}")
+            if cc.rank not in tree:
+                return "evicted"
+        if nbytes == 0 or (size if tree is None else tree.size) == 1:
+            return "ok" if cfg.service else None
         nchunks = -(-nbytes // cfg.chunk_bytes)
         base = self._base[cc.rank]
-        self._base[cc.rank] += nchunks
+        # Service mode reserves one extra sequence number per broadcast
+        # for the commit notification.
+        self._base[cc.rank] += nchunks + (1 if cfg.service else 0)
 
-        tree = PropagationTree(size, cfg.k, root, tuple(order) if order else ())
+        if tree is None:
+            tree = PropagationTree(size, cfg.k, root, tuple(order) if order else ())
         children = tree.children_of(cc.rank)
         if tree.parent_of(cc.rank) is None:
             if cc.chip.metrics is not None:
                 cc.chip.metrics.inc("oc.bcasts")
                 cc.chip.metrics.inc("oc.chunks", nchunks)
                 cc.chip.metrics.inc("oc.bytes", nbytes)
-            yield from self._run_root(cc, tree, children, buf, nbytes, nchunks, base)
-        else:
+            return (
+                yield from self._run_root(
+                    cc, tree, children, buf, nbytes, nchunks, base
+                )
+            )
+        return (
             yield from self._run_node(cc, tree, children, buf, nbytes, nchunks, base)
+        )
 
     # -- root ------------------------------------------------------------
 
     def _run_root(
         self,
         cc: "CoreComm",
-        tree: PropagationTree,
+        tree: "PropagationTree | MemberTree",
         children: list[int],
         buf: MemRef,
         nbytes: int,
@@ -233,7 +329,7 @@ class OcBcast:
     ) -> Generator:
         cfg = self.config
         family = NotificationTree(len(children), cfg.notify_degree)
-        done = self.done_flags[: len(children)]
+        done = [self.done_flags[tree.child_index(c)] for c in children]
         dead: set[int] = set()
         for idx in range(nchunks):
             seq = base + idx + 1
@@ -248,9 +344,7 @@ class OcBcast:
                 yield from self._wait_done(
                     cc, children, done, floor, dead, last_seq=base + idx
                 )
-            yield from self._stage(
-                cc, self.buffers[b].offset, buf.sub(off, span), span
-            )
+            yield from self._stage(cc, b, buf.sub(off, span), span, seq)
             # ``floor`` self-describes the slot-reuse precondition: staging
             # into buffer ``b`` is legal only once every live child's
             # doneFlag has reached seq - num_buffers (vacuous for the
@@ -262,18 +356,38 @@ class OcBcast:
             yield from self._notify(cc, tree, family, children, slot=0, seq=seq,
                                     dead=dead)
             cc.chip.trace(f"rank{cc.rank}", "oc.chunk.end", idx=idx, seq=seq)
+        final_vals: list[FlagValue] = []
         if children:
             final = base + nchunks
-            yield from self._wait_done(
+            final_vals = yield from self._wait_done(
                 cc, children, done, final, dead, last_seq=final
             )
+        if not cfg.service:
+            return None
+        # The NACK done-chain made the final wait cover the whole tree:
+        # a failure anywhere below shows up here as a declared-dead child
+        # or a negative (NACK) tag.  Commit the outcome down the
+        # notification trees using the reserved sequence number.
+        failed = bool(dead) or any(v.tag < 0 for v in final_vals)
+        commit_seq = base + nchunks + 1
+        tag = COMMIT_RETRY if failed else COMMIT_OK
+        cc.chip.trace(
+            f"rank{cc.rank}", "oc.svc.commit", seq=commit_seq, ok=not failed
+        )
+        if cc.chip.metrics is not None:
+            cc.chip.metrics.inc("oc.svc.commit_ok" if not failed else
+                                "oc.svc.commit_retry")
+        yield from self._notify(
+            cc, tree, family, children, slot=0, seq=commit_seq, dead=dead, tag=tag
+        )
+        return "retry" if failed else "ok"
 
     # -- intermediate nodes and leaves -------------------------------------
 
     def _run_node(
         self,
         cc: "CoreComm",
-        tree: PropagationTree,
+        tree: "PropagationTree | MemberTree",
         children: list[int],
         buf: MemRef,
         nbytes: int,
@@ -287,16 +401,20 @@ class OcBcast:
         my_slot = tree.child_index(cc.rank) + 1  # family slot (0 = parent)
         parent_family = NotificationTree(len(siblings), cfg.notify_degree)
         my_family = NotificationTree(len(children), cfg.notify_degree)
-        done = self.done_flags[: len(children)]
+        done = [self.done_flags[tree.child_index(c)] for c in children]
         my_done_flag = self.done_flags[tree.child_index(cc.rank)]
         leaf_direct = cfg.leaf_direct_to_memory and not children
         dead: set[int] = set()
+        # Service mode: the final-chunk doneFlag is deferred until the
+        # subtree reports, so it can carry a NACK tag (see module docs).
+        defer_final = cfg.service and bool(children)
 
         for idx in range(nchunks):
             seq = base + idx + 1
             b = idx % cfg.num_buffers
             off = idx * cfg.chunk_bytes
             span = min(cfg.chunk_bytes, nbytes - off)
+            is_final = idx == nchunks - 1
             cc.chip.trace(f"rank{cc.rank}", "oc.chunk.begin", idx=idx, seq=seq)
             cc.chip.trace(f"rank{cc.rank}", "oc.wait.begin", idx=idx, seq=seq)
             yield from self._wait_notify(cc, seq)
@@ -316,8 +434,8 @@ class OcBcast:
                     idx=idx, seq=seq, parent=parent, buf=b,
                     floor=seq - cfg.num_buffers, direct=True,
                 )
-                yield from cc.get(
-                    parent, self.buffers[b].offset, buf.sub(off, span), span
+                yield from self._fetch_direct(
+                    cc, parent, b, buf.sub(off, span), span, seq
                 )
                 yield from self._set_flag(
                     cc, parent, my_done_flag, FlagValue(cc.rank, seq)
@@ -330,27 +448,56 @@ class OcBcast:
                     idx=idx, seq=seq, parent=parent, buf=b,
                     floor=seq - cfg.num_buffers, direct=False,
                 )
-                yield from self._fetch(
-                    cc, parent, self.buffers[b].offset, self.buffers[b].offset, span
-                )
-                # (iii) tell the parent this chunk is consumed.
-                yield from self._set_flag(
-                    cc, parent, my_done_flag, FlagValue(cc.rank, seq)
-                )
+                yield from self._fetch(cc, parent, b, span, seq)
+                # (iii) tell the parent this chunk is consumed (service
+                # mode defers the final chunk's flag -- it doubles as the
+                # subtree's delivery report).
+                if not (defer_final and is_final):
+                    yield from self._set_flag(
+                        cc, parent, my_done_flag, FlagValue(cc.rank, seq)
+                    )
                 # (iv) notify own children.
                 yield from self._notify(cc, tree, my_family, children, slot=0,
                                         seq=seq, dead=dead)
                 # (v) own MPB -> private off-chip memory.
                 yield from cc.get(
-                    cc.rank, self.buffers[b].offset, buf.sub(off, span), span
+                    cc.rank, self._payload_off(b), buf.sub(off, span), span
                 )
             cc.chip.trace(f"rank{cc.rank}", "oc.chunk_done", idx=idx, seq=seq)
             cc.chip.trace(f"rank{cc.rank}", "oc.chunk.end", idx=idx, seq=seq)
+        final_vals: list[FlagValue] = []
         if children:
             final = base + nchunks
-            yield from self._wait_done(
+            final_vals = yield from self._wait_done(
                 cc, children, done, final, dead, last_seq=final
             )
+        if not cfg.service:
+            return None
+        # Deferred final doneFlag: aggregate the subtree's outcome into
+        # the tag (NACK on any declared-dead child or NACKed grandchild).
+        failed = bool(dead) or any(v.tag < 0 for v in final_vals)
+        if defer_final:
+            tag = _nack_tag(cc.rank) if failed else cc.rank
+            yield from self._set_flag(
+                cc, parent, my_done_flag, FlagValue(tag, base + nchunks)
+            )
+        # Commit wait + relay: one extra notification round-trip tells
+        # every node whether the service layer will retry.
+        commit_seq = base + nchunks + 1
+        commit = yield from self._wait_notify(cc, commit_seq)
+        yield from self._notify(
+            cc, tree, parent_family, siblings, my_slot, commit_seq, tag=commit.tag
+        )
+        if children:
+            yield from self._notify(
+                cc, tree, my_family, children, slot=0, seq=commit_seq,
+                dead=dead, tag=commit.tag,
+            )
+        ok = commit.tag == COMMIT_OK
+        cc.chip.trace(
+            f"rank{cc.rank}", "oc.svc.commit", seq=commit_seq, ok=ok
+        )
+        return "ok" if ok else "retry"
 
     # -- FT primitives -------------------------------------------------------
 
@@ -366,30 +513,143 @@ class OcBcast:
         else:
             yield from cc.flag_set(owner_rank, flag, value)
 
+    def _payload_off(self, b: int) -> int:
+        """Byte offset of buffer ``b``'s payload (after the header line
+        when integrity mode reserves one)."""
+        return self.buffers[b].offset + (CACHE_LINE if self.config.integrity else 0)
+
     def _stage(
-        self, cc: "CoreComm", offset: int, src: MemRef, span: int
+        self, cc: "CoreComm", b: int, src: MemRef, span: int, seq: int
     ) -> Generator:
-        """The root's chunk-staging put (acked when ``ft_ack_data``)."""
-        if self.config.ft and self.config.ft_ack_data:
+        """The root's chunk-staging put (acked when ``ft_ack_data``); in
+        integrity mode the payload put is followed by the header line
+        (seq, crc32, span) computed from the *source* buffer, so any
+        corruption of the staged copy is visible to every fetcher."""
+        cfg = self.config
+        offset = self._payload_off(b)
+        if cfg.ft and cfg.ft_ack_data:
             yield from cc.put_acked(
-                cc.rank, offset, src, span, max_retries=self.config.ft_max_retries
+                cc.rank, offset, src, span, max_retries=cfg.ft_max_retries
             )
         else:
             yield from cc.put(cc.rank, offset, src, span)
+        if cfg.integrity:
+            crc = zlib.crc32(src.sub(0, span).read())
+            yield from self._crc_charge(cc, span)
+            header = _HEADER.pack(seq, crc, span).ljust(CACHE_LINE, b"\0")
+            yield from cc.put_bytes(cc.rank, self.buffers[b].offset, header)
+
+    def _crc_charge(self, cc: "CoreComm", span: int) -> Generator:
+        """The CRC's compute cost: accumulated per line while the data is
+        already in the core's registers during the copy."""
+        lines = -(-span // CACHE_LINE)
+        cost = self.config.integrity_crc_us_per_line * lines
+        if cost > 0:
+            yield cc.core.compute(cost)
 
     def _fetch(
-        self, cc: "CoreComm", parent: int, src_off: int, dst_off: int, span: int
+        self, cc: "CoreComm", parent: int, b: int, span: int, seq: int
     ) -> Generator:
         """The step-(ii) chunk fetch into own MPB -- the deposit is an
         unacknowledged local write, so it is verified when data acks are
-        on.  (Step (v) writes private memory, which cannot be faulted.)"""
-        if self.config.ft and self.config.ft_ack_data:
-            yield from cc.get_acked(
-                parent, src_off, dst_off, span,
-                max_retries=self.config.ft_max_retries,
+        on.  (Step (v) writes private memory, which cannot be faulted.)
+
+        In integrity mode the fetch copies header + payload and verifies
+        the checksum over its *own deposit*; a mismatch (corrupted or
+        dropped deposit, stale header) re-fetches up to
+        ``integrity_retries`` times, then escalates as a timeout -- the
+        NACK path.  Corruption upstream (the parent's copy itself) is
+        detected but not repairable here; the service layer re-broadcasts.
+        """
+        cfg = self.config
+        reg = self.buffers[b]
+        if not cfg.integrity:
+            if cfg.ft and cfg.ft_ack_data:
+                yield from cc.get_acked(
+                    parent, reg.offset, reg.offset, span,
+                    max_retries=cfg.ft_max_retries,
+                )
+            else:
+                yield from cc.get(parent, reg.offset, reg.offset, span)
+            return
+        total = CACHE_LINE + span
+        for attempt in range(cfg.integrity_retries + 1):
+            yield from cc.get(parent, reg.offset, reg.offset, total)
+            yield from self._crc_charge(cc, span)
+            raw = cc.chip.mpbs[cc.core.id].read_bytes(reg.offset, total)
+            if self._chunk_ok(raw, seq, span):
+                if attempt:
+                    cc.chip.trace(
+                        f"rank{cc.rank}", "oc.integrity.refetch_ok",
+                        seq=seq, attempts=attempt + 1,
+                    )
+                    if cc.chip.faults is not None:
+                        cc.chip.faults.note_recovery(
+                            f"oc.chunk{seq}@core{cc.core.id}",
+                            note=f"re-fetched x{attempt}",
+                        )
+                return
+            cc.chip.trace(
+                f"rank{cc.rank}", "oc.integrity.mismatch",
+                seq=seq, parent=parent, attempt=attempt + 1,
             )
-        else:
-            yield from cc.get(parent, src_off, dst_off, span)
+            if cc.chip.metrics is not None:
+                cc.chip.metrics.inc("oc.integrity.mismatches")
+        raise SimTimeoutError(
+            f"core {cc.core.id}: chunk seq={seq} failed checksum after "
+            f"{cfg.integrity_retries + 1} fetches from rank {parent} at "
+            f"t={cc.core.sim.now:.4f} (corruption upstream of this fetch)",
+            process=f"core{cc.core.id}",
+            sim_time=cc.core.sim.now,
+            site="oc.integrity",
+        )
+
+    def _fetch_direct(
+        self, cc: "CoreComm", parent: int, b: int, dst: MemRef, span: int, seq: int
+    ) -> Generator:
+        """The Section 5.4 leaf fetch straight to off-chip memory, with
+        the integrity check reading the header remotely (one extra line)
+        since the leaf holds no MPB copy of it."""
+        cfg = self.config
+        if not cfg.integrity:
+            yield from cc.get(parent, self.buffers[b].offset, dst, span)
+            return
+        src_off = self._payload_off(b)
+        for attempt in range(cfg.integrity_retries + 1):
+            yield from cc.get(parent, src_off, dst, span)
+            header = yield from cc.get_bytes(
+                parent, self.buffers[b].offset, CACHE_LINE
+            )
+            yield from self._crc_charge(cc, span)
+            if self._chunk_ok(header + dst.sub(0, span).read(), seq, span):
+                if attempt and cc.chip.faults is not None:
+                    cc.chip.faults.note_recovery(
+                        f"oc.chunk{seq}@core{cc.core.id}",
+                        note=f"re-fetched x{attempt} (direct)",
+                    )
+                return
+            cc.chip.trace(
+                f"rank{cc.rank}", "oc.integrity.mismatch",
+                seq=seq, parent=parent, attempt=attempt + 1, direct=True,
+            )
+            if cc.chip.metrics is not None:
+                cc.chip.metrics.inc("oc.integrity.mismatches")
+        raise SimTimeoutError(
+            f"core {cc.core.id}: direct chunk seq={seq} failed checksum after "
+            f"{cfg.integrity_retries + 1} fetches from rank {parent} at "
+            f"t={cc.core.sim.now:.4f}",
+            process=f"core{cc.core.id}",
+            sim_time=cc.core.sim.now,
+            site="oc.integrity",
+        )
+
+    @staticmethod
+    def _chunk_ok(raw: bytes, seq: int, span: int) -> bool:
+        """Verify one header-prefixed chunk image."""
+        hdr_seq, crc, hdr_span = _HEADER.unpack_from(raw)
+        if hdr_seq != seq or hdr_span != span:
+            return False
+        return zlib.crc32(raw[CACHE_LINE:CACHE_LINE + span]) == crc
 
     def _wait_done(
         self,
@@ -399,8 +659,10 @@ class OcBcast:
         floor: int,
         dead: set[int],
         last_seq: int,
-    ) -> Generator:
-        """Wait until every *live* child's doneFlag reaches ``floor``.
+    ) -> Generator[object, object, list[FlagValue]]:
+        """Wait until every *live* child's doneFlag reaches ``floor``;
+        returns the satisfying flag values (service mode aggregates NACK
+        tags from them; empty once every child is declared dead).
 
         In FT mode each wait carries a poll budget; on expiry the parent
         re-notifies the lagging children directly (with ``last_seq``, the
@@ -411,24 +673,26 @@ class OcBcast:
         """
         cfg = self.config
         if not cfg.ft:
-            yield from cc.wait_flags(
-                done, lambda vs, f=floor: all(v.seq >= f for v in vs)
+            return (
+                yield from cc.wait_flags(
+                    done, lambda vs, f=floor: all(v.seq >= f for v in vs)
+                )
             )
-            return
         retries = 0
         while True:
             live = [i for i in range(len(children)) if children[i] not in dead]
             if not live:
-                return
+                return []
             flags = [done[i] for i in live]
             try:
-                yield from cc.wait_flags(
-                    flags,
-                    lambda vs, f=floor: all(v.seq >= f for v in vs),
-                    timeout=cfg.ft_flag_timeout,
-                    site="oc.done",
+                return (
+                    yield from cc.wait_flags(
+                        flags,
+                        lambda vs, f=floor: all(v.seq >= f for v in vs),
+                        timeout=cfg.ft_flag_timeout,
+                        site="oc.done",
+                    )
                 )
-                return
             except SimTimeoutError:
                 lag = [
                     i for i in live
@@ -462,15 +726,19 @@ class OcBcast:
     def _notify(
         self,
         cc: "CoreComm",
-        tree: PropagationTree,
+        tree: "PropagationTree | MemberTree",
         family: NotificationTree,
         family_children: list[int],
         slot: int,
         seq: int,
         dead: frozenset[int] | set[int] = frozenset(),
+        tag: int = 0,
     ) -> Generator:
         """Set the notifyFlag of this core's notification children within
         ``family`` (slot 0 = family parent, slots 1.. = children).
+
+        ``tag`` is 0 for chunk notifications; the service commit round
+        relays its COMMIT_OK / COMMIT_RETRY tag through the same trees.
 
         Once any child is suspected dead (FT mode), the family parent
         falls back from the relay tree to direct fan-out over the live
@@ -482,26 +750,31 @@ class OcBcast:
                 if target_rank in dead:
                     continue
                 yield from self._set_flag(
-                    cc, target_rank, self.notify, FlagValue(0, seq)
+                    cc, target_rank, self.notify, FlagValue(tag, seq)
                 )
             return
         for target_slot in family.notify_targets(slot):
             target_rank = family_children[target_slot - 1]
             if target_rank in dead:
                 continue
-            yield from self._set_flag(cc, target_rank, self.notify, FlagValue(0, seq))
+            yield from self._set_flag(
+                cc, target_rank, self.notify, FlagValue(tag, seq)
+            )
 
-    def _wait_notify(self, cc: "CoreComm", seq: int) -> Generator:
+    def _wait_notify(
+        self, cc: "CoreComm", seq: int
+    ) -> Generator[object, object, FlagValue]:
         timeout = self.config.ft_notify_timeout if self.config.ft else None
         if self.config.notify_mode is NotifyMode.INTERRUPT:
             # Event-driven wake-up plus a fixed handler cost: no sweep.
-            yield from cc.wait_flags(
+            vals = yield from cc.wait_flags(
                 [self.notify], lambda v: v[0].seq >= seq, sweep_flags=0,
                 timeout=timeout, site="oc.notify",
             )
             yield cc.core.compute(self.config.irq_handler)
         else:
-            yield from cc.wait_flags(
+            vals = yield from cc.wait_flags(
                 [self.notify], lambda v, s=seq: v[0].seq >= s,
                 timeout=timeout, site="oc.notify",
             )
+        return vals[0]

@@ -128,6 +128,9 @@ class PropagationTree:
 
     # -- navigation -----------------------------------------------------------
 
+    def __contains__(self, rank: int) -> bool:
+        return rank in self._pos  # type: ignore[attr-defined]
+
     def position_of(self, rank: int) -> int:
         return self._pos[rank]  # type: ignore[attr-defined]
 
@@ -165,6 +168,124 @@ class PropagationTree:
         width = 1
         while pos < self.size:
             out.append([self.order[p] for p in range(pos, min(pos + width, self.size))])
+            pos += width
+            width *= self.k
+        return out
+
+
+@dataclass(frozen=True)
+class MemberTree:
+    """A k-ary propagation tree over an explicit *member subset*.
+
+    Where :class:`PropagationTree` spans every rank ``0..size-1``, a
+    MemberTree spans only ``members`` -- the survivors of the current
+    membership view -- while keeping ranks in their original id space,
+    so FT OC-Bcast can rebuild a smaller tree after a crash without
+    renumbering anyone.  ``members[0]`` is the root; positions are
+    assigned in member order using the same array-tree arithmetic
+    (position ``p``'s children are ``pk+1..pk+k``), and the navigation
+    API matches :class:`PropagationTree` so the broadcast engine can use
+    either interchangeably.
+    """
+
+    members: tuple[int, ...]
+    k: int
+
+    def __post_init__(self) -> None:
+        members = tuple(self.members)
+        if not members:
+            raise ValueError("a member tree needs at least the root")
+        if len(set(members)) != len(members):
+            raise ValueError("duplicate ranks in member tree")
+        if self.k < 1:
+            raise ValueError("k must be >= 1")
+        object.__setattr__(self, "members", members)
+        object.__setattr__(
+            self, "_pos", {rank: p for p, rank in enumerate(members)}
+        )
+
+    @classmethod
+    def survivors(
+        cls,
+        size: int,
+        k: int,
+        root: int,
+        dead: Sequence[int] | set[int] = (),
+        order: Sequence[int] | None = None,
+    ) -> "MemberTree":
+        """The tree over every rank of ``0..size-1`` not in ``dead``.
+
+        ``order`` (default: the paper's id-based assignment rotated to
+        the root) fixes the position order *before* the dead are
+        filtered out, so survivors keep their relative placement and two
+        cores computing the tree from the same view agree exactly.
+        """
+        base = tuple(order) if order is not None else tuple(
+            (root + p) % size for p in range(size)
+        )
+        if sorted(base) != list(range(size)):
+            raise ValueError("order must be a permutation of ranks")
+        if base[0] != root:
+            raise ValueError("order[0] must be the root")
+        gone = set(dead)
+        if root in gone:
+            raise ValueError(f"root {root} cannot be dead")
+        return cls(tuple(r for r in base if r not in gone), k)
+
+    # -- navigation (PropagationTree-compatible) ---------------------------
+
+    @property
+    def root(self) -> int:
+        return self.members[0]
+
+    @property
+    def size(self) -> int:
+        return len(self.members)
+
+    def __contains__(self, rank: int) -> bool:
+        return rank in self._pos  # type: ignore[attr-defined]
+
+    def position_of(self, rank: int) -> int:
+        return self._pos[rank]  # type: ignore[attr-defined]
+
+    def rank_at(self, pos: int) -> int:
+        return self.members[pos]
+
+    def parent_of(self, rank: int) -> int | None:
+        pos = self.position_of(rank)
+        if pos == 0:
+            return None
+        return self.members[(pos - 1) // self.k]
+
+    def children_of(self, rank: int) -> list[int]:
+        pos = self.position_of(rank)
+        first = pos * self.k + 1
+        return [
+            self.members[p] for p in range(first, min(first + self.k, self.size))
+        ]
+
+    def child_index(self, rank: int) -> int:
+        """Index of ``rank`` among its parent's children (doneFlag slot)."""
+        pos = self.position_of(rank)
+        if pos == 0:
+            raise ValueError("the root has no child index")
+        return (pos - 1) % self.k
+
+    def is_leaf(self, rank: int) -> bool:
+        return not self.children_of(rank)
+
+    def depth(self) -> int:
+        return kary_depth(self.size, self.k)
+
+    def levels(self) -> list[list[int]]:
+        """Members grouped by tree level, root first."""
+        out: list[list[int]] = []
+        pos = 0
+        width = 1
+        while pos < self.size:
+            out.append(
+                [self.members[p] for p in range(pos, min(pos + width, self.size))]
+            )
             pos += width
             width *= self.k
         return out

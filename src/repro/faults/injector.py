@@ -83,6 +83,10 @@ class FaultInjector:
         self.injected: list[InjectionRecord] = []
         self.recoveries: list[RecoveryRecord] = []
         self._dead: set[int] = set()
+        #: Per-core link-down windows: core id -> end of the down window.
+        self._link_down_until: dict[int, float] = {}
+        #: Protocol writes swallowed by an active link-down window.
+        self.burst_dropped: int = 0
         self._armed: dict[str, list[_Armed]] = {}
         for spec in self.plan:
             self._armed.setdefault(spec.category, []).append(_Armed(spec))
@@ -96,6 +100,10 @@ class FaultInjector:
         for mpb in chip.mpbs:
             mpb.injector = self
         chip.mesh.injector = self
+        # Detector errors (deadlock/watchdog) raised by the kernel carry
+        # the fault timeline, so a wedged campaign trial is diagnosable
+        # from the exception alone.
+        chip.sim.diagnostic_context = self.timeline_text
 
     # -- bookkeeping --------------------------------------------------------
 
@@ -155,9 +163,13 @@ class FaultInjector:
         n_global, n_core = self._bump(category, owner)
         spec = self._match(category, owner, n_global, n_core)
         if spec is None:
+            if self._link_is_down(owner) or self._link_is_down(source):
+                self.burst_dropped += 1
+                return DROP
             return DELIVER
         self._record(spec, f"mpb{owner}@{offset} (from core{source})")
-        return CORRUPT if spec.kind is FaultKind.CORRUPT_FLAG_WRITE else DROP
+        corrupting = (FaultKind.CORRUPT_FLAG_WRITE, FaultKind.CORRUPT_DATA_WRITE)
+        return CORRUPT if spec.kind in corrupting else DROP
 
     def link_stall(self, src_core: int, dst_core: int) -> float:
         """Extra mesh delay for one MPB transaction of ``src_core``."""
@@ -166,6 +178,12 @@ class FaultInjector:
         if spec is None:
             return 0.0
         self._record(spec, f"core{src_core}->core{dst_core}")
+        if spec.kind is FaultKind.LINK_DOWN:
+            now = self.chip.sim.now if self.chip is not None else 0.0
+            until = now + spec.duration
+            prev = self._link_down_until.get(spec.core, 0.0)
+            self._link_down_until[spec.core] = max(prev, until)
+            return 0.0  # writes vanish silently; the access itself is not slowed
         return spec.duration
 
     def core_op(self, core_id: int) -> float:
@@ -185,6 +203,13 @@ class FaultInjector:
 
     def is_dead(self, core_id: int) -> bool:
         return core_id in self._dead
+
+    def _link_is_down(self, core_id: int) -> bool:
+        until = self._link_down_until.get(core_id)
+        if until is None:
+            return False
+        now = self.chip.sim.now if self.chip is not None else 0.0
+        return now < until
 
     def _raise_dead(self, core_id: int) -> None:
         now = self.chip.sim.now if self.chip is not None else 0.0
@@ -208,3 +233,20 @@ class FaultInjector:
     def profile(self) -> dict[str, int]:
         """A copy of the occurrence counters (for campaign site sampling)."""
         return dict(self.counts)
+
+    def timeline_text(self, limit: int = 12) -> str:
+        """The fault timeline as indented text, for appending to detector
+        error messages (empty string when nothing was injected)."""
+        events: list[tuple[float, str]] = []
+        events.extend((r.time, str(r)) for r in self.injected)
+        events.extend((r.time, str(r)) for r in self.recoveries)
+        if not events:
+            return ""
+        events.sort(key=lambda e: e[0])
+        shown = events[:limit]
+        lines = [f"  {text}" for _, text in shown]
+        if len(events) > len(shown):
+            lines.append(f"  ... and {len(events) - len(shown)} more")
+        if self.burst_dropped:
+            lines.append(f"  ({self.burst_dropped} writes lost to link-down bursts)")
+        return "fault timeline:\n" + "\n".join(lines)

@@ -37,9 +37,17 @@ class FaultKind(enum.Enum):
     CORRUPT_FLAG_WRITE = "corrupt_flag_write"
     #: Silently discard one payload (data) MPB write.
     DROP_DATA_WRITE = "drop_data_write"
+    #: Deliver one payload (data) MPB write with its bytes inverted -- a
+    #: single-event upset on the mesh that flag acks alone cannot see.
+    CORRUPT_DATA_WRITE = "corrupt_data_write"
     #: Delay one MPB transaction by ``duration`` (a transient mesh-link
     #: stall on the access path).
     LINK_STALL = "link_stall"
+    #: Take core ``core``'s mesh interface down for ``duration`` starting
+    #: at its nth MPB transaction: every protocol MPB write *to or from*
+    #: that core inside the window is silently dropped (a correlated
+    #: burst, unlike the single-write DROP_* kinds).
+    LINK_DOWN = "link_down"
     #: Freeze a core for ``duration`` at its nth timed operation.
     CORE_PAUSE = "core_pause"
     #: Kill a core at its nth timed operation; every later operation of
@@ -52,7 +60,9 @@ CATEGORY_OF = {
     FaultKind.DROP_FLAG_WRITE: "flag_write",
     FaultKind.CORRUPT_FLAG_WRITE: "flag_write",
     FaultKind.DROP_DATA_WRITE: "data_write",
+    FaultKind.CORRUPT_DATA_WRITE: "data_write",
     FaultKind.LINK_STALL: "mpb_access",
+    FaultKind.LINK_DOWN: "mpb_access",
     FaultKind.CORE_PAUSE: "core_op",
     FaultKind.CORE_CRASH: "core_op",
 }
@@ -80,10 +90,15 @@ class FaultSpec:
             raise ValueError(f"nth must be >= 1, got {self.nth}")
         if self.duration < 0:
             raise ValueError(f"duration must be >= 0, got {self.duration}")
-        needs_duration = self.kind in (FaultKind.LINK_STALL, FaultKind.CORE_PAUSE)
+        needs_duration = self.kind in (
+            FaultKind.LINK_STALL,
+            FaultKind.CORE_PAUSE,
+            FaultKind.LINK_DOWN,
+        )
         if needs_duration and self.duration == 0.0:
             raise ValueError(f"{self.kind.value} needs a positive duration")
-        if self.kind in (FaultKind.CORE_PAUSE, FaultKind.CORE_CRASH) and self.core is None:
+        needs_core = (FaultKind.CORE_PAUSE, FaultKind.CORE_CRASH, FaultKind.LINK_DOWN)
+        if self.kind in needs_core and self.core is None:
             raise ValueError(f"{self.kind.value} needs an explicit victim core")
 
     @property
@@ -98,13 +113,33 @@ class FaultSpec:
 
 @dataclass(frozen=True)
 class FaultPlan:
-    """An immutable set of faults for one run."""
+    """An immutable set of faults for one run.
+
+    Multi-fault plans are allowed, but two specs may not claim the same
+    occurrence site (same counter category, same core scope, same
+    ``nth``): at most one fault can fire per operation, so overlapping
+    specs would make the second spec silently dead -- the plan would lie
+    about what the run experienced.  Such plans are rejected here rather
+    than debugged from a campaign that "lost" a fault.
+    """
 
     specs: tuple[FaultSpec, ...] = ()
     label: str = ""
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "specs", tuple(self.specs))
+        seen: dict[tuple[str, int | None, int], FaultSpec] = {}
+        for spec in self.specs:
+            if not isinstance(spec, FaultSpec):
+                raise TypeError(f"plan specs must be FaultSpec, got {spec!r}")
+            key = (spec.category, spec.core, spec.nth)
+            if key in seen:
+                raise ValueError(
+                    f"overlapping fault specs on the same site: {seen[key].site} "
+                    f"and {spec.site} both claim occurrence #{spec.nth} of "
+                    f"category {spec.category!r}"
+                )
+            seen[key] = spec
 
     def __iter__(self):
         return iter(self.specs)

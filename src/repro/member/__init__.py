@@ -1,0 +1,21 @@
+"""Membership, failure detection, and the crash-surviving broadcast service.
+
+- :mod:`repro.member.heartbeat` -- MPB-flag heartbeats with poll-budget
+  suspicion, and epoch-stamped membership views agreed through the acked
+  flag primitives (:class:`MembershipService`).
+- :mod:`repro.member.service` -- :class:`OcBcastService`, the epoch-aware
+  FT OC-Bcast service: between rounds the propagation and notification
+  trees are rebuilt over the current view's survivors, so an interior
+  crash degrades to a smaller tree instead of orphaning a subtree, and
+  later broadcasts never touch dead cores.
+"""
+
+from .heartbeat import MembershipConfig, MembershipService, MembershipView
+from .service import OcBcastService
+
+__all__ = [
+    "MembershipConfig",
+    "MembershipService",
+    "MembershipView",
+    "OcBcastService",
+]

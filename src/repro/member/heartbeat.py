@@ -1,0 +1,316 @@
+"""Heartbeat-based membership with epoch-stamped views.
+
+The SCC gives us no failure detector: a crashed core simply stops
+writing its MPB flags, and the paper's protocol spins forever on it.
+This module builds the minimal group-membership machinery the
+crash-surviving broadcast service needs, out of the same MPB primitives
+the broadcast itself uses:
+
+- **Heartbeats** -- every member owns one slot in a
+  :class:`repro.rcce.flags.FlagSlotArray` replicated in the *root's*
+  MPB.  A heartbeat is an acked slot write (readback-verified, bounded
+  re-send), so a silently dropped heartbeat cannot masquerade as a
+  crash.  Slot values are ``2 * round + ok_bit``: monotonic in the
+  recovery round, with one payload bit reporting whether the member
+  delivered the broadcast that triggered the round.
+- **Suspicion** -- the root collects heartbeats under one shared poll
+  budget (``hb_timeout``); members whose slot never reaches the round's
+  floor are *suspected* and dropped from the next view.  A poll budget,
+  not a clock: the simulated SCC has no synchronised time source, and a
+  budget is exactly what :func:`wait_at_least` already implements.
+- **Epoch-stamped views** -- a view is ``(epoch, members)``.  The root
+  installs a new view by staging its membership bitmap in its own MPB,
+  then performing an *acked* flag write (``tag=epoch, seq=round``) to
+  every informed member -- including the suspects, so a falsely accused
+  live core learns of its eviction instead of hanging.  Members adopt
+  the view by pulling the bitmap with a one-sided read when the epoch
+  advances.  Acked writes make view installation reliable against
+  dropped flags; a member that stays unreachable is simply suspected
+  again next round.
+
+The MPB cost is small: ``ceil(P/16)`` lines of heartbeat slots, one
+view-flag line and ``ceil(ceil(P/8)/32)`` bitmap lines -- 5 lines for
+the full 48-core chip, on top of OC-Bcast's 202-line service footprint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Generator, Iterable
+
+from ..rcce.flags import FlagSlotArray, FlagValue
+from ..scc.config import CACHE_LINE
+from ..sim.errors import TimeoutError as SimTimeoutError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..rcce.comm import Comm, CoreComm
+
+#: Histogram buckets (microseconds) for time-to-detect / time-to-repair.
+TTD_BOUNDS = (100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0, 10000.0, 25000.0)
+
+
+@dataclass(frozen=True)
+class MembershipConfig:
+    """Tuning knobs of the membership service."""
+
+    #: Root's shared poll budget (us) for collecting one round of
+    #: heartbeats; a member silent past it is suspected.
+    hb_timeout: float = 6000.0
+    #: Member's poll budget (us) for the view flag after reporting.
+    #: Must exceed ``hb_timeout`` -- the root only installs the view
+    #: after its collect finishes.
+    view_timeout: float = 9000.0
+    #: Re-send bound for acked heartbeat / view-flag writes.
+    hb_max_retries: int = 3
+    #: Service-level bound on re-broadcast attempts per message.
+    max_attempts: int = 5
+
+    def __post_init__(self) -> None:
+        if self.hb_timeout <= 0 or self.view_timeout <= 0:
+            raise ValueError("membership timeouts must be > 0")
+        if self.view_timeout <= self.hb_timeout:
+            raise ValueError(
+                "view_timeout must exceed hb_timeout (the view is only "
+                "installed after the root's collect finishes)"
+            )
+        if self.hb_max_retries < 0:
+            raise ValueError("hb_max_retries must be >= 0")
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+
+
+@dataclass(frozen=True)
+class MembershipView:
+    """One epoch of group membership: who is believed alive."""
+
+    epoch: int
+    members: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        members = tuple(sorted(self.members))
+        if not members:
+            raise ValueError("a view needs at least one member")
+        if len(set(members)) != len(members):
+            raise ValueError("duplicate ranks in view")
+        if self.epoch < 0:
+            raise ValueError("epoch must be >= 0")
+        object.__setattr__(self, "members", members)
+
+    @classmethod
+    def full(cls, size: int) -> "MembershipView":
+        """Epoch 0: everybody."""
+        return cls(0, tuple(range(size)))
+
+    def __contains__(self, rank: int) -> bool:
+        return rank in self.members
+
+    def without(self, suspects: Iterable[int]) -> "MembershipView":
+        """The successor view with ``suspects`` evicted (epoch + 1)."""
+        gone = set(suspects)
+        kept = tuple(m for m in self.members if m not in gone)
+        return MembershipView(self.epoch + 1, kept)
+
+    # -- wire format -------------------------------------------------------
+
+    def bitmap(self, size: int) -> bytes:
+        """Little-endian membership bitmap (bit ``r`` set = rank r in)."""
+        n = 0
+        for m in self.members:
+            if not 0 <= m < size:
+                raise ValueError(f"member {m} outside 0..{size - 1}")
+            n |= 1 << m
+        return n.to_bytes(-(-size // 8), "little")
+
+    @classmethod
+    def from_bitmap(cls, epoch: int, raw: bytes, size: int) -> "MembershipView":
+        n = int.from_bytes(raw, "little")
+        return cls(epoch, tuple(r for r in range(size) if n >> r & 1))
+
+
+class MembershipService:
+    """Heartbeats, suspicion and view agreement for one communicator.
+
+    Construction allocates the MPB state symmetrically (every core's
+    layout advances identically, as with every other region).  Views are
+    tracked per rank (``views[rank]``), because each SPMD program learns
+    of an epoch change at its own simulated time.
+    """
+
+    def __init__(
+        self,
+        comm: "Comm",
+        root: int = 0,
+        config: MembershipConfig | None = None,
+    ) -> None:
+        self.comm = comm
+        self.config = config or MembershipConfig()
+        if not 0 <= root < comm.size:
+            raise ValueError(f"root {root} outside 0..{comm.size - 1}")
+        self.root = root
+        size = comm.size
+        self.hb = FlagSlotArray(
+            comm.layout.alloc_lines(FlagSlotArray.lines_needed(size)),
+            size,
+            name="member.hb",
+        )
+        self.view_flag = comm.flag("member.view")
+        bitmap_bytes = -(-size // 8)
+        self.bitmap_region = comm.layout.alloc_lines(
+            -(-bitmap_bytes // CACHE_LINE)
+        )
+        self.views: list[MembershipView] = [
+            MembershipView.full(size) for _ in range(size)
+        ]
+
+    # -- member side -------------------------------------------------------
+
+    def report(
+        self, cc: "CoreComm", round_no: int, ok: bool
+    ) -> Generator:
+        """Send this round's heartbeat to the root (acked slot write).
+
+        ``ok`` reports whether the member delivered the payload of the
+        broadcast attempt that triggered the round.
+        """
+        value = 2 * round_no + (1 if ok else 0)
+        cc.chip.trace(
+            f"rank{cc.rank}", "member.hb", round=round_no, ok=ok
+        )
+        yield from self.hb.write_acked(
+            cc.core,
+            self.comm.core_of(self.root),
+            cc.rank,
+            value,
+            max_retries=self.config.hb_max_retries,
+        )
+
+    def await_view(self, cc: "CoreComm", round_no: int) -> Generator[
+        object, object, MembershipView
+    ]:
+        """Wait for the root to install round ``round_no``'s view; adopt
+        it (pulling the bitmap on an epoch change) and return it.
+
+        Raises :class:`repro.sim.TimeoutError` when the view never
+        arrives within ``view_timeout`` -- the root itself is gone, which
+        membership does not mask.
+        """
+        vals = yield from cc.wait_flags(
+            [self.view_flag],
+            lambda v, r=round_no: v[0].seq >= r,
+            timeout=self.config.view_timeout,
+            site="member.view",
+        )
+        epoch = vals[0].tag
+        current = self.views[cc.rank]
+        if epoch != current.epoch:
+            raw = yield from cc.get_bytes(
+                self.root, self.bitmap_region.offset, -(-cc.size // 8)
+            )
+            view = MembershipView.from_bitmap(epoch, raw, cc.size)
+            self.views[cc.rank] = view
+            cc.chip.trace(
+                f"rank{cc.rank}", "member.view_adopt",
+                epoch=epoch, members=len(view.members),
+                evicted=cc.rank not in view,
+            )
+        return self.views[cc.rank]
+
+    def evict_self(self, rank: int) -> None:
+        """Local bookkeeping for a member that lost contact with the root
+        after delivering: it leaves the group on its own account (the
+        root's next collect will suspect it anyway)."""
+        self.views[rank] = self.views[rank].without((rank,))
+
+    # -- root side ---------------------------------------------------------
+
+    def collect(self, cc: "CoreComm", round_no: int) -> Generator[
+        object, object, tuple[dict[int, bool], list[int]]
+    ]:
+        """Collect round ``round_no``'s heartbeats under one shared
+        ``hb_timeout`` budget; returns ``(statuses, suspects)`` where
+        statuses maps each responsive member to its delivered bit.
+        """
+        cfg = self.config
+        view = self.views[cc.rank]
+        floor = 2 * round_no
+        deadline = cc.core.sim.now + cfg.hb_timeout
+        statuses: dict[int, bool] = {}
+        suspects: list[int] = []
+        for m in view.members:
+            if m == self.root:
+                continue
+            remaining = max(0.0, deadline - cc.core.sim.now)
+            try:
+                got = yield from self.hb.wait_at_least(
+                    cc.core, m, floor, timeout=remaining
+                )
+                statuses[m] = bool(got & 1)
+            except SimTimeoutError:
+                suspects.append(m)
+                cc.chip.trace(
+                    f"rank{cc.rank}", "member.suspect",
+                    member=m, round=round_no,
+                )
+                if cc.chip.metrics is not None:
+                    cc.chip.metrics.inc("member.suspected")
+        return statuses, suspects
+
+    def install(
+        self, cc: "CoreComm", view: MembershipView, round_no: int
+    ) -> Generator[object, object, list[int]]:
+        """Install ``view`` as round ``round_no``'s outcome: stage the
+        bitmap (locally verified), then acked view-flag writes to every
+        member of the *previous* view -- suspects included, so a falsely
+        accused live core learns of its eviction.  Returns the members
+        whose view flag could not be acked (unreachable: they will be
+        suspected again next round).
+        """
+        cfg = self.config
+        inform = [m for m in self.views[cc.rank].members if m != self.root]
+        self.views[cc.rank] = view
+        if view.epoch and cc.chip.metrics is not None:
+            cc.chip.metrics.set("member.epoch", float(view.epoch))
+        cc.chip.trace(
+            f"rank{cc.rank}", "member.view_install",
+            epoch=view.epoch, round=round_no, members=len(view.members),
+        )
+        payload = view.bitmap(cc.size).ljust(self.bitmap_region.nbytes, b"\0")
+        yield from self._stage_bitmap(cc, payload)
+        unreachable: list[int] = []
+        for m in inform:
+            try:
+                yield from cc.flag_set_acked(
+                    m,
+                    self.view_flag,
+                    FlagValue(tag=view.epoch, seq=round_no),
+                    max_retries=cfg.hb_max_retries,
+                )
+            except SimTimeoutError:
+                unreachable.append(m)
+                cc.chip.trace(
+                    f"rank{cc.rank}", "member.install_unreachable", member=m
+                )
+        return unreachable
+
+    def _stage_bitmap(self, cc: "CoreComm", payload: bytes) -> Generator:
+        """Write the bitmap into the root's own MPB and verify the local
+        deposit (even local protocol writes can be faulted)."""
+        off = self.bitmap_region.offset
+        for attempt in range(self.config.hb_max_retries + 1):
+            yield from cc.put_bytes(cc.rank, off, payload)
+            raw = cc.chip.mpbs[cc.core.id].read_bytes(off, len(payload))
+            if raw == payload:
+                if attempt and cc.chip.faults is not None:
+                    cc.chip.faults.note_recovery(
+                        f"member.bitmap@core{cc.core.id}",
+                        note=f"re-staged x{attempt}",
+                    )
+                return
+        raise SimTimeoutError(
+            f"core {cc.core.id}: membership bitmap failed to stage after "
+            f"{self.config.hb_max_retries + 1} attempts at "
+            f"t={cc.core.sim.now:.4f}",
+            process=f"core{cc.core.id}",
+            sim_time=cc.core.sim.now,
+            site="member.bitmap",
+        )

@@ -1,0 +1,215 @@
+"""OcBcastService: the crash-surviving broadcast service.
+
+Wraps an FT OC-Bcast engine (service mode: NACK done-chain + commit
+notification, payload integrity on) in a retry loop driven by the
+membership service:
+
+1.  Broadcast over the current view's survivor tree
+    (:meth:`repro.core.trees.MemberTree.survivors`).  A rank outside the
+    view returns ``"evicted"`` without touching the MPB.
+2.  On commit ``"ok"`` every live member has verified the payload --
+    done (no heartbeat round on the fault-free path).
+3.  On failure (commit ``"retry"``, or a local timeout from an orphaned
+    subtree) a *recovery round* runs: members report heartbeats carrying
+    their delivered bit, the root suspects the silent ones, installs the
+    next epoch's view, and the loop re-broadcasts the whole message over
+    the shrunken tree.  Suspected-but-alive cores learn of their
+    eviction from the view flag and return ``"evicted"``.
+
+An interior crash mid-stream therefore degrades to a smaller tree within
+one recovery round, and subsequent broadcasts never touch dead cores: the
+survivor tree is rebuilt from the epoch's view, not rediscovered.
+
+Time-to-detect (first injected fault -> root suspects it) and
+time-to-repair (first injected fault -> successful commit) are recorded
+into ``member.ttd_us`` / ``member.ttr_us`` histograms on the chip's
+metrics registry when both an injector and a registry are attached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import TYPE_CHECKING, Generator
+
+from ..core.ocbcast import OcBcast, OcBcastConfig
+from ..core.trees import MemberTree
+from ..scc.memory import MemRef
+from ..sim.errors import TimeoutError as SimTimeoutError
+from .heartbeat import TTD_BOUNDS, MembershipConfig, MembershipService
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..rcce.comm import Comm, CoreComm
+
+#: Service-mode OC-Bcast defaults: tighter FT budgets than the
+#: standalone FT engine, because the membership layer (not the
+#: broadcast) owns end-to-end recovery -- a failed attempt should fail
+#: fast and hand over.
+DEFAULT_SERVICE_OC = OcBcastConfig(
+    ft=True,
+    service=True,
+    integrity=True,
+    ft_flag_timeout=300.0,
+    ft_notify_timeout=2500.0,
+)
+
+
+class OcBcastService:
+    """An epoch-aware, crash-surviving broadcast service.
+
+    One instance per communicator, reusable across messages.  All live
+    members must call :meth:`bcast` SPMD-style (matching calls); evicted
+    members may keep calling and get ``"evicted"`` back immediately.
+    """
+
+    def __init__(
+        self,
+        comm: "Comm",
+        root: int = 0,
+        oc_config: OcBcastConfig | None = None,
+        member_config: MembershipConfig | None = None,
+    ) -> None:
+        base = oc_config or DEFAULT_SERVICE_OC
+        # The service's correctness needs all three modes regardless of
+        # what the caller tuned; everything else is honoured.
+        self.config = replace(base, ft=True, service=True, integrity=True)
+        self.comm = comm
+        self.root = root
+        self.oc = OcBcast(comm, self.config)
+        self.member = MembershipService(comm, root=root, config=member_config)
+        #: Per-rank attempt counter == membership round number.  Global
+        #: across messages so heartbeat slot values and the view flag
+        #: stay monotonic for the life of the instance.
+        self._attempt = [0] * comm.size
+        #: Survivor trees are pure functions of the view; cache by epoch.
+        self._trees: dict[int, MemberTree] = {}
+
+    # ------------------------------------------------------------------
+
+    def survivor_tree(self, view) -> MemberTree:
+        """The propagation tree over ``view``'s members (cached)."""
+        tree = self._trees.get(view.epoch)
+        if tree is None:
+            dead = [r for r in range(self.comm.size) if r not in view]
+            tree = MemberTree.survivors(
+                self.comm.size, self.config.k, self.root, dead=dead
+            )
+            self._trees[view.epoch] = tree
+        return tree
+
+    def bcast(
+        self, cc: "CoreComm", buf: MemRef, nbytes: int
+    ) -> Generator[object, object, str]:
+        """Broadcast ``nbytes`` from the root's ``buf`` to every live
+        member; returns ``"ok"`` (delivered and committed) or
+        ``"evicted"`` (this rank is out of the current view).
+
+        Raises :class:`repro.sim.TimeoutError` when ``max_attempts``
+        recovery rounds cannot produce a committed broadcast (e.g. the
+        root itself keeps failing, or faults outpace eviction).
+        """
+        mcfg = self.member.config
+        tries = 0
+        for _ in range(mcfg.max_attempts):
+            tries += 1
+            view = self.member.views[cc.rank]
+            if cc.rank not in view:
+                return "evicted"
+            self._attempt[cc.rank] += 1
+            rnd = self._attempt[cc.rank]
+            tree = self.survivor_tree(view)
+            cc.chip.trace(
+                f"rank{cc.rank}", "svc.attempt",
+                round=rnd, epoch=view.epoch, members=tree.size,
+            )
+            delivered = False
+            try:
+                status = yield from self.oc.bcast(
+                    cc, self.root, buf, nbytes, tree=tree
+                )
+                # "retry" still means *this* rank holds a verified copy:
+                # the commit wait happens after its last chunk landed.
+                delivered = status in ("ok", "retry")
+            except SimTimeoutError as err:
+                status = "retry"
+                cc.chip.trace(
+                    f"rank{cc.rank}", "svc.attempt_failed",
+                    round=rnd, site=getattr(err, "site", ""),
+                )
+            if status == "evicted":
+                return "evicted"
+            if status == "ok":
+                if cc.rank == self.root and tries > 1:
+                    self._observe_repair(cc)
+                return "ok"
+            # -- recovery round -----------------------------------------
+            if cc.chip.metrics is not None:
+                cc.chip.metrics.inc("svc.retries")
+            if cc.rank == self.root:
+                statuses, suspects = yield from self.member.collect(cc, rnd)
+                self._observe_detection(cc, suspects)
+                new_view = view.without(suspects) if suspects else view
+                yield from self.member.install(cc, new_view, rnd)
+            else:
+                try:
+                    yield from self.member.report(cc, rnd, ok=delivered)
+                except SimTimeoutError:
+                    # Partitioned from the root (e.g. a link-down
+                    # burst): we cannot be heard, so this round will
+                    # suspect us.  Still await the view -- if the burst
+                    # clears, the flag tells us our fate; otherwise the
+                    # delivered-payload self-eviction below applies.
+                    cc.chip.trace(
+                        f"rank{cc.rank}", "svc.report_failed", round=rnd
+                    )
+                try:
+                    yield from self.member.await_view(cc, rnd)
+                except SimTimeoutError:
+                    if delivered:
+                        # The root (or the whole view channel) is
+                        # unreachable but the payload is verified and
+                        # complete: deliver, and leave the group on our
+                        # own account rather than deadlock.
+                        self.member.evict_self(cc.rank)
+                        cc.chip.trace(
+                            f"rank{cc.rank}", "svc.self_evict", round=rnd
+                        )
+                        return "ok"
+                    raise
+        raise SimTimeoutError(
+            f"core {cc.core.id}: service broadcast not committed after "
+            f"{mcfg.max_attempts} attempts at t={cc.core.sim.now:.4f}",
+            process=f"core{cc.core.id}",
+            sim_time=cc.core.sim.now,
+            site="svc.attempts",
+        )
+
+    # -- repair telemetry --------------------------------------------------
+
+    def _first_fault_time(self, cc: "CoreComm") -> float | None:
+        faults = cc.chip.faults
+        if faults is not None and faults.injected:
+            return faults.injected[0].time
+        return None
+
+    def _observe_detection(self, cc: "CoreComm", suspects: list[int]) -> None:
+        """Time-to-detect: first injected fault -> suspicion, at the root."""
+        if not suspects or cc.chip.metrics is None:
+            return
+        t0 = self._first_fault_time(cc)
+        if t0 is None or cc.core.sim.now < t0:
+            return
+        cc.chip.metrics.histogram("member.ttd_us", TTD_BOUNDS).observe(
+            cc.core.sim.now - t0
+        )
+
+    def _observe_repair(self, cc: "CoreComm") -> None:
+        """Time-to-repair: first injected fault -> committed broadcast
+        (called only when this message needed at least one retry)."""
+        if cc.chip.metrics is None:
+            return
+        t0 = self._first_fault_time(cc)
+        if t0 is None or cc.core.sim.now < t0:
+            return
+        cc.chip.metrics.histogram("member.ttr_us", TTD_BOUNDS).observe(
+            cc.core.sim.now - t0
+        )

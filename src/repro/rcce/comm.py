@@ -181,6 +181,27 @@ class CoreComm:
             max_retries=max_retries,
         )
 
+    def put_bytes(
+        self, dst_rank: int, dst_offset: int, payload: bytes
+    ) -> Generator[object, object, str]:
+        """Small register-sourced protocol write (chunk headers,
+        membership bitmaps); returns the landed status."""
+        return (
+            yield from onesided.put_bytes(
+                self.core, self.comm.core_of(dst_rank), dst_offset, payload
+            )
+        )
+
+    def get_bytes(
+        self, src_rank: int, src_offset: int, nbytes: int
+    ) -> Generator[object, object, bytes]:
+        """Small register-destined read of ``src_rank``'s MPB lines."""
+        return (
+            yield from onesided.get_bytes(
+                self.core, self.comm.core_of(src_rank), src_offset, nbytes
+            )
+        )
+
     # -- flags ---------------------------------------------------------------
 
     def flag_set(self, owner_rank: int, flag: Flag, value: FlagValue) -> Generator:

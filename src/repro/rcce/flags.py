@@ -171,6 +171,51 @@ class FlagSlotArray:
         if chip.metrics is not None:
             chip.metrics.inc("flags.slot_writes")
 
+    def write_acked(
+        self,
+        core: "Core",
+        owner_core: int,
+        slot: int,
+        value: int,
+        *,
+        max_retries: int = 3,
+    ) -> Generator:
+        """An acknowledged slot write: read the slot back and re-send
+        until it verifies (slot values are monotonic per writer, so a
+        readback >= value also acks).  The membership heartbeats ride on
+        this -- a silently dropped heartbeat would otherwise read as a
+        crash and evict a live core.
+        """
+        chip = core.chip
+        off = self.slot_offset(slot)
+        for attempt in range(max_retries + 1):
+            yield from self.write(core, owner_core, slot, value)
+            yield from core.mpb_access(owner_core, 1)
+            got = int.from_bytes(
+                chip.mpbs[owner_core].read_bytes(off, self.SLOT_BYTES), "little"
+            )
+            if got >= value:
+                if attempt:
+                    chip.trace(
+                        f"core{core.id}", "slot_write_retry_ok",
+                        array=self.name, owner=owner_core, slot=slot,
+                        attempts=attempt + 1,
+                    )
+                    if chip.faults is not None:
+                        chip.faults.note_recovery(
+                            f"{self.name}[{slot}]@core{owner_core}",
+                            note=f"slot re-sent x{attempt}",
+                        )
+                return
+        raise SimTimeoutError(
+            f"core {core.id}: slot write {self.name}[{slot}] to core "
+            f"{owner_core} un-acked after {max_retries + 1} attempts at "
+            f"t={core.sim.now:.4f}{_timeline_suffix(chip)}",
+            process=f"core{core.id}",
+            sim_time=core.sim.now,
+            site=f"{self.name}[{slot}]@core{owner_core}",
+        )
+
     def wait_at_least(
         self, core: "Core", slot: int, value: int, *, timeout: float | None = None
     ) -> Generator[object, object, int]:
@@ -225,10 +270,19 @@ def _charge_poll(core: "Core", duration: float):
     return core.compute(duration)
 
 
+def _timeline_suffix(chip: "SccChip") -> str:
+    """The injector's fault timeline (if any), for timeout messages."""
+    faults = getattr(chip, "faults", None)
+    if faults is None:
+        return ""
+    text = faults.timeline_text()
+    return f"\n{text}" if text else ""
+
+
 def _raise_wait_timeout(core: "Core", site: str, timeout: float | None) -> None:
     raise SimTimeoutError(
         f"core {core.id} exhausted its {timeout}-us poll budget waiting on "
-        f"{site!r} at t={core.sim.now:.4f}",
+        f"{site!r} at t={core.sim.now:.4f}{_timeline_suffix(core.chip)}",
         process=f"core{core.id}",
         sim_time=core.sim.now,
         site=site,
@@ -294,7 +348,8 @@ def flag_write_acked(
             return got
     raise SimTimeoutError(
         f"core {core.id}: flag write {flag.name!r} to core {owner_core} "
-        f"un-acked after {max_retries + 1} attempts at t={core.sim.now:.4f}",
+        f"un-acked after {max_retries + 1} attempts at t={core.sim.now:.4f}"
+        f"{_timeline_suffix(chip)}",
         process=f"core{core.id}",
         sim_time=core.sim.now,
         site=f"{flag.name}@core{owner_core}",

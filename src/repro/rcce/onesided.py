@@ -27,6 +27,7 @@ from ..scc.config import CACHE_LINE, ContentionMode
 from ..scc.core import lines_of
 from ..scc.memory import MemRef
 from ..sim.errors import TimeoutError as SimTimeoutError
+from .flags import _timeline_suffix
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..scc.core import Core
@@ -137,7 +138,8 @@ def put_acked(
             return
     raise SimTimeoutError(
         f"core {core.id}: put of {nbytes} B to core {dst_core}@{dst_offset} "
-        f"un-acked after {max_retries + 1} attempts at t={core.sim.now:.4f}",
+        f"un-acked after {max_retries + 1} attempts at t={core.sim.now:.4f}"
+        f"{_timeline_suffix(chip)}",
         process=f"core{core.id}",
         sim_time=core.sim.now,
         site=f"mpb{dst_core}@{dst_offset}",
@@ -192,11 +194,67 @@ def get_acked(
             return
     raise SimTimeoutError(
         f"core {core.id}: get of {nbytes} B from core {src_core}@{src_offset} "
-        f"unverified after {max_retries + 1} attempts at t={core.sim.now:.4f}",
+        f"unverified after {max_retries + 1} attempts at t={core.sim.now:.4f}"
+        f"{_timeline_suffix(chip)}",
         process=f"core{core.id}",
         sim_time=core.sim.now,
         site=f"mpb{src_core}@{src_offset}",
     )
+
+
+def put_bytes(
+    core: "Core",
+    dst_core: int,
+    dst_offset: int,
+    payload: bytes,
+) -> Generator[object, object, str]:
+    """A small register-sourced protocol write (at most a few cache
+    lines): the payload comes from the calling core's registers rather
+    than its MPB or memory, so only the destination write is charged.
+
+    Used for protocol metadata that is *computed* rather than staged --
+    chunk-header checksums, membership bitmaps.  Costs the put call
+    overhead plus one MPB write per line; the write is a protocol
+    (``op="data"``) write, so it is subject to fault injection like any
+    other payload line.  Returns the landed status.
+    """
+    nbytes = len(payload)
+    if nbytes == 0:
+        return "ok"
+    m = lines_of(nbytes)
+    yield core.compute(core.config.o_put_mpb)
+    yield from core.mpb_access(dst_core, m, write=True)
+    landed = core.chip.mpbs[dst_core].write_bytes(
+        dst_offset, payload, source=core.id, op="data"
+    )
+    core.chip.trace(
+        f"core{core.id}", "put_bytes",
+        dst=dst_core, off=dst_offset, n=nbytes, landed=landed,
+    )
+    return landed
+
+
+def get_bytes(
+    core: "Core",
+    src_core: int,
+    src_offset: int,
+    nbytes: int,
+) -> Generator[object, object, bytes]:
+    """A small register-destined read (at most a few cache lines) from
+    ``src_core``'s MPB: the lines land in the calling core's registers,
+    so only the remote read is charged and no MPB deposit happens --
+    which also means the *read leg cannot be faulted into a silent
+    corruption* (there is no protocol write to intercept).
+
+    Used to pull protocol metadata: remote chunk headers, membership
+    bitmaps on a view change.
+    """
+    if nbytes <= 0:
+        raise ValueError("get_bytes needs nbytes > 0")
+    m = lines_of(nbytes)
+    yield core.compute(core.config.o_get_mpb)
+    yield from core.mpb_access(src_core, m)
+    return core.chip.mpbs[src_core].read_bytes(src_offset, nbytes)
 
 
 def get(

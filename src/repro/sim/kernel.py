@@ -239,6 +239,11 @@ class Simulator:
         self._seq = 0
         self._live_processes: set[Process] = set()
         self._crashed: list[tuple[Process, BaseException]] = []
+        #: Optional zero-arg callable returning extra diagnostic text that
+        #: is appended to detector errors (deadlock / watchdog).  Set by
+        #: layers above the kernel -- e.g. the fault injector attaches its
+        #: fault timeline here -- without the kernel importing them.
+        self.diagnostic_context: Optional[Callable[[], str]] = None
 
     # -- scheduling -------------------------------------------------------
 
@@ -366,11 +371,22 @@ class Simulator:
             )
             raise DeadlockError(
                 f"no events left at t={self.now:.4f} but "
-                f"{len(self._live_processes)} process(es) still blocked: {detail}",
+                f"{len(self._live_processes)} process(es) still blocked: "
+                f"{detail}{self._diagnostic_suffix()}",
                 stuck=stuck,
                 sim_time=self.now,
             )
         return self.now
+
+    def _diagnostic_suffix(self) -> str:
+        """Extra context (e.g. the fault timeline) for detector errors."""
+        if self.diagnostic_context is None:
+            return ""
+        try:
+            text = self.diagnostic_context()
+        except Exception:  # diagnosis must never mask the real error
+            return ""
+        return f"\n{text}" if text else ""
 
     def start_watchdog(self, interval: float, name: str = "watchdog") -> Process:
         """Start a watchdog process that converts silent stalls into
@@ -407,7 +423,8 @@ class Simulator:
                             WatchdogError(
                                 f"process {p.name!r} stalled for {idle:.4f} "
                                 f"time units waiting on "
-                                f"{p.waiting_on_name!r} at t={self.now:.4f}",
+                                f"{p.waiting_on_name!r} at t={self.now:.4f}"
+                                f"{self._diagnostic_suffix()}",
                                 process=p.name,
                                 sim_time=self.now,
                                 site=p.waiting_on_name,

@@ -330,6 +330,232 @@ class TestKernelDetectors:
         assert chip.faults.n_recovered == 1
 
 
+class TestNewFaultKinds:
+    def test_corrupt_data_write_inverts_the_payload(self):
+        chip = faulty_chip(FaultSpec(FaultKind.CORRUPT_DATA_WRITE, nth=1))
+        comm = Comm(chip)
+        payload = bytes(range(64))
+
+        def prog(core):
+            cc = comm.attach(core)
+            src = cc.alloc(64)
+            src.write(payload)
+            yield from cc.put(1, 0, src, 64)
+
+        run_spmd(chip, prog, core_ids=[0])
+        assert chip.mpbs[1].read_bytes(0, 64) == bytes(
+            b ^ 0xFF for b in payload
+        )
+        assert chip.faults.n_injected == 1
+
+    def test_link_down_window_swallows_a_burst_of_writes(self):
+        # Window opens at core 0's 1st MPB transaction, so that same
+        # put's write -- and everything to or from core 0 until the
+        # window closes -- vanishes.  Later writes go through.
+        chip = faulty_chip(
+            FaultSpec(FaultKind.LINK_DOWN, nth=1, core=0, duration=200.0)
+        )
+        comm = Comm(chip)
+        payload = bytes(range(64))
+
+        def prog(core):
+            cc = comm.attach(core)
+            src = cc.alloc(64)
+            src.write(payload)
+            yield from cc.put(1, 0, src, 64)  # inside the window: lost
+            assert chip.mpbs[1].read_bytes(0, 64) == bytes(64)
+            yield core.compute(300.0)  # wait out the window
+            yield from cc.put(1, 0, src, 64)  # delivered
+
+        run_spmd(chip, prog, core_ids=[0])
+        assert chip.mpbs[1].read_bytes(0, 64) == payload
+        assert chip.faults.burst_dropped >= 1
+        assert chip.faults.n_injected == 1  # the window itself, once
+        assert "link-down bursts" in chip.faults.timeline_text()
+
+    def test_link_down_drops_writes_toward_the_victim_too(self):
+        # nth counts the *victim's* transactions: core 1's 1st MPB access
+        # opens its window, after which core 0's writes *to* core 1 are
+        # swallowed as well -- a correlated burst, not a single drop.
+        chip = faulty_chip(
+            FaultSpec(FaultKind.LINK_DOWN, nth=1, core=1, duration=500.0)
+        )
+        comm = Comm(chip)
+        f = comm.flag("t")
+
+        def prog(core):
+            cc = comm.attach(core)
+            if core.id == 1:
+                src = cc.alloc(64)
+                src.write(b"\x01" * 64)
+                yield from cc.put(2, 0, src, 64)  # opens + eats this
+            else:
+                yield core.compute(50.0)  # let core 1 open the window
+                yield from cc.flag_set(1, f, FlagValue(0, 9))  # eaten
+
+        run_spmd(chip, prog, core_ids=[0, 1])
+        assert chip.mpbs[2].read_bytes(0, 64) == bytes(64)
+        assert f.peek(chip, 1) == FlagValue(0, 0)
+        assert chip.faults.burst_dropped >= 2
+
+
+class TestPlanEdgeCases:
+    def test_nth_beyond_candidate_count_never_fires(self):
+        chip = faulty_chip(FaultSpec(FaultKind.DROP_FLAG_WRITE, nth=10**6))
+        comm = Comm(chip)
+        f = comm.flag("t")
+
+        def prog(core):
+            cc = comm.attach(core)
+            yield from cc.flag_set(1, f, FlagValue(0, 1))
+            yield from cc.flag_set(1, f, FlagValue(0, 2))
+
+        run_spmd(chip, prog, core_ids=[0])
+        assert f.peek(chip, 1) == FlagValue(0, 2)  # everything delivered
+        assert chip.faults.n_injected == 0
+
+    def test_overlapping_specs_on_the_same_site_are_rejected(self):
+        with pytest.raises(ValueError, match="overlapping fault specs"):
+            FaultPlan((
+                FaultSpec(FaultKind.DROP_FLAG_WRITE, nth=3),
+                FaultSpec(FaultKind.CORRUPT_FLAG_WRITE, nth=3),
+            ))
+        with pytest.raises(ValueError, match="overlapping fault specs"):
+            FaultPlan((
+                FaultSpec(FaultKind.CORE_CRASH, core=5, nth=2),
+                FaultSpec(FaultKind.CORE_PAUSE, core=5, nth=2, duration=1.0),
+            ))
+
+    def test_distinct_sites_with_equal_nth_are_allowed(self):
+        # Same nth, different counter category / core scope: no overlap.
+        plan = FaultPlan((
+            FaultSpec(FaultKind.DROP_FLAG_WRITE, nth=3),
+            FaultSpec(FaultKind.DROP_DATA_WRITE, nth=3),
+            FaultSpec(FaultKind.CORE_CRASH, core=1, nth=3),
+            FaultSpec(FaultKind.CORE_CRASH, core=2, nth=3),
+            FaultSpec(FaultKind.DROP_FLAG_WRITE, core=1, nth=3),
+        ))
+        assert len(plan) == 5
+
+    def test_plan_rejects_non_spec_members(self):
+        with pytest.raises(TypeError):
+            FaultPlan(("drop_flag_write",))
+
+    def test_new_kind_validation(self):
+        with pytest.raises(ValueError):
+            FaultSpec(FaultKind.LINK_DOWN, core=1)  # needs a duration
+        with pytest.raises(ValueError):
+            FaultSpec(FaultKind.LINK_DOWN, duration=5.0)  # needs a core
+        with pytest.raises(ValueError):
+            FaultSpec(FaultKind.CORE_PAUSE, duration=5.0)  # needs a core
+        assert (
+            FaultSpec(FaultKind.CORRUPT_DATA_WRITE).category == "data_write"
+        )
+        assert (
+            FaultSpec(FaultKind.LINK_DOWN, core=1, duration=5.0).category
+            == "mpb_access"
+        )
+
+
+class TestTimelineInErrors:
+    def test_timeout_error_carries_the_fault_timeline(self):
+        chip = faulty_chip(FaultSpec(FaultKind.DROP_FLAG_WRITE, nth=1))
+        comm = Comm(chip)
+        f = comm.flag("t")
+
+        def prog(core):
+            cc = comm.attach(core)
+            yield from cc.flag_set(1, f, FlagValue(0, 1))  # dropped
+            yield from cc.wait_flags(
+                [f], lambda v: v[0].seq >= 1, timeout=50.0, site="test.wait"
+            )
+
+        with pytest.raises(SimError) as ei:
+            run_spmd(chip, prog, core_ids=[1])
+        msg = str(ei.value.__cause__)
+        assert "fault timeline:" in msg and "drop_flag_write" in msg
+
+    def test_deadlock_error_carries_the_fault_timeline(self):
+        chip = faulty_chip(FaultSpec(FaultKind.DROP_FLAG_WRITE, nth=1))
+        comm = Comm(chip)
+        f = comm.flag("t")
+
+        def prog(core):
+            cc = comm.attach(core)
+            if core.id == 0:
+                yield from cc.flag_set(1, f, FlagValue(0, 1))  # dropped
+            else:
+                yield from cc.wait_flags([f], lambda v: v[0].seq >= 1)
+
+        with pytest.raises(DeadlockError) as ei:
+            run_spmd(chip, prog, core_ids=[0, 1])
+        msg = str(ei.value)
+        assert "fault timeline:" in msg and "drop_flag_write" in msg
+
+    def test_fault_free_errors_stay_clean(self):
+        chip = faulty_chip()  # injector attached, nothing injected
+        comm = Comm(chip)
+        f = comm.flag("t")
+
+        def prog(core):
+            cc = comm.attach(core)
+            yield from cc.wait_flags([f], lambda v: v[0].seq >= 1)
+
+        with pytest.raises(DeadlockError) as ei:
+            run_spmd(chip, prog, core_ids=[0])
+        assert "fault timeline:" not in str(ei.value)
+
+
+class TestCampaignKnobs:
+    def test_parse_kinds_new_aliases(self):
+        from repro.bench.faultcampaign import parse_kinds
+
+        assert parse_kinds(["corrupt_data", "link_down"]) == (
+            FaultKind.CORRUPT_DATA_WRITE,
+            FaultKind.LINK_DOWN,
+        )
+        with pytest.raises(ValueError):
+            parse_kinds(["bogus"])
+
+    def test_campaign_knob_validation(self):
+        from repro.bench import FaultCampaign
+
+        with pytest.raises(ValueError):
+            FaultCampaign(trials=1, faults_per_trial=0)
+        with pytest.raises(ValueError):
+            FaultCampaign(trials=1, crash_site="edge")
+        with pytest.raises(ValueError):
+            FaultCampaign(trials=1, link_down_duration=0.0)
+
+    def test_multi_fault_trial_plans_are_reproducible_and_disjoint(self):
+        from repro.bench import FaultCampaign
+
+        campaign = FaultCampaign(
+            trials=6,
+            seed=11,
+            kinds=(FaultKind.CORE_CRASH, FaultKind.CORRUPT_DATA_WRITE),
+            faults_per_trial=2,
+            crash_site="interior",
+            mid_stream=True,
+        )
+        plans = campaign.trial_plans()
+        assert plans == campaign.trial_plans()  # pure function of seed
+        from repro.core import PropagationTree
+
+        tree = PropagationTree(48, 7, 0)
+        tree_interior = {r for r in range(1, 48) if tree.children_of(r)}
+        for plan in plans:
+            assert len(plan) == 2
+            sites = {(s.category, s.core, s.nth) for s in plan}
+            assert len(sites) == 2  # rejection sampling kept them disjoint
+            kinds = {s.kind for s in plan}
+            assert kinds == {
+                FaultKind.CORE_CRASH, FaultKind.CORRUPT_DATA_WRITE
+            }
+            crash = next(s for s in plan if s.kind is FaultKind.CORE_CRASH)
+            assert crash.core in tree_interior
+
+
 class TestSeededDeterminism:
     def _trace_once(self, specs):
         tracer = Tracer(enabled=True)

@@ -1,0 +1,454 @@
+"""Tests for membership, epochs, and the crash-surviving broadcast service.
+
+The adversarial configuration is a three-chunk message on the full
+48-core chip: multi-chunk streams are what make *mid-stream* interior
+crashes interesting (the crashed node has already relayed some chunks,
+so its subtree is mid-pipeline when it goes silent).
+"""
+
+import pytest
+
+from repro.core import MemberTree, OcBcast, OcBcastConfig, PropagationTree
+from repro.faults import FaultInjector, FaultKind, FaultPlan, FaultSpec
+from repro.member import (
+    MembershipConfig,
+    MembershipService,
+    MembershipView,
+    OcBcastService,
+)
+from repro.obs import MetricsRegistry
+from repro.rcce import Comm
+from repro.scc import SccChip, SccConfig, run_spmd
+from repro.scc.config import CACHE_LINE
+from repro.sim import FaultInjected, SimError
+from repro.sim.errors import TimeoutError as SimTimeoutError
+
+THREE_CHUNKS = 3 * 96 * CACHE_LINE
+
+#: An interior (non-root, has children) node of the default 48/7 tree.
+TREE48 = PropagationTree(48, 7, 0)
+INTERIOR = next(r for r in range(1, 48) if TREE48.children_of(r))
+
+
+class TestMemberTree:
+    def test_full_tree_matches_propagation_tree(self):
+        mt = MemberTree.survivors(48, 7, root=5)
+        pt = PropagationTree(48, 7, root=5)
+        for r in range(48):
+            assert mt.position_of(r) == pt.position_of(r)
+            assert mt.parent_of(r) == pt.parent_of(r)
+            assert mt.children_of(r) == pt.children_of(r)
+            if r != 5:
+                assert mt.child_index(r) == pt.child_index(r)
+        assert mt.levels() == pt.levels()
+        assert mt.depth() == pt.depth()
+
+    def test_survivors_filter_preserves_relative_order(self):
+        dead = {3, 17, 40}
+        mt = MemberTree.survivors(48, 7, root=0, dead=dead)
+        assert mt.size == 45
+        assert all(d not in mt for d in dead)
+        # Remaining ranks keep the id-based rotation order.
+        expected = tuple(r for r in range(48) if r not in dead)
+        assert mt.members == expected
+
+    def test_parent_child_round_trip(self):
+        mt = MemberTree.survivors(48, 7, root=2, dead={5, 9, 30, 31})
+        for r in mt.members:
+            for c in mt.children_of(r):
+                assert mt.parent_of(c) == r
+                assert mt.children_of(r)[mt.child_index(c)] == c
+        root_children = mt.children_of(2)
+        assert len(root_children) <= 7
+
+    def test_dead_interior_nodes_subtree_is_reattached(self):
+        # Killing an interior node must leave no orphans: every survivor
+        # still has a path to the root.
+        mt = MemberTree.survivors(48, 7, root=0, dead={INTERIOR})
+        for r in mt.members:
+            hops, cur = 0, r
+            while cur != 0:
+                cur = mt.parent_of(cur)
+                hops += 1
+                assert hops <= mt.size
+        assert INTERIOR not in mt
+
+    def test_explicit_order_is_respected(self):
+        order = (1, 0, 3, 2)
+        mt = MemberTree.survivors(4, 2, root=1, dead={3}, order=order)
+        assert mt.members == (1, 0, 2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MemberTree((), 2)
+        with pytest.raises(ValueError):
+            MemberTree((1, 1, 2), 2)
+        with pytest.raises(ValueError):
+            MemberTree((0, 1), 0)
+        with pytest.raises(ValueError):
+            MemberTree.survivors(8, 2, root=0, dead={0})  # root cannot die
+        with pytest.raises(ValueError):
+            MemberTree.survivors(4, 2, root=1, order=(0, 1, 2, 3))
+        with pytest.raises(ValueError):
+            MemberTree.survivors(4, 2, root=0, order=(0, 1, 1, 3))
+        with pytest.raises(ValueError):
+            MemberTree((0, 1, 2), 2).child_index(0)
+
+
+class TestMembershipView:
+    def test_full_and_without(self):
+        v = MembershipView.full(48)
+        assert v.epoch == 0 and len(v.members) == 48 and 17 in v
+        w = v.without({3, 7})
+        assert w.epoch == 1
+        assert 3 not in w and 7 not in w and len(w.members) == 46
+
+    def test_bitmap_round_trip(self):
+        v = MembershipView.full(48).without({0, 13, 47})
+        raw = v.bitmap(48)
+        assert len(raw) == 6
+        back = MembershipView.from_bitmap(v.epoch, raw, 48)
+        assert back == v
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MembershipView(0, ())
+        with pytest.raises(ValueError):
+            MembershipView(-1, (0,))
+        with pytest.raises(ValueError):
+            MembershipView(0, (1, 1))
+        with pytest.raises(ValueError):
+            MembershipView(0, (99,)).bitmap(48)
+
+
+class TestMembershipConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MembershipConfig(hb_timeout=0)
+        with pytest.raises(ValueError):
+            MembershipConfig(hb_timeout=100, view_timeout=100)
+        with pytest.raises(ValueError):
+            MembershipConfig(hb_max_retries=-1)
+        with pytest.raises(ValueError):
+            MembershipConfig(max_attempts=0)
+
+    def test_service_requires_ft(self):
+        with pytest.raises(ValueError):
+            OcBcastConfig(service=True, ft=False)
+
+
+def run_service(plan, nbytes=THREE_CHUNKS, watchdog=100_000.0, bcasts=1):
+    """``bcasts`` back-to-back service broadcasts on a fresh 48-core chip
+    under ``plan``.  Per-core result: a list of ``(status, payload_ok)``
+    per broadcast, or ``"crashed"``."""
+    injector = FaultInjector(plan)
+    chip = SccChip(SccConfig(), faults=injector, metrics=MetricsRegistry())
+    comm = Comm(chip)
+    svc = OcBcastService(comm)
+    payloads = [
+        bytes((i + 31 * n) % 251 for i in range(nbytes)) for n in range(bcasts)
+    ]
+
+    def prog(core):
+        cc = comm.attach(core)
+        buf = cc.alloc(nbytes)
+        out = []
+        try:
+            for payload in payloads:
+                if cc.rank == 0:
+                    buf.write(payload)
+                status = yield from svc.bcast(cc, buf, nbytes)
+                if status == "evicted":
+                    out.append(("evicted", None))
+                else:
+                    out.append((status, buf.read() == payload))
+        except FaultInjected:
+            return "crashed"
+        return out
+
+    chip.sim.start_watchdog(watchdog)
+    res = run_spmd(chip, prog)
+    return res, injector, chip, svc
+
+
+class TestServiceFaultFree:
+    def test_every_core_commits_and_delivers(self):
+        res, injector, chip, svc = run_service(FaultPlan())
+        assert all(v == [("ok", True)] for v in res.values)
+        assert injector.n_injected == 0
+        flat = chip.metrics.flat()
+        assert flat["oc.svc.commit_ok"] == 1.0
+        assert "svc.retries" not in chip.metrics.counters
+        # No heartbeat round on the success path.
+        assert "member.suspected" not in chip.metrics.counters
+
+    def test_single_rank_service_is_trivially_ok(self):
+        chip = SccChip(SccConfig())
+        comm = Comm(chip, ranks=[0])
+        svc = OcBcastService(comm)
+
+        def prog(core):
+            cc = comm.attach(core)
+            buf = cc.alloc(64)
+            buf.write(bytes(64))
+            return (yield from svc.bcast(cc, buf, 64))
+
+        assert run_spmd(chip, prog, core_ids=[0]).values == ("ok",)
+
+
+class TestServiceRecovery:
+    def test_interior_crash_mid_stream_degrades_to_smaller_tree(self):
+        plan = FaultPlan(
+            (FaultSpec(FaultKind.CORE_CRASH, core=INTERIOR, nth=40),)
+        )
+        res, injector, chip, svc = run_service(plan)
+        vals = list(res.values)
+        assert vals[INTERIOR] == "crashed"
+        live = [v for i, v in enumerate(vals) if i != INTERIOR]
+        assert all(v == [("ok", True)] for v in live)
+        # One recovery round: epoch advanced, the dead core evicted.
+        view = svc.member.views[0]
+        assert view.epoch == 1 and INTERIOR not in view
+        assert svc.survivor_tree(view).size == 47
+        flat = chip.metrics.flat()
+        assert flat["member.suspected"] == 1.0
+        assert flat["svc.retries"] >= 1.0
+        assert flat["member.ttd_us.count"] == 1.0
+        assert flat["member.ttr_us.count"] == 1.0
+        assert flat["member.ttr_us.mean"] >= flat["member.ttd_us.mean"]
+
+    def test_corrupted_data_line_is_repaired_end_to_end(self):
+        plan = FaultPlan((FaultSpec(FaultKind.CORRUPT_DATA_WRITE, nth=30),))
+        res, injector, chip, svc = run_service(plan)
+        assert all(v == [("ok", True)] for v in res.values)
+        assert chip.metrics.flat()["oc.integrity.mismatches"] >= 1.0
+
+    def test_multi_fault_crash_plus_corruption_in_one_trial(self):
+        plan = FaultPlan((
+            FaultSpec(FaultKind.CORE_CRASH, core=INTERIOR, nth=60),
+            FaultSpec(FaultKind.CORRUPT_DATA_WRITE, nth=45),
+        ))
+        res, injector, chip, svc = run_service(plan)
+        vals = list(res.values)
+        assert vals[INTERIOR] == "crashed"
+        assert all(
+            v == [("ok", True)] for i, v in enumerate(vals) if i != INTERIOR
+        )
+        assert injector.n_injected == 2
+
+    def test_link_down_burst_evicts_the_partitioned_member(self):
+        plan = FaultPlan((
+            FaultSpec(
+                FaultKind.LINK_DOWN, core=INTERIOR, nth=20, duration=400.0
+            ),
+        ))
+        res, injector, chip, svc = run_service(plan)
+        vals = list(res.values)
+        statuses = [v if isinstance(v, str) else v[0][0] for v in vals]
+        assert statuses.count("ok") >= 47
+        assert all(s in ("ok", "evicted") for s in statuses)
+        assert injector.burst_dropped > 0
+
+    def test_later_broadcasts_never_touch_the_dead_core(self):
+        plan = FaultPlan(
+            (FaultSpec(FaultKind.CORE_CRASH, core=INTERIOR, nth=40),)
+        )
+        res, injector, chip, svc = run_service(plan, bcasts=2)
+        vals = list(res.values)
+        assert vals[INTERIOR] == "crashed"
+        live = [v for i, v in enumerate(vals) if i != INTERIOR]
+        assert all(v == [("ok", True), ("ok", True)] for v in live)
+        # The second broadcast committed without a single retry: the
+        # survivor tree simply does not contain the dead core.
+        assert chip.metrics.flat()["oc.svc.commit_ok"] >= 2.0
+        epoch = svc.member.views[0].epoch
+        assert epoch == 1  # no further suspicion after the repair
+
+    def test_evicted_rank_returns_evicted_without_participating(self):
+        chip = SccChip(SccConfig())
+        comm = Comm(chip)
+        svc = OcBcastService(comm)
+        victim = 7
+        for r in range(48):
+            svc.member.views[r] = svc.member.views[r].without({victim})
+        nbytes = 96 * CACHE_LINE
+        payload = bytes(i % 251 for i in range(nbytes))
+
+        def prog(core):
+            cc = comm.attach(core)
+            buf = cc.alloc(nbytes)
+            if cc.rank == 0:
+                buf.write(payload)
+            status = yield from svc.bcast(cc, buf, nbytes)
+            return (status, buf.read() == payload)
+
+        chip.sim.start_watchdog(50_000.0)
+        res = run_spmd(chip, prog)
+        vals = list(res.values)
+        assert vals[victim] == ("evicted", False)
+        assert all(
+            v == ("ok", True) for i, v in enumerate(vals) if i != victim
+        )
+
+
+class TestIntegrityEngine:
+    """Payload integrity on the bare OC-Bcast engine (no service)."""
+
+    def _bcast(self, plan, nbytes=96 * CACHE_LINE):
+        injector = FaultInjector(plan)
+        chip = SccChip(SccConfig(), faults=injector, metrics=MetricsRegistry())
+        comm = Comm(chip)
+        oc = OcBcast(comm, OcBcastConfig(ft=True, integrity=True))
+        payload = bytes(i % 251 for i in range(nbytes))
+
+        def prog(core):
+            cc = comm.attach(core)
+            buf = cc.alloc(nbytes)
+            if cc.rank == 0:
+                buf.write(payload)
+            yield from oc.bcast(cc, 0, buf, nbytes)
+            return buf.read() == payload
+
+        chip.sim.start_watchdog(50_000.0)
+        res = run_spmd(chip, prog)
+        return res, chip
+
+    def test_corrupted_fetch_deposit_is_refetched(self):
+        # data write 1 = root payload stage, 2 = root header; 3+ are the
+        # children's fetch deposits -- corrupting one is repairable by a
+        # re-fetch from the (clean) parent copy.
+        plan = FaultPlan((FaultSpec(FaultKind.CORRUPT_DATA_WRITE, nth=3),))
+        res, chip = self._bcast(plan)
+        assert all(v is True for v in res.values)
+        flat = chip.metrics.flat()
+        assert flat["oc.integrity.mismatches"] >= 1.0
+        assert chip.faults.n_recovered >= 1
+
+    def test_corrupted_staging_escalates_instead_of_delivering(self):
+        # Corrupting the root's *staged copy* (data write 1) is not
+        # repairable by re-fetching -- without the service layer it must
+        # escalate as a timeout, never deliver silently.
+        plan = FaultPlan((FaultSpec(FaultKind.CORRUPT_DATA_WRITE, nth=1),))
+        with pytest.raises(SimError) as ei:
+            self._bcast(plan)
+        cause = ei.value.__cause__
+        assert isinstance(cause, SimTimeoutError)
+        assert cause.site == "oc.integrity"
+
+    def test_baseline_without_integrity_delivers_corrupt_bytes(self):
+        plan = FaultPlan((FaultSpec(FaultKind.CORRUPT_DATA_WRITE, nth=1),))
+        injector = FaultInjector(plan)
+        chip = SccChip(SccConfig(), faults=injector)
+        comm = Comm(chip)
+        oc = OcBcast(comm, OcBcastConfig())  # the paper's protocol
+        nbytes = 96 * CACHE_LINE
+        payload = bytes(i % 251 for i in range(nbytes))
+
+        def prog(core):
+            cc = comm.attach(core)
+            buf = cc.alloc(nbytes)
+            if cc.rank == 0:
+                buf.write(payload)
+            yield from oc.bcast(cc, 0, buf, nbytes)
+            return buf.read() == payload
+
+        res = run_spmd(chip, prog)
+        assert any(v is False for v in res.values)  # silent corruption
+
+    def test_buffer_lines_accounts_for_header(self):
+        assert OcBcastConfig(integrity=True).buffer_lines == 97
+        assert OcBcastConfig().buffer_lines == 96
+
+    def test_chunk_ok_rejects_wrong_seq_span_and_crc(self):
+        import struct
+        import zlib
+
+        payload = b"\xab" * 64
+        hdr = struct.Struct("<qII").pack(5, zlib.crc32(payload), 64)
+        raw = hdr.ljust(CACHE_LINE, b"\0") + payload
+        assert OcBcast._chunk_ok(raw, 5, 64)
+        assert not OcBcast._chunk_ok(raw, 6, 64)
+        assert not OcBcast._chunk_ok(raw, 5, 32)
+        assert not OcBcast._chunk_ok(
+            raw[:CACHE_LINE] + b"\x00" * 64, 5, 64
+        )
+
+
+class TestMembershipPrimitives:
+    def test_report_collect_install_adopt_round_trip(self):
+        chip = SccChip(SccConfig())
+        comm = Comm(chip)
+        member = MembershipService(comm, root=0)
+        silent = 9
+
+        def prog(core):
+            cc = comm.attach(core)
+            if cc.rank == 0:
+                statuses, suspects = yield from member.collect(cc, 1)
+                assert suspects == [silent]
+                assert statuses[1] is True and statuses[2] is False
+                view = member.views[0].without(suspects)
+                unreachable = yield from member.install(cc, view, 1)
+                assert unreachable == []
+                return member.views[0]
+            if cc.rank == silent:
+                return None  # plays dead: no heartbeat
+            yield from member.report(cc, 1, ok=cc.rank == 1)
+            return (yield from member.await_view(cc, 1))
+
+        chip.sim.start_watchdog(100_000.0)
+        res = run_spmd(chip, prog)
+        vals = list(res.values)
+        for r, v in enumerate(vals):
+            if r == silent:
+                assert v is None
+            else:
+                assert v.epoch == 1 and silent not in v
+
+    def test_membership_root_validation(self):
+        chip = SccChip(SccConfig())
+        with pytest.raises(ValueError):
+            MembershipService(Comm(chip), root=48)
+
+
+@pytest.mark.faults
+class TestAcceptanceCampaign:
+    """ISSUE 4's headline experiment: a 100-trial multi-fault campaign
+    (interior crash mid-stream + corrupted data line per trial) where the
+    service delivers to every live core 100/100 while the PR-1 FT layer
+    and the baseline each fail in the majority of trials."""
+
+    def test_hundred_trial_multi_fault_campaign(self):
+        from repro.bench import FaultCampaign
+
+        campaign = FaultCampaign(
+            trials=100,
+            seed=4,
+            kinds=(FaultKind.CORE_CRASH, FaultKind.CORRUPT_DATA_WRITE),
+            nbytes=THREE_CHUNKS,
+            service=True,
+            faults_per_trial=2,
+            crash_site="interior",
+            mid_stream=True,
+            watchdog_interval=100_000.0,
+        )
+        result = campaign.run()
+        # The service commits every trial with correct payloads on every
+        # live member.
+        assert result.service_counts["recovered"] == 100
+        assert result.service_survival_rate == 1.0
+        # The FT layer and the baseline each lose the majority.
+        ft_failed = sum(
+            result.ft_counts[o] for o in ("deadlock", "timeout", "corrupt")
+        )
+        base_failed = sum(
+            result.baseline_counts[o]
+            for o in ("deadlock", "timeout", "corrupt")
+        )
+        assert ft_failed > 50
+        assert base_failed > 50
+        # Fault-free service tax under 5%.
+        assert result.service_overhead_pct < 5.0
+        # Detection/repair telemetry came back from the trials.
+        assert result.ttd_summary()["count"] >= 90
+        assert result.ttr_summary()["count"] >= 90
