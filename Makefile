@@ -9,15 +9,21 @@ test:
 	$(PYTHON) -m pytest -x -q
 
 ## Fault-injection smoke: the marked campaign tests, a 50-trial CLI
-## campaign comparing FT OC-Bcast against the baseline, and a 10-trial
+## campaign comparing FT OC-Bcast against the baseline, a 10-trial
 ## multi-fault service campaign (interior crash mid-stream + corrupted
-## data + link-down bursts) over the crash-surviving broadcast service.
+## data + link-down bursts) over the crash-surviving broadcast service,
+## and a 15-trial coordinator-failover campaign (the root/source itself
+## crashes mid-stream -- survived only by leader election + the
+## message-completion protocol).
 faults:
 	$(PYTHON) -m pytest -q -m faults tests
 	$(PYTHON) -m repro faults --trials 50 --kinds drop_flag corrupt_flag crash --timeline
 	$(PYTHON) -m repro faults --trials 10 --service --burst \
 		--kinds crash corrupt_data --crash-site interior --mid-stream \
 		--cache-lines 288 --faults-per-trial 2 --timeline
+	$(PYTHON) -m repro faults --trials 15 --service --no-baseline \
+		--kinds crash --crash-site root --mid-stream \
+		--cache-lines 288 --timeline
 
 ## Paper tables/figures (slow; writes benchmarks/results/).
 bench:

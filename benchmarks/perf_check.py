@@ -8,6 +8,12 @@ machines are noisy, hence the generous default tolerance -- the guard
 catches integer-factor regressions (a broken fast path), not percent
 drift.
 
+Also guards the *service tax*: the fault-free simulated-latency overhead
+of the election-enabled broadcast service over the bare baseline
+broadcast.  Simulated time is deterministic, so this check is exact --
+it fails the moment membership/election bookkeeping leaks onto the
+fault-free path.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/perf_check.py
@@ -23,11 +29,30 @@ import sys
 from perf_report import RESULTS_PATH, measure
 
 
+def service_tax_pct() -> float:
+    """Fault-free election-enabled service latency overhead (percent)
+    over the bare baseline broadcast, on the 48-core chip with the
+    three-chunk adversarial message size.  Deterministic."""
+    from repro.bench import FaultCampaign
+    from repro.scc import SccChip
+    from repro.scc.config import CACHE_LINE
+
+    campaign = FaultCampaign(trials=1, nbytes=3 * 96 * CACHE_LINE)
+    base = campaign._bcast_once(SccChip(campaign.config), ft=False)
+    svc = campaign.service_latency_once()
+    return (svc / base - 1.0) * 100.0
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument(
         "--tolerance", type=float, default=0.30,
         help="allowed fractional shortfall per metric (default 0.30)",
+    )
+    ap.add_argument(
+        "--max-service-tax", type=float, default=5.0,
+        help="max fault-free service (election-enabled) latency overhead "
+             "over the baseline broadcast, percent (default 5.0)",
     )
     ap.add_argument("--baseline", default=RESULTS_PATH)
     args = ap.parse_args(argv)
@@ -54,6 +79,14 @@ def main(argv=None) -> int:
             failed.append(key)
         print(f"{key:<{width}}  {value:>12.3f}  vs {base:>12.3f}  "
               f"({ratio:5.2f}x)  {verdict}")
+
+    tax = service_tax_pct()
+    tax_ok = tax < args.max_service_tax
+    print(f"{'service tax':<{width}}  {tax:>11.2f}%  vs "
+          f"{args.max_service_tax:>11.2f}%  "
+          f"{'ok' if tax_ok else 'REGRESSED'}")
+    if not tax_ok:
+        failed.append("service_tax")
 
     if failed:
         print(f"\nFAIL: {len(failed)} metric(s) regressed beyond "

@@ -38,7 +38,7 @@ from typing import Generator, Sequence
 import numpy as np
 
 from ..core import OcBcast, OcBcastConfig, PropagationTree
-from ..faults import FaultInjector, FaultKind, FaultPlan, FaultSpec
+from ..faults import CRASH_SITES, FaultInjector, FaultKind, FaultPlan, FaultSpec
 from ..member.service import DEFAULT_SERVICE_OC, OcBcastService
 from ..obs import MetricsRegistry
 from ..rcce import Comm
@@ -48,8 +48,14 @@ from ..sim import DeadlockError, FaultInjected, SimError, Tracer, WatchdogError
 from ..sim.errors import TimeoutError as SimTimeoutError
 from ..sim.trace import TraceRecord
 
-#: Trial classifications, in reporting order.
-OUTCOMES = ("delivered", "recovered", "deadlock", "timeout", "corrupt", "crashed")
+#: Trial classifications, in reporting order.  ``aborted`` is a
+#: service-only outcome: the source died with no surviving payload
+#: holder and every live member uniformly aborted -- agreement held,
+#: nothing was delivered.
+OUTCOMES = (
+    "delivered", "recovered", "aborted", "deadlock", "timeout", "corrupt",
+    "crashed",
+)
 
 #: Trace kinds that make up a fault timeline.
 TIMELINE_KINDS = (
@@ -73,10 +79,17 @@ class TrialRun:
     detail: str = ""
     #: Live cores evicted from the group (service runs only).
     n_evicted: int = 0
-    #: Time-to-detect / time-to-repair (us) harvested from the service
-    #: run's ``member.ttd_us`` / ``member.ttr_us`` histograms.
+    #: Time-to-detect / time-to-repair / time-to-elect (us) harvested
+    #: from the service run's ``member.ttd_us`` / ``member.ttr_us`` /
+    #: ``member.tte_us`` histograms.
     ttd: float | None = None
     ttr: float | None = None
+    tte: float | None = None
+    #: Silent-partition outcomes (service runs only): members that left
+    #: the group on their own account, and heartbeat reports that never
+    #: acked -- both previously invisible outside the trace.
+    n_self_evict: int = 0
+    n_report_failed: int = 0
 
     @property
     def finished(self) -> bool:
@@ -147,6 +160,18 @@ class CampaignResult:
                 + self.service_counts["recovered"])
         return good / self.n_trials
 
+    @property
+    def service_agreement_rate(self) -> float:
+        """Fraction of trials where every live member decided alike --
+        all delivered identical bytes or all aborted (uniform
+        agreement, the completion-protocol guarantee)."""
+        if self.service_counts is None or not self.n_trials:
+            return 0.0
+        good = (self.service_counts["delivered"]
+                + self.service_counts["recovered"]
+                + self.service_counts["aborted"])
+        return good / self.n_trials
+
     def _service_times(self, attr: str) -> list[float]:
         return [
             getattr(t.service, attr)
@@ -161,6 +186,10 @@ class CampaignResult:
     def ttr_summary(self) -> dict[str, float]:
         """count/mean/min/max of the service runs' time-to-repair (us)."""
         return _describe(self._service_times("ttr"))
+
+    def tte_summary(self) -> dict[str, float]:
+        """count/mean/min/max of the service runs' time-to-elect (us)."""
+        return _describe(self._service_times("tte"))
 
     def summary(self) -> str:
         from .reporting import format_table
@@ -212,6 +241,26 @@ class CampaignResult:
                     f"mean={ttr['mean']:.0f} us "
                     f"[{ttr['min']:.0f}, {ttr['max']:.0f}]"
                 )
+            tte = self.tte_summary()
+            if tte["count"]:
+                lines.append(
+                    f"time-to-elect:   n={tte['count']:.0f} "
+                    f"mean={tte['mean']:.0f} us "
+                    f"[{tte['min']:.0f}, {tte['max']:.0f}]"
+                )
+            n_self_evict = sum(
+                t.service.n_self_evict for t in self.trials
+                if t.service is not None
+            )
+            n_report_failed = sum(
+                t.service.n_report_failed for t in self.trials
+                if t.service is not None
+            )
+            if n_self_evict or n_report_failed:
+                lines.append(
+                    f"silent partitions: {n_self_evict} self-evictions, "
+                    f"{n_report_failed} unacked heartbeat reports"
+                )
         return "\n".join(lines)
 
 
@@ -260,7 +309,9 @@ class FaultCampaign:
     faults_per_trial: int = 1
     #: Where CORE_CRASH strikes: ``"leaf"`` (the FT layer can route
     #: around it), ``"interior"`` (orphans a subtree -- only the service
-    #: survives), or ``"any"``.
+    #: survives), ``"root"`` (kills the source/coordinator itself --
+    #: takes the service's election and completion protocol to survive),
+    #: or ``"any"``.
     crash_site: str = "leaf"
     #: Draw crash occurrences from the middle third of the profiled
     #: range, so multi-chunk broadcasts lose the core *mid-stream*.
@@ -277,9 +328,10 @@ class FaultCampaign:
             raise ValueError("nbytes must be > 0")
         if self.faults_per_trial < 1:
             raise ValueError("faults_per_trial must be >= 1")
-        if self.crash_site not in ("leaf", "interior", "any"):
+        if self.crash_site not in CRASH_SITES:
             raise ValueError(
-                f"crash_site must be leaf/interior/any, got {self.crash_site!r}"
+                f"crash_site must be one of {'/'.join(CRASH_SITES)}, "
+                f"got {self.crash_site!r}"
             )
         if self.link_down_duration <= 0:
             raise ValueError("link_down_duration must be > 0")
@@ -352,8 +404,8 @@ class FaultCampaign:
                     status = yield from svc.bcast(cc, buf, nbytes)
                 except FaultInjected:
                     return "crashed"
-                if status == "evicted":
-                    return "evicted"
+                if status in ("evicted", "aborted"):
+                    return status
                 return buf.read() == payload
         else:
             oc = OcBcast(comm, self._oc_config(ft))
@@ -395,9 +447,23 @@ class FaultCampaign:
             n_bad = sum(1 for v in vals if v is False)
             n_crashed = sum(1 for v in vals if v == "crashed")
             n_evicted = sum(1 for v in vals if v == "evicted")
+            n_aborted = sum(1 for v in vals if v == "aborted")
+            n_ok = sum(1 for v in vals if v is True)
             if n_bad:
                 outcome = "corrupt"
                 detail = f"{n_bad} core(s) hold wrong bytes"
+            elif n_aborted:
+                if n_ok:
+                    # Uniform agreement broken: deliverers and aborters
+                    # coexist -- as bad as wrong bytes.
+                    outcome = "corrupt"
+                    detail = (
+                        f"non-uniform outcome: {n_ok} delivered, "
+                        f"{n_aborted} aborted"
+                    )
+                else:
+                    outcome = "aborted"
+                    detail = f"uniform abort by {n_aborted} live member(s)"
             elif injector.n_injected:
                 outcome = "recovered"
                 parts = []
@@ -412,12 +478,19 @@ class FaultCampaign:
         records = tuple(
             r for r in tracer.records if r.kind in TIMELINE_KINDS
         )
-        ttd = ttr = None
+        ttd = ttr = tte = None
+        n_self_evict = n_report_failed = 0
         if metrics is not None:
             h = metrics.histograms.get("member.ttd_us")
             ttd = h.mean if h is not None and h.count else None
             h = metrics.histograms.get("member.ttr_us")
             ttr = h.mean if h is not None and h.count else None
+            h = metrics.histograms.get("member.tte_us")
+            tte = h.mean if h is not None and h.count else None
+            c = metrics.counters.get("svc.self_evict")
+            n_self_evict = int(c.value) if c is not None else 0
+            c = metrics.counters.get("svc.report_failed")
+            n_report_failed = int(c.value) if c is not None else 0
         return (
             TrialRun(
                 outcome=outcome,
@@ -428,6 +501,9 @@ class FaultCampaign:
                 n_evicted=n_evicted,
                 ttd=ttd,
                 ttr=ttr,
+                tte=tte,
+                n_self_evict=n_self_evict,
+                n_report_failed=n_report_failed,
             ),
             records,
         )
@@ -466,6 +542,7 @@ class FaultCampaign:
             "leaf": leaves,
             "interior": interior or leaves,
             "any": leaves + interior,
+            "root": [self.root],
         }[self.crash_site]
         non_root = [r for r in range(size) if r != self.root]
 

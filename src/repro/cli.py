@@ -37,6 +37,7 @@ from .bench import (
     sweep_putget,
 )
 from .bench.faultcampaign import parse_kinds
+from .faults import CRASH_SITES
 from .bench.ascii_plot import ascii_chart
 from .bench.contention import contention_sweep
 from .model import TABLE_1, broadcast as model_bcast, fitting
@@ -421,10 +422,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--faults-per-trial", type=int, default=1,
                    help="faults injected per trial (kinds cycle within "
                         "each multi-fault plan)")
-    p.add_argument("--crash-site", choices=["leaf", "interior", "any"],
+    p.add_argument("--crash-site", choices=list(CRASH_SITES),
                    default="leaf",
                    help="where crash faults strike (interior orphans a "
-                        "subtree -- only the service survives)")
+                        "subtree; root kills the source/coordinator -- "
+                        "only the election-capable service survives)")
     p.add_argument("--mid-stream", action="store_true",
                    help="aim faults at the middle of the run (pair with a "
                         "multi-chunk --cache-lines)")

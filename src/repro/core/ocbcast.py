@@ -98,7 +98,11 @@ root *global* delivery knowledge at ~zero fault-free cost:
   retried by the service layer (tag ``COMMIT_RETRY``).
 
 ``bcast`` then returns ``"ok"``/``"retry"`` (or ``"evicted"`` for ranks
-outside the supplied member tree) instead of ``None``.
+outside the supplied member tree) instead of ``None``.  A node whose
+payload is fully fetched and verified but whose commit notification
+never arrives -- the source died between delivery and commit -- returns
+``"undecided"``: it *holds* the message without knowing the verdict,
+which is the vote the service layer's completion protocol counts.
 """
 
 from __future__ import annotations
@@ -482,9 +486,20 @@ class OcBcast:
                 cc, parent, my_done_flag, FlagValue(tag, base + nchunks)
             )
         # Commit wait + relay: one extra notification round-trip tells
-        # every node whether the service layer will retry.
+        # every node whether the service layer will retry.  At this
+        # point the node's whole payload is fetched and verified; if the
+        # commit notification never comes (the source died between
+        # delivery and commit), the outcome is "undecided" rather than a
+        # raised timeout -- the service layer counts undecided nodes as
+        # *holders* of the message in its completion protocol.
         commit_seq = base + nchunks + 1
-        commit = yield from self._wait_notify(cc, commit_seq)
+        try:
+            commit = yield from self._wait_notify(cc, commit_seq)
+        except SimTimeoutError:
+            cc.chip.trace(
+                f"rank{cc.rank}", "oc.svc.commit_unknown", seq=commit_seq
+            )
+            return "undecided"
         yield from self._notify(
             cc, tree, parent_family, siblings, my_slot, commit_seq, tag=commit.tag
         )

@@ -219,6 +219,14 @@ class MemberTree:
         the root) fixes the position order *before* the dead are
         filtered out, so survivors keep their relative placement and two
         cores computing the tree from the same view agree exactly.
+
+        The root itself may be dead: the tree *re-roots* at the first
+        surviving rank of the base order (the same rank every survivor
+        computes), and the remaining survivors keep their id-rotation
+        placement -- orphaned subtrees are re-parented by the position
+        arithmetic exactly as for a dead interior node.  This is what
+        lets the coordinator-failover path rebuild a broadcast tree
+        after the original root crashes.
         """
         base = tuple(order) if order is not None else tuple(
             (root + p) % size for p in range(size)
@@ -228,8 +236,6 @@ class MemberTree:
         if base[0] != root:
             raise ValueError("order[0] must be the root")
         gone = set(dead)
-        if root in gone:
-            raise ValueError(f"root {root} cannot be dead")
         return cls(tuple(r for r in base if r not in gone), k)
 
     # -- navigation (PropagationTree-compatible) ---------------------------

@@ -29,10 +29,11 @@ from .injector import (
     InjectionRecord,
     RecoveryRecord,
 )
-from .plan import NO_FAULTS, FaultKind, FaultPlan, FaultSpec
+from .plan import CRASH_SITES, NO_FAULTS, FaultKind, FaultPlan, FaultSpec
 
 __all__ = [
     "CORRUPT",
+    "CRASH_SITES",
     "DELIVER",
     "DROP",
     "FaultInjector",

@@ -55,6 +55,12 @@ class FaultKind(enum.Enum):
     CORE_CRASH = "core_crash"
 
 
+#: Valid ``crash_site`` choices for campaigns and the CLI: where a
+#: CORE_CRASH strikes in the propagation tree.  ``"root"`` kills the
+#: broadcast source/coordinator itself -- the scenario only the
+#: election-capable service survives.
+CRASH_SITES = ("leaf", "interior", "any", "root")
+
 #: Counter category each kind matches against (see :class:`FaultInjector`).
 CATEGORY_OF = {
     FaultKind.DROP_FLAG_WRITE: "flag_write",

@@ -2,18 +2,33 @@
 
 - :mod:`repro.member.heartbeat` -- MPB-flag heartbeats with poll-budget
   suspicion, and epoch-stamped membership views agreed through the acked
-  flag primitives (:class:`MembershipService`).
+  flag primitives (:class:`MembershipService`); views carry a
+  :class:`CompletionDirective` verdict for the in-flight message.
+- :mod:`repro.member.election` -- ranked-succession leader election over
+  MPB claim slots (:class:`ElectionService`): when the coordinator
+  crashes, the lowest live rank of the last installed view takes over
+  and re-installs a bumped-epoch view (the epoch handoff).
 - :mod:`repro.member.service` -- :class:`OcBcastService`, the epoch-aware
   FT OC-Bcast service: between rounds the propagation and notification
   trees are rebuilt over the current view's survivors, so an interior
-  crash degrades to a smaller tree instead of orphaning a subtree, and
-  later broadcasts never touch dead cores.
+  crash degrades to a smaller tree instead of orphaning a subtree; a
+  *source* crash mid-message resolves by uniform agreement -- re-broadcast
+  from a fully-delivered survivor, or a group-wide abort.
 """
 
-from .heartbeat import MembershipConfig, MembershipService, MembershipView
+from .election import ElectionConfig, ElectionService
+from .heartbeat import (
+    CompletionDirective,
+    MembershipConfig,
+    MembershipService,
+    MembershipView,
+)
 from .service import OcBcastService
 
 __all__ = [
+    "CompletionDirective",
+    "ElectionConfig",
+    "ElectionService",
     "MembershipConfig",
     "MembershipService",
     "MembershipView",

@@ -1,0 +1,246 @@
+"""Deterministic ranked-succession leader election over MPB flag slots.
+
+When the coordinator of the broadcast service crashes, the survivors
+must agree on a successor using nothing but the SCC's one-sided RMA
+into on-chip MPBs -- the same substrate the broadcast itself runs on.
+The protocol here is *ranked succession*: the lowest live rank of the
+last installed view wins.  Liveness comes from staggered claim budgets;
+safety (no two coordinators installing the same epoch) from claim
+fencing on the slot array every member can read locally.
+
+Mechanics:
+
+- Every member owns one slot of a symmetric
+  :class:`repro.rcce.flags.FlagSlotArray` (``member.claim``).  A
+  *claim* is an acked write of the current recovery round number into
+  the claimant's own slot **in every view member's MPB** -- so each
+  core can follow the election by polling its own MPB copy, and a
+  deposed-but-alive coordinator can *see* that an election happened
+  (step-down fencing, :meth:`ElectionService.check_claims`).  Round
+  numbers are monotonic per service instance and each round maps to
+  exactly one target epoch, so a claim doubles as an epoch-stamped
+  fence: stale claims from earlier rounds are simply ``< round`` and
+  ignored.
+- Candidates (view members minus the caller's suspects) are ordered by
+  rank.  Candidate ``i`` grants the ``i`` lower-ranked candidates a
+  head start of ``claim_step * i`` microseconds (plus a small seeded,
+  deterministic jitter) before claiming itself; a claim from a lower
+  candidate observed within the budget makes it a *follower*.
+- Because members enter the election at slightly different simulated
+  times (their broadcast attempts fail at different tree depths), a
+  raw "first claim wins" would livelock or split.  Two counter-skew
+  measures: a claimant re-checks the lower slots once after a
+  ``settle`` window and yields to any lower claim that raced it; a
+  follower also waits out ``settle`` after the first claim it sees and
+  then follows the *lowest* claimant, not the first.
+
+The winner returns from :meth:`elect` believing itself coordinator; it
+must then run the membership round (collect, decide, install) -- that
+is the service layer's job, as is re-checking the claim slots right
+before installing (a lower-ranked late entrant may still be ahead).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Generator, Iterable
+
+from ..rcce.flags import FlagSlotArray
+from ..sim.errors import TimeoutError as SimTimeoutError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..rcce.comm import Comm, CoreComm
+    from .heartbeat import MembershipService
+
+
+@dataclass(frozen=True)
+class ElectionConfig:
+    """Tuning knobs of the ranked-succession election."""
+
+    #: Head start (us) each lower-ranked candidate is granted before
+    #: this one claims.  Must exceed the worst-case skew between two
+    #: members' entries into the same election (bounded by the spread
+    #: of their broadcast-attempt failure times).
+    claim_step: float = 2500.0
+    #: Settle window (us) after seeing or stamping a claim, absorbing
+    #: in-flight claims from racing candidates before committing to a
+    #: leader.
+    settle: float = 1000.0
+    #: Upper bound (us) of the seeded per-candidate jitter added to the
+    #: claim budget, de-synchronising same-index retries.
+    jitter_max: float = 200.0
+    #: Re-send bound for acked claim writes.
+    max_retries: int = 3
+
+    def __post_init__(self) -> None:
+        if self.claim_step <= 0 or self.settle <= 0:
+            raise ValueError("election budgets must be > 0")
+        if self.jitter_max < 0:
+            raise ValueError("jitter_max must be >= 0")
+        if self.jitter_max >= self.claim_step:
+            raise ValueError(
+                "jitter_max must stay below claim_step (the rank order "
+                "of the budgets is the protocol's tie-breaker)"
+            )
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+
+
+class ElectionService:
+    """Ranked-succession election for one communicator.
+
+    Construction allocates the claim slot array symmetrically (one
+    16-bit slot per rank -- 3 extra MPB lines on the 48-core chip).
+    One instance per :class:`~repro.member.heartbeat.MembershipService`;
+    the candidate set is always derived from the *last installed view*,
+    so all members run the election over the same roster.
+    """
+
+    def __init__(
+        self,
+        comm: "Comm",
+        member: "MembershipService",
+        config: ElectionConfig | None = None,
+    ) -> None:
+        self.comm = comm
+        self.member = member
+        self.config = config or ElectionConfig()
+        self.claims = FlagSlotArray(
+            comm.layout.alloc_lines(FlagSlotArray.lines_needed(comm.size)),
+            comm.size,
+            name="member.claim",
+        )
+
+    # ------------------------------------------------------------------
+
+    def _jitter(self, cc: "CoreComm", round_no: int) -> float:
+        """Deterministic per-(round, rank) jitter -- seeded, no wall
+        clock, so traces stay replayable."""
+        rng = random.Random(round_no * 1009 + cc.rank)
+        return rng.uniform(0.0, self.config.jitter_max)
+
+    def _read_claim(self, cc: "CoreComm", rank: int) -> int:
+        """Untimed read of this core's own copy of ``rank``'s claim
+        (the timed poll cost is charged by the callers)."""
+        return self.claims.peek(cc.chip, cc.core.id, rank)
+
+    def _lowest_claimant(
+        self, cc: "CoreComm", candidates: Iterable[int], floor: int
+    ) -> int | None:
+        """Lowest-ranked candidate whose claim (in this core's own MPB
+        copy) has reached ``floor``."""
+        for r in sorted(candidates):
+            if self._read_claim(cc, r) >= floor:
+                return r
+        return None
+
+    def _stamp(self, cc: "CoreComm", round_no: int, members: Iterable[int]) -> Generator:
+        """Write this rank's claim into every view member's MPB (acked;
+        unreachable members are skipped -- they cannot follow anyway)."""
+        cc.chip.trace(f"rank{cc.rank}", "member.claim", round=round_no)
+        if cc.chip.metrics is not None:
+            cc.chip.metrics.inc("member.claims")
+        for m in sorted(members):
+            try:
+                yield from self.claims.write_acked(
+                    cc.core,
+                    self.comm.core_of(m),
+                    cc.rank,
+                    round_no,
+                    max_retries=self.config.max_retries,
+                )
+            except SimTimeoutError:
+                cc.chip.trace(
+                    f"rank{cc.rank}", "member.claim_unreachable", member=m
+                )
+
+    def check_claims(
+        self, cc: "CoreComm", round_no: int, *, below: int | None = None
+    ) -> Generator[object, object, int | None]:
+        """Step-down fence: sweep this core's own claim copies and
+        return the lowest rank other than the caller's with a claim at
+        or past ``round_no`` (restricted to ranks ``< below`` when
+        given), or ``None``.
+
+        A standing coordinator calls this before collecting (any rival
+        claim means the members gave up on it); a freshly elected
+        winner calls it before installing, looking only *below* itself
+        (a lower-ranked late entrant outranks it by succession order).
+        """
+        view = self.member.views[cc.rank]
+        nscan = len(view.members)
+        yield cc.core.compute(nscan * cc.core.config.t_poll)
+        for r in sorted(view.members):
+            if r == cc.rank or (below is not None and r >= below):
+                continue
+            if self._read_claim(cc, r) >= round_no:
+                return r
+        return None
+
+    # ------------------------------------------------------------------
+
+    def elect(
+        self, cc: "CoreComm", round_no: int, suspects: Iterable[int]
+    ) -> Generator[object, object, int]:
+        """Run one election for recovery round ``round_no``; returns
+        the rank this member believes won (possibly its own).
+
+        ``suspects`` are ranks the caller has given up on (at least the
+        unresponsive coordinator); their claims are ignored, which is
+        what keeps a *dead winner's* stale claim from being followed
+        forever on re-election within the same round.
+        """
+        cfg = self.config
+        view = self.member.views[cc.rank]
+        gone = set(suspects)
+        candidates = [m for m in view.members if m not in gone]
+        if cc.rank not in candidates:
+            raise ValueError(
+                f"rank {cc.rank} cannot run an election it is not a "
+                f"candidate of (view epoch {view.epoch})"
+            )
+        index = candidates.index(cc.rank)
+        cc.chip.trace(
+            f"rank{cc.rank}", "member.elect.begin",
+            round=round_no, epoch=view.epoch, index=index,
+            candidates=len(candidates),
+        )
+        lower = candidates[:index]
+        if lower:
+            budget = cfg.claim_step * index + self._jitter(cc, round_no)
+            try:
+                yield from self.claims.wait_any_at_least(
+                    cc.core, lower, round_no,
+                    timeout=budget, site="member.claim",
+                )
+                # A lower candidate claimed: absorb racing claims, then
+                # follow the lowest claimant standing.
+                yield cc.core.compute(cfg.settle)
+                winner = self._lowest_claimant(cc, lower, round_no)
+                assert winner is not None  # claims are monotonic
+                cc.chip.trace(
+                    f"rank{cc.rank}", "member.elect.follow",
+                    round=round_no, winner=winner,
+                )
+                return winner
+            except SimTimeoutError:
+                pass  # budget spent: the lower candidates are gone too
+        yield from self._stamp(cc, round_no, view.members)
+        yield cc.core.compute(cfg.settle)
+        rival = self._lowest_claimant(cc, lower, round_no)
+        if rival is not None:
+            # A lower-ranked candidate raced us inside the settle
+            # window: succession order wins, we yield.
+            cc.chip.trace(
+                f"rank{cc.rank}", "member.elect.yield",
+                round=round_no, winner=rival,
+            )
+            return rival
+        cc.chip.trace(
+            f"rank{cc.rank}", "member.elect.won",
+            round=round_no, epoch=view.epoch,
+        )
+        if cc.chip.metrics is not None:
+            cc.chip.metrics.inc("member.elections")
+        return cc.rank

@@ -18,23 +18,30 @@ the broadcast itself uses:
   floor are *suspected* and dropped from the next view.  A poll budget,
   not a clock: the simulated SCC has no synchronised time source, and a
   budget is exactly what :func:`wait_at_least` already implements.
-- **Epoch-stamped views** -- a view is ``(epoch, members)``.  The root
-  installs a new view by staging its membership bitmap in its own MPB,
-  then performing an *acked* flag write (``tag=epoch, seq=round``) to
-  every informed member -- including the suspects, so a falsely accused
-  live core learns of its eviction instead of hanging.  Members adopt
-  the view by pulling the bitmap with a one-sided read when the epoch
-  advances.  Acked writes make view installation reliable against
-  dropped flags; a member that stays unreachable is simply suspected
-  again next round.
+- **Epoch-stamped views** -- a view is ``(epoch, members)``.  The
+  *coordinator* (the static root until a failover; thereafter whoever
+  won the election, see :mod:`repro.member.election`) installs a new
+  view by staging its membership bitmap -- plus a 4-byte *completion
+  directive* for the in-flight message -- in its own MPB, then
+  performing an *acked* flag write to every informed member, suspects
+  included, so a falsely accused live core learns of its eviction
+  instead of hanging.  The flag's tag packs ``epoch * 256 +
+  coordinator``, which is both the epoch handoff (members learn the new
+  coordinator and re-home their heartbeats to its MPB) and the fence
+  against the old epoch: a stale write from a deposed coordinator
+  decodes to a non-advancing epoch and is never adopted.  Members adopt
+  the view by pulling the bitmap from the *installer* with a one-sided
+  read when the epoch advances.
 
 The MPB cost is small: ``ceil(P/16)`` lines of heartbeat slots, one
-view-flag line and ``ceil(ceil(P/8)/32)`` bitmap lines -- 5 lines for
-the full 48-core chip, on top of OC-Bcast's 202-line service footprint.
+view-flag line and ``ceil((ceil(P/8)+4)/32)`` bitmap+directive lines --
+5 lines for the full 48-core chip, on top of OC-Bcast's 202-line
+service footprint.
 """
 
 from __future__ import annotations
 
+import struct
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Generator, Iterable
 
@@ -45,8 +52,54 @@ from ..sim.errors import TimeoutError as SimTimeoutError
 if TYPE_CHECKING:  # pragma: no cover
     from ..rcce.comm import Comm, CoreComm
 
-#: Histogram buckets (microseconds) for time-to-detect / time-to-repair.
+#: Histogram buckets (microseconds) for time-to-detect / time-to-repair
+#: (and time-to-elect, which shares the scale).
 TTD_BOUNDS = (100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0, 10000.0, 25000.0)
+
+#: The view-flag tag packs ``epoch * _TAG_BASE + coordinator_rank`` --
+#: one acked flag write carries both the epoch bump and the handoff.
+_TAG_BASE = 256
+
+#: Completion-directive codes (what the coordinator decided about the
+#: message that was in flight when the view changed).
+DIRECTIVE_NONE = 0
+DIRECTIVE_REBROADCAST = 1
+DIRECTIVE_ABORT = 2
+
+_DIRECTIVE = struct.Struct("<BBH")  # code, source, round
+
+
+@dataclass(frozen=True)
+class CompletionDirective:
+    """The coordinator's verdict on the in-flight message, piggybacked
+    on the view install: re-broadcast from a fully-delivered survivor
+    (``DIRECTIVE_REBROADCAST``, ``source`` holds the payload) or
+    uniformly abort (``DIRECTIVE_ABORT``).  ``round_no`` stamps the
+    recovery round the verdict belongs to -- a member only applies a
+    directive for the round it is currently recovering."""
+
+    code: int
+    source: int
+    round_no: int
+
+    def __post_init__(self) -> None:
+        if self.code not in (DIRECTIVE_NONE, DIRECTIVE_REBROADCAST, DIRECTIVE_ABORT):
+            raise ValueError(f"unknown directive code {self.code}")
+        if not 0 <= self.source < _TAG_BASE:
+            raise ValueError(f"directive source {self.source} out of range")
+        if self.round_no < 0:
+            raise ValueError("directive round must be >= 0")
+
+    def encode(self) -> bytes:
+        return _DIRECTIVE.pack(self.code, self.source, self.round_no)
+
+    @classmethod
+    def decode(cls, raw: bytes) -> "CompletionDirective":
+        code, source, round_no = _DIRECTIVE.unpack_from(raw)
+        return cls(code, source, round_no)
+
+
+NO_DIRECTIVE = CompletionDirective(DIRECTIVE_NONE, 0, 0)
 
 
 @dataclass(frozen=True)
@@ -156,29 +209,41 @@ class MembershipService:
         self.view_flag = comm.flag("member.view")
         bitmap_bytes = -(-size // 8)
         self.bitmap_region = comm.layout.alloc_lines(
-            -(-bitmap_bytes // CACHE_LINE)
+            -(-(bitmap_bytes + _DIRECTIVE.size) // CACHE_LINE)
         )
         self.views: list[MembershipView] = [
             MembershipView.full(size) for _ in range(size)
         ]
+        #: Per-rank belief about who coordinates membership rounds.
+        #: Starts at the static root; re-pointed by every view adopt /
+        #: install (the epoch handoff).
+        self.coord: list[int] = [root] * size
+        #: Per-rank copy of the last adopted completion directive.
+        self.directives: list[CompletionDirective] = [NO_DIRECTIVE] * size
 
     # -- member side -------------------------------------------------------
 
     def report(
-        self, cc: "CoreComm", round_no: int, ok: bool
+        self, cc: "CoreComm", round_no: int, ok: bool, to: int | None = None
     ) -> Generator:
-        """Send this round's heartbeat to the root (acked slot write).
+        """Send this round's heartbeat to the coordinator (acked slot
+        write).  ``to`` overrides the target -- a member that just
+        followed an election re-reports to the winner, whose own MPB
+        copy of the slot array is where the new coordinator collects
+        (the heartbeat array is symmetric, so re-homing it is just a
+        change of write target).
 
         ``ok`` reports whether the member delivered the payload of the
         broadcast attempt that triggered the round.
         """
+        target = to if to is not None else self.coord[cc.rank]
         value = 2 * round_no + (1 if ok else 0)
         cc.chip.trace(
-            f"rank{cc.rank}", "member.hb", round=round_no, ok=ok
+            f"rank{cc.rank}", "member.hb", round=round_no, ok=ok, to=target
         )
         yield from self.hb.write_acked(
             cc.core,
-            self.comm.core_of(self.root),
+            self.comm.core_of(target),
             cc.rank,
             value,
             max_retries=self.config.hb_max_retries,
@@ -187,12 +252,13 @@ class MembershipService:
     def await_view(self, cc: "CoreComm", round_no: int) -> Generator[
         object, object, MembershipView
     ]:
-        """Wait for the root to install round ``round_no``'s view; adopt
-        it (pulling the bitmap on an epoch change) and return it.
+        """Wait for the coordinator to install round ``round_no``'s
+        view; adopt it (pulling the bitmap and completion directive from
+        the *installer* on an epoch change) and return it.
 
         Raises :class:`repro.sim.TimeoutError` when the view never
-        arrives within ``view_timeout`` -- the root itself is gone, which
-        membership does not mask.
+        arrives within ``view_timeout`` -- the coordinator itself is
+        gone, which the service layer answers with an election.
         """
         vals = yield from cc.wait_flags(
             [self.view_flag],
@@ -200,28 +266,36 @@ class MembershipService:
             timeout=self.config.view_timeout,
             site="member.view",
         )
-        epoch = vals[0].tag
+        epoch, installer = divmod(vals[0].tag, _TAG_BASE)
         current = self.views[cc.rank]
         if epoch != current.epoch:
+            bitmap_bytes = -(-cc.size // 8)
             raw = yield from cc.get_bytes(
-                self.root, self.bitmap_region.offset, -(-cc.size // 8)
+                installer,
+                self.bitmap_region.offset,
+                bitmap_bytes + _DIRECTIVE.size,
             )
-            view = MembershipView.from_bitmap(epoch, raw, cc.size)
+            view = MembershipView.from_bitmap(epoch, raw[:bitmap_bytes], cc.size)
             self.views[cc.rank] = view
+            self.coord[cc.rank] = installer
+            self.directives[cc.rank] = CompletionDirective.decode(
+                raw[bitmap_bytes:]
+            )
             cc.chip.trace(
                 f"rank{cc.rank}", "member.view_adopt",
-                epoch=epoch, members=len(view.members),
+                epoch=epoch, coord=installer, members=len(view.members),
                 evicted=cc.rank not in view,
             )
         return self.views[cc.rank]
 
     def evict_self(self, rank: int) -> None:
-        """Local bookkeeping for a member that lost contact with the root
-        after delivering: it leaves the group on its own account (the
-        root's next collect will suspect it anyway)."""
+        """Local bookkeeping for a member that lost contact with the
+        coordinator after delivering: it leaves the group on its own
+        account (the coordinator's next collect will suspect it
+        anyway)."""
         self.views[rank] = self.views[rank].without((rank,))
 
-    # -- root side ---------------------------------------------------------
+    # -- coordinator side --------------------------------------------------
 
     def collect(self, cc: "CoreComm", round_no: int) -> Generator[
         object, object, tuple[dict[int, bool], list[int]]
@@ -229,6 +303,9 @@ class MembershipService:
         """Collect round ``round_no``'s heartbeats under one shared
         ``hb_timeout`` budget; returns ``(statuses, suspects)`` where
         statuses maps each responsive member to its delivered bit.
+
+        Reads the *collector's own* MPB copy of the slot array, so any
+        member can collect -- the freshly elected coordinator included.
         """
         cfg = self.config
         view = self.views[cc.rank]
@@ -237,7 +314,7 @@ class MembershipService:
         statuses: dict[int, bool] = {}
         suspects: list[int] = []
         for m in view.members:
-            if m == self.root:
+            if m == cc.rank:
                 continue
             remaining = max(0.0, deadline - cc.core.sim.now)
             try:
@@ -256,25 +333,37 @@ class MembershipService:
         return statuses, suspects
 
     def install(
-        self, cc: "CoreComm", view: MembershipView, round_no: int
+        self,
+        cc: "CoreComm",
+        view: MembershipView,
+        round_no: int,
+        decision: CompletionDirective | None = None,
     ) -> Generator[object, object, list[int]]:
         """Install ``view`` as round ``round_no``'s outcome: stage the
-        bitmap (locally verified), then acked view-flag writes to every
-        member of the *previous* view -- suspects included, so a falsely
-        accused live core learns of its eviction.  Returns the members
-        whose view flag could not be acked (unreachable: they will be
-        suspected again next round).
+        bitmap plus the completion ``decision`` (locally verified), then
+        acked view-flag writes to every member of the *previous* view --
+        suspects included, so a falsely accused live core learns of its
+        eviction.  The flag tag packs ``epoch * 256 + installer``, which
+        is the epoch handoff: adopters re-home their heartbeats to the
+        installer.  Returns the members whose view flag could not be
+        acked (unreachable: they will be suspected again next round).
         """
         cfg = self.config
-        inform = [m for m in self.views[cc.rank].members if m != self.root]
+        directive = decision or NO_DIRECTIVE
+        inform = [m for m in self.views[cc.rank].members if m != cc.rank]
         self.views[cc.rank] = view
+        self.coord[cc.rank] = cc.rank
+        self.directives[cc.rank] = directive
         if view.epoch and cc.chip.metrics is not None:
             cc.chip.metrics.set("member.epoch", float(view.epoch))
         cc.chip.trace(
             f"rank{cc.rank}", "member.view_install",
             epoch=view.epoch, round=round_no, members=len(view.members),
+            directive=directive.code,
         )
-        payload = view.bitmap(cc.size).ljust(self.bitmap_region.nbytes, b"\0")
+        payload = (view.bitmap(cc.size) + directive.encode()).ljust(
+            self.bitmap_region.nbytes, b"\0"
+        )
         yield from self._stage_bitmap(cc, payload)
         unreachable: list[int] = []
         for m in inform:
@@ -282,7 +371,7 @@ class MembershipService:
                 yield from cc.flag_set_acked(
                     m,
                     self.view_flag,
-                    FlagValue(tag=view.epoch, seq=round_no),
+                    FlagValue(tag=view.epoch * _TAG_BASE + cc.rank, seq=round_no),
                     max_retries=cfg.hb_max_retries,
                 )
             except SimTimeoutError:

@@ -9,25 +9,59 @@ membership service:
     view returns ``"evicted"`` without touching the MPB.
 2.  On commit ``"ok"`` every live member has verified the payload --
     done (no heartbeat round on the fault-free path).
-3.  On failure (commit ``"retry"``, or a local timeout from an orphaned
-    subtree) a *recovery round* runs: members report heartbeats carrying
-    their delivered bit, the root suspects the silent ones, installs the
-    next epoch's view, and the loop re-broadcasts the whole message over
-    the shrunken tree.  Suspected-but-alive cores learn of their
-    eviction from the view flag and return ``"evicted"``.
+3.  On failure (commit ``"retry"``, an ``"undecided"`` commit, or a
+    local timeout from an orphaned subtree) a *recovery round* runs:
+    members report heartbeats carrying their delivered bit, the
+    coordinator suspects the silent ones, installs the next epoch's
+    view, and the loop re-broadcasts the message over the shrunken
+    tree.  Suspected-but-alive cores learn of their eviction from the
+    view flag and return ``"evicted"``.
 
-An interior crash mid-stream therefore degrades to a smaller tree within
-one recovery round, and subsequent broadcasts never touch dead cores: the
-survivor tree is rebuilt from the epoch's view, not rediscovered.
+Coordinator vs. source
+----------------------
+The *coordinator* (who collects heartbeats and installs views) and the
+*broadcast source* (whose buffer is staged) are separate roles.  Both
+start at the static root, but when the coordinator crashes the members
+elect a successor by ranked succession (:mod:`repro.member.election`)
+and the epoch is handed off: the winner re-installs a bumped-epoch view
+whose flag tag names it, members re-home their heartbeats to its MPB,
+and stale writes from the old epoch are fenced by the epoch-stamped
+view flag and round-stamped claims.
 
-Time-to-detect (first injected fault -> root suspects it) and
-time-to-repair (first injected fault -> successful commit) are recorded
-into ``member.ttd_us`` / ``member.ttr_us`` histograms on the chip's
-metrics registry when both an injector and a registry are attached.
+Source-crash message completion
+-------------------------------
+When the *source* dies mid-message the group must not split into
+deliverers and discarders.  Members that hold the complete verified
+payload (commit ``"ok"``/``"retry"``/``"undecided"`` -- the integrity
+layer guarantees a holder's bytes match the source's) report their
+delivered bit; the coordinator counts those votes and piggybacks a
+:class:`~repro.member.heartbeat.CompletionDirective` on the view
+install: *re-broadcast* from the lowest-ranked fully-delivered survivor
+(who becomes the new source, peer-to-peer over the survivor tree), or
+-- when nobody holds the payload -- a *uniform abort*, every live
+member returning ``"aborted"``.  Either way all live members decide
+alike: that is uniform agreement, checked as invariant I6 over the
+``svc.outcome`` trace records (:mod:`repro.obs.invariants`).
+
+Fail-stop caveat: like every timeout-based protocol, suspicion here is
+eventually-accurate only for *crashed* cores.  A live core that stalls
+past ``view_timeout`` (a long pause, a partition that heals late) is
+treated as dead: it is evicted, and if it had already delivered and
+exits before the verdict its outcome is recorded as non-decisive
+(``self_evicted``) rather than breaking agreement among the members
+that stayed.
+
+Time-to-detect (first injected fault -> coordinator suspects it),
+time-to-repair (first injected fault -> successful commit) and
+time-to-elect (first injected fault -> election won) are recorded into
+``member.ttd_us`` / ``member.ttr_us`` / ``member.tte_us`` histograms on
+the chip's metrics registry when both an injector and a registry are
+attached.
 """
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import replace
 from typing import TYPE_CHECKING, Generator
 
@@ -35,7 +69,15 @@ from ..core.ocbcast import OcBcast, OcBcastConfig
 from ..core.trees import MemberTree
 from ..scc.memory import MemRef
 from ..sim.errors import TimeoutError as SimTimeoutError
-from .heartbeat import TTD_BOUNDS, MembershipConfig, MembershipService
+from .election import ElectionConfig, ElectionService
+from .heartbeat import (
+    DIRECTIVE_ABORT,
+    DIRECTIVE_REBROADCAST,
+    TTD_BOUNDS,
+    CompletionDirective,
+    MembershipConfig,
+    MembershipService,
+)
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..rcce.comm import Comm, CoreComm
@@ -52,6 +94,9 @@ DEFAULT_SERVICE_OC = OcBcastConfig(
     ft_notify_timeout=2500.0,
 )
 
+#: Sentinel for the self-eviction exit of a recovery round.
+_SELF_EVICT = object()
+
 
 class OcBcastService:
     """An epoch-aware, crash-surviving broadcast service.
@@ -67,6 +112,7 @@ class OcBcastService:
         root: int = 0,
         oc_config: OcBcastConfig | None = None,
         member_config: MembershipConfig | None = None,
+        election_config: ElectionConfig | None = None,
     ) -> None:
         base = oc_config or DEFAULT_SERVICE_OC
         # The service's correctness needs all three modes regardless of
@@ -76,59 +122,86 @@ class OcBcastService:
         self.root = root
         self.oc = OcBcast(comm, self.config)
         self.member = MembershipService(comm, root=root, config=member_config)
+        self.election = ElectionService(comm, self.member, config=election_config)
         #: Per-rank attempt counter == membership round number.  Global
-        #: across messages so heartbeat slot values and the view flag
-        #: stay monotonic for the life of the instance.
+        #: across messages so heartbeat slot values, claims and the view
+        #: flag stay monotonic for the life of the instance.
         self._attempt = [0] * comm.size
-        #: Survivor trees are pure functions of the view; cache by epoch.
-        self._trees: dict[int, MemberTree] = {}
+        #: Per-rank message counter, keying ``svc.outcome`` records.
+        self._msg = [0] * comm.size
+        #: Survivor trees are pure functions of (view, source); cache.
+        self._trees: dict[tuple[int, int], MemberTree] = {}
 
     # ------------------------------------------------------------------
 
-    def survivor_tree(self, view) -> MemberTree:
-        """The propagation tree over ``view``'s members (cached)."""
-        tree = self._trees.get(view.epoch)
+    def survivor_tree(self, view, source: int | None = None) -> MemberTree:
+        """The propagation tree over ``view``'s members, rooted at
+        ``source`` (default: the service's static root -- re-rooted at
+        the first surviving rank if it is dead), cached."""
+        src = self.root if source is None else source
+        key = (view.epoch, src)
+        tree = self._trees.get(key)
         if tree is None:
             dead = [r for r in range(self.comm.size) if r not in view]
+            root = src if src in view else self.root
             tree = MemberTree.survivors(
-                self.comm.size, self.config.k, self.root, dead=dead
+                self.comm.size, self.config.k, root, dead=dead
             )
-            self._trees[view.epoch] = tree
+            self._trees[key] = tree
         return tree
 
     def bcast(
-        self, cc: "CoreComm", buf: MemRef, nbytes: int
+        self,
+        cc: "CoreComm",
+        buf: MemRef,
+        nbytes: int,
+        source: int | None = None,
     ) -> Generator[object, object, str]:
-        """Broadcast ``nbytes`` from the root's ``buf`` to every live
-        member; returns ``"ok"`` (delivered and committed) or
-        ``"evicted"`` (this rank is out of the current view).
+        """Broadcast ``nbytes`` from the source's ``buf`` to every live
+        member; returns ``"ok"`` (delivered and committed),
+        ``"aborted"`` (the source died mid-message with no surviving
+        holder: a uniform group abort) or ``"evicted"`` (this rank is
+        out of the current view).
 
-        Raises :class:`repro.sim.TimeoutError` when ``max_attempts``
-        recovery rounds cannot produce a committed broadcast (e.g. the
-        root itself keeps failing, or faults outpace eviction).
+        ``source`` picks the broadcasting rank (default: the static
+        root while it lives, else the current coordinator).  Raises
+        :class:`repro.sim.TimeoutError` when ``max_attempts`` recovery
+        rounds cannot produce a committed broadcast.
         """
         mcfg = self.member.config
+        self._msg[cc.rank] += 1
+        msg = self._msg[cc.rank]
         tries = 0
+        override: int | None = None  # directive-designated re-broadcast source
         for _ in range(mcfg.max_attempts):
             tries += 1
             view = self.member.views[cc.rank]
             if cc.rank not in view:
-                return "evicted"
+                return self._outcome(cc, msg, "evicted")
+            if override is not None:
+                src = override
+            elif source is not None:
+                src = source
+            else:
+                src = self.root
+            if src not in view:
+                src = self.member.coord[cc.rank]
             self._attempt[cc.rank] += 1
             rnd = self._attempt[cc.rank]
-            tree = self.survivor_tree(view)
+            tree = self.survivor_tree(view, src)
             cc.chip.trace(
                 f"rank{cc.rank}", "svc.attempt",
-                round=rnd, epoch=view.epoch, members=tree.size,
+                round=rnd, epoch=view.epoch, src=src, members=tree.size,
             )
             delivered = False
             try:
                 status = yield from self.oc.bcast(
-                    cc, self.root, buf, nbytes, tree=tree
+                    cc, src, buf, nbytes, tree=tree
                 )
-                # "retry" still means *this* rank holds a verified copy:
-                # the commit wait happens after its last chunk landed.
-                delivered = status in ("ok", "retry")
+                # "retry" and "undecided" still mean *this* rank holds a
+                # verified copy: the commit wait happens after its last
+                # chunk landed and checked out.
+                delivered = status in ("ok", "retry", "undecided")
             except SimTimeoutError as err:
                 status = "retry"
                 cc.chip.trace(
@@ -136,45 +209,25 @@ class OcBcastService:
                     round=rnd, site=getattr(err, "site", ""),
                 )
             if status == "evicted":
-                return "evicted"
+                return self._outcome(cc, msg, "evicted")
             if status == "ok":
-                if cc.rank == self.root and tries > 1:
+                if cc.rank == self.member.coord[cc.rank] and tries > 1:
                     self._observe_repair(cc)
-                return "ok"
+                return self._outcome(cc, msg, "ok", buf=buf, nbytes=nbytes)
             # -- recovery round -----------------------------------------
             if cc.chip.metrics is not None:
                 cc.chip.metrics.inc("svc.retries")
-            if cc.rank == self.root:
-                statuses, suspects = yield from self.member.collect(cc, rnd)
-                self._observe_detection(cc, suspects)
-                new_view = view.without(suspects) if suspects else view
-                yield from self.member.install(cc, new_view, rnd)
-            else:
-                try:
-                    yield from self.member.report(cc, rnd, ok=delivered)
-                except SimTimeoutError:
-                    # Partitioned from the root (e.g. a link-down
-                    # burst): we cannot be heard, so this round will
-                    # suspect us.  Still await the view -- if the burst
-                    # clears, the flag tells us our fate; otherwise the
-                    # delivered-payload self-eviction below applies.
-                    cc.chip.trace(
-                        f"rank{cc.rank}", "svc.report_failed", round=rnd
-                    )
-                try:
-                    yield from self.member.await_view(cc, rnd)
-                except SimTimeoutError:
-                    if delivered:
-                        # The root (or the whole view channel) is
-                        # unreachable but the payload is verified and
-                        # complete: deliver, and leave the group on our
-                        # own account rather than deadlock.
-                        self.member.evict_self(cc.rank)
-                        cc.chip.trace(
-                            f"rank{cc.rank}", "svc.self_evict", round=rnd
-                        )
-                        return "ok"
-                    raise
+            verdict = yield from self._recover(cc, rnd, src, delivered)
+            if verdict is _SELF_EVICT:
+                return self._outcome(cc, msg, "self_evicted", returns="ok")
+            if (
+                isinstance(verdict, CompletionDirective)
+                and verdict.round_no == rnd
+            ):
+                if verdict.code == DIRECTIVE_ABORT:
+                    return self._outcome(cc, msg, "aborted")
+                if verdict.code == DIRECTIVE_REBROADCAST:
+                    override = verdict.source
         raise SimTimeoutError(
             f"core {cc.core.id}: service broadcast not committed after "
             f"{mcfg.max_attempts} attempts at t={cc.core.sim.now:.4f}",
@@ -182,6 +235,199 @@ class OcBcastService:
             sim_time=cc.core.sim.now,
             site="svc.attempts",
         )
+
+    # -- recovery ----------------------------------------------------------
+
+    def _recover(self, cc: "CoreComm", rnd: int, src: int, delivered: bool):
+        """One recovery round; returns the adopted/installed
+        :class:`CompletionDirective` (or ``None``), or the
+        ``_SELF_EVICT`` sentinel for a delivered-but-partitioned member
+        leaving on its own account."""
+        coord = self.member.coord[cc.rank]
+        if cc.rank == coord:
+            kind, val = yield from self._coordinate(
+                cc, rnd, src, delivered, won=False
+            )
+            if kind == "installed":
+                return val
+            # Deposed: the members elected `val` while we were away.
+            try:
+                return (yield from self._follow(cc, rnd, val, delivered))
+            except SimTimeoutError:
+                return (
+                    yield from self._elect_and_follow(
+                        cc, rnd, src, delivered, {val}
+                    )
+                )
+        reported = True
+        try:
+            yield from self.member.report(cc, rnd, ok=delivered)
+        except SimTimeoutError:
+            # Our writes do not land (a partition on our side): the
+            # round will suspect us.  Still await the view -- if the
+            # partition clears, the flag tells us our fate.
+            reported = False
+            self._report_failed(cc, rnd)
+        try:
+            yield from self.member.await_view(cc, rnd)
+            return self.member.directives[cc.rank]
+        except SimTimeoutError:
+            if not reported:
+                if delivered:
+                    # Unreachable in both directions but the payload is
+                    # verified and complete: deliver, and leave the
+                    # group rather than deadlock.  Non-decisive for
+                    # uniform agreement (I6): the member exits the
+                    # agreement set with the payload in hand.
+                    self.member.evict_self(cc.rank)
+                    cc.chip.trace(
+                        f"rank{cc.rank}", "svc.self_evict", round=rnd
+                    )
+                    if cc.chip.metrics is not None:
+                        cc.chip.metrics.inc("svc.self_evict")
+                    return _SELF_EVICT
+                raise
+            # Our report landed (the slot array in the coordinator's MPB
+            # acks even when its core is dead -- on-chip SRAM) yet no
+            # view came: the coordinator is gone.  Elect a successor.
+            return (
+                yield from self._elect_and_follow(
+                    cc, rnd, src, delivered, {coord}
+                )
+            )
+
+    def _coordinate(
+        self, cc: "CoreComm", rnd: int, src: int, delivered: bool, *, won: bool
+    ):
+        """The coordinator's half of a recovery round: claim fences,
+        heartbeat collect, completion decision, view install.  Returns
+        ``("installed", directive_or_None)`` or ``("stepped_down",
+        rival_rank)``."""
+        # Fence 1: a standing coordinator checks for *any* rival claim
+        # (members only elect when they have given up on it); a freshly
+        # elected winner checks only below itself -- higher-ranked
+        # claims are from candidates that will yield to it.
+        below = cc.rank if won else None
+        rival = yield from self.election.check_claims(cc, rnd, below=below)
+        if rival is not None:
+            cc.chip.trace(
+                f"rank{cc.rank}", "svc.step_down", round=rnd, to=rival
+            )
+            return "stepped_down", rival
+        statuses, suspects = yield from self.member.collect(cc, rnd)
+        self._observe_detection(cc, suspects)
+        view = self.member.views[cc.rank]
+        new_view = view.without(suspects) if suspects else view
+        decision: CompletionDirective | None = None
+        if src not in new_view:
+            # The source died mid-message: count the holders' votes.
+            holders = {m for m, ok in statuses.items() if ok and m in new_view}
+            if delivered:
+                holders.add(cc.rank)
+            ordered = sorted(holders)
+            if ordered:
+                decision = CompletionDirective(
+                    DIRECTIVE_REBROADCAST, ordered[0], rnd
+                )
+            else:
+                decision = CompletionDirective(DIRECTIVE_ABORT, 0, rnd)
+            cc.chip.trace(
+                f"rank{cc.rank}", "svc.completion",
+                round=rnd, src=src,
+                decision="rebroadcast" if ordered else "abort",
+                holders=len(ordered),
+                new_source=ordered[0] if ordered else -1,
+            )
+        # Fence 2: succession order beats arrival order -- a lower-ranked
+        # candidate that entered the election late (and claimed while we
+        # were collecting) takes over before we install.
+        rival = yield from self.election.check_claims(cc, rnd, below=cc.rank)
+        if rival is not None:
+            cc.chip.trace(
+                f"rank{cc.rank}", "svc.step_down", round=rnd, to=rival
+            )
+            return "stepped_down", rival
+        yield from self.member.install(cc, new_view, rnd, decision=decision)
+        return "installed", decision
+
+    def _follow(
+        self, cc: "CoreComm", rnd: int, leader: int, delivered: bool
+    ) -> Generator[object, object, CompletionDirective]:
+        """Re-report this round's heartbeat to ``leader`` (re-homing the
+        heartbeat array to its MPB) and adopt its view install; returns
+        the adopted completion directive.  Raises
+        :class:`repro.sim.TimeoutError` if the leader never installs."""
+        try:
+            yield from self.member.report(cc, rnd, ok=delivered, to=leader)
+        except SimTimeoutError:
+            self._report_failed(cc, rnd)
+        yield from self.member.await_view(cc, rnd)
+        return self.member.directives[cc.rank]
+
+    def _elect_and_follow(
+        self,
+        cc: "CoreComm",
+        rnd: int,
+        src: int,
+        delivered: bool,
+        suspects: set[int],
+    ):
+        """Run elections until a coordinator installs this round's view
+        (possibly this rank itself); each failed winner is added to the
+        suspect set and the election re-runs, so a winner that dies
+        before installing cannot wedge the round."""
+        suspects = set(suspects)
+        view = self.member.views[cc.rank]
+        for _ in range(len(view.members)):
+            winner = yield from self.election.elect(cc, rnd, suspects)
+            if winner == cc.rank:
+                kind, val = yield from self._coordinate(
+                    cc, rnd, src, delivered, won=True
+                )
+                if kind == "installed":
+                    self._observe_elect(cc)
+                    return val
+                winner = val  # a lower-ranked claimant outranks us
+            try:
+                return (yield from self._follow(cc, rnd, winner, delivered))
+            except SimTimeoutError:
+                suspects.add(winner)
+        raise SimTimeoutError(
+            f"core {cc.core.id}: no coordinator emerged for round {rnd} "
+            f"after exhausting the candidate set at t={cc.core.sim.now:.4f}",
+            process=f"core{cc.core.id}",
+            sim_time=cc.core.sim.now,
+            site="member.elect",
+        )
+
+    def _report_failed(self, cc: "CoreComm", rnd: int) -> None:
+        cc.chip.trace(f"rank{cc.rank}", "svc.report_failed", round=rnd)
+        if cc.chip.metrics is not None:
+            cc.chip.metrics.inc("svc.report_failed")
+
+    def _outcome(
+        self,
+        cc: "CoreComm",
+        msg: int,
+        status: str,
+        *,
+        buf: MemRef | None = None,
+        nbytes: int = 0,
+        returns: str | None = None,
+    ) -> str:
+        """Emit the ``svc.outcome`` record invariant I6 audits; returns
+        the caller-visible status (``returns`` overrides it -- a
+        self-evicted member still hands ``"ok"`` to its caller, but its
+        recorded outcome is non-decisive)."""
+        detail: dict = dict(
+            msg=msg, status=status, epoch=self.member.views[cc.rank].epoch
+        )
+        if status == "ok" and buf is not None and cc.chip.tracer.enabled:
+            # The payload fingerprint uniform agreement is checked
+            # against; computed only when someone is listening.
+            detail["crc"] = zlib.crc32(buf.sub(0, nbytes).read())
+        cc.chip.trace(f"rank{cc.rank}", "svc.outcome", **detail)
+        return returns if returns is not None else status
 
     # -- repair telemetry --------------------------------------------------
 
@@ -191,25 +437,28 @@ class OcBcastService:
             return faults.injected[0].time
         return None
 
-    def _observe_detection(self, cc: "CoreComm", suspects: list[int]) -> None:
-        """Time-to-detect: first injected fault -> suspicion, at the root."""
-        if not suspects or cc.chip.metrics is None:
-            return
-        t0 = self._first_fault_time(cc)
-        if t0 is None or cc.core.sim.now < t0:
-            return
-        cc.chip.metrics.histogram("member.ttd_us", TTD_BOUNDS).observe(
-            cc.core.sim.now - t0
-        )
-
-    def _observe_repair(self, cc: "CoreComm") -> None:
-        """Time-to-repair: first injected fault -> committed broadcast
-        (called only when this message needed at least one retry)."""
+    def _observe(self, cc: "CoreComm", name: str) -> None:
         if cc.chip.metrics is None:
             return
         t0 = self._first_fault_time(cc)
         if t0 is None or cc.core.sim.now < t0:
             return
-        cc.chip.metrics.histogram("member.ttr_us", TTD_BOUNDS).observe(
+        cc.chip.metrics.histogram(name, TTD_BOUNDS).observe(
             cc.core.sim.now - t0
         )
+
+    def _observe_detection(self, cc: "CoreComm", suspects: list[int]) -> None:
+        """Time-to-detect: first injected fault -> suspicion, at the
+        coordinator."""
+        if suspects:
+            self._observe(cc, "member.ttd_us")
+
+    def _observe_repair(self, cc: "CoreComm") -> None:
+        """Time-to-repair: first injected fault -> committed broadcast
+        (called only when this message needed at least one retry)."""
+        self._observe(cc, "member.ttr_us")
+
+    def _observe_elect(self, cc: "CoreComm") -> None:
+        """Time-to-elect: first injected fault -> this rank won the
+        election *and* installed the handoff view."""
+        self._observe(cc, "member.tte_us")

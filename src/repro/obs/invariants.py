@@ -26,15 +26,31 @@ I3 ``notify-before-fetch``
 
 I4 ``no-invented-notify``
     A core may only send a notify seq it is entitled to: it staged that
-    chunk itself (root) or a notify for it landed at its own MPB first.
-    Catches relays/fan-outs running ahead of the data.
+    chunk itself (root), a notify for it landed at its own MPB first, or
+    -- service mode -- it decided the commit verdict for that seq
+    (``oc.svc.commit``), which the root announces without staging a
+    chunk.  Catches relays/fan-outs running ahead of the data.
 
 I5 ``no-reuse-before-ack``
     Re-staging (root, ``oc.chunk_staged``) or re-filling (node,
     ``oc.fetch``) an MPB buffer slot whose ``floor`` is positive requires
     every child doneFlag at that core to have reached the floor --
     children declared dead (``oc.ft.child_dead``) exempted.  This is the
-    double-buffering handshake of paper Section 4.2.
+    double-buffering handshake of paper Section 4.2.  A new *service
+    attempt* (``svc.attempt``) resets the attempting rank's done floors:
+    the membership round fences the previous attempt (its readers have
+    timed out or quiesced before the view installs) and the survivor
+    tree may be rebuilt or re-rooted, so done acks addressed to the old
+    tree's child slots no longer constrain buffer reuse.
+
+I6 ``uniform-agreement``
+    Per service message (``svc.outcome`` records, keyed by ``msg``): all
+    *decisive* outcomes must agree -- ``ok`` and ``aborted`` may never
+    coexist for one message, and every ``ok`` must carry the same
+    payload fingerprint (``crc``).  ``evicted`` and ``self_evicted``
+    outcomes are non-decisive: those ranks left the agreement set.
+    This is the completion-protocol guarantee for a source that crashes
+    mid-message -- no live core delivers a message that others discard.
 
 Violations carry the offending record plus a window of the most recent
 records for context.  By default they are collected and raised together
@@ -100,6 +116,8 @@ class InvariantChecker:
         self._done: dict[tuple[int, str], tuple[int, int]] = {}
         # FT: owner core -> set of child cores it declared dead.
         self._dead: dict[int, set[int]] = {}
+        # I6: msg id -> (decisive status, crc-or-None, first rank).
+        self._outcomes: dict[int, tuple[str, int | None, int | None]] = {}
 
     # -- wiring ------------------------------------------------------------
 
@@ -133,10 +151,29 @@ class InvariantChecker:
             self._on_fetch(rec)
         elif kind == "oc.chunk_staged":
             self._on_staged(rec)
+        elif kind == "oc.svc.commit":
+            # The deciding root earns notify credit for the commit seq.
+            owner = _core_of(rec.source)
+            seq = rec.detail.get("seq")
+            if (
+                owner is not None
+                and seq is not None
+                and seq > self._staged.get(owner, 0)
+            ):
+                self._staged[owner] = seq
         elif kind == "oc.ft.child_dead":
             owner = _core_of(rec.source)
             if owner is not None:
                 self._dead.setdefault(owner, set()).add(rec.detail["child"])
+        elif kind == "svc.attempt":
+            owner = _core_of(rec.source)
+            if owner is not None:
+                # New attempt => membership fence => this rank's MPB
+                # done slots are logically fresh (tree may be re-rooted).
+                for key in [k for k in self._done if k[0] == owner]:
+                    del self._done[key]
+        elif kind == "svc.outcome":
+            self._on_outcome(rec)
         elif self.lossless and kind in _WRITE_KINDS:
             if rec.detail.get("landed", "ok") != "ok":
                 self._fail(
@@ -211,6 +248,42 @@ class InvariantChecker:
                 rec,
             )
         self._check_floor(node, d, rec)
+
+    def _on_outcome(self, rec: TraceRecord) -> None:
+        """I6: all decisive outcomes of one service message agree."""
+        d = rec.detail
+        status = d.get("status")
+        if status not in ("ok", "aborted"):
+            return  # evicted / self_evicted ranks left the agreement set
+        msg = d.get("msg")
+        rank = _core_of(rec.source)
+        crc = d.get("crc")
+        prev = self._outcomes.get(msg)
+        if prev is None:
+            self._outcomes[msg] = (status, crc, rank)
+            return
+        p_status, p_crc, p_rank = prev
+        if status != p_status:
+            self._fail(
+                "uniform-agreement",
+                f"message {msg}: rank{rank} decided {status!r} but "
+                f"rank{p_rank} decided {p_status!r} -- live members must "
+                f"all deliver or all abort",
+                rec,
+            )
+        elif (
+            status == "ok"
+            and crc is not None
+            and p_crc is not None
+            and crc != p_crc
+        ):
+            self._fail(
+                "uniform-agreement",
+                f"message {msg}: rank{rank} delivered payload crc "
+                f"{crc:#010x} but rank{p_rank} delivered {p_crc:#010x} -- "
+                f"delivered payloads must be identical",
+                rec,
+            )
 
     def _on_staged(self, rec: TraceRecord) -> None:
         d = rec.detail

@@ -216,6 +216,61 @@ class FlagSlotArray:
             site=f"{self.name}[{slot}]@core{owner_core}",
         )
 
+    def wait_any_at_least(
+        self,
+        core: "Core",
+        slots: Sequence[int],
+        value: int,
+        *,
+        timeout: float,
+        site: str = "",
+    ) -> Generator[object, object, int]:
+        """Wait until *any* of the core's own copies of ``slots`` is
+        >= ``value``; returns the first satisfying slot (lowest index).
+
+        The multi-slot twin of :meth:`wait_at_least`: one watcher per
+        *distinct cache line* covering the watched slots, so 16 slots
+        cost one watcher.  Always takes a ``timeout`` -- the election
+        protocol that rides on this is all about bounded waits.  Raises
+        :class:`repro.sim.TimeoutError` on budget expiry.
+        """
+        if not slots:
+            raise ValueError("wait_any_at_least needs at least one slot")
+        mpb = core.mpb
+        sim = core.sim
+        offs = {self.slot_offset(s): s for s in slots}
+        lines = sorted({off - off % CACHE_LINE for off in offs})
+        deadline = sim.now + timeout
+        where = site or f"{self.name}[any]"
+
+        def hit() -> int | None:
+            for s in sorted(slots):
+                raw = mpb.read_bytes(self.slot_offset(s), self.SLOT_BYTES)
+                if int.from_bytes(raw, "little") >= value:
+                    return s
+            return None
+
+        yield _charge_poll(core, core.config.t_poll)
+        while True:
+            got = hit()
+            if got is not None:
+                return got
+            watchers = [mpb.watch(off) for off in lines]
+            got = hit()
+            if got is not None:
+                return got
+            remaining = deadline - sim.now
+            if remaining <= 0:
+                _raise_wait_timeout(core, where, timeout)
+            timer = sim.timeout(remaining, name=f"core{core.id}.{self.name}.budget")
+            yield any_of(sim, [*watchers, timer], name=f"core{core.id}.wait_any")
+            if hit() is None and sim.now >= deadline:
+                _raise_wait_timeout(core, where, timeout)
+            got = hit()
+            if got is not None:
+                yield _charge_poll(core, 1.5 * core.config.t_poll)
+                return got
+
     def wait_at_least(
         self, core: "Core", slot: int, value: int, *, timeout: float | None = None
     ) -> Generator[object, object, int]:

@@ -527,6 +527,34 @@ class TestCampaignKnobs:
         with pytest.raises(ValueError):
             FaultCampaign(trials=1, link_down_duration=0.0)
 
+    def test_crash_site_choices_cover_the_root(self):
+        from repro.bench import FaultCampaign
+        from repro.faults import CRASH_SITES
+
+        assert CRASH_SITES == ("leaf", "interior", "any", "root")
+        # Every advertised choice is accepted by the campaign validator.
+        for site in CRASH_SITES:
+            FaultCampaign(trials=1, crash_site=site)
+
+    def test_root_crash_site_always_targets_the_source(self):
+        from repro.bench import FaultCampaign
+
+        campaign = FaultCampaign(
+            trials=8,
+            seed=3,
+            kinds=(FaultKind.CORE_CRASH,),
+            crash_site="root",
+            mid_stream=True,
+        )
+        plans = campaign.trial_plans()
+        assert plans == campaign.trial_plans()  # pure function of seed
+        assert len(plans) == 8
+        for plan in plans:
+            (spec,) = plan.specs
+            assert spec.kind is FaultKind.CORE_CRASH
+            assert spec.core == campaign.root
+            assert spec.nth >= 1
+
     def test_multi_fault_trial_plans_are_reproducible_and_disjoint(self):
         from repro.bench import FaultCampaign
 

@@ -21,11 +21,14 @@ import pathlib
 
 import pytest
 
+from repro import Comm, SccChip, run_spmd
 from repro.bench import BcastSpec, run_broadcast
+from repro.faults import FaultInjector, FaultKind, FaultPlan, FaultSpec
+from repro.member import OcBcastService
 from repro.obs import trace_digest
 from repro.scc import ContentionMode, SccConfig
 from repro.scc.config import CACHE_LINE
-from repro.sim import Tracer
+from repro.sim import FaultInjected, Tracer
 
 GOLDEN_PATH = pathlib.Path(__file__).parent / "golden_digests.json"
 
@@ -37,6 +40,38 @@ def _trace(spec: BcastSpec, cache_lines: int, config: SccConfig | None = None):
         iters=1, warmup=0, seed=1, tracer=tracer,
     )
     return tracer.records
+
+
+def _election_trace():
+    """Coordinator failover end to end on a 12-core chip: the root/source
+    crashes mid-message (deterministic nth), survivors detect, elect,
+    hand off the epoch and settle the message via the completion
+    directive.  Pins detection timing, claim ordering, the handoff and
+    the directive application -- the whole member/ wire protocol."""
+    nbytes = 3 * 96 * CACHE_LINE
+    payload = bytes(i % 251 for i in range(nbytes))
+    plan = FaultPlan((FaultSpec(FaultKind.CORE_CRASH, core=0, nth=5),))
+    chip = SccChip(
+        SccConfig(mesh_cols=3, mesh_rows=2),  # 12 cores
+        faults=FaultInjector(plan),
+        tracer=Tracer(enabled=True),
+    )
+    comm = Comm(chip)
+    svc = OcBcastService(comm)
+
+    def prog(core):
+        cc = comm.attach(core)
+        buf = cc.alloc(nbytes)
+        if cc.rank == 0:
+            buf.write(payload)
+        try:
+            return (yield from svc.bcast(cc, buf, nbytes))
+        except FaultInjected:
+            return "crashed"
+
+    chip.sim.start_watchdog(100_000.0)
+    run_spmd(chip, prog)
+    return chip.tracer.records
 
 
 #: name -> zero-argument callable producing the scenario's trace records.
@@ -56,6 +91,9 @@ SCENARIOS = {
         BcastSpec("oc", k=7), 24,
         SccConfig(contention_mode=ContentionMode.EXACT),
     ),
+    # Coordinator failover: seeded root crash on 12 cores, election +
+    # epoch handoff + message completion (FAULTS.md section 6).
+    "election_root_crash_12core": _election_trace,
 }
 
 

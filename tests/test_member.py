@@ -11,16 +11,24 @@ import pytest
 from repro.core import MemberTree, OcBcast, OcBcastConfig, PropagationTree
 from repro.faults import FaultInjector, FaultKind, FaultPlan, FaultSpec
 from repro.member import (
+    CompletionDirective,
+    ElectionConfig,
+    ElectionService,
     MembershipConfig,
     MembershipService,
     MembershipView,
     OcBcastService,
 )
-from repro.obs import MetricsRegistry
+from repro.member.heartbeat import (
+    DIRECTIVE_ABORT,
+    DIRECTIVE_NONE,
+    DIRECTIVE_REBROADCAST,
+)
+from repro.obs import InvariantChecker, MetricsRegistry
 from repro.rcce import Comm
 from repro.scc import SccChip, SccConfig, run_spmd
 from repro.scc.config import CACHE_LINE
-from repro.sim import FaultInjected, SimError
+from repro.sim import FaultInjected, SimError, Tracer
 from repro.sim.errors import TimeoutError as SimTimeoutError
 
 THREE_CHUNKS = 3 * 96 * CACHE_LINE
@@ -78,6 +86,41 @@ class TestMemberTree:
         mt = MemberTree.survivors(4, 2, root=1, dead={3}, order=order)
         assert mt.members == (1, 0, 2)
 
+    def test_dead_root_reroots_at_first_surviving_rank(self):
+        # The root may die: the tree re-roots at the first survivor of
+        # the id-rotation order, for every fan-out.
+        for k in range(1, 5):
+            mt = MemberTree.survivors(8, k, root=0, dead={0})
+            assert mt.root == 1
+            assert mt.members == (1, 2, 3, 4, 5, 6, 7)
+            assert mt.parent_of(1) is None
+            assert mt.children_of(1) == list(range(2, 2 + k))
+
+    def test_dead_root_rotation_order_wraps(self):
+        # root=5's rotation order is 5,6,7,0,..,4; killing 5 and 6 makes
+        # 7 the new root and keeps the survivors' relative placement.
+        mt = MemberTree.survivors(8, 2, root=5, dead={5, 6})
+        assert mt.root == 7
+        assert mt.members == (7, 0, 1, 2, 3, 4)
+
+    def test_dead_root_and_interior_leave_no_orphans(self):
+        dead = {0, INTERIOR}
+        mt = MemberTree.survivors(48, 7, root=0, dead=dead)
+        assert mt.root == min(set(range(48)) - dead) and mt.size == 46
+        for r in mt.members:
+            hops, cur = 0, r
+            while cur != mt.root:
+                cur = mt.parent_of(cur)
+                hops += 1
+                assert hops <= mt.size
+            for c in mt.children_of(r):
+                assert mt.parent_of(c) == r
+
+    def test_single_survivor_is_a_leaf_root(self):
+        mt = MemberTree.survivors(4, 2, root=0, dead={0, 1, 3})
+        assert mt.members == (2,)
+        assert mt.root == 2 and mt.is_leaf(2) and mt.depth() == 0
+
     def test_validation(self):
         with pytest.raises(ValueError):
             MemberTree((), 2)
@@ -86,7 +129,7 @@ class TestMemberTree:
         with pytest.raises(ValueError):
             MemberTree((0, 1), 0)
         with pytest.raises(ValueError):
-            MemberTree.survivors(8, 2, root=0, dead={0})  # root cannot die
+            MemberTree.survivors(2, 2, root=0, dead={0, 1})  # nobody left
         with pytest.raises(ValueError):
             MemberTree.survivors(4, 2, root=1, order=(0, 1, 2, 3))
         with pytest.raises(ValueError):
@@ -155,7 +198,11 @@ def run_service(plan, nbytes=THREE_CHUNKS, watchdog=100_000.0, bcasts=1):
         out = []
         try:
             for payload in payloads:
-                if cc.rank == 0:
+                # Stage at the effective source: the static root while it
+                # lives, else the current coordinator (post-failover).
+                view = svc.member.views[cc.rank]
+                src = svc.root if svc.root in view else svc.member.coord[cc.rank]
+                if cc.rank == src:
                     buf.write(payload)
                 status = yield from svc.bcast(cc, buf, nbytes)
                 if status == "evicted":
@@ -411,6 +458,166 @@ class TestMembershipPrimitives:
             MembershipService(Comm(chip), root=48)
 
 
+class TestCompletionDirective:
+    def test_encode_decode_round_trip(self):
+        for d in (
+            CompletionDirective(DIRECTIVE_NONE, 0, 0),
+            CompletionDirective(DIRECTIVE_REBROADCAST, 17, 3),
+            CompletionDirective(DIRECTIVE_ABORT, 0, 65535),
+        ):
+            raw = d.encode()
+            assert len(raw) == 4
+            assert CompletionDirective.decode(raw) == d
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CompletionDirective(7, 0, 0)
+        with pytest.raises(ValueError):
+            CompletionDirective(DIRECTIVE_ABORT, -1, 0)
+        with pytest.raises(ValueError):
+            CompletionDirective(DIRECTIVE_ABORT, 0, -1)
+
+
+class TestElection:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ElectionConfig(claim_step=0.0)
+        with pytest.raises(ValueError):
+            ElectionConfig(settle=0.0)
+        with pytest.raises(ValueError):
+            ElectionConfig(jitter_max=-1.0)
+        with pytest.raises(ValueError):
+            ElectionConfig(claim_step=100.0, jitter_max=100.0)
+        with pytest.raises(ValueError):
+            ElectionConfig(max_retries=-1)
+
+    def _elect(self, suspects):
+        """All non-suspect ranks run one election round; suspects stay
+        silent (playing dead)."""
+        chip = SccChip(SccConfig(), metrics=MetricsRegistry())
+        comm = Comm(chip)
+        member = MembershipService(comm, root=0)
+        election = ElectionService(comm, member)
+
+        def prog(core):
+            cc = comm.attach(core)
+            if cc.rank in suspects:
+                return None
+            return (yield from election.elect(cc, 1, suspects))
+
+        chip.sim.start_watchdog(100_000.0)
+        res = run_spmd(chip, prog)
+        return list(res.values), chip
+
+    def test_lowest_live_rank_wins(self):
+        vals, chip = self._elect({0})
+        assert vals[0] is None
+        assert all(v == 1 for i, v in enumerate(vals) if i != 0)
+        flat = chip.metrics.flat()
+        assert flat["member.elections"] == 1.0  # exactly one winner
+        assert flat["member.claims"] >= 1.0
+
+    def test_succession_skips_suspected_ranks(self):
+        vals, chip = self._elect({0, 1})
+        assert vals[0] is None and vals[1] is None
+        assert all(v == 2 for i, v in enumerate(vals) if i not in (0, 1))
+        assert chip.metrics.flat()["member.elections"] == 1.0
+
+    def test_non_candidates_cannot_run(self):
+        chip = SccChip(SccConfig(mesh_cols=2, mesh_rows=2))
+        comm = Comm(chip)
+        member = MembershipService(comm, root=0)
+        election = ElectionService(comm, member)
+
+        def prog(core):
+            cc = comm.attach(core)
+            if cc.rank != 3:
+                return None
+            with pytest.raises(ValueError):
+                yield from election.elect(cc, 1, {3})
+            return "raised"
+
+        assert run_spmd(chip, prog).values[3] == "raised"
+
+
+class TestCoordinatorFailover:
+    """Tentpole scenarios: the coordinator/source itself crashes."""
+
+    def test_early_root_crash_aborts_uniformly(self):
+        # The root dies before any member holds the full payload: the
+        # elected coordinator must issue a uniform abort.
+        plan = FaultPlan((FaultSpec(FaultKind.CORE_CRASH, core=0, nth=5),))
+        res, injector, chip, svc = run_service(plan)
+        vals = list(res.values)
+        assert vals[0] == "crashed"
+        live = [v for i, v in enumerate(vals) if i != 0]
+        assert all(v == [("aborted", False)] for v in live)
+        # Epoch handoff: rank 1 took over and evicted the dead root.
+        view = svc.member.views[1]
+        assert view.epoch == 1 and 0 not in view
+        assert svc.member.coord[1] == 1
+        flat = chip.metrics.flat()
+        assert flat["member.elections"] == 1.0
+        assert flat["member.tte_us.count"] == 1.0
+
+    def test_mid_stream_root_crash_completes_via_rebroadcast(self):
+        # The root dies after the payload is fully staged: survivors
+        # holding verified chunks vote, and the elected coordinator
+        # designates a fully-delivered peer as the re-broadcast source.
+        plan = FaultPlan((FaultSpec(FaultKind.CORE_CRASH, core=0, nth=40),))
+        res, injector, chip, svc = run_service(plan)
+        vals = list(res.values)
+        assert vals[0] == "crashed"
+        live = [v for i, v in enumerate(vals) if i != 0]
+        assert all(v == [("ok", True)] for v in live)
+        view = svc.member.views[1]
+        assert view.epoch == 1 and 0 not in view
+        assert svc.member.coord[1] == 1
+        assert svc.survivor_tree(view).root == 1  # re-rooted
+        assert chip.metrics.flat()["member.elections"] >= 1.0
+
+    def test_second_broadcast_runs_from_the_new_coordinator(self):
+        plan = FaultPlan((FaultSpec(FaultKind.CORE_CRASH, core=0, nth=40),))
+        res, injector, chip, svc = run_service(plan, bcasts=2)
+        vals = list(res.values)
+        assert vals[0] == "crashed"
+        live = [v for i, v in enumerate(vals) if i != 0]
+        assert all(v == [("ok", True), ("ok", True)] for v in live)
+        # No further suspicion: the handoff epoch carried the second
+        # message without another recovery round.
+        assert svc.member.views[1].epoch == 1
+
+    @pytest.mark.parametrize("nth", [5, 40])
+    def test_invariants_hold_through_failover(self, nth):
+        plan = FaultPlan((FaultSpec(FaultKind.CORE_CRASH, core=0, nth=nth),))
+        injector = FaultInjector(plan)
+        chip = SccChip(
+            SccConfig(), faults=injector, metrics=MetricsRegistry(),
+            tracer=Tracer(enabled=True),
+        )
+        checker = InvariantChecker(lossless=False).attach(chip)
+        comm = Comm(chip)
+        svc = OcBcastService(comm)
+        nbytes = THREE_CHUNKS
+        payload = bytes(i % 251 for i in range(nbytes))
+
+        def prog(core):
+            cc = comm.attach(core)
+            buf = cc.alloc(nbytes)
+            if cc.rank == 0:
+                buf.write(payload)
+            try:
+                return (yield from svc.bcast(cc, buf, nbytes))
+            except FaultInjected:
+                return "crashed"
+
+        chip.sim.start_watchdog(100_000.0)
+        res = run_spmd(chip, prog)
+        checker.check()  # I1..I6, including uniform agreement
+        statuses = set(res.values)
+        assert statuses in ({"crashed", "ok"}, {"crashed", "aborted"})
+
+
 @pytest.mark.faults
 class TestAcceptanceCampaign:
     """ISSUE 4's headline experiment: a 100-trial multi-fault campaign
@@ -452,3 +659,39 @@ class TestAcceptanceCampaign:
         # Detection/repair telemetry came back from the trials.
         assert result.ttd_summary()["count"] >= 90
         assert result.ttr_summary()["count"] >= 90
+
+
+@pytest.mark.faults
+class TestFailoverAcceptanceCampaign:
+    """This PR's headline experiment: 100 trials of a seeded root crash
+    mid-stream of a three-chunk message on the 48-core chip.  Every
+    trial elects a successor coordinator and terminates with uniform
+    agreement -- re-broadcast completion when a fully-delivered survivor
+    exists, a group-wide abort otherwise."""
+
+    def test_hundred_trial_root_crash_campaign(self):
+        from repro.bench import FaultCampaign
+
+        campaign = FaultCampaign(
+            trials=100,
+            seed=5,
+            kinds=(FaultKind.CORE_CRASH,),
+            nbytes=THREE_CHUNKS,
+            service=True,
+            compare_baseline=False,
+            crash_site="root",
+            mid_stream=True,
+            watchdog_interval=100_000.0,
+        )
+        result = campaign.run()
+        counts = result.service_counts
+        # 100/100 termination with uniform agreement; zero retry-budget
+        # timeouts, deadlocks or split outcomes.
+        assert result.service_agreement_rate == 1.0
+        assert counts["recovered"] + counts["aborted"] == 100
+        assert counts["deadlock"] == 0 and counts["timeout"] == 0
+        assert counts["corrupt"] == 0 and counts["crashed"] == 0
+        # Every trial elected a successor coordinator.
+        assert result.tte_summary()["count"] == 100
+        # Fault-free election-enabled service tax stays under 5%.
+        assert result.service_overhead_pct < 5.0

@@ -362,6 +362,47 @@ class TestInvariantCheckerUnits:
         with pytest.raises(ValueError):
             InvariantChecker().attach(chip)
 
+    def test_uniform_agreement_mixed_outcomes_detected(self):
+        c = InvariantChecker()
+        c.feed(_rec("svc.outcome", "rank0", msg=1, status="ok", epoch=1,
+                    crc=0xDEAD))
+        c.feed(_rec("svc.outcome", "rank1", msg=1, status="aborted", epoch=1))
+        assert [v.invariant for v in c.violations] == ["uniform-agreement"]
+
+    def test_uniform_agreement_crc_mismatch_detected(self):
+        c = InvariantChecker()
+        c.feed(_rec("svc.outcome", "rank0", msg=1, status="ok", epoch=1,
+                    crc=0xDEAD))
+        c.feed(_rec("svc.outcome", "rank1", msg=1, status="ok", epoch=1,
+                    crc=0xBEEF))
+        assert [v.invariant for v in c.violations] == ["uniform-agreement"]
+
+    def test_uniform_agreement_clean_and_non_decisive_cases(self):
+        c = InvariantChecker()
+        # All-ok with matching crc, an evicted rank, a self-evicted rank
+        # and a separate all-abort message: no violation.
+        c.feed(_rec("svc.outcome", "rank0", msg=1, status="ok", epoch=1,
+                    crc=0xDEAD))
+        c.feed(_rec("svc.outcome", "rank1", msg=1, status="ok", epoch=1,
+                    crc=0xDEAD))
+        c.feed(_rec("svc.outcome", "rank2", msg=1, status="evicted", epoch=1))
+        c.feed(_rec("svc.outcome", "rank3", msg=1, status="self_evicted",
+                    epoch=1))
+        c.feed(_rec("svc.outcome", "rank0", msg=2, status="aborted", epoch=2))
+        c.feed(_rec("svc.outcome", "rank1", msg=2, status="aborted", epoch=2))
+        assert c.ok
+
+    def test_service_attempt_resets_done_floors(self):
+        # Stale done acks from a pre-recovery tree must not constrain the
+        # re-rooted re-broadcast: svc.attempt fences them.
+        c = InvariantChecker()
+        c.feed(_rec("flag_write", "core2", flag="oc.done0", owner=1, off=64,
+                    seq=3, landed="ok"))
+        c.feed(_rec("svc.attempt", "rank1", round=2, epoch=1, src=1,
+                    members=4))
+        c.feed(_rec("oc.chunk_staged", "rank1", idx=1, seq=6, buf=1, floor=4))
+        assert c.ok
+
 
 class TestSeededDropIsCaught:
     """The end-to-end negative: one dropped notify flag deadlocks the
