@@ -12,9 +12,11 @@ test:
 ## campaign comparing FT OC-Bcast against the baseline, a 10-trial
 ## multi-fault service campaign (interior crash mid-stream + corrupted
 ## data + link-down bursts) over the crash-surviving broadcast service,
-## and a 15-trial coordinator-failover campaign (the root/source itself
+## a 15-trial coordinator-failover campaign (the root/source itself
 ## crashes mid-stream -- survived only by leader election + the
-## message-completion protocol).
+## message-completion protocol), and a 20-trial Byzantine campaign
+## (3 compromised cores per trial equivocating/forging/lying against
+## the Bracha echo/ready RBC -- honest members must never diverge).
 faults:
 	$(PYTHON) -m pytest -q -m faults tests
 	$(PYTHON) -m repro faults --trials 50 --kinds drop_flag corrupt_flag crash --timeline
@@ -24,6 +26,8 @@ faults:
 	$(PYTHON) -m repro faults --trials 15 --service --no-baseline \
 		--kinds crash --crash-site root --mid-stream \
 		--cache-lines 288 --timeline
+	$(PYTHON) -m repro faults --trials 20 --byz --adversaries 3 \
+		--no-baseline --cache-lines 192 --timeline
 
 ## Paper tables/figures (slow; writes benchmarks/results/).
 bench:

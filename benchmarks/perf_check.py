@@ -12,7 +12,9 @@ Also guards the *service tax*: the fault-free simulated-latency overhead
 of the election-enabled broadcast service over the bare baseline
 broadcast.  Simulated time is deterministic, so this check is exact --
 it fails the moment membership/election bookkeeping leaks onto the
-fault-free path.
+fault-free path.  The *rbc tax* check does the same for Byzantine mode:
+the echo/ready quorum rounds must stay cheap relative to the crash-only
+service they harden.
 
 Usage::
 
@@ -43,6 +45,20 @@ def service_tax_pct() -> float:
     return (svc / base - 1.0) * 100.0
 
 
+def rbc_tax_pct() -> float:
+    """Fault-free Byzantine-mode latency overhead (percent) over the
+    crash-only service, on the 48-core chip with the single-chunk
+    message size -- the worst case for the RBC rounds (one echo/ready
+    vote per message, so nothing amortises).  Deterministic."""
+    from repro.bench import FaultCampaign
+    from repro.scc.config import CACHE_LINE
+
+    campaign = FaultCampaign(trials=1, nbytes=96 * CACHE_LINE, byz=True)
+    svc = campaign.service_latency_once()
+    byz = campaign.byz_latency_once()
+    return (byz / svc - 1.0) * 100.0
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument(
@@ -53,6 +69,11 @@ def main(argv=None) -> int:
         "--max-service-tax", type=float, default=5.0,
         help="max fault-free service (election-enabled) latency overhead "
              "over the baseline broadcast, percent (default 5.0)",
+    )
+    ap.add_argument(
+        "--max-rbc-tax", type=float, default=15.0,
+        help="max fault-free Byzantine-mode (Bracha RBC) latency overhead "
+             "over the crash-only service, percent (default 15.0)",
     )
     ap.add_argument("--baseline", default=RESULTS_PATH)
     args = ap.parse_args(argv)
@@ -87,6 +108,14 @@ def main(argv=None) -> int:
           f"{'ok' if tax_ok else 'REGRESSED'}")
     if not tax_ok:
         failed.append("service_tax")
+
+    rbc = rbc_tax_pct()
+    rbc_ok = rbc < args.max_rbc_tax
+    print(f"{'rbc tax':<{width}}  {rbc:>11.2f}%  vs "
+          f"{args.max_rbc_tax:>11.2f}%  "
+          f"{'ok' if rbc_ok else 'REGRESSED'}")
+    if not rbc_ok:
+        failed.append("rbc_tax")
 
     if failed:
         print(f"\nFAIL: {len(failed)} metric(s) regressed beyond "

@@ -31,6 +31,7 @@ baseline latency on the same chip configuration.
 from __future__ import annotations
 
 import random
+import zlib
 from collections import Counter
 from dataclasses import dataclass, field, replace
 from typing import Generator, Sequence
@@ -38,7 +39,10 @@ from typing import Generator, Sequence
 import numpy as np
 
 from ..core import OcBcast, OcBcastConfig, PropagationTree
-from ..faults import CRASH_SITES, FaultInjector, FaultKind, FaultPlan, FaultSpec
+from ..faults import (
+    ADVERSARY_KINDS, CRASH_SITES, FaultInjector, FaultKind, FaultPlan,
+    FaultSpec,
+)
 from ..member.service import DEFAULT_SERVICE_OC, OcBcastService
 from ..obs import MetricsRegistry
 from ..rcce import Comm
@@ -54,6 +58,17 @@ from ..sim.trace import TraceRecord
 #: nothing was delivered.
 OUTCOMES = (
     "delivered", "recovered", "aborted", "deadlock", "timeout", "corrupt",
+    "crashed",
+)
+
+#: Byzantine-leg classifications, in reporting order.  ``agreed`` --
+#: every honest member delivered identical bytes; ``detected`` -- every
+#: honest member uniformly refused (no echo/ready quorum formed);
+#: ``disagreement`` -- two honest members delivered *different* bytes,
+#: the one outcome the RBC layer exists to rule out; ``partial`` --
+#: deliverers and refusers coexist among honest members.
+BYZ_OUTCOMES = (
+    "agreed", "detected", "disagreement", "partial", "deadlock", "timeout",
     "crashed",
 )
 
@@ -102,9 +117,11 @@ class TrialResult:
 
     index: int
     plan: FaultPlan
-    ft: TrialRun
+    ft: TrialRun | None = None
     baseline: TrialRun | None = None
     service: TrialRun | None = None
+    #: Byzantine-service run (campaigns with ``byz=True`` run only this).
+    byz: TrialRun | None = None
 
 
 @dataclass(frozen=True)
@@ -125,10 +142,32 @@ class CampaignResult:
     #: Service-mode outcome counts / fault-free latency (``service=True``).
     service_counts: Counter | None = None
     service_latency: float = 0.0
+    #: Byzantine-mode outcome counts / fault-free latency (``byz=True``).
+    byz_counts: Counter | None = None
+    byz_latency: float = 0.0
 
     @property
     def n_trials(self) -> int:
         return len(self.trials)
+
+    @property
+    def rbc_tax_pct(self) -> float:
+        """Fault-free Byzantine-mode latency overhead over the crash-only
+        service -- what the echo/ready digest rounds cost when nobody is
+        lying."""
+        if self.service_latency <= 0.0 or self.byz_latency <= 0.0:
+            return 0.0
+        return (self.byz_latency / self.service_latency - 1.0) * 100.0
+
+    @property
+    def byz_agreement_rate(self) -> float:
+        """Fraction of Byzantine trials where honest members agreed --
+        all delivered identical bytes or all refused.  ``disagreement``
+        and ``partial`` break it."""
+        if self.byz_counts is None or not self.n_trials:
+            return 0.0
+        good = self.byz_counts["agreed"] + self.byz_counts["detected"]
+        return good / self.n_trials
 
     @property
     def ft_overhead_pct(self) -> float:
@@ -191,8 +230,42 @@ class CampaignResult:
         """count/mean/min/max of the service runs' time-to-elect (us)."""
         return _describe(self._service_times("tte"))
 
+    def byz_ttd_summary(self) -> dict[str, float]:
+        """count/mean/min/max of the Byzantine runs' time-to-detect (us)."""
+        return _describe([
+            t.byz.ttd for t in self.trials
+            if t.byz is not None and t.byz.ttd is not None
+        ])
+
     def summary(self) -> str:
         from .reporting import format_table
+
+        if self.byz_counts is not None:
+            rows = [[o, self.byz_counts.get(o, 0)] for o in BYZ_OUTCOMES]
+            lines = [
+                format_table(
+                    ["outcome", "byz service"], rows,
+                    title=f"Byzantine campaign: {self.n_trials} trials, "
+                          f"seed={self.seed}, "
+                          f"{self.nbytes // CACHE_LINE} CL",
+                ),
+                "",
+                f"fault-free latency: crash-only service "
+                f"{self.service_latency:.2f} us, byz service "
+                f"{self.byz_latency:.2f} us "
+                f"({self.rbc_tax_pct:+.2f}% rbc tax)",
+                f"byz agreement rate: "
+                f"{100.0 * self.byz_agreement_rate:.1f}% "
+                f"(disagreements: {self.byz_counts.get('disagreement', 0)})",
+            ]
+            ttd = self.byz_ttd_summary()
+            if ttd["count"]:
+                lines.append(
+                    f"time-to-detect:  n={ttd['count']:.0f} "
+                    f"mean={ttd['mean']:.0f} us "
+                    f"[{ttd['min']:.0f}, {ttd['max']:.0f}]"
+                )
+            return "\n".join(lines)
 
         headers = ["outcome", "FT"]
         if self.baseline_counts is not None:
@@ -318,6 +391,15 @@ class FaultCampaign:
     mid_stream: bool = False
     #: LINK_DOWN burst window (us of silently dropped protocol writes).
     link_down_duration: float = 400.0
+    #: Byzantine campaign: every trial runs the RBC-hardened service
+    #: (``OcBcastConfig(byz=True)``) against ``adversaries`` compromised
+    #: cores (the crash-oriented FT/baseline/service legs are skipped --
+    #: adversary fault sites only exist in byz mode).  The first
+    #: adversary kind drawn as EQUIVOCATE is forced onto the root: only
+    #: the source can serve two payload variants.
+    byz: bool = False
+    #: Compromised cores per Byzantine trial.
+    adversaries: int = 1
 
     def __post_init__(self) -> None:
         if self.trials < 1:
@@ -335,6 +417,13 @@ class FaultCampaign:
             )
         if self.link_down_duration <= 0:
             raise ValueError("link_down_duration must be > 0")
+        if self.byz:
+            size = (self.config or SccConfig()).num_cores
+            if not 1 <= self.adversaries < size:
+                raise ValueError(
+                    f"a Byzantine campaign needs 1 <= adversaries < "
+                    f"{size} cores, got {self.adversaries}"
+                )
 
     # -- building blocks -----------------------------------------------------
 
@@ -358,6 +447,9 @@ class FaultCampaign:
             ft_max_retries=self.ft_max_retries,
         )
 
+    def _byz_oc_config(self) -> OcBcastConfig:
+        return replace(self._service_oc_config(), byz=True)
+
     def _payload(self) -> bytes:
         rng = np.random.default_rng(self.seed)
         return rng.integers(0, 256, size=self.nbytes, dtype=np.uint8).tobytes()
@@ -368,6 +460,7 @@ class FaultCampaign:
         *,
         ft: bool,
         service: bool = False,
+        byz: bool = False,
         trace: bool = False,
     ) -> tuple[TrialRun, tuple[TraceRecord, ...]]:
         """Run one broadcast under ``plan`` on a fresh chip and classify it.
@@ -376,12 +469,14 @@ class FaultCampaign:
         (:class:`repro.member.OcBcastService`) instead of a bare OC-Bcast
         (``ft`` is then ignored -- the service is always fault-tolerant)
         and harvests its TTD/TTR histograms into the returned run.
-        Returns the classified run plus (when ``trace``) the
-        fault-relevant trace records.
+        ``byz=True`` runs the RBC-hardened service and classifies over
+        *honest* members only (:data:`BYZ_OUTCOMES`): adversary ranks'
+        results are worthless by definition.  Returns the classified run
+        plus (when ``trace``) the fault-relevant trace records.
         """
         tracer = Tracer(enabled=trace)
         injector = FaultInjector(plan)
-        metrics = MetricsRegistry() if service else None
+        metrics = MetricsRegistry() if (service or byz) else None
         chip = SccChip(
             self.config, tracer=tracer, faults=injector, metrics=metrics
         )
@@ -390,7 +485,24 @@ class FaultCampaign:
         nbytes = self.nbytes
         root = self.root
 
-        if service:
+        if byz:
+            svc = OcBcastService(
+                comm, root=root, oc_config=self._byz_oc_config()
+            )
+
+            def program(core) -> Generator:
+                cc = comm.attach(core)
+                buf = cc.alloc(nbytes)
+                if cc.rank == root:
+                    buf.write(payload)
+                try:
+                    status = yield from svc.bcast(cc, buf, nbytes)
+                except FaultInjected:
+                    return "crashed"
+                if status != "ok":
+                    return status
+                return ("ok", zlib.crc32(buf.read()))
+        elif service:
             svc = OcBcastService(
                 comm, root=root, oc_config=self._service_oc_config()
             )
@@ -443,6 +555,56 @@ class FaultCampaign:
                 raise
         else:
             latency = res.end_time - start
+            if byz:
+                adversary = {
+                    s.core for s in plan.specs if s.kind in ADVERSARY_KINDS
+                }
+                honest = [
+                    v for r, v in enumerate(res.values) if r not in adversary
+                ]
+                ok_crcs = {v[1] for v in honest if isinstance(v, tuple)}
+                n_ok = sum(1 for v in honest if isinstance(v, tuple))
+                n_det = sum(1 for v in honest if v == "detected")
+                src_crc = zlib.crc32(payload)
+                if len(ok_crcs) > 1:
+                    outcome = "disagreement"
+                    detail = (
+                        f"honest members delivered {len(ok_crcs)} distinct "
+                        f"payloads"
+                    )
+                elif n_ok == len(honest):
+                    outcome = "agreed"
+                    detail = (
+                        "source value" if ok_crcs == {src_crc}
+                        else "attacker variant"
+                    )
+                elif n_ok == 0 and n_det == len(honest):
+                    outcome = "detected"
+                    detail = f"uniform refusal by {n_det} honest member(s)"
+                else:
+                    outcome = "partial"
+                    detail = (
+                        f"{n_ok} delivered, {n_det} refused, "
+                        f"{len(honest) - n_ok - n_det} other"
+                    )
+                records = tuple(
+                    r for r in tracer.records if r.kind in TIMELINE_KINDS
+                )
+                ttd = None
+                if metrics is not None:
+                    h = metrics.histograms.get("rbc.ttd_us")
+                    ttd = h.mean if h is not None and h.count else None
+                return (
+                    TrialRun(
+                        outcome=outcome,
+                        latency=latency,
+                        n_injected=injector.n_injected,
+                        n_recovered=injector.n_recovered,
+                        detail=detail,
+                        ttd=ttd,
+                    ),
+                    records,
+                )
             vals = list(res.values)
             n_bad = sum(1 for v in vals if v is False)
             n_crashed = sum(1 for v in vals if v == "crashed")
@@ -526,6 +688,8 @@ class FaultCampaign:
         claim the same ``(category, core, nth)`` site (which
         :class:`~repro.faults.FaultPlan` rejects).
         """
+        if self.byz:
+            return self._byz_trial_plans()
         profile = self.profile_sites()
         rng = random.Random(self.seed)
         size = (self.config or SccConfig()).num_cores
@@ -610,11 +774,68 @@ class FaultCampaign:
             plans.append(FaultPlan(tuple(specs), label=f"trial{i}:{label}"))
         return plans
 
+    def _byz_trial_plans(self) -> list[FaultPlan]:
+        """Per-trial adversary sets: ``adversaries`` compromised cores
+        drawn from the seeded RNG.  The kind cycle uses whatever
+        adversary kinds ``kinds`` carries (all three when it carries
+        none); EQUIVOCATE is forced onto the root -- only the source can
+        serve two variants -- and at most one spec targets each core, so
+        the adversary count is exact."""
+        profile = self.byz_profile_sites()
+        rng = random.Random(self.seed)
+        size = (self.config or SccConfig()).num_cores
+        kinds = tuple(k for k in self.kinds if k in ADVERSARY_KINDS) or (
+            FaultKind.EQUIVOCATE,
+            FaultKind.LIE_IN_QUORUM,
+            FaultKind.FORGE_FLAG_VALUE,
+        )
+        non_root = [r for r in range(size) if r != self.root]
+        n_stage = max(1, profile.get(f"adv_stage@core{self.root}", 1))
+        plans: list[FaultPlan] = []
+        for i in range(self.trials):
+            specs: list[FaultSpec] = []
+            used: set[int] = set()
+            for j in range(self.adversaries):
+                kind = kinds[(i * self.adversaries + j) % len(kinds)]
+                if kind is FaultKind.EQUIVOCATE:
+                    if self.root in used:
+                        kind = FaultKind.LIE_IN_QUORUM  # one source only
+                    else:
+                        specs.append(FaultSpec(
+                            kind, core=self.root,
+                            nth=rng.randint(1, n_stage), duration=1,
+                        ))
+                        used.add(self.root)
+                        continue
+                pool = [r for r in non_root if r not in used]
+                if not pool:  # pragma: no cover - adversaries < size
+                    break
+                core = rng.choice(pool)
+                used.add(core)
+                n_vote = max(1, profile.get(f"quorum_vote@core{core}", 1))
+                specs.append(
+                    FaultSpec(kind, core=core, nth=rng.randint(1, n_vote))
+                )
+            label = "+".join(s.kind.value for s in specs)
+            plans.append(FaultPlan(
+                tuple(specs), num_cores=size, label=f"trial{i}:{label}"
+            ))
+        return plans
+
     def profile_sites(self) -> dict[str, int]:
         """Count candidate fault sites with a fault-free baseline run."""
         injector = FaultInjector(FaultPlan())
         chip = SccChip(self.config, faults=injector)
         self._bcast_once(chip, ft=False)
+        return injector.profile()
+
+    def byz_profile_sites(self) -> dict[str, int]:
+        """Count adversary fault sites (``adv_stage`` / ``quorum_vote``)
+        with a fault-free Byzantine-service run -- those sites only
+        exist when the RBC layer is active."""
+        injector = FaultInjector(FaultPlan())
+        chip = SccChip(self.config, faults=injector)
+        self._service_once(chip, self._byz_oc_config())
         return injector.profile()
 
     def _bcast_once(self, chip: SccChip, *, ft: bool) -> float:
@@ -641,11 +862,17 @@ class FaultCampaign:
 
     def service_latency_once(self) -> float:
         """Fault-free service-mode makespan (the service tax numerator)."""
-        chip = SccChip(self.config)
-        comm = Comm(chip)
-        svc = OcBcastService(
-            comm, root=self.root, oc_config=self._service_oc_config()
+        return self._service_once(
+            SccChip(self.config), self._service_oc_config()
         )
+
+    def byz_latency_once(self) -> float:
+        """Fault-free Byzantine-mode makespan (the rbc tax numerator)."""
+        return self._service_once(SccChip(self.config), self._byz_oc_config())
+
+    def _service_once(self, chip: SccChip, oc_config: OcBcastConfig) -> float:
+        comm = Comm(chip)
+        svc = OcBcastService(comm, root=self.root, oc_config=oc_config)
         payload = self._payload()
         nbytes, root = self.nbytes, self.root
 
@@ -665,7 +892,10 @@ class FaultCampaign:
 
     def run(self) -> CampaignResult:
         """Profile, then run every trial (FT first, then baseline and the
-        service when enabled)."""
+        service when enabled; ``byz=True`` campaigns run only the
+        Byzantine-service leg)."""
+        if self.byz:
+            return self._run_byz()
         profile = self.profile_sites()
         base_latency = self._bcast_once(SccChip(self.config), ft=False)
         ft_latency = self._bcast_once(SccChip(self.config), ft=True)
@@ -710,11 +940,47 @@ class FaultCampaign:
             service_latency=service_latency,
         )
 
+    def _run_byz(self) -> CampaignResult:
+        """The Byzantine campaign: profile adversary sites, measure the
+        fault-free rbc tax, then classify every adversary trial."""
+        profile = self.byz_profile_sites()
+        base_latency = self._bcast_once(SccChip(self.config), ft=False)
+        service_latency = self.service_latency_once()
+        byz_latency = self.byz_latency_once()
+
+        trials: list[TrialResult] = []
+        byz_counts: Counter = Counter()
+        timeline: tuple[TraceRecord, ...] = ()
+        for i, plan in enumerate(self.trial_plans()):
+            want_trace = not timeline
+            byz_run, records = self.run_one(
+                plan, ft=True, byz=True, trace=want_trace
+            )
+            if want_trace and byz_run.n_injected:
+                timeline = records
+            byz_counts[byz_run.outcome] += 1
+            trials.append(TrialResult(index=i, plan=plan, byz=byz_run))
+        return CampaignResult(
+            trials=tuple(trials),
+            ft_counts=Counter(),
+            baseline_counts=None,
+            base_latency=base_latency,
+            ft_latency=0.0,
+            profile=profile,
+            nbytes=self.nbytes,
+            seed=self.seed,
+            timeline=timeline,
+            service_latency=service_latency,
+            byz_counts=byz_counts,
+            byz_latency=byz_latency,
+        )
+
 
 def parse_kinds(names: Sequence[str]) -> tuple[FaultKind, ...]:
     """Map CLI names (``drop_flag``, ``corrupt_flag``, ``drop_data``,
-    ``corrupt_data``, ``stall``, ``link_down``, ``pause``, ``crash``) to
-    :class:`FaultKind`."""
+    ``corrupt_data``, ``stall``, ``link_down``, ``pause``, ``crash``,
+    and the adversary kinds ``equivocate``, ``forge_flag``,
+    ``lie_quorum``) to :class:`FaultKind`."""
     alias = {
         "drop_flag": FaultKind.DROP_FLAG_WRITE,
         "corrupt_flag": FaultKind.CORRUPT_FLAG_WRITE,
@@ -724,6 +990,9 @@ def parse_kinds(names: Sequence[str]) -> tuple[FaultKind, ...]:
         "link_down": FaultKind.LINK_DOWN,
         "pause": FaultKind.CORE_PAUSE,
         "crash": FaultKind.CORE_CRASH,
+        "equivocate": FaultKind.EQUIVOCATE,
+        "forge_flag": FaultKind.FORGE_FLAG_VALUE,
+        "lie_quorum": FaultKind.LIE_IN_QUORUM,
     }
     kinds = []
     for name in names:

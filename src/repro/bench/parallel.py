@@ -130,6 +130,15 @@ def _campaign_trial(
     )
 
 
+def _byz_trial(
+    arg: tuple[FaultCampaign, int, FaultPlan],
+) -> tuple[TrialResult, tuple[TraceRecord, ...]]:
+    """Worker: one Byzantine trial (the RBC-hardened service only)."""
+    campaign, index, plan = arg
+    byz_run, records = campaign.run_one(plan, ft=True, byz=True, trace=True)
+    return TrialResult(index=index, plan=plan, byz=byz_run), records
+
+
 def run_campaign_parallel(
     campaign: FaultCampaign, *, jobs: int = 1
 ) -> CampaignResult:
@@ -144,6 +153,8 @@ def run_campaign_parallel(
     """
     if jobs <= 1:
         return campaign.run()
+    if campaign.byz:
+        return _run_byz_parallel(campaign, jobs=jobs)
     profile = campaign.profile_sites()
     base_latency = campaign._bcast_once(SccChip(campaign.config), ft=False)
     ft_latency = campaign._bcast_once(SccChip(campaign.config), ft=True)
@@ -184,4 +195,42 @@ def run_campaign_parallel(
         timeline=timeline,
         service_counts=service_counts,
         service_latency=service_latency,
+    )
+
+
+def _run_byz_parallel(campaign: FaultCampaign, *, jobs: int) -> CampaignResult:
+    """Fan the Byzantine trials out; merge exactly as
+    :meth:`FaultCampaign._run_byz` does serially."""
+    profile = campaign.byz_profile_sites()
+    base_latency = campaign._bcast_once(SccChip(campaign.config), ft=False)
+    service_latency = campaign.service_latency_once()
+    byz_latency = campaign.byz_latency_once()
+
+    plans = campaign.trial_plans()
+    merged = parallel_map(
+        _byz_trial,
+        [(campaign, i, plan) for i, plan in enumerate(plans)],
+        jobs=jobs,
+    )
+    byz_counts: Counter = Counter()
+    timeline: tuple[TraceRecord, ...] = ()
+    trials: list[TrialResult] = []
+    for trial, records in merged:
+        byz_counts[trial.byz.outcome] += 1
+        if not timeline and trial.byz.n_injected:
+            timeline = records
+        trials.append(trial)
+    return CampaignResult(
+        trials=tuple(trials),
+        ft_counts=Counter(),
+        baseline_counts=None,
+        base_latency=base_latency,
+        ft_latency=0.0,
+        profile=profile,
+        nbytes=campaign.nbytes,
+        seed=campaign.seed,
+        timeline=timeline,
+        service_latency=service_latency,
+        byz_counts=byz_counts,
+        byz_latency=byz_latency,
     )

@@ -11,6 +11,7 @@ Examples::
     python -m repro trace --algo oc --k 7 --cache-lines 96 -o trace.json
     python -m repro contention --op get --lines 128
     python -m repro faults --trials 50 --kinds drop_flag crash --timeline
+    python -m repro faults --trials 20 --byz --adversaries 3 --timeline
     python -m repro fit
     python -m repro model --what table2
 
@@ -265,6 +266,8 @@ def cmd_faults(args: argparse.Namespace) -> int:
             crash_site=args.crash_site,
             mid_stream=args.mid_stream,
             link_down_duration=args.burst_duration,
+            byz=args.byz,
+            adversaries=args.adversaries,
         )
     except ValueError as exc:
         print(f"ERROR: {exc}", file=sys.stderr)
@@ -276,11 +279,17 @@ def cmd_faults(args: argparse.Namespace) -> int:
         print(format_fault_timeline(result.timeline))
     # A campaign "fails" only if a hardened mode lost a trial it should
     # win: the FT layer against its single-fault adversary, the service
-    # against anything (it must never wedge or deliver wrong bytes).
+    # against anything (it must never wedge or deliver wrong bytes), the
+    # Byzantine mode against honest-member divergence (agreed and
+    # uniformly-refused trials are both wins).
     lost = result.ft_counts["deadlock"] + result.ft_counts["corrupt"]
     if result.service_counts is not None:
         lost += (result.service_counts["deadlock"]
                  + result.service_counts["corrupt"])
+    if result.byz_counts is not None:
+        lost += (result.byz_counts["disagreement"]
+                 + result.byz_counts["partial"]
+                 + result.byz_counts["deadlock"])
     return 1 if lost else 0
 
 
@@ -404,7 +413,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--kinds", nargs="+", default=["drop_flag"],
         help="fault kinds: drop_flag corrupt_flag drop_data corrupt_data "
-             "stall link_down pause crash",
+             "stall link_down pause crash; adversary kinds (--byz): "
+             "equivocate forge_flag lie_quorum",
     )
     p.add_argument("--cache-lines", type=int, default=96,
                    help="message size (96 = one chunk, every flag write fatal)")
@@ -430,6 +440,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--mid-stream", action="store_true",
                    help="aim faults at the middle of the run (pair with a "
                         "multi-chunk --cache-lines)")
+    p.add_argument("--byz", action="store_true",
+                   help="Byzantine campaign: run every trial against the "
+                        "RBC-hardened service (Bracha echo/ready quorums) "
+                        "with compromised cores drawn per trial; --kinds "
+                        "may name equivocate/forge_flag/lie_quorum (all "
+                        "three when unset)")
+    p.add_argument("--adversaries", type=int, default=1,
+                   help="compromised cores per Byzantine trial (the RBC "
+                        "guarantees hold up to f = (n-1)//3)")
     _add_mesh_args(p)
     _add_jobs_arg(p)
     p.set_defaults(fn=cmd_faults)

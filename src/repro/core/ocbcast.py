@@ -187,6 +187,20 @@ class OcBcastConfig:
     #: Service mode: NACK done-chain + commit notification (requires ft;
     #: used by :class:`repro.member.OcBcastService`).
     service: bool = False
+    #: Byzantine-tolerant mode: Bracha echo/ready quorum rounds after
+    #: delivery (see :mod:`repro.member.rbc`), plus the adversary hooks
+    #: that let EQUIVOCATE / FORGE_FLAG_VALUE / LIE_IN_QUORUM plans fire.
+    #: Requires service mode (the RBC rounds ride on its commit round and
+    #: integrity headers).
+    byz: bool = False
+    #: Poll budget (us) for the ECHO quorum wait.
+    byz_echo_timeout: float = 3_000.0
+    #: Poll budget (us) for the READY amplification wait (f+1) after a
+    #: split ECHO round, and for the final READY delivery gate (2f+1).
+    byz_ready_timeout: float = 3_000.0
+    #: Bounded re-fetch candidates when the local payload's CRC
+    #: mismatches the agreed digest.
+    byz_refetch_retries: int = 3
 
     def __post_init__(self) -> None:
         if self.k < 1:
@@ -209,6 +223,15 @@ class OcBcastConfig:
             raise ValueError("integrity_crc_us_per_line must be >= 0")
         if self.service and not self.ft:
             raise ValueError("service mode requires ft=True")
+        if self.byz and not (self.service and self.integrity):
+            raise ValueError(
+                "byz mode requires service=True and integrity=True (the RBC "
+                "rounds ride on the commit round and the integrity headers)"
+            )
+        if self.byz and (self.byz_echo_timeout <= 0 or self.byz_ready_timeout <= 0):
+            raise ValueError("byz poll budgets must be > 0")
+        if self.byz_refetch_retries < 0:
+            raise ValueError("byz_refetch_retries must be >= 0")
 
     @property
     def chunk_bytes(self) -> int:
@@ -253,6 +276,15 @@ class OcBcast:
         # of every broadcast (each rank tracks its own copy -- SPMD calls
         # are matching, so the copies agree).
         self._base = [0] * comm.size
+        #: Byzantine mode: set by the RBC layer to a ``(cc) -> Generator``
+        #: that casts this rank's ECHO votes.  Called right before the
+        #: commit round, so the echo fan-out overlaps the commit wait the
+        #: node would otherwise spend idle (the main lever keeping the
+        #: fault-free RBC tax low).
+        self.byz_echo_hook = None
+        # Scratch private buffer for the equivocation variant (attack
+        # path only; allocated lazily by the compromised root).
+        self._equiv_buf: MemRef | None = None
 
     # ------------------------------------------------------------------
 
@@ -359,7 +391,16 @@ class OcBcast:
             )
             yield from self._notify(cc, tree, family, children, slot=0, seq=seq,
                                     dead=dead)
+            if cfg.byz and cc.chip.faults is not None:
+                yield from self._maybe_equivocate(
+                    cc, children, done, dead, b, buf.sub(off, span), span, seq
+                )
             cc.chip.trace(f"rank{cc.rank}", "oc.chunk.end", idx=idx, seq=seq)
+        # Byzantine mode: the source's payload is fully staged, so cast
+        # its ECHO votes now -- they overlap the whole done-chain ascent
+        # and the commit round below, hiding most of the fan-out cost.
+        if cfg.byz and self.byz_echo_hook is not None:
+            yield from self.byz_echo_hook(cc)
         final_vals: list[FlagValue] = []
         if children:
             final = base + nchunks
@@ -469,6 +510,13 @@ class OcBcast:
                 )
             cc.chip.trace(f"rank{cc.rank}", "oc.chunk_done", idx=idx, seq=seq)
             cc.chip.trace(f"rank{cc.rank}", "oc.chunk.end", idx=idx, seq=seq)
+        # Byzantine mode: every chunk is fetched and verified, so cast
+        # this rank's ECHO votes now.  A leaf overlaps them with the
+        # done-chain climbing the tree above it; an interior node with
+        # its own wait on the subtree below -- either way the fan-out
+        # rides on time the node would spend idle.
+        if cfg.byz and self.byz_echo_hook is not None:
+            yield from self.byz_echo_hook(cc)
         final_vals: list[FlagValue] = []
         if children:
             final = base + nchunks
@@ -553,6 +601,68 @@ class OcBcast:
             yield from self._crc_charge(cc, span)
             header = _HEADER.pack(seq, crc, span).ljust(CACHE_LINE, b"\0")
             yield from cc.put_bytes(cc.rank, self.buffers[b].offset, header)
+
+    def _maybe_equivocate(
+        self,
+        cc: "CoreComm",
+        children: list[int],
+        done: list[Flag],
+        dead: set[int],
+        b: int,
+        src: MemRef,
+        span: int,
+        seq: int,
+    ) -> Generator:
+        """The EQUIVOCATE adversary: a compromised root serves two payload
+        variants for the same chunk.
+
+        After notifying normally, the root *precomputes* variant B (the
+        first payload line XORed with 0xA5) and its fully consistent
+        integrity header while the children's fetches are in flight, then
+        watches its doneFlags until the *first* child reports the chunk
+        consumed -- that child (and any sibling whose copy completes
+        before the flip lands) holds variant A and will relay it down its
+        subtree.  The flip itself rewrites only the changed payload line
+        plus the header line, so it lands within a fraction of a
+        microsecond and falls inside the window over which the remaining
+        children's copies complete: slower children pull B and relay
+        *that*.  The split is deterministic for a given chip and plan;
+        each variant carries a valid header, so nothing about it is
+        detectable by per-hop CRC checks -- exactly the gap the RBC
+        layer's digest quorums close.
+        """
+        spec = cc.chip.faults.adversary_stage(cc.core.id)
+        if spec is None:
+            return
+        # Precompute the variant and its header up front: a real attacker
+        # pays the CRC before the flip so the restage itself is two line
+        # writes.
+        head = min(CACHE_LINE, span)
+        variant_head = bytes(x ^ 0xA5 for x in src.sub(0, head).read())
+        crc = zlib.crc32(variant_head + src.sub(head, span - head).read())
+        yield from self._crc_charge(cc, span)
+        header = _HEADER.pack(seq, crc, span).ljust(CACHE_LINE, b"\0")
+        if self._equiv_buf is None:
+            self._equiv_buf = cc.alloc(CACHE_LINE)
+        self._equiv_buf.sub(0, head).write(variant_head)
+        live = [i for i in range(len(children)) if children[i] not in dead]
+        if live:
+            try:
+                yield from cc.wait_flags(
+                    [done[i] for i in live],
+                    lambda vs, s=seq: any(v.seq >= s for v in vs),
+                    timeout=self.config.ft_flag_timeout,
+                    site="oc.adv.equivocate",
+                )
+            except SimTimeoutError:
+                pass  # nobody consumed in time: restage anyway
+        cc.chip.trace(
+            f"rank{cc.rank}", "oc.adv.equivocate", seq=seq, buf=b, span=span
+        )
+        if cc.chip.metrics is not None:
+            cc.chip.metrics.inc("oc.adv.equivocations")
+        yield from cc.put(cc.rank, self._payload_off(b), self._equiv_buf.sub(0, head), head)
+        yield from cc.put_bytes(cc.rank, self.buffers[b].offset, header)
 
     def _crc_charge(self, cc: "CoreComm", span: int) -> Generator:
         """The CRC's compute cost: accumulated per line while the data is

@@ -29,9 +29,17 @@ from .injector import (
     InjectionRecord,
     RecoveryRecord,
 )
-from .plan import CRASH_SITES, NO_FAULTS, FaultKind, FaultPlan, FaultSpec
+from .plan import (
+    ADVERSARY_KINDS,
+    CRASH_SITES,
+    NO_FAULTS,
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+)
 
 __all__ = [
+    "ADVERSARY_KINDS",
     "CORRUPT",
     "CRASH_SITES",
     "DELIVER",

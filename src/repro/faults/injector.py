@@ -201,6 +201,39 @@ class FaultInjector:
             self._raise_dead(core_id)
         return spec.duration
 
+    def adversary_stage(self, core_id: int) -> FaultSpec | None:
+        """Byzantine staging hook: called by the Byzantine-tolerant engine
+        (``byz=True``) each time ``core_id`` stages a chunk as source or
+        coordinator.  Returns the EQUIVOCATE spec whose staging window
+        ``[nth, nth+window)`` covers this occurrence, else ``None``.
+
+        Crash-tolerant runs never call this, so ``adv_stage`` counters
+        stay at zero there and existing traces are bit-identical.
+        """
+        _, n_core = self._bump("adv_stage", core_id)
+        for armed in self._armed.get("adv_stage", ()):
+            spec = armed.spec
+            if spec.core != core_id:
+                continue
+            if spec.nth <= n_core < spec.nth + spec.window:
+                if not armed.fired:
+                    armed.fired = True
+                    self._record(spec, f"core{core_id} staging #{n_core}")
+                return spec
+        return None
+
+    def quorum_vote(self, core_id: int) -> FaultSpec | None:
+        """Byzantine vote hook: called by the RBC layer once per
+        (core, chunk round) before the core casts its ECHO/READY votes.
+        Returns the FORGE_FLAG_VALUE / LIE_IN_QUORUM spec firing at this
+        occurrence, else ``None``.  Only ``byz=True`` runs call this.
+        """
+        n_global, n_core = self._bump("quorum_vote", core_id)
+        spec = self._match("quorum_vote", core_id, n_global, n_core)
+        if spec is not None:
+            self._record(spec, f"core{core_id} vote round #{n_core}")
+        return spec
+
     def is_dead(self, core_id: int) -> bool:
         return core_id in self._dead
 

@@ -53,6 +53,22 @@ class FaultKind(enum.Enum):
     #: Kill a core at its nth timed operation; every later operation of
     #: that core raises :class:`repro.sim.FaultInjected`.
     CORE_CRASH = "core_crash"
+    #: Byzantine source/coordinator: starting at the victim's nth chunk
+    #: staging, write payload A to one part of the tree and a
+    #: self-consistent variant B (valid integrity header) to the rest,
+    #: for a window of ``duration`` consecutive stagings.  Only the
+    #: Byzantine-tolerant mode (``OcBcastConfig(byz=True)``) consults
+    #: this; crash-tolerant runs never reach the staging hook.
+    EQUIVOCATE = "equivocate"
+    #: Byzantine core: at its nth quorum-vote round, write
+    #: attacker-chosen values into its own ECHO/READY vote slots within
+    #: its MPB reach -- a *different* forged value per member (vote
+    #: equivocation), the strongest behaviour the single-writer slot
+    #: discipline leaves open.
+    FORGE_FLAG_VALUE = "forge_flag_value"
+    #: Byzantine core: at its nth quorum-vote round, vote a well-formed
+    #: but false digest, consistently to every member.
+    LIE_IN_QUORUM = "lie_in_quorum"
 
 
 #: Valid ``crash_site`` choices for campaigns and the CLI: where a
@@ -71,7 +87,18 @@ CATEGORY_OF = {
     FaultKind.LINK_DOWN: "mpb_access",
     FaultKind.CORE_PAUSE: "core_op",
     FaultKind.CORE_CRASH: "core_op",
+    FaultKind.EQUIVOCATE: "adv_stage",
+    FaultKind.FORGE_FLAG_VALUE: "quorum_vote",
+    FaultKind.LIE_IN_QUORUM: "quorum_vote",
 }
+
+#: The Byzantine adversary kinds (category ``adv_stage`` or
+#: ``quorum_vote``).  Their counters are only bumped by the
+#: Byzantine-tolerant mode's hooks, so crash-tolerant runs are
+#: bit-identical whether or not a plan carries them.
+ADVERSARY_KINDS = frozenset(
+    (FaultKind.EQUIVOCATE, FaultKind.FORGE_FLAG_VALUE, FaultKind.LIE_IN_QUORUM)
+)
 
 
 @dataclass(frozen=True)
@@ -106,10 +133,33 @@ class FaultSpec:
         needs_core = (FaultKind.CORE_PAUSE, FaultKind.CORE_CRASH, FaultKind.LINK_DOWN)
         if self.kind in needs_core and self.core is None:
             raise ValueError(f"{self.kind.value} needs an explicit victim core")
+        if self.kind in ADVERSARY_KINDS and self.core is None:
+            raise ValueError(
+                f"{self.kind.value} needs an explicit adversary core: a "
+                "Byzantine identity is a property of a member, not of an "
+                "anonymous operation stream"
+            )
+        if self.kind is FaultKind.EQUIVOCATE and self.window < 1:
+            raise ValueError(
+                "equivocate needs a window of >= 1 staging occurrences "
+                "(duration counts stagings, not microseconds)"
+            )
 
     @property
     def category(self) -> str:
         return CATEGORY_OF[self.kind]
+
+    @property
+    def window(self) -> int:
+        """Equivocation window in staging occurrences: ``[nth, nth+window)``.
+
+        For EQUIVOCATE, ``duration`` is reinterpreted as a *count* of
+        consecutive stagings (the adversary keeps serving two payload
+        variants for that many chunks).  Zero for every other kind.
+        """
+        if self.kind is not FaultKind.EQUIVOCATE:
+            return 0
+        return int(self.duration)
 
     @property
     def site(self) -> str:
@@ -127,14 +177,25 @@ class FaultPlan:
     specs would make the second spec silently dead -- the plan would lie
     about what the run experienced.  Such plans are rejected here rather
     than debugged from a campaign that "lost" a fault.
+
+    The same reasoning rejects two EQUIVOCATE specs on the same core
+    with overlapping staging windows ``[nth, nth+window)``, and -- when
+    the communicator size is known (``num_cores``) -- adversary specs
+    naming cores outside the communicator, which could never fire.
     """
 
     specs: tuple[FaultSpec, ...] = ()
     label: str = ""
+    #: Communicator size, when known at plan-build time.  Adversary
+    #: specs (EQUIVOCATE / FORGE_FLAG_VALUE / LIE_IN_QUORUM) naming a
+    #: core outside ``range(num_cores)`` are rejected: a "Byzantine
+    #: member" that is not a member cannot vote or stage anything.
+    num_cores: int | None = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "specs", tuple(self.specs))
         seen: dict[tuple[str, int | None, int], FaultSpec] = {}
+        windows: dict[int, list[FaultSpec]] = {}
         for spec in self.specs:
             if not isinstance(spec, FaultSpec):
                 raise TypeError(f"plan specs must be FaultSpec, got {spec!r}")
@@ -146,6 +207,24 @@ class FaultPlan:
                     f"category {spec.category!r}"
                 )
             seen[key] = spec
+            if spec.kind in ADVERSARY_KINDS and self.num_cores is not None:
+                if not 0 <= spec.core < self.num_cores:
+                    raise ValueError(
+                        f"adversary spec {spec.site} targets core {spec.core} "
+                        f"outside the {self.num_cores}-core communicator"
+                    )
+            if spec.kind is FaultKind.EQUIVOCATE:
+                for other in windows.get(spec.core, ()):
+                    lo, hi = spec.nth, spec.nth + spec.window
+                    olo, ohi = other.nth, other.nth + other.window
+                    if lo < ohi and olo < hi:
+                        raise ValueError(
+                            f"overlapping equivocation windows on core "
+                            f"{spec.core}: {other.site} covers stagings "
+                            f"[{olo}, {ohi}) and {spec.site} covers "
+                            f"[{lo}, {hi})"
+                        )
+                windows.setdefault(spec.core, []).append(spec)
 
     def __iter__(self):
         return iter(self.specs)

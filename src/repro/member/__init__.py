@@ -23,9 +23,15 @@ from .heartbeat import (
     MembershipService,
     MembershipView,
 )
+from .rbc import RbcService, echo_quorum, max_faulty, ready_amplify, ready_quorum
 from .service import OcBcastService
 
 __all__ = [
+    "RbcService",
+    "echo_quorum",
+    "max_faulty",
+    "ready_amplify",
+    "ready_quorum",
     "CompletionDirective",
     "ElectionConfig",
     "ElectionService",

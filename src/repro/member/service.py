@@ -70,6 +70,7 @@ from ..core.trees import MemberTree
 from ..scc.memory import MemRef
 from ..sim.errors import TimeoutError as SimTimeoutError
 from .election import ElectionConfig, ElectionService
+from .rbc import RbcService
 from .heartbeat import (
     DIRECTIVE_ABORT,
     DIRECTIVE_REBROADCAST,
@@ -123,6 +124,11 @@ class OcBcastService:
         self.oc = OcBcast(comm, self.config)
         self.member = MembershipService(comm, root=root, config=member_config)
         self.election = ElectionService(comm, self.member, config=election_config)
+        #: Byzantine mode: the Bracha echo/ready layer (None otherwise).
+        self.rbc: RbcService | None = None
+        if self.config.byz:
+            self.rbc = RbcService(comm, self.oc, self.config)
+            self.oc.byz_echo_hook = self.rbc.cast_echoes
         #: Per-rank attempt counter == membership round number.  Global
         #: across messages so heartbeat slot values, claims and the view
         #: flag stay monotonic for the life of the instance.
@@ -194,6 +200,8 @@ class OcBcastService:
                 round=rnd, epoch=view.epoch, src=src, members=tree.size,
             )
             delivered = False
+            if self.rbc is not None:
+                self.rbc.register(cc.rank, buf, nbytes)
             try:
                 status = yield from self.oc.bcast(
                     cc, src, buf, nbytes, tree=tree
@@ -211,6 +219,16 @@ class OcBcastService:
             if status == "evicted":
                 return self._outcome(cc, msg, "evicted")
             if status == "ok":
+                if self.rbc is not None:
+                    # Byzantine mode: the commit only proves every member
+                    # *holds a* payload; the quorum rounds prove they all
+                    # hold the *same* one (repairing this rank's copy if
+                    # it sat on the losing side of an equivocation).
+                    verdict = yield from self.rbc.finish(
+                        cc, msg, buf, nbytes, src
+                    )
+                    if verdict != "ok":
+                        return self._outcome(cc, msg, "detected")
                 if cc.rank == self.member.coord[cc.rank] and tries > 1:
                     self._observe_repair(cc)
                 return self._outcome(cc, msg, "ok", buf=buf, nbytes=nbytes)

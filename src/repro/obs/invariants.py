@@ -52,6 +52,18 @@ I6 ``uniform-agreement``
     This is the completion-protocol guarantee for a source that crashes
     mid-message -- no live core delivers a message that others discard.
 
+I7 ``byzantine-agreement``
+    Per RBC-delivered message (``rbc.outcome`` records, keyed by
+    ``msg``), over *honest* ranks only -- ranks that actually fired an
+    adversary fault (``fault.injected`` with an ``equivocate`` /
+    ``forge_flag_value`` / ``lie_in_quorum`` kind) are excluded, their
+    claims being worthless by definition.  **Agreement**: no two honest
+    ``ok`` outcomes may carry different payload fingerprints, whatever
+    the source did.  **Validity**: when the source rank is honest, every
+    honest ``ok`` fingerprint must equal the source's own input
+    fingerprint (``input_crc``).  This is the Bracha echo/ready promise
+    the Byzantine broadcast mode makes on top of I6.
+
 Violations carry the offending record plus a window of the most recent
 records for context.  By default they are collected and raised together
 by :meth:`check` (call it after the run); ``strict=True`` raises at the
@@ -73,6 +85,11 @@ if TYPE_CHECKING:  # pragma: no cover
     from ..scc.chip import SccChip
 
 _WRITE_KINDS = frozenset({"flag_write", "slot_write", "put", "get"})
+
+#: Fault kinds that mark the firing core as Byzantine for I7.
+_ADVERSARY_FAULTS = frozenset(
+    {"equivocate", "forge_flag_value", "lie_in_quorum"}
+)
 
 
 class InvariantViolation(AssertionError):
@@ -118,6 +135,11 @@ class InvariantChecker:
         self._dead: dict[int, set[int]] = {}
         # I6: msg id -> (decisive status, crc-or-None, first rank).
         self._outcomes: dict[int, tuple[str, int | None, int | None]] = {}
+        # I7: ranks that fired an adversary fault; first honest ok per
+        # msg; the honest source's input fingerprint per msg.
+        self._compromised: set[int] = set()
+        self._rbc_ok: dict[int, tuple[int, int]] = {}
+        self._rbc_input: dict[int, tuple[int, int]] = {}
 
     # -- wiring ------------------------------------------------------------
 
@@ -174,6 +196,14 @@ class InvariantChecker:
                     del self._done[key]
         elif kind == "svc.outcome":
             self._on_outcome(rec)
+        elif kind == "fault.injected":
+            if rec.detail.get("fault") in _ADVERSARY_FAULTS:
+                site = rec.detail.get("site", "")
+                core = _core_of(site.split(" ", 1)[0])
+                if core is not None:
+                    self._compromised.add(core)
+        elif kind == "rbc.outcome":
+            self._on_rbc_outcome(rec)
         elif self.lossless and kind in _WRITE_KINDS:
             if rec.detail.get("landed", "ok") != "ok":
                 self._fail(
@@ -282,6 +312,53 @@ class InvariantChecker:
                 f"message {msg}: rank{rank} delivered payload crc "
                 f"{crc:#010x} but rank{p_rank} delivered {p_crc:#010x} -- "
                 f"delivered payloads must be identical",
+                rec,
+            )
+
+    def _on_rbc_outcome(self, rec: TraceRecord) -> None:
+        """I7: honest RBC deliveries agree, and match an honest source."""
+        d = rec.detail
+        rank = _core_of(rec.source)
+        if rank is None or rank in self._compromised:
+            return
+        msg = d.get("msg")
+        input_crc = d.get("input_crc")
+        if input_crc is not None:
+            self._rbc_input[msg] = (rank, input_crc)
+            ok = self._rbc_ok.get(msg)
+            if ok is not None and ok[0] != input_crc:
+                self._fail(
+                    "byzantine-agreement",
+                    f"message {msg}: honest rank{ok[1]} delivered payload "
+                    f"crc {ok[0]:#010x} but the honest source rank{rank} "
+                    f"broadcast {input_crc:#010x} -- validity requires "
+                    f"the source's value",
+                    rec,
+                )
+        if d.get("status") != "ok":
+            return
+        crc = d.get("crc")
+        if crc is None:
+            return
+        prev = self._rbc_ok.get(msg)
+        if prev is None:
+            self._rbc_ok[msg] = (crc, rank)
+        elif crc != prev[0]:
+            self._fail(
+                "byzantine-agreement",
+                f"message {msg}: honest rank{rank} delivered payload crc "
+                f"{crc:#010x} but honest rank{prev[1]} delivered "
+                f"{prev[0]:#010x} -- an echo quorum admits one digest",
+                rec,
+            )
+        src = self._rbc_input.get(msg)
+        if src is not None and crc != src[1]:
+            self._fail(
+                "byzantine-agreement",
+                f"message {msg}: honest rank{rank} delivered payload crc "
+                f"{crc:#010x} but the honest source rank{src[0]} "
+                f"broadcast {src[1]:#010x} -- validity requires the "
+                f"source's value",
                 rec,
             )
 

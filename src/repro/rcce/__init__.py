@@ -16,7 +16,7 @@ all operations with ``yield from``.
 """
 
 from .comm import Comm, CoreComm
-from .flags import Flag, FlagSlotArray, FlagValue, flag_write_acked
+from .flags import DigestSlotArray, Flag, FlagSlotArray, FlagValue, flag_write_acked
 from .ircce import IrcceState, pipelined_recv, pipelined_send
 from .nonblocking import Request, irecv, isend, wait_all
 from .layout import MpbLayout, MpbRegion
@@ -26,6 +26,7 @@ __all__ = [
     "Comm",
     "CoreComm",
     "Flag",
+    "DigestSlotArray",
     "FlagSlotArray",
     "FlagValue",
     "flag_write_acked",

@@ -317,6 +317,199 @@ class FlagSlotArray:
                 return read()
 
 
+_VOTE = struct.Struct("<II")  # round seq, digest -- 8 of the slot's 8 bytes
+
+
+class DigestSlotArray:
+    """Per-partner ``(seq, digest)`` vote slots -- the RBC wire format.
+
+    :class:`FlagSlotArray`'s 16-bit slots are too narrow to carry a
+    payload digest, so quorum votes get 8-byte slots (4 per cache line):
+    a 32-bit round sequence number qualifying the vote and a 32-bit
+    digest being voted for.  The single-writer discipline is identical --
+    slot ``i`` is written only by member ``i`` -- which is exactly the
+    trust base the Byzantine mode leans on: a compromised core can forge
+    values *in its own slots* (vote equivocation) but cannot overwrite
+    another member's vote.
+
+    The array is symmetric: every core's MPB holds its own tally copy,
+    and a voter pushes its vote into all of them.
+    """
+
+    SLOT_BYTES = 8
+    MAX_SEQ = 0xFFFFFFFF
+
+    def __init__(self, region: MpbRegion, nslots: int, name: str = "votes") -> None:
+        need = -(-nslots * self.SLOT_BYTES // CACHE_LINE)
+        if region.lines < need:
+            raise ValueError(
+                f"vote array {name!r} needs {need} lines for {nslots} slots, "
+                f"got {region.lines}"
+            )
+        self.region = region
+        self.nslots = nslots
+        self.name = name
+
+    @classmethod
+    def lines_needed(cls, nslots: int) -> int:
+        return -(-nslots * cls.SLOT_BYTES // CACHE_LINE)
+
+    def _check(self, slot: int) -> int:
+        if not 0 <= slot < self.nslots:
+            raise IndexError(f"slot {slot} outside 0..{self.nslots - 1}")
+        return slot
+
+    def slot_offset(self, slot: int) -> int:
+        return self.region.offset + self._check(slot) * self.SLOT_BYTES
+
+    def peek(self, chip: "SccChip", owner_core: int, slot: int) -> tuple[int, int]:
+        raw = chip.mpbs[owner_core].read_bytes(self.slot_offset(slot), self.SLOT_BYTES)
+        return _VOTE.unpack(raw)
+
+    def write(
+        self, core: "Core", owner_core: int, slot: int, seq: int, digest: int
+    ) -> Generator:
+        """Timed remote write of one vote slot (one 1-line flag put)."""
+        if not 0 <= seq <= self.MAX_SEQ:
+            raise ValueError(f"vote seq {seq} exceeds 32-bit sequence space")
+        if not 0 <= digest <= 0xFFFFFFFF:
+            raise ValueError(f"digest {digest:#x} is not a 32-bit value")
+        chip = core.chip
+        yield core.compute(chip.config.o_put_mpb)
+        yield from core.mpb_access(owner_core, 1, write=True)
+        landed = chip.mpbs[owner_core].write_bytes(
+            self.slot_offset(slot),
+            _VOTE.pack(seq, digest),
+            source=core.id,
+            op="flag",
+        )
+        chip.trace(
+            f"core{core.id}", "vote_write",
+            array=self.name, owner=owner_core, slot=slot, seq=seq,
+            digest=digest, landed=landed,
+        )
+        if chip.metrics is not None:
+            chip.metrics.inc("flags.vote_writes")
+
+    def write_acked(
+        self,
+        core: "Core",
+        owner_core: int,
+        slot: int,
+        seq: int,
+        digest: int,
+        *,
+        max_retries: int = 3,
+    ) -> Generator:
+        """An acknowledged vote write: read the slot back and re-send until
+        it verifies.  Digests are not monotonic, so unlike
+        :meth:`FlagSlotArray.write_acked` the ack demands an *exact*
+        digest match at this seq -- or a later seq, meaning the tally has
+        already moved on and this vote is moot anyway.
+        """
+        chip = core.chip
+        off = self.slot_offset(slot)
+        for attempt in range(max_retries + 1):
+            yield from self.write(core, owner_core, slot, seq, digest)
+            yield from core.mpb_access(owner_core, 1)
+            got_seq, got_digest = _VOTE.unpack(
+                chip.mpbs[owner_core].read_bytes(off, self.SLOT_BYTES)
+            )
+            if got_seq > seq or (got_seq == seq and got_digest == digest):
+                if attempt:
+                    chip.trace(
+                        f"core{core.id}", "vote_write_retry_ok",
+                        array=self.name, owner=owner_core, slot=slot,
+                        attempts=attempt + 1,
+                    )
+                    if chip.faults is not None:
+                        chip.faults.note_recovery(
+                            f"{self.name}[{slot}]@core{owner_core}",
+                            note=f"vote re-sent x{attempt}",
+                        )
+                return
+        raise SimTimeoutError(
+            f"core {core.id}: vote write {self.name}[{slot}] to core "
+            f"{owner_core} un-acked after {max_retries + 1} attempts at "
+            f"t={core.sim.now:.4f}{_timeline_suffix(chip)}",
+            process=f"core{core.id}",
+            sim_time=core.sim.now,
+            site=f"{self.name}[{slot}]@core{owner_core}",
+        )
+
+    def tally(self, chip: "SccChip", owner_core: int, seq: int) -> dict[int, int]:
+        """Untimed count of votes at round ``seq`` in ``owner_core``'s copy:
+        digest -> number of distinct voters.  Timed callers charge the
+        sweep themselves (:meth:`wait_quorum` does)."""
+        counts: dict[int, int] = {}
+        mpb = chip.mpbs[owner_core]
+        base = self.region.offset
+        for s in range(self.nslots):
+            got_seq, got_digest = _VOTE.unpack(
+                mpb.read_bytes(base + s * self.SLOT_BYTES, self.SLOT_BYTES)
+            )
+            if got_seq == seq:
+                counts[got_digest] = counts.get(got_digest, 0) + 1
+        return counts
+
+    def wait_quorum(
+        self,
+        core: "Core",
+        seq: int,
+        need: int,
+        *,
+        timeout: float,
+        site: str = "",
+    ) -> Generator[object, object, int]:
+        """Wait until some digest holds >= ``need`` votes at round ``seq``
+        in the core's *own* tally copy; returns that digest.
+
+        Event-driven like the other waits: one watcher per cache line of
+        the region, a sweep-shaped detection charge on the satisfying
+        wake-up.  Raises :class:`repro.sim.TimeoutError` when the budget
+        expires with every digest still short of quorum -- the RBC
+        layer's signal that votes are split (or voters silent) and the
+        round cannot complete.
+        """
+        mpb = core.mpb
+        sim = core.sim
+        nlines = -(-self.nslots * self.SLOT_BYTES // CACHE_LINE)
+        lines = [self.region.offset + i * CACHE_LINE for i in range(nlines)]
+        deadline = sim.now + timeout
+        where = site or f"{self.name}.quorum(seq={seq})"
+
+        def hit() -> int | None:
+            counts = self.tally(core.chip, core.id, seq)
+            best = None
+            for digest, votes in sorted(counts.items()):
+                if votes >= need and (best is None or votes > counts[best]):
+                    best = digest
+            return best
+
+        yield _charge_poll(core, core.config.t_poll)
+        while True:
+            got = hit()
+            if got is not None:
+                return got
+            watchers = [mpb.watch(off) for off in lines]
+            got = hit()
+            if got is not None:
+                return got
+            remaining = deadline - sim.now
+            if remaining <= 0:
+                _raise_wait_timeout(core, where, timeout)
+            timer = sim.timeout(remaining, name=f"core{core.id}.{self.name}.budget")
+            yield any_of(sim, [*watchers, timer], name=f"core{core.id}.wait_quorum")
+            if hit() is None and sim.now >= deadline:
+                _raise_wait_timeout(core, where, timeout)
+            got = hit()
+            if got is not None:
+                yield _charge_poll(
+                    core, 0.5 * nlines * core.config.t_poll + core.config.t_poll
+                )
+                return got
+
+
 def _charge_poll(core: "Core", duration: float):
     """A poll-shaped compute: same timing as ``core.compute`` but also
     accrued into the core's poll counters (nominal, pre-jitter time)."""

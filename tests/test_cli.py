@@ -75,6 +75,22 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "l_hop" in out and "0.000%" in out
 
+    def test_faults_byz_campaign(self, capsys):
+        rc = main(["faults", "--trials", "2", "--byz", "--adversaries", "3",
+                   "--no-baseline", "--cache-lines", "96",
+                   "--mesh-cols", "3", "--mesh-rows", "2", "--timeline"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Byzantine campaign" in out
+        assert "rbc tax" in out
+        assert "byz agreement rate: 100.0%" in out
+        assert "fault.injected" in out  # the timeline printed
+
+    def test_faults_byz_rejects_too_many_adversaries(self, capsys):
+        rc = main(["faults", "--trials", "1", "--byz", "--adversaries", "12",
+                   "--no-baseline", "--mesh-cols", "3", "--mesh-rows", "2"])
+        assert rc == 2
+
     def test_model_table2(self, capsys):
         assert main(["model", "--what", "table2"]) == 0
         out = capsys.readouterr().out

@@ -457,6 +457,57 @@ class TestPlanEdgeCases:
         )
 
 
+class TestAdversaryPlanValidation:
+    """The Byzantine kinds (EQUIVOCATE / FORGE_FLAG_VALUE /
+    LIE_IN_QUORUM) name a compromised *member*, not an anonymous
+    operation stream, so their plans face extra structural checks."""
+
+    def test_adversary_kind_requires_a_core(self):
+        for kind in (FaultKind.FORGE_FLAG_VALUE, FaultKind.LIE_IN_QUORUM):
+            with pytest.raises(ValueError, match="explicit adversary core"):
+                FaultSpec(kind)
+        with pytest.raises(ValueError, match="explicit adversary core"):
+            FaultSpec(FaultKind.EQUIVOCATE, duration=1)
+
+    def test_equivocate_requires_a_staging_window(self):
+        with pytest.raises(ValueError, match="window of >= 1 staging"):
+            FaultSpec(FaultKind.EQUIVOCATE, core=0)  # duration 0 = no window
+
+    def test_adversary_core_outside_communicator_rejected(self):
+        spec = FaultSpec(FaultKind.LIE_IN_QUORUM, core=19)
+        with pytest.raises(ValueError, match="outside the 12-core"):
+            FaultPlan((spec,), num_cores=12)
+        # The same plan is fine when the communicator is big enough (or
+        # its size is unknown at plan-build time).
+        assert len(FaultPlan((spec,), num_cores=24)) == 1
+        assert len(FaultPlan((spec,))) == 1
+
+    def test_overlapping_equivocation_windows_rejected(self):
+        with pytest.raises(
+            ValueError, match="overlapping equivocation windows"
+        ):
+            FaultPlan((
+                FaultSpec(FaultKind.EQUIVOCATE, core=0, nth=1, duration=3),
+                FaultSpec(FaultKind.EQUIVOCATE, core=0, nth=2, duration=2),
+            ))
+
+    def test_disjoint_equivocation_windows_allowed(self):
+        plan = FaultPlan((
+            FaultSpec(FaultKind.EQUIVOCATE, core=0, nth=1, duration=2),
+            FaultSpec(FaultKind.EQUIVOCATE, core=0, nth=3, duration=1),
+            FaultSpec(FaultKind.EQUIVOCATE, core=1, nth=1, duration=4),
+        ))
+        assert len(plan) == 3
+
+    def test_non_adversary_cores_are_not_range_checked(self):
+        # num_cores only constrains adversary identity; a crash victim
+        # outside the communicator is legal (and simply never fires).
+        plan = FaultPlan(
+            (FaultSpec(FaultKind.CORE_CRASH, core=40),), num_cores=12
+        )
+        assert len(plan) == 1
+
+
 class TestTimelineInErrors:
     def test_timeout_error_carries_the_fault_timeline(self):
         chip = faulty_chip(FaultSpec(FaultKind.DROP_FLAG_WRITE, nth=1))

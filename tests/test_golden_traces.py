@@ -18,6 +18,7 @@ docstring first.
 
 import json
 import pathlib
+from dataclasses import replace
 
 import pytest
 
@@ -25,6 +26,7 @@ from repro import Comm, SccChip, run_spmd
 from repro.bench import BcastSpec, run_broadcast
 from repro.faults import FaultInjector, FaultKind, FaultPlan, FaultSpec
 from repro.member import OcBcastService
+from repro.member.service import DEFAULT_SERVICE_OC
 from repro.obs import trace_digest
 from repro.scc import ContentionMode, SccConfig
 from repro.scc.config import CACHE_LINE
@@ -40,6 +42,41 @@ def _trace(spec: BcastSpec, cache_lines: int, config: SccConfig | None = None):
         iters=1, warmup=0, seed=1, tracer=tracer,
     )
     return tracer.records
+
+
+def _rbc_equivocate_trace():
+    """Byzantine broadcast end to end on a 12-core chip: the source
+    equivocates on its first staging (deterministic minimal-delta
+    restage), the echo quorum settles one digest, losing-side members
+    re-fetch the winning bytes and every honest member delivers the same
+    payload.  Pins the ECHO/READY vote fan-out, the quorum waits, the
+    restage timing and the repair path -- the whole rbc wire protocol."""
+    nbytes = 96 * CACHE_LINE
+    payload = bytes(i % 251 for i in range(nbytes))
+    plan = FaultPlan(
+        (FaultSpec(FaultKind.EQUIVOCATE, core=0, nth=1, duration=1),),
+        num_cores=12,
+    )
+    chip = SccChip(
+        SccConfig(mesh_cols=3, mesh_rows=2),  # 12 cores
+        faults=FaultInjector(plan),
+        tracer=Tracer(enabled=True),
+    )
+    comm = Comm(chip)
+    svc = OcBcastService(
+        comm, oc_config=replace(DEFAULT_SERVICE_OC, byz=True)
+    )
+
+    def prog(core):
+        cc = comm.attach(core)
+        buf = cc.alloc(nbytes)
+        if cc.rank == 0:
+            buf.write(payload)
+        return (yield from svc.bcast(cc, buf, nbytes))
+
+    chip.sim.start_watchdog(50_000.0)
+    run_spmd(chip, prog)
+    return chip.tracer.records
 
 
 def _election_trace():
@@ -94,6 +131,10 @@ SCENARIOS = {
     # Coordinator failover: seeded root crash on 12 cores, election +
     # epoch handoff + message completion (FAULTS.md section 6).
     "election_root_crash_12core": _election_trace,
+    # Byzantine broadcast: seeded source equivocation on 12 cores,
+    # Bracha echo/ready quorums + losing-side repair (FAULTS.md
+    # adversary model, PROTOCOLS.md section 11).
+    "rbc_equivocate_12core": _rbc_equivocate_trace,
 }
 
 
