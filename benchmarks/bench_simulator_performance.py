@@ -7,8 +7,8 @@ the same way result regressions are.  Unlike the paper benches these use
 multiple pytest-benchmark rounds: wall time is the measurand here.
 """
 
-from repro.bench import BcastSpec, run_broadcast
-from repro.scc import ContentionMode, SccConfig
+from repro.bench import BcastSpec, FaultCampaign, run_broadcast
+from repro.scc import AnalyticEngine, ContentionMode, SccConfig
 from repro.sim import Simulator
 
 
@@ -64,3 +64,31 @@ def test_large_message_simulation_speed(benchmark):
 
     latency = benchmark.pedantic(run, rounds=2, iterations=1)
     assert latency > 0
+
+
+def test_analytic_batch_sweep_speed(benchmark):
+    """A 128-point latency sweep through the vectorised engine -- no
+    event kernel at all; engine construction is part of the cost."""
+
+    def run():
+        engine = AnalyticEngine(k=7)
+        sizes = [(i % 192 + 1) * 32 for i in range(128)]
+        return engine.evaluate_batch(sizes, iters=1)[-1].mean_latency
+
+    latency = benchmark(run)
+    assert latency > 0
+
+
+def test_adaptive_campaign_fault_free_speed(benchmark):
+    """An all-fault-free adaptive-fidelity campaign: one profiled
+    reference run plus an analytic cross-check, then every trial served
+    from the memoised reference."""
+
+    def run():
+        return FaultCampaign(
+            trials=1024, seed=1, compare_baseline=False,
+            fault_rate=0.0, fidelity="adaptive",
+        ).run()
+
+    result = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert result.ft_counts["delivered"] == 1024

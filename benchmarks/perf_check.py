@@ -75,6 +75,12 @@ def main(argv=None) -> int:
         help="max fault-free Byzantine-mode (Bracha RBC) latency overhead "
              "over the crash-only service, percent (default 15.0)",
     )
+    ap.add_argument(
+        "--min-analytic-speedup", type=float, default=20.0,
+        help="min ratio of adaptive-fidelity fault-free campaign "
+             "throughput over the committed kernel campaign throughput "
+             "(default 20.0 -- the ANALYTIC mode's raison d'etre)",
+    )
     ap.add_argument("--baseline", default=RESULTS_PATH)
     args = ap.parse_args(argv)
 
@@ -116,6 +122,21 @@ def main(argv=None) -> int:
           f"{'ok' if rbc_ok else 'REGRESSED'}")
     if not rbc_ok:
         failed.append("rbc_tax")
+
+    # Structural guard: the whole point of ANALYTIC mode is integer-factor
+    # campaign speedups, so the adaptive fault-free path must stay >= 20x
+    # the committed kernel campaign throughput (both are trials/sec; the
+    # committed figure is the fault-free sweep path this PR accelerated).
+    kernel_tps = committed.get("campaign_trials_per_sec", 0)
+    ana_tps = fresh.get("campaign_trials_per_sec_analytic", 0)
+    if kernel_tps and ana_tps:
+        speedup = ana_tps / kernel_tps
+        speedup_ok = speedup >= args.min_analytic_speedup
+        print(f"{'analytic speedup':<{width}}  {speedup:>11.1f}x  vs "
+              f"{args.min_analytic_speedup:>11.1f}x  "
+              f"{'ok' if speedup_ok else 'REGRESSED'}")
+        if not speedup_ok:
+            failed.append("analytic_speedup")
 
     if failed:
         print(f"\nFAIL: {len(failed)} metric(s) regressed beyond "

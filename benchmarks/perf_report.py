@@ -71,6 +71,27 @@ def bench_campaign(trials: int) -> None:
     FaultCampaign(trials=trials, seed=1, compare_baseline=False).run()
 
 
+def bench_campaign_analytic(trials: int) -> None:
+    """The adaptive-fidelity fast path: an all-fault-free campaign is one
+    profiled reference run plus an analytic cross-check; every trial is
+    then served from the memoised reference."""
+    FaultCampaign(
+        trials=trials, seed=1, compare_baseline=False,
+        fault_rate=0.0, fidelity="adaptive",
+    ).run()
+
+
+def bench_analytic_sweep(points: int) -> float:
+    """A whole latency sweep through the vectorised engine (fresh engine
+    per call -- geometry/schedule construction is part of the cost)."""
+    from repro.scc.analytic import AnalyticEngine
+
+    engine = AnalyticEngine(k=7)
+    sizes = [(i % 192 + 1) * 32 for i in range(points)]
+    batch = engine.evaluate_batch(sizes, iters=1)
+    return batch[-1].mean_latency
+
+
 def measure(quick: bool) -> dict:
     reps = 2 if quick else 3
     # Same trial count in both modes: the campaign's fixed profiling
@@ -99,6 +120,16 @@ def measure(quick: bool) -> dict:
 
     t = _best_of(lambda: bench_campaign(trials), 1)
     out["campaign_trials_per_sec"] = trials / t
+
+    # Fixed trial counts in quick and full mode for the same reason as
+    # above: the reference-run overhead amortises over trials.
+    ana_trials = 1024
+    t = _best_of(lambda: bench_campaign_analytic(ana_trials), 1)
+    out["campaign_trials_per_sec_analytic"] = ana_trials / t
+
+    points = 128
+    t = _best_of(lambda: bench_analytic_sweep(points), reps)
+    out["analytic_broadcasts_per_sec"] = points / t
 
     return {k: round(v, 3) for k, v in out.items()}
 

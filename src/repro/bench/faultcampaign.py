@@ -47,6 +47,7 @@ from ..member.service import DEFAULT_SERVICE_OC, OcBcastService
 from ..obs import MetricsRegistry
 from ..rcce import Comm
 from ..scc import SccChip, SccConfig, run_spmd
+from ..scc.analytic import AnalyticEngine, AnalyticUnsupported
 from ..scc.config import CACHE_LINE
 from ..sim import DeadlockError, FaultInjected, SimError, Tracer, WatchdogError
 from ..sim.errors import TimeoutError as SimTimeoutError
@@ -145,6 +146,12 @@ class CampaignResult:
     #: Byzantine-mode outcome counts / fault-free latency (``byz=True``).
     byz_counts: Counter | None = None
     byz_latency: float = 0.0
+    #: Adaptive-fidelity bookkeeping (``fidelity="adaptive"`` campaigns):
+    #: how many trials were served from the memoised fault-free reference
+    #: runs vs replayed through the event kernel, the analytic engine's
+    #: latency predictions and their relative error vs the kernel, and --
+    #: when the scheduler had to degrade to all-kernel execution -- why.
+    fidelity: dict | None = None
 
     @property
     def n_trials(self) -> int:
@@ -292,6 +299,16 @@ class CampaignResult:
             f"({self.ft_overhead_pct:+.2f}% robustness tax)",
             f"FT survival rate: {100.0 * self.ft_survival_rate:.1f}%",
         ]
+        if self.fidelity is not None:
+            fast = self.fidelity.get("n_analytic", 0)
+            replayed = self.fidelity.get("n_replayed", 0)
+            line = (
+                f"adaptive fidelity: {fast} fault-free trial(s) served "
+                f"analytically, {replayed} replayed through the kernel"
+            )
+            if self.fidelity.get("degraded"):
+                line += f" (degraded: {self.fidelity.get('reason', '?')})"
+            lines.append(line)
         if self.service_counts is not None:
             lines.append(
                 f"service fault-free latency: {self.service_latency:.2f} us "
@@ -400,12 +417,45 @@ class FaultCampaign:
     byz: bool = False
     #: Compromised cores per Byzantine trial.
     adversaries: int = 1
+    #: Probability that a trial draws a fault plan at all.  1.0 (the
+    #: default) reproduces the classic campaign exactly -- no extra RNG
+    #: draw happens, so existing seeds map to identical plans.  Below
+    #: 1.0, the complement of trials runs fault-free: the regime where
+    #: adaptive fidelity pays (real systems are fault-free almost
+    #: always; campaigns sized for rare-event statistics spend almost
+    #: all their time re-simulating the same fault-free run).
+    fault_rate: float = 1.0
+    #: ``"exact"`` runs every trial through the event kernel.
+    #: ``"adaptive"`` serves fault-free trials from the campaign's
+    #: memoised fault-free reference runs -- sound because the simulator
+    #: is deterministic, so a fault-free trial IS the reference run --
+    #: with the analytic engine cross-checking the reference latencies
+    #: (prediction off by more than ``analytic_tolerance`` means the
+    #: config is outside the engine's validated envelope, and the whole
+    #: campaign degrades to all-kernel execution).  Classifications are
+    #: byte-identical to ``"exact"`` either way; see docs/PERFORMANCE.md.
+    fidelity: str = "exact"
+    #: Max relative error allowed between the analytic prediction and
+    #: the kernel-measured fault-free reference latencies.  ``None``
+    #: resolves per contention mode: 2% against EXACT/IDEAL/ANALYTIC
+    #: kernels (the engine's validated envelope), 10% against BATCH --
+    #: itself an approximation, whose whole-transfer port holds sit up
+    #: to ~7% above the uncontended model around the one-chunk knee.
+    analytic_tolerance: float | None = None
 
     def __post_init__(self) -> None:
         if self.trials < 1:
             raise ValueError("need at least one trial")
         if not self.kinds:
             raise ValueError("need at least one fault kind")
+        if not 0.0 <= self.fault_rate <= 1.0:
+            raise ValueError("fault_rate must be within [0, 1]")
+        if self.fidelity not in ("exact", "adaptive"):
+            raise ValueError(
+                f"fidelity must be 'exact' or 'adaptive', got {self.fidelity!r}"
+            )
+        if self.analytic_tolerance is not None and self.analytic_tolerance <= 0.0:
+            raise ValueError("analytic_tolerance must be > 0")
         if self.nbytes <= 0:
             raise ValueError("nbytes must be > 0")
         if self.faults_per_trial < 1:
@@ -757,6 +807,12 @@ class FaultCampaign:
 
         plans: list[FaultPlan] = []
         for i in range(self.trials):
+            # One Bernoulli draw per trial -- but only when the rate is
+            # below 1.0, so default campaigns consume the seed stream
+            # exactly as they always have.
+            if self.fault_rate < 1.0 and rng.random() >= self.fault_rate:
+                plans.append(FaultPlan((), label=f"trial{i}:fault-free"))
+                continue
             specs: list[FaultSpec] = []
             claimed: set[tuple[str, int | None, int]] = set()
             for j in range(self.faults_per_trial):
@@ -793,6 +849,11 @@ class FaultCampaign:
         n_stage = max(1, profile.get(f"adv_stage@core{self.root}", 1))
         plans: list[FaultPlan] = []
         for i in range(self.trials):
+            if self.fault_rate < 1.0 and rng.random() >= self.fault_rate:
+                plans.append(FaultPlan(
+                    (), num_cores=size, label=f"trial{i}:fault-free"
+                ))
+                continue
             specs: list[FaultSpec] = []
             used: set[int] = set()
             for j in range(self.adversaries):
@@ -893,39 +954,67 @@ class FaultCampaign:
     def run(self) -> CampaignResult:
         """Profile, then run every trial (FT first, then baseline and the
         service when enabled; ``byz=True`` campaigns run only the
-        Byzantine-service leg)."""
+        Byzantine-service leg).  Equivalent to ``run_trials(jobs=1)``."""
+        return self.run_trials(jobs=1)
+
+    def run_trials(self, *, jobs: int = 1) -> CampaignResult:
+        """The one campaign scheduler: serial, parallel and adaptive
+        fidelity share it (``jobs`` fans fault-bearing trials across
+        worker processes; results are equal for any ``jobs``).
+
+        With ``fidelity="adaptive"``, fault-free trials never reach the
+        event kernel: a fault-free trial is a deterministic replica of
+        the campaign's fault-free reference run, so its
+        :class:`TrialRun` is served from the memoised reference --
+        byte-identical to what the kernel would have produced -- after
+        the analytic engine has cross-checked the reference latencies
+        (a prediction outside ``analytic_tolerance`` degrades the whole
+        campaign back to all-kernel execution).
+        """
         if self.byz:
-            return self._run_byz()
+            return self._run_byz(jobs=jobs)
         profile = self.profile_sites()
         base_latency = self._bcast_once(SccChip(self.config), ft=False)
         ft_latency = self._bcast_once(SccChip(self.config), ft=True)
         service_latency = self.service_latency_once() if self.service else 0.0
 
-        trials: list[TrialResult] = []
+        plans = self.trial_plans()
+        fidelity_info = self._check_fidelity(plans, base_latency, ft_latency)
+        reference = None
+        if fidelity_info is not None and not fidelity_info["degraded"] \
+                and fidelity_info["n_analytic"]:
+            ref_ft, _ = self.run_one(FaultPlan(), ft=True)
+            ref_base = None
+            if self.compare_baseline:
+                ref_base, _ = self.run_one(FaultPlan(), ft=False)
+            ref_service = None
+            if self.service:
+                ref_service, _ = self.run_one(FaultPlan(), ft=True, service=True)
+
+            def reference(i: int, plan: FaultPlan) -> TrialResult:
+                return TrialResult(
+                    index=i, plan=plan, ft=ref_ft,
+                    baseline=ref_base, service=ref_service,
+                )
+
+        merged = self._dispatch(plans, reference, _trial_worker, jobs)
+
         ft_counts: Counter = Counter()
-        baseline_counts: Counter | None = Counter() if self.compare_baseline else None
+        baseline_counts: Counter | None = (
+            Counter() if self.compare_baseline else None
+        )
         service_counts: Counter | None = Counter() if self.service else None
         timeline: tuple[TraceRecord, ...] = ()
-        for i, plan in enumerate(self.trial_plans()):
-            want_trace = not timeline
-            ft_run, records = self.run_one(plan, ft=True, trace=want_trace)
-            if want_trace and ft_run.n_injected:
+        trials: list[TrialResult] = []
+        for trial, records in merged:
+            ft_counts[trial.ft.outcome] += 1
+            if baseline_counts is not None and trial.baseline is not None:
+                baseline_counts[trial.baseline.outcome] += 1
+            if service_counts is not None and trial.service is not None:
+                service_counts[trial.service.outcome] += 1
+            if not timeline and trial.ft.n_injected:
                 timeline = records
-            ft_counts[ft_run.outcome] += 1
-            base_run = None
-            if self.compare_baseline:
-                base_run, _ = self.run_one(plan, ft=False)
-                baseline_counts[base_run.outcome] += 1
-            service_run = None
-            if self.service:
-                service_run, _ = self.run_one(plan, ft=True, service=True)
-                service_counts[service_run.outcome] += 1
-            trials.append(
-                TrialResult(
-                    index=i, plan=plan, ft=ft_run,
-                    baseline=base_run, service=service_run,
-                )
-            )
+            trials.append(trial)
         return CampaignResult(
             trials=tuple(trials),
             ft_counts=ft_counts,
@@ -938,28 +1027,37 @@ class FaultCampaign:
             timeline=timeline,
             service_counts=service_counts,
             service_latency=service_latency,
+            fidelity=fidelity_info,
         )
 
-    def _run_byz(self) -> CampaignResult:
+    def _run_byz(self, *, jobs: int = 1) -> CampaignResult:
         """The Byzantine campaign: profile adversary sites, measure the
-        fault-free rbc tax, then classify every adversary trial."""
+        fault-free rbc tax, then classify every adversary trial.  The
+        RBC rounds have no closed-form replay, so adaptive fidelity
+        degrades to all-kernel execution here (recorded in the result)."""
         profile = self.byz_profile_sites()
         base_latency = self._bcast_once(SccChip(self.config), ft=False)
         service_latency = self.service_latency_once()
         byz_latency = self.byz_latency_once()
 
-        trials: list[TrialResult] = []
+        fidelity_info = None
+        if self.fidelity == "adaptive":
+            fidelity_info = {
+                "mode": "adaptive", "n_analytic": 0, "n_replayed": self.trials,
+                "degraded": True,
+                "reason": "Byzantine echo/ready rounds are not analytically "
+                          "modelled; every trial runs on the event kernel",
+            }
+        plans = self.trial_plans()
+        merged = self._dispatch(plans, None, _byz_trial_worker, jobs)
         byz_counts: Counter = Counter()
         timeline: tuple[TraceRecord, ...] = ()
-        for i, plan in enumerate(self.trial_plans()):
-            want_trace = not timeline
-            byz_run, records = self.run_one(
-                plan, ft=True, byz=True, trace=want_trace
-            )
-            if want_trace and byz_run.n_injected:
+        trials: list[TrialResult] = []
+        for trial, records in merged:
+            byz_counts[trial.byz.outcome] += 1
+            if not timeline and trial.byz.n_injected:
                 timeline = records
-            byz_counts[byz_run.outcome] += 1
-            trials.append(TrialResult(index=i, plan=plan, byz=byz_run))
+            trials.append(trial)
         return CampaignResult(
             trials=tuple(trials),
             ft_counts=Counter(),
@@ -973,7 +1071,145 @@ class FaultCampaign:
             service_latency=service_latency,
             byz_counts=byz_counts,
             byz_latency=byz_latency,
+            fidelity=fidelity_info,
         )
+
+    def _check_fidelity(
+        self,
+        plans: Sequence[FaultPlan],
+        base_latency: float,
+        ft_latency: float,
+    ) -> dict | None:
+        """Arm the adaptive fast path -- or explain why it degraded.
+
+        The guard: :class:`~repro.scc.analytic.AnalyticEngine` predicts
+        the fault-free baseline and FT latencies; both must agree with
+        the kernel-measured references within ``analytic_tolerance``.
+        An out-of-tolerance prediction (or a config the engine refuses
+        to model) means this campaign sits outside the engine's
+        validated envelope, so every trial keeps its kernel run.
+        """
+        if self.fidelity != "adaptive":
+            return None
+        from ..scc.config import ContentionMode
+
+        cfg = self.config or SccConfig()
+        tolerance = self.analytic_tolerance
+        if tolerance is None:
+            tolerance = (
+                0.10 if cfg.contention_mode is ContentionMode.BATCH else 0.02
+            )
+        n_free = sum(1 for p in plans if not p.specs)
+        info: dict = {
+            "mode": "adaptive",
+            "n_analytic": n_free,
+            "n_replayed": len(plans) - n_free,
+            "tolerance": tolerance,
+            "degraded": False,
+        }
+        try:
+            kw = dict(
+                k=self.k, chunk_lines=self.chunk_lines,
+                num_buffers=self.num_buffers, root=self.root,
+            )
+            pred_base = AnalyticEngine(cfg, **kw).evaluate(
+                self.nbytes
+            ).latencies[0]
+            pred_ft = AnalyticEngine(
+                cfg, ft=True, ft_ack_data=self._oc_config(True).ft_ack_data,
+                **kw,
+            ).evaluate(self.nbytes).latencies[0]
+            info["predicted_base"] = pred_base
+            info["predicted_ft"] = pred_ft
+            info["rel_err_base"] = abs(pred_base - base_latency) / base_latency
+            info["rel_err_ft"] = abs(pred_ft - ft_latency) / ft_latency
+            worst = max(info["rel_err_base"], info["rel_err_ft"])
+            if worst > tolerance:
+                info["degraded"] = True
+                info["reason"] = (
+                    f"analytic prediction off by {worst:.2%} "
+                    f"(> {tolerance:.2%}): config outside the "
+                    f"engine's validated envelope"
+                )
+        except AnalyticUnsupported as exc:
+            info["degraded"] = True
+            info["reason"] = str(exc)
+        if info["degraded"]:
+            info["n_analytic"] = 0
+            info["n_replayed"] = len(plans)
+        return info
+
+    def _dispatch(
+        self,
+        plans: Sequence[FaultPlan],
+        reference,
+        worker,
+        jobs: int,
+    ) -> list[tuple[TrialResult, tuple[TraceRecord, ...]]]:
+        """Execute the trial list: fault-free trials come from
+        ``reference`` when the adaptive fast path armed it, everything
+        else goes through ``worker`` -- in-process for ``jobs <= 1``
+        (tracing lazily, exactly as the classic serial loop did) or
+        fanned across a process pool, merged back in trial order."""
+        pending = [
+            i for i, plan in enumerate(plans)
+            if reference is None or plan.specs
+        ]
+        ran: dict[int, tuple[TrialResult, tuple[TraceRecord, ...]]] = {}
+        if jobs <= 1:
+            # Trace until the first injection is found -- the timeline
+            # only ever comes from the first injected trial.
+            found = False
+            for i in pending:
+                out = worker((self, i, plans[i], not found))
+                run = out[0].byz if self.byz else out[0].ft
+                if not found and run.n_injected:
+                    found = True
+                ran[i] = out
+        else:
+            from .parallel import parallel_map
+
+            outs = parallel_map(
+                worker, [(self, i, plans[i], True) for i in pending],
+                jobs=jobs,
+            )
+            ran = dict(zip(pending, outs))
+        return [
+            ran[i] if i in ran else (reference(i, plan), ())
+            for i, plan in enumerate(plans)
+        ]
+
+
+def _trial_worker(
+    arg: "tuple[FaultCampaign, int, FaultPlan, bool]",
+) -> tuple[TrialResult, tuple[TraceRecord, ...]]:
+    """One seeded trial: the FT run plus the optional baseline/service
+    legs.  Module-level (picklable) so the same function serves the
+    in-process loop and the process pool."""
+    campaign, index, plan, trace = arg
+    ft_run, records = campaign.run_one(plan, ft=True, trace=trace)
+    base_run = None
+    if campaign.compare_baseline:
+        base_run, _ = campaign.run_one(plan, ft=False)
+    service_run = None
+    if campaign.service:
+        service_run, _ = campaign.run_one(plan, ft=True, service=True)
+    return (
+        TrialResult(
+            index=index, plan=plan, ft=ft_run,
+            baseline=base_run, service=service_run,
+        ),
+        records,
+    )
+
+
+def _byz_trial_worker(
+    arg: "tuple[FaultCampaign, int, FaultPlan, bool]",
+) -> tuple[TrialResult, tuple[TraceRecord, ...]]:
+    """One Byzantine trial (the RBC-hardened service only)."""
+    campaign, index, plan, trace = arg
+    byz_run, records = campaign.run_one(plan, ft=True, byz=True, trace=trace)
+    return TrialResult(index=index, plan=plan, byz=byz_run), records
 
 
 def parse_kinds(names: Sequence[str]) -> tuple[FaultKind, ...]:

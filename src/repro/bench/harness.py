@@ -26,7 +26,8 @@ from ..collectives import binomial_bcast, scatter_allgather_bcast
 from ..core import NotifyMode, OcBcast, OcBcastConfig, OsagBcast
 from ..rcce import Comm, CoreComm
 from ..scc import MemRef, SccChip, SccConfig, run_spmd
-from ..scc.config import CACHE_LINE
+from ..scc.analytic import AnalyticEngine, AnalyticResult, AnalyticUnsupported
+from ..scc.config import CACHE_LINE, ContentionMode
 
 #: Algorithm names accepted by :class:`BcastSpec`.
 ALGORITHMS = ("oc", "binomial", "scatter_allgather", "osag")
@@ -133,6 +134,47 @@ def _payload(nbytes: int, seed: int) -> bytes:
     return rng.integers(0, 256, size=nbytes, dtype=np.uint8).tobytes()
 
 
+def analytic_engine_for(
+    spec: BcastSpec, config: SccConfig | None = None, *, root: int = 0
+) -> AnalyticEngine:
+    """Build the :class:`AnalyticEngine` equivalent of a harness spec.
+
+    Only OC-Bcast has a closed-form replay (the engine models its
+    schedule, not arbitrary algorithms), so any other ``spec.algo``
+    raises :class:`AnalyticUnsupported` -- callers either surface that
+    or fall back to a simulated mode.
+    """
+    if spec.algo != "oc":
+        raise AnalyticUnsupported(
+            f"ANALYTIC mode models the OC-Bcast schedule only, "
+            f"not {spec.algo!r}; use exact/batch/ideal for other algorithms"
+        )
+    return AnalyticEngine(
+        config,
+        k=spec.k,
+        chunk_lines=spec.chunk_lines,
+        num_buffers=spec.num_buffers,
+        notify_degree=spec.notify_degree,
+        leaf_direct_to_memory=spec.leaf_direct_to_memory,
+        interrupt_notify=spec.notify_mode is NotifyMode.INTERRUPT,
+        root=root,
+        order=spec.order,
+    )
+
+
+def _to_bcast_result(spec: BcastSpec, ana: AnalyticResult) -> BcastResult:
+    # No bytes move in an analytic evaluation; delivery is structural
+    # (every rank's completion time exists), so the result reports
+    # verified=True just as a verify=False simulated run does.
+    return BcastResult(
+        spec=spec,
+        nbytes=ana.nbytes,
+        latencies=ana.latencies,
+        verified=True,
+        measured_span=ana.measured_span,
+    )
+
+
 def run_broadcast(
     spec: BcastSpec,
     nbytes: int,
@@ -161,6 +203,13 @@ def run_broadcast(
         raise ValueError("nbytes must be > 0")
     if iters < 1 or warmup < 0:
         raise ValueError("need iters >= 1 and warmup >= 0")
+    if config is not None and config.contention_mode is ContentionMode.ANALYTIC:
+        engine = analytic_engine_for(spec, config, root=root)
+        ana = engine.evaluate(nbytes, iters=iters, warmup=warmup)
+        if metrics is not None:
+            for name, value in ana.metrics.items():
+                metrics.inc(name, value)
+        return _to_bcast_result(spec, ana)
     chip = SccChip(config, tracer=tracer, metrics=metrics)
     comm = Comm(chip)
     bcast = spec.build(comm)
@@ -218,8 +267,21 @@ def sweep_broadcast(
     """Latency/throughput sweep: every spec at every message size.
 
     Returns ``{spec.label: [BcastResult per size]}``.
+
+    Under :attr:`ContentionMode.ANALYTIC` each spec's whole size axis is
+    evaluated in one vectorised batch -- the engine's per-call overhead
+    is paid once per spec instead of once per point.
     """
     out: dict[str, list[BcastResult]] = {}
+    if config is not None and config.contention_mode is ContentionMode.ANALYTIC:
+        for spec in specs:
+            engine = analytic_engine_for(spec, config)
+            batch = engine.evaluate_batch(
+                [ncl * CACHE_LINE for ncl in sizes_cache_lines],
+                iters=iters, warmup=warmup,
+            )
+            out[spec.label] = [_to_bcast_result(spec, ana) for ana in batch]
+        return out
     for spec in specs:
         rows = [
             run_broadcast(

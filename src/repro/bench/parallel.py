@@ -19,16 +19,13 @@ straight through without special-casing.
 from __future__ import annotations
 
 import os
-from collections import Counter
 from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, Iterable, Sequence, TypeVar
 
-from ..faults import FaultPlan
-from ..scc import SccChip, SccConfig
-from ..scc.config import CACHE_LINE
-from ..sim.trace import TraceRecord
-from .faultcampaign import CampaignResult, FaultCampaign, TrialResult
-from .harness import BcastResult, BcastSpec, run_broadcast
+from ..scc import SccConfig
+from ..scc.config import CACHE_LINE, ContentionMode
+from .faultcampaign import CampaignResult, FaultCampaign
+from .harness import BcastResult, BcastSpec, run_broadcast, sweep_broadcast
 
 _T = TypeVar("_T")
 _R = TypeVar("_R")
@@ -88,7 +85,17 @@ def sweep_broadcast_parallel(
     every point carries the same explicit ``seed`` the serial sweep uses,
     and the merge is by grid position -- the returned mapping is equal to
     the serial one for any ``jobs``.
+
+    Under :attr:`ContentionMode.ANALYTIC` the grid is handed straight to
+    the serial sweep: one vectorised engine batch per spec beats fanning
+    per-point engine builds across processes, and the seed never matters
+    analytically (no payload bytes move).
     """
+    if config is not None and config.contention_mode is ContentionMode.ANALYTIC:
+        return sweep_broadcast(
+            specs, sizes_cache_lines, config=config,
+            iters=iters, warmup=warmup, verify=verify,
+        )
     points = [
         (spec, ncl * CACHE_LINE, config, iters, warmup, verify, seed)
         for spec in specs
@@ -104,133 +111,15 @@ def sweep_broadcast_parallel(
 # -- fault campaigns ----------------------------------------------------------
 
 
-def _campaign_trial(
-    arg: tuple[FaultCampaign, int, FaultPlan],
-) -> tuple[TrialResult, tuple[TraceRecord, ...]]:
-    """Worker: one seeded trial (FT run plus optional baseline run).
-
-    Always traces the FT run: tracing has no timing effect, and the
-    caller needs the records of whichever trial turns out to be the first
-    with an injection (unknowable before the merge).
-    """
-    campaign, index, plan = arg
-    ft_run, records = campaign.run_one(plan, ft=True, trace=True)
-    base_run = None
-    if campaign.compare_baseline:
-        base_run, _ = campaign.run_one(plan, ft=False)
-    service_run = None
-    if campaign.service:
-        service_run, _ = campaign.run_one(plan, ft=True, service=True)
-    return (
-        TrialResult(
-            index=index, plan=plan, ft=ft_run,
-            baseline=base_run, service=service_run,
-        ),
-        records,
-    )
-
-
-def _byz_trial(
-    arg: tuple[FaultCampaign, int, FaultPlan],
-) -> tuple[TrialResult, tuple[TraceRecord, ...]]:
-    """Worker: one Byzantine trial (the RBC-hardened service only)."""
-    campaign, index, plan = arg
-    byz_run, records = campaign.run_one(plan, ft=True, byz=True, trace=True)
-    return TrialResult(index=index, plan=plan, byz=byz_run), records
-
-
 def run_campaign_parallel(
     campaign: FaultCampaign, *, jobs: int = 1
 ) -> CampaignResult:
     """Parallel equivalent of :meth:`FaultCampaign.run`.
 
-    The profile and the two fault-free reference runs stay in-process
-    (they seed the trial plans); the trials -- the bulk of the work --
-    fan out.  Results merge in trial order and the timeline is taken from
-    the lowest-index trial that saw an injection, exactly as the serial
-    loop encounters it, so the returned :class:`CampaignResult` is equal
-    for any ``jobs``.
+    A thin alias of :meth:`FaultCampaign.run_trials` -- the one
+    scheduler behind serial, parallel and adaptive-fidelity campaigns
+    (the profile and fault-free reference runs stay in-process; trials
+    fan out and merge in trial order, so the returned
+    :class:`CampaignResult` is equal for any ``jobs``).
     """
-    if jobs <= 1:
-        return campaign.run()
-    if campaign.byz:
-        return _run_byz_parallel(campaign, jobs=jobs)
-    profile = campaign.profile_sites()
-    base_latency = campaign._bcast_once(SccChip(campaign.config), ft=False)
-    ft_latency = campaign._bcast_once(SccChip(campaign.config), ft=True)
-    service_latency = campaign.service_latency_once() if campaign.service else 0.0
-
-    plans = campaign.trial_plans()
-    merged = parallel_map(
-        _campaign_trial,
-        [(campaign, i, plan) for i, plan in enumerate(plans)],
-        jobs=jobs,
-    )
-
-    ft_counts: Counter = Counter()
-    baseline_counts: Counter | None = (
-        Counter() if campaign.compare_baseline else None
-    )
-    service_counts: Counter | None = Counter() if campaign.service else None
-    timeline: tuple[TraceRecord, ...] = ()
-    trials: list[TrialResult] = []
-    for trial, records in merged:
-        ft_counts[trial.ft.outcome] += 1
-        if baseline_counts is not None and trial.baseline is not None:
-            baseline_counts[trial.baseline.outcome] += 1
-        if service_counts is not None and trial.service is not None:
-            service_counts[trial.service.outcome] += 1
-        if not timeline and trial.ft.n_injected:
-            timeline = records
-        trials.append(trial)
-    return CampaignResult(
-        trials=tuple(trials),
-        ft_counts=ft_counts,
-        baseline_counts=baseline_counts,
-        base_latency=base_latency,
-        ft_latency=ft_latency,
-        profile=profile,
-        nbytes=campaign.nbytes,
-        seed=campaign.seed,
-        timeline=timeline,
-        service_counts=service_counts,
-        service_latency=service_latency,
-    )
-
-
-def _run_byz_parallel(campaign: FaultCampaign, *, jobs: int) -> CampaignResult:
-    """Fan the Byzantine trials out; merge exactly as
-    :meth:`FaultCampaign._run_byz` does serially."""
-    profile = campaign.byz_profile_sites()
-    base_latency = campaign._bcast_once(SccChip(campaign.config), ft=False)
-    service_latency = campaign.service_latency_once()
-    byz_latency = campaign.byz_latency_once()
-
-    plans = campaign.trial_plans()
-    merged = parallel_map(
-        _byz_trial,
-        [(campaign, i, plan) for i, plan in enumerate(plans)],
-        jobs=jobs,
-    )
-    byz_counts: Counter = Counter()
-    timeline: tuple[TraceRecord, ...] = ()
-    trials: list[TrialResult] = []
-    for trial, records in merged:
-        byz_counts[trial.byz.outcome] += 1
-        if not timeline and trial.byz.n_injected:
-            timeline = records
-        trials.append(trial)
-    return CampaignResult(
-        trials=tuple(trials),
-        ft_counts=Counter(),
-        baseline_counts=None,
-        base_latency=base_latency,
-        ft_latency=0.0,
-        profile=profile,
-        nbytes=campaign.nbytes,
-        seed=campaign.seed,
-        timeline=timeline,
-        service_latency=service_latency,
-        byz_counts=byz_counts,
-        byz_latency=byz_latency,
-    )
+    return campaign.run_trials(jobs=jobs)

@@ -12,8 +12,11 @@ Examples::
     python -m repro contention --op get --lines 128
     python -m repro faults --trials 50 --kinds drop_flag crash --timeline
     python -m repro faults --trials 20 --byz --adversaries 3 --timeline
+    python -m repro faults --trials 500 --fault-rate 0.05 --fidelity adaptive
+    python -m repro sweep --algos oc:7 --sizes 1 16 96 192 --mode analytic
     python -m repro fit
     python -m repro model --what table2
+    python -m repro model --what fig6 --mode analytic
 
 Every command builds a fresh simulated chip, runs on it, and prints
 tables (optionally ASCII charts) to stdout.
@@ -42,7 +45,13 @@ from .faults import CRASH_SITES
 from .bench.ascii_plot import ascii_chart
 from .bench.contention import contention_sweep
 from .model import TABLE_1, broadcast as model_bcast, fitting
-from .scc import SccConfig
+from .scc import (
+    AnalyticEngine,
+    AnalyticUnsupported,
+    ContentionMode,
+    SccConfig,
+    resolve_contention_mode,
+)
 from .scc.config import CACHE_LINE
 
 
@@ -55,12 +64,28 @@ def _parse_spec(text: str) -> BcastSpec:
 
 
 def _config(args: argparse.Namespace) -> SccConfig:
-    return SccConfig(mesh_cols=args.mesh_cols, mesh_rows=args.mesh_rows)
+    # Subcommands without --mode fall back to the chip default (batch).
+    return SccConfig(
+        mesh_cols=args.mesh_cols,
+        mesh_rows=args.mesh_rows,
+        contention_mode=resolve_contention_mode(getattr(args, "mode", "batch")),
+    )
 
 
 def _add_mesh_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--mesh-cols", type=int, default=6, help="mesh columns (default 6)")
     p.add_argument("--mesh-rows", type=int, default=4, help="mesh rows (default 4)")
+
+
+def _add_mode_arg(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--mode", default="batch",
+        choices=[m.value for m in ContentionMode],
+        help="contention fidelity: exact = per-line port arbitration, "
+             "batch = whole-transfer port holds (default), ideal = no "
+             "queueing, analytic = closed-form numpy replay of the "
+             "IDEAL protocol without the event kernel (OC-Bcast only)",
+    )
 
 
 def _add_jobs_arg(p: argparse.ArgumentParser) -> None:
@@ -108,6 +133,8 @@ _HEADLINE_METRICS = (
 def _metrics_report(metrics, out_path: str | None) -> None:
     flat = metrics.flat()
     rows = [[k, f"{flat[k]:.4g}"] for k in _HEADLINE_METRICS if k in flat]
+    if not rows:  # analytic runs have protocol counters, no kernel stats
+        rows = [[k, f"{flat[k]:.4g}"] for k in sorted(flat)]
     print()
     print(format_table(["metric", "value"], rows, title="Metrics"))
     if out_path:
@@ -126,15 +153,19 @@ def cmd_bcast(args: argparse.Namespace) -> int:
         from .obs import MetricsRegistry
 
         metrics = MetricsRegistry()
-    res = run_broadcast(
-        spec,
-        args.cache_lines * CACHE_LINE,
-        config=_config(args),
-        root=args.root,
-        iters=args.iters,
-        warmup=args.warmup,
-        metrics=metrics,
-    )
+    try:
+        res = run_broadcast(
+            spec,
+            args.cache_lines * CACHE_LINE,
+            config=_config(args),
+            root=args.root,
+            iters=args.iters,
+            warmup=args.warmup,
+            metrics=metrics,
+        )
+    except AnalyticUnsupported as exc:
+        print(f"ERROR: {exc}", file=sys.stderr)
+        return 2
     if not res.verified:
         print("ERROR: payload verification failed", file=sys.stderr)
         return 1
@@ -204,10 +235,14 @@ def cmd_trace(args: argparse.Namespace) -> int:
 
 def cmd_sweep(args: argparse.Namespace) -> int:
     specs = [_parse_spec(a) for a in args.algos]
-    out = sweep_broadcast_parallel(
-        specs, args.sizes, config=_config(args), iters=args.iters,
-        warmup=args.warmup, jobs=args.jobs or default_jobs(),
-    )
+    try:
+        out = sweep_broadcast_parallel(
+            specs, args.sizes, config=_config(args), iters=args.iters,
+            warmup=args.warmup, jobs=args.jobs or default_jobs(),
+        )
+    except AnalyticUnsupported as exc:
+        print(f"ERROR: {exc}", file=sys.stderr)
+        return 2
     if args.throughput:
         series = {
             label: [r.steady_throughput_mb_s for r in rows]
@@ -268,6 +303,8 @@ def cmd_faults(args: argparse.Namespace) -> int:
             link_down_duration=args.burst_duration,
             byz=args.byz,
             adversaries=args.adversaries,
+            fault_rate=args.fault_rate,
+            fidelity=args.fidelity,
         )
     except ValueError as exc:
         print(f"ERROR: {exc}", file=sys.stderr)
@@ -312,29 +349,68 @@ def cmd_fit(args: argparse.Namespace) -> int:
     return 0
 
 
+def _model_mesh(cores: int) -> SccConfig:
+    """A chip geometry with exactly ``cores`` cores for engine-backed
+    model evaluation (48 -> the real 6x4 mesh; other even counts get the
+    widest mesh that divides evenly)."""
+    for rows in (4, 2, 1):
+        if cores % (2 * rows) == 0:
+            return SccConfig(mesh_cols=cores // (2 * rows), mesh_rows=rows)
+    raise ValueError(f"engine evaluation needs an even core count, got {cores}")
+
+
 def cmd_model(args: argparse.Namespace) -> int:
+    analytic = resolve_contention_mode(args.mode) is ContentionMode.ANALYTIC
+    if analytic:
+        try:
+            cfg = _model_mesh(args.cores)
+        except ValueError as exc:
+            print(f"ERROR: {exc}", file=sys.stderr)
+            return 2
     if args.what == "table2":
-        t2 = model_bcast.table2(args.cores, TABLE_1)
-        print(
-            format_table(
-                ["algorithm", "peak throughput (MB/s)"],
-                list(t2.as_dict().items()),
-                title=f"Table 2 (analytic), P={args.cores}",
-            )
-        )
+        if analytic:
+            # Steady-state pipeline throughput from the engine's protocol
+            # replay; scatter-allgather has no engine schedule, so its row
+            # keeps the Formula 16 value.
+            big = 8 * model_bcast.M_OC * CACHE_LINE
+            rows: list[list] = []
+            for k in (2, 7, min(47, args.cores - 1)):
+                eng = AnalyticEngine(cfg, k=k)
+                res = eng.evaluate(big, iters=3, warmup=1)
+                rows.append([f"OC-Bcast k={k}", res.steady_throughput_mb_s])
+            rows.append([
+                "scatter-allgather (formula)",
+                model_bcast.scatter_allgather_throughput_complete(args.cores, TABLE_1),
+            ])
+            title = f"Table 2 (engine replay), P={args.cores}"
+        else:
+            t2 = model_bcast.table2(args.cores, TABLE_1)
+            rows = list(t2.as_dict().items())
+            title = f"Table 2 (analytic), P={args.cores}"
+        print(format_table(["algorithm", "peak throughput (MB/s)"], rows, title=title))
         return 0
     sizes = list(range(1, 193, 8))
-    series = {
-        "k=2": [model_bcast.ocbcast_latency_complete(args.cores, m, 2, TABLE_1) for m in sizes],
-        "k=7": [model_bcast.ocbcast_latency_complete(args.cores, m, 7, TABLE_1) for m in sizes],
-        "binomial": [model_bcast.binomial_latency_complete(args.cores, m, TABLE_1) for m in sizes],
-    }
-    print(
-        ascii_chart(
-            sizes, series, title=f"Figure 6a (analytic), P={args.cores}",
-            x_label="CL", y_label="us",
-        )
-    )
+    if analytic:
+        series = {}
+        for k in (2, 7):
+            eng = AnalyticEngine(cfg, k=k)
+            batch = eng.evaluate_batch([m * CACHE_LINE for m in sizes], iters=1)
+            series[f"k={k}"] = [r.mean_latency for r in batch]
+        series["binomial (formula)"] = model_bcast.binomial_latency_complete_batch(
+            args.cores, sizes, TABLE_1
+        ).tolist()
+        title = f"Figure 6a (engine replay), P={args.cores}"
+    else:
+        series = {
+            "k=2": model_bcast.ocbcast_latency_complete_batch(
+                args.cores, sizes, 2, TABLE_1).tolist(),
+            "k=7": model_bcast.ocbcast_latency_complete_batch(
+                args.cores, sizes, 7, TABLE_1).tolist(),
+            "binomial": model_bcast.binomial_latency_complete_batch(
+                args.cores, sizes, TABLE_1).tolist(),
+        }
+        title = f"Figure 6a (analytic), P={args.cores}"
+    print(ascii_chart(sizes, series, title=title, x_label="CL", y_label="us"))
     return 0
 
 
@@ -362,6 +438,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--metrics-out", metavar="FILE", default=None,
                    help="also dump the full metric registry (.csv or .json)")
     _add_mesh_args(p)
+    _add_mode_arg(p)
     p.set_defaults(fn=cmd_bcast)
 
     p = sub.add_parser(
@@ -393,6 +470,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="report steady throughput instead of latency")
     p.add_argument("--chart", action="store_true", help="also draw an ASCII chart")
     _add_mesh_args(p)
+    _add_mode_arg(p)
     _add_jobs_arg(p)
     p.set_defaults(fn=cmd_sweep)
 
@@ -449,7 +527,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--adversaries", type=int, default=1,
                    help="compromised cores per Byzantine trial (the RBC "
                         "guarantees hold up to f = (n-1)//3)")
+    p.add_argument("--fault-rate", type=float, default=1.0,
+                   help="fraction of trials that draw a fault plan; the "
+                        "rest run fault-free (default 1.0 = every trial "
+                        "faulty, the historical behaviour)")
+    p.add_argument("--fidelity", choices=["exact", "adaptive"],
+                   default="exact",
+                   help="adaptive = serve fault-free trials from an "
+                        "analytically cross-checked reference run and "
+                        "replay only fault-bearing trials through the "
+                        "event kernel (identical classifications, "
+                        "orders of magnitude faster at low --fault-rate)")
     _add_mesh_args(p)
+    _add_mode_arg(p)
     _add_jobs_arg(p)
     p.set_defaults(fn=cmd_faults)
 
@@ -461,6 +551,13 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("model", help="evaluate the analytic model")
     p.add_argument("--what", choices=["table2", "fig6"], default="table2")
     p.add_argument("--cores", type=int, default=48)
+    p.add_argument(
+        "--mode", default="batch",
+        choices=[m.value for m in ContentionMode],
+        help="analytic = evaluate via the AnalyticEngine protocol replay "
+             "(bit-identical to an IDEAL simulation) instead of the "
+             "closed-form Figure 7 formulas; other modes keep the formulas",
+    )
     p.set_defaults(fn=cmd_model)
 
     return parser

@@ -15,15 +15,19 @@ Timing constants default to the values the paper measured on real silicon
 (its Table 1); see :class:`SccConfig` for the full knob list.
 """
 
-from .config import ContentionMode, SccConfig
+from .config import ContentionMode, SccConfig, resolve_contention_mode
 from .chip import SccChip, SpmdResult, run_spmd
 from .irq import IrqController
 from .core import Core
 from .memory import L1Cache, MemRef, PrivateMemory
 from .mesh import Mesh
 from .mpb import Mpb
+from .analytic import AnalyticEngine, AnalyticResult, AnalyticUnsupported
 
 __all__ = [
+    "AnalyticEngine",
+    "AnalyticResult",
+    "AnalyticUnsupported",
     "ContentionMode",
     "Core",
     "IrqController",
@@ -35,5 +39,6 @@ __all__ = [
     "SccChip",
     "SccConfig",
     "SpmdResult",
+    "resolve_contention_mode",
     "run_spmd",
 ]

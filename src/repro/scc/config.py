@@ -38,11 +38,41 @@ class ContentionMode(enum.Enum):
     IDEAL
         No port or link queueing at all; timing is exactly the analytic
         Formulas 1-12.  Used to cross-validate the LogP model.
+    ANALYTIC
+        IDEAL timing evaluated *without the event kernel*: benchmark and
+        campaign entry points that recognise this mode hand whole
+        broadcasts (or whole batches of them) to
+        :class:`repro.scc.analytic.AnalyticEngine`, which replays the
+        protocol's closed-form recurrence in numpy -- bit-identical to
+        an IDEAL simulation, orders of magnitude faster.  Code that
+        *does* run the event kernel under this mode (e.g. a fault-plan
+        replay inside an adaptive-fidelity campaign) gets IDEAL
+        per-primitive timing.
     """
 
     EXACT = "exact"
     BATCH = "batch"
     IDEAL = "ideal"
+    ANALYTIC = "analytic"
+
+
+def resolve_contention_mode(name: "str | ContentionMode") -> ContentionMode:
+    """The one place mode strings become :class:`ContentionMode`.
+
+    Accepts an existing enum member or any case-insensitive value string
+    (``"exact"``, ``"batch"``, ``"ideal"``, ``"analytic"``); every CLI
+    subcommand and config loader resolves through here so the accepted
+    spellings (and the error message) cannot drift apart.
+    """
+    if isinstance(name, ContentionMode):
+        return name
+    try:
+        return ContentionMode(str(name).strip().lower())
+    except ValueError:
+        choices = "/".join(m.value for m in ContentionMode)
+        raise ValueError(
+            f"unknown contention mode {name!r}: expected one of {choices}"
+        ) from None
 
 
 @dataclass(frozen=True)

@@ -167,7 +167,10 @@ class Core:
         per_line = self.jittered(line_cost + extra_per_line)
         service = cfg.t_mpb_port_write if write else cfg.t_mpb_port
         mode = cfg.contention_mode
-        if mode is ContentionMode.IDEAL:
+        if mode is ContentionMode.IDEAL or mode is ContentionMode.ANALYTIC:
+            # ANALYTIC runs that reach the kernel (fault replays inside an
+            # adaptive-fidelity campaign) use IDEAL per-primitive timing;
+            # the analytic engine replays exactly this arithmetic.
             yield sim.timeout(n_lines * per_line)
             stats.mpb_time += sim.now - t0
             return
