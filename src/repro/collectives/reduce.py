@@ -95,7 +95,7 @@ def binomial_reduce(
                 recvbuf.sub(0, nbytes).read(), scratch.read()
             )
             # The combine itself is local compute over both operands.
-            yield from cc.core.mem_read(scratch)
-            yield from cc.core.mem_write(recvbuf.sub(0, nbytes))
+            yield from cc.mem_read(scratch)
+            yield from cc.mem_write(recvbuf.sub(0, nbytes))
             recvbuf.sub(0, nbytes).write(combined)
         mask <<= 1

@@ -338,10 +338,9 @@ class OcBcast:
             tree = PropagationTree(size, cfg.k, root, tuple(order) if order else ())
         children = tree.children_of(cc.rank)
         if tree.parent_of(cc.rank) is None:
-            if cc.chip.metrics is not None:
-                cc.chip.metrics.inc("oc.bcasts")
-                cc.chip.metrics.inc("oc.chunks", nchunks)
-                cc.chip.metrics.inc("oc.bytes", nbytes)
+            cc.metric_inc("oc.bcasts")
+            cc.metric_inc("oc.chunks", nchunks)
+            cc.metric_inc("oc.bytes", nbytes)
             return (
                 yield from self._run_root(
                     cc, tree, children, buf, nbytes, nchunks, base
@@ -372,7 +371,7 @@ class OcBcast:
             b = idx % cfg.num_buffers
             off = idx * cfg.chunk_bytes
             span = min(cfg.chunk_bytes, nbytes - off)
-            cc.chip.trace(f"rank{cc.rank}", "oc.chunk.begin", idx=idx, seq=seq)
+            cc.trace("oc.chunk.begin", idx=idx, seq=seq)
             # Recycle buffer b: children must have consumed its previous
             # occupant (chunk idx - num_buffers).
             if children and idx >= cfg.num_buffers:
@@ -385,17 +384,17 @@ class OcBcast:
             # into buffer ``b`` is legal only once every live child's
             # doneFlag has reached seq - num_buffers (vacuous for the
             # first num_buffers chunks).
-            cc.chip.trace(
-                f"rank{cc.rank}", "oc.chunk_staged",
+            cc.trace(
+                "oc.chunk_staged",
                 idx=idx, seq=seq, buf=b, floor=seq - cfg.num_buffers,
             )
             yield from self._notify(cc, tree, family, children, slot=0, seq=seq,
                                     dead=dead)
-            if cfg.byz and cc.chip.faults is not None:
+            if cfg.byz and cc.has_faults:
                 yield from self._maybe_equivocate(
                     cc, children, done, dead, b, buf.sub(off, span), span, seq
                 )
-            cc.chip.trace(f"rank{cc.rank}", "oc.chunk.end", idx=idx, seq=seq)
+            cc.trace("oc.chunk.end", idx=idx, seq=seq)
         # Byzantine mode: the source's payload is fully staged, so cast
         # its ECHO votes now -- they overlap the whole done-chain ascent
         # and the commit round below, hiding most of the fan-out cost.
@@ -416,12 +415,9 @@ class OcBcast:
         failed = bool(dead) or any(v.tag < 0 for v in final_vals)
         commit_seq = base + nchunks + 1
         tag = COMMIT_RETRY if failed else COMMIT_OK
-        cc.chip.trace(
-            f"rank{cc.rank}", "oc.svc.commit", seq=commit_seq, ok=not failed
-        )
-        if cc.chip.metrics is not None:
-            cc.chip.metrics.inc("oc.svc.commit_ok" if not failed else
-                                "oc.svc.commit_retry")
+        cc.trace("oc.svc.commit", seq=commit_seq, ok=not failed)
+        cc.metric_inc("oc.svc.commit_ok" if not failed else
+                      "oc.svc.commit_retry")
         yield from self._notify(
             cc, tree, family, children, slot=0, seq=commit_seq, dead=dead, tag=tag
         )
@@ -460,10 +456,10 @@ class OcBcast:
             off = idx * cfg.chunk_bytes
             span = min(cfg.chunk_bytes, nbytes - off)
             is_final = idx == nchunks - 1
-            cc.chip.trace(f"rank{cc.rank}", "oc.chunk.begin", idx=idx, seq=seq)
-            cc.chip.trace(f"rank{cc.rank}", "oc.wait.begin", idx=idx, seq=seq)
+            cc.trace("oc.chunk.begin", idx=idx, seq=seq)
+            cc.trace("oc.wait.begin", idx=idx, seq=seq)
             yield from self._wait_notify(cc, seq)
-            cc.chip.trace(f"rank{cc.rank}", "oc.wait.end", idx=idx, seq=seq)
+            cc.trace("oc.wait.end", idx=idx, seq=seq)
             # (i) relay the notification among the siblings.
             yield from self._notify(cc, tree, parent_family, siblings, my_slot, seq)
             # Recycle own buffer b (not needed by leaves).
@@ -474,8 +470,8 @@ class OcBcast:
                 )
             if leaf_direct:
                 # Section 5.4: a leaf copies straight to off-chip memory.
-                cc.chip.trace(
-                    f"rank{cc.rank}", "oc.fetch",
+                cc.trace(
+                    "oc.fetch",
                     idx=idx, seq=seq, parent=parent, buf=b,
                     floor=seq - cfg.num_buffers, direct=True,
                 )
@@ -488,8 +484,8 @@ class OcBcast:
             else:
                 # (ii) parent's MPB buffer -> own MPB buffer (same offset:
                 # the layout is symmetric).
-                cc.chip.trace(
-                    f"rank{cc.rank}", "oc.fetch",
+                cc.trace(
+                    "oc.fetch",
                     idx=idx, seq=seq, parent=parent, buf=b,
                     floor=seq - cfg.num_buffers, direct=False,
                 )
@@ -508,8 +504,8 @@ class OcBcast:
                 yield from cc.get(
                     cc.rank, self._payload_off(b), buf.sub(off, span), span
                 )
-            cc.chip.trace(f"rank{cc.rank}", "oc.chunk_done", idx=idx, seq=seq)
-            cc.chip.trace(f"rank{cc.rank}", "oc.chunk.end", idx=idx, seq=seq)
+            cc.trace("oc.chunk_done", idx=idx, seq=seq)
+            cc.trace("oc.chunk.end", idx=idx, seq=seq)
         # Byzantine mode: every chunk is fetched and verified, so cast
         # this rank's ECHO votes now.  A leaf overlaps them with the
         # done-chain climbing the tree above it; an interior node with
@@ -544,9 +540,7 @@ class OcBcast:
         try:
             commit = yield from self._wait_notify(cc, commit_seq)
         except SimTimeoutError:
-            cc.chip.trace(
-                f"rank{cc.rank}", "oc.svc.commit_unknown", seq=commit_seq
-            )
+            cc.trace("oc.svc.commit_unknown", seq=commit_seq)
             return "undecided"
         yield from self._notify(
             cc, tree, parent_family, siblings, my_slot, commit_seq, tag=commit.tag
@@ -557,9 +551,7 @@ class OcBcast:
                 dead=dead, tag=commit.tag,
             )
         ok = commit.tag == COMMIT_OK
-        cc.chip.trace(
-            f"rank{cc.rank}", "oc.svc.commit", seq=commit_seq, ok=ok
-        )
+        cc.trace("oc.svc.commit", seq=commit_seq, ok=ok)
         return "ok" if ok else "retry"
 
     # -- FT primitives -------------------------------------------------------
@@ -631,7 +623,7 @@ class OcBcast:
         detectable by per-hop CRC checks -- exactly the gap the RBC
         layer's digest quorums close.
         """
-        spec = cc.chip.faults.adversary_stage(cc.core.id)
+        spec = cc.adversary_stage()
         if spec is None:
             return
         # Precompute the variant and its header up front: a real attacker
@@ -656,11 +648,8 @@ class OcBcast:
                 )
             except SimTimeoutError:
                 pass  # nobody consumed in time: restage anyway
-        cc.chip.trace(
-            f"rank{cc.rank}", "oc.adv.equivocate", seq=seq, buf=b, span=span
-        )
-        if cc.chip.metrics is not None:
-            cc.chip.metrics.inc("oc.adv.equivocations")
+        cc.trace("oc.adv.equivocate", seq=seq, buf=b, span=span)
+        cc.metric_inc("oc.adv.equivocations")
         yield from cc.put(cc.rank, self._payload_off(b), self._equiv_buf.sub(0, head), head)
         yield from cc.put_bytes(cc.rank, self.buffers[b].offset, header)
 
@@ -670,7 +659,7 @@ class OcBcast:
         lines = -(-span // CACHE_LINE)
         cost = self.config.integrity_crc_us_per_line * lines
         if cost > 0:
-            yield cc.core.compute(cost)
+            yield from cc.compute(cost)
 
     def _fetch(
         self, cc: "CoreComm", parent: int, b: int, span: int, seq: int
@@ -701,31 +690,29 @@ class OcBcast:
         for attempt in range(cfg.integrity_retries + 1):
             yield from cc.get(parent, reg.offset, reg.offset, total)
             yield from self._crc_charge(cc, span)
-            raw = cc.chip.mpbs[cc.core.id].read_bytes(reg.offset, total)
+            raw = cc.read_local(reg.offset, total)
             if self._chunk_ok(raw, seq, span):
                 if attempt:
-                    cc.chip.trace(
-                        f"rank{cc.rank}", "oc.integrity.refetch_ok",
+                    cc.trace(
+                        "oc.integrity.refetch_ok",
                         seq=seq, attempts=attempt + 1,
                     )
-                    if cc.chip.faults is not None:
-                        cc.chip.faults.note_recovery(
-                            f"oc.chunk{seq}@core{cc.core.id}",
-                            note=f"re-fetched x{attempt}",
-                        )
+                    cc.note_recovery(
+                        f"oc.chunk{seq}@core{cc.core_id}",
+                        note=f"re-fetched x{attempt}",
+                    )
                 return
-            cc.chip.trace(
-                f"rank{cc.rank}", "oc.integrity.mismatch",
+            cc.trace(
+                "oc.integrity.mismatch",
                 seq=seq, parent=parent, attempt=attempt + 1,
             )
-            if cc.chip.metrics is not None:
-                cc.chip.metrics.inc("oc.integrity.mismatches")
+            cc.metric_inc("oc.integrity.mismatches")
         raise SimTimeoutError(
-            f"core {cc.core.id}: chunk seq={seq} failed checksum after "
+            f"core {cc.core_id}: chunk seq={seq} failed checksum after "
             f"{cfg.integrity_retries + 1} fetches from rank {parent} at "
-            f"t={cc.core.sim.now:.4f} (corruption upstream of this fetch)",
-            process=f"core{cc.core.id}",
-            sim_time=cc.core.sim.now,
+            f"t={cc.now:.4f} (corruption upstream of this fetch)",
+            process=f"core{cc.core_id}",
+            sim_time=cc.now,
             site="oc.integrity",
         )
 
@@ -747,24 +734,23 @@ class OcBcast:
             )
             yield from self._crc_charge(cc, span)
             if self._chunk_ok(header + dst.sub(0, span).read(), seq, span):
-                if attempt and cc.chip.faults is not None:
-                    cc.chip.faults.note_recovery(
-                        f"oc.chunk{seq}@core{cc.core.id}",
+                if attempt:
+                    cc.note_recovery(
+                        f"oc.chunk{seq}@core{cc.core_id}",
                         note=f"re-fetched x{attempt} (direct)",
                     )
                 return
-            cc.chip.trace(
-                f"rank{cc.rank}", "oc.integrity.mismatch",
+            cc.trace(
+                "oc.integrity.mismatch",
                 seq=seq, parent=parent, attempt=attempt + 1, direct=True,
             )
-            if cc.chip.metrics is not None:
-                cc.chip.metrics.inc("oc.integrity.mismatches")
+            cc.metric_inc("oc.integrity.mismatches")
         raise SimTimeoutError(
-            f"core {cc.core.id}: direct chunk seq={seq} failed checksum after "
+            f"core {cc.core_id}: direct chunk seq={seq} failed checksum after "
             f"{cfg.integrity_retries + 1} fetches from rank {parent} at "
-            f"t={cc.core.sim.now:.4f}",
-            process=f"core{cc.core.id}",
-            sim_time=cc.core.sim.now,
+            f"t={cc.now:.4f}",
+            process=f"core{cc.core_id}",
+            sim_time=cc.now,
             site="oc.integrity",
         )
 
@@ -821,26 +807,24 @@ class OcBcast:
             except SimTimeoutError:
                 lag = [
                     i for i in live
-                    if done[i].peek(cc.chip, cc.core.id).seq < floor
+                    if cc.flag_peek(done[i]).seq < floor
                 ]
                 if retries >= cfg.ft_max_retries:
                     for i in lag:
                         dead.add(children[i])
-                        cc.chip.trace(
-                            f"rank{cc.rank}", "oc.ft.child_dead",
+                        cc.trace(
+                            "oc.ft.child_dead",
                             child=children[i], floor=floor,
                         )
-                        if cc.chip.metrics is not None:
-                            cc.chip.metrics.inc("oc.ft.children_declared_dead")
+                        cc.metric_inc("oc.ft.children_declared_dead")
                     continue  # re-check: the others may already be done
                 retries += 1
                 for i in lag:
-                    cc.chip.trace(
-                        f"rank{cc.rank}", "oc.ft.renotify",
+                    cc.trace(
+                        "oc.ft.renotify",
                         child=children[i], seq=last_seq,
                     )
-                    if cc.chip.metrics is not None:
-                        cc.chip.metrics.inc("oc.ft.renotifies")
+                    cc.metric_inc("oc.ft.renotifies")
                     yield from cc.flag_set_acked(
                         children[i], self.notify, FlagValue(0, last_seq),
                         max_retries=cfg.ft_max_retries,
@@ -896,7 +880,7 @@ class OcBcast:
                 [self.notify], lambda v: v[0].seq >= seq, sweep_flags=0,
                 timeout=timeout, site="oc.notify",
             )
-            yield cc.core.compute(self.config.irq_handler)
+            yield from cc.compute(self.config.irq_handler)
         else:
             vals = yield from cc.wait_flags(
                 [self.notify], lambda v, s=seq: v[0].seq >= s,

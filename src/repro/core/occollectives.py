@@ -153,7 +153,6 @@ class OcReduce:
         children = tree.children_of(cc.rank)
         parent = tree.parent_of(cc.rank)
         done = self.done[: len(children)]
-        chip = cc.chip
 
         for idx in range(nchunks):
             seq = base + idx + 1
@@ -161,7 +160,7 @@ class OcReduce:
             span = min(self.chunk_bytes, nbytes - off)
             # Local contribution for this chunk (timed read; combine cost
             # is modeled by the reads/writes of the operands).
-            yield from cc.core.mem_read(sendbuf.sub(off, span))
+            yield from cc.mem_read(sendbuf.sub(off, span))
             acc = sendbuf.sub(off, span).read()
             if children:
                 yield from cc.wait_flags(
@@ -169,14 +168,14 @@ class OcReduce:
                 )
                 for j, child in enumerate(children):
                     slot_off = self.slots.offset + j * self.chunk_bytes
-                    raw = cc.core.mpb.read_bytes(slot_off, span)
+                    raw = cc.read_local(slot_off, span)
                     # Timed read of the slot from the own MPB.
-                    yield from cc.core.mpb_access(cc.core.id, -(-span // CACHE_LINE))
+                    yield from cc.mpb_charge_local(-(-span // CACHE_LINE))
                     acc = op.combine(acc, raw)
                     # Free the slot for the child's next chunk.
                     yield from cc.flag_set(child, self.free, FlagValue(cc.rank, seq))
             if parent is None:
-                yield from cc.core.mem_write(recvbuf.sub(off, span))
+                yield from cc.mem_write(recvbuf.sub(off, span))
                 recvbuf.sub(off, span).write(acc)
             else:
                 # Wait for my slot at the parent to be free (seq-1 consumed).
@@ -190,7 +189,7 @@ class OcReduce:
                 slot = tree.child_index(cc.rank)
                 slot_off = self.slots.offset + slot * self.chunk_bytes
                 # Stage the combined chunk, then put it into the parent slot.
-                yield from cc.core.mem_write(recvbuf.sub(off, span))
+                yield from cc.mem_write(recvbuf.sub(off, span))
                 recvbuf.sub(off, span).write(acc)
                 yield from cc.put(
                     parent, slot_off, recvbuf.sub(off, span), span
@@ -205,4 +204,4 @@ class OcReduce:
             yield from cc.wait_flags(
                 [self.free], lambda v, f=final: v[0].seq >= f
             )
-        chip.trace(f"rank{cc.rank}", "ocr.done", chunks=nchunks)
+        cc.trace("ocr.done", chunks=nchunks)

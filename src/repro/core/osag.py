@@ -174,11 +174,8 @@ class OsagBcast:
         """
         size = cc.size
         rel = (cc.rank - root) % size
-        core = cc.core
         down_rank = (root + (rel - 1) % size) % size
         up_rank = (root + (rel + 1) % size) % size
-        down_core = self.comm.core_of(down_rank)
-        up_core = self.comm.core_of(up_rank)
         base = self._base[cc.rank]
         self._base[cc.rank] += size - 1
 
@@ -193,23 +190,23 @@ class OsagBcast:
                 if out_len:
                     yield from cc.put(cc.rank, sbuf.offset, buf.sub(out_off, out_len), out_len)
             # My round-t slice is ready for the downstream neighbour.
-            yield from self.staged.write(core, down_core, cc.rank, base + t + 1)
+            yield from cc.slot_write(self.staged, down_rank, cc.rank, base + t + 1)
             # Receive the upstream slice for the next round.
             if t < size - 1:
-                yield from self.staged.wait_at_least(core, up_rank, base + t + 1)
+                yield from cc.slot_wait_at_least(self.staged, up_rank, base + t + 1)
                 if t >= 1:
                     # rbuf still holds my round-(t-1) slice: downstream
                     # must have consumed it before I overwrite.
-                    yield from self.drained.wait_at_least(core, down_rank, base + t)
+                    yield from cc.slot_wait_at_least(self.drained, down_rank, base + t)
                 if in_len:
                     # Direct MPB-to-MPB move -- the one-sided adaptation.
                     yield from cc.get(up_rank, sbuf.offset, rbuf.offset, in_len)
-                yield from self.drained.write(core, up_core, cc.rank, base + t + 1)
+                yield from cc.slot_write(self.drained, up_rank, cc.rank, base + t + 1)
                 if in_len:
                     # Assemble into private memory, off the forwarding path.
                     yield from cc.get(cc.rank, rbuf.offset, buf.sub(in_off, in_len), in_len)
         # Buffers must be clean for the next segment/broadcast.
-        yield from self.drained.wait_at_least(core, down_rank, base + size - 1)
+        yield from cc.slot_wait_at_least(self.drained, down_rank, base + size - 1)
 
     # -- standalone one-sided allgather (Section 7 "other collectives") -----
 

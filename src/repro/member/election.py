@@ -123,7 +123,7 @@ class ElectionService:
     def _read_claim(self, cc: "CoreComm", rank: int) -> int:
         """Untimed read of this core's own copy of ``rank``'s claim
         (the timed poll cost is charged by the callers)."""
-        return self.claims.peek(cc.chip, cc.core.id, rank)
+        return cc.slot_peek(self.claims, rank)
 
     def _lowest_claimant(
         self, cc: "CoreComm", candidates: Iterable[int], floor: int
@@ -138,22 +138,19 @@ class ElectionService:
     def _stamp(self, cc: "CoreComm", round_no: int, members: Iterable[int]) -> Generator:
         """Write this rank's claim into every view member's MPB (acked;
         unreachable members are skipped -- they cannot follow anyway)."""
-        cc.chip.trace(f"rank{cc.rank}", "member.claim", round=round_no)
-        if cc.chip.metrics is not None:
-            cc.chip.metrics.inc("member.claims")
+        cc.trace("member.claim", round=round_no)
+        cc.metric_inc("member.claims")
         for m in sorted(members):
             try:
-                yield from self.claims.write_acked(
-                    cc.core,
-                    self.comm.core_of(m),
+                yield from cc.slot_write_acked(
+                    self.claims,
+                    m,
                     cc.rank,
                     round_no,
                     max_retries=self.config.max_retries,
                 )
             except SimTimeoutError:
-                cc.chip.trace(
-                    f"rank{cc.rank}", "member.claim_unreachable", member=m
-                )
+                cc.trace("member.claim_unreachable", member=m)
 
     def check_claims(
         self, cc: "CoreComm", round_no: int, *, below: int | None = None
@@ -170,7 +167,7 @@ class ElectionService:
         """
         view = self.member.views[cc.rank]
         nscan = len(view.members)
-        yield cc.core.compute(nscan * cc.core.config.t_poll)
+        yield from cc.compute(nscan * cc.t_poll)
         for r in sorted(view.members):
             if r == cc.rank or (below is not None and r >= below):
                 continue
@@ -201,8 +198,8 @@ class ElectionService:
                 f"candidate of (view epoch {view.epoch})"
             )
         index = candidates.index(cc.rank)
-        cc.chip.trace(
-            f"rank{cc.rank}", "member.elect.begin",
+        cc.trace(
+            "member.elect.begin",
             round=round_no, epoch=view.epoch, index=index,
             candidates=len(candidates),
         )
@@ -210,37 +207,36 @@ class ElectionService:
         if lower:
             budget = cfg.claim_step * index + self._jitter(cc, round_no)
             try:
-                yield from self.claims.wait_any_at_least(
-                    cc.core, lower, round_no,
+                yield from cc.slot_wait_any_at_least(
+                    self.claims, lower, round_no,
                     timeout=budget, site="member.claim",
                 )
                 # A lower candidate claimed: absorb racing claims, then
                 # follow the lowest claimant standing.
-                yield cc.core.compute(cfg.settle)
+                yield from cc.compute(cfg.settle)
                 winner = self._lowest_claimant(cc, lower, round_no)
                 assert winner is not None  # claims are monotonic
-                cc.chip.trace(
-                    f"rank{cc.rank}", "member.elect.follow",
+                cc.trace(
+                    "member.elect.follow",
                     round=round_no, winner=winner,
                 )
                 return winner
             except SimTimeoutError:
                 pass  # budget spent: the lower candidates are gone too
         yield from self._stamp(cc, round_no, view.members)
-        yield cc.core.compute(cfg.settle)
+        yield from cc.compute(cfg.settle)
         rival = self._lowest_claimant(cc, lower, round_no)
         if rival is not None:
             # A lower-ranked candidate raced us inside the settle
             # window: succession order wins, we yield.
-            cc.chip.trace(
-                f"rank{cc.rank}", "member.elect.yield",
+            cc.trace(
+                "member.elect.yield",
                 round=round_no, winner=rival,
             )
             return rival
-        cc.chip.trace(
-            f"rank{cc.rank}", "member.elect.won",
+        cc.trace(
+            "member.elect.won",
             round=round_no, epoch=view.epoch,
         )
-        if cc.chip.metrics is not None:
-            cc.chip.metrics.inc("member.elections")
+        cc.metric_inc("member.elections")
         return cc.rank

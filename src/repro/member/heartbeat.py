@@ -238,12 +238,10 @@ class MembershipService:
         """
         target = to if to is not None else self.coord[cc.rank]
         value = 2 * round_no + (1 if ok else 0)
-        cc.chip.trace(
-            f"rank{cc.rank}", "member.hb", round=round_no, ok=ok, to=target
-        )
-        yield from self.hb.write_acked(
-            cc.core,
-            self.comm.core_of(target),
+        cc.trace("member.hb", round=round_no, ok=ok, to=target)
+        yield from cc.slot_write_acked(
+            self.hb,
+            target,
             cc.rank,
             value,
             max_retries=self.config.hb_max_retries,
@@ -281,8 +279,8 @@ class MembershipService:
             self.directives[cc.rank] = CompletionDirective.decode(
                 raw[bitmap_bytes:]
             )
-            cc.chip.trace(
-                f"rank{cc.rank}", "member.view_adopt",
+            cc.trace(
+                "member.view_adopt",
                 epoch=epoch, coord=installer, members=len(view.members),
                 evicted=cc.rank not in view,
             )
@@ -310,26 +308,22 @@ class MembershipService:
         cfg = self.config
         view = self.views[cc.rank]
         floor = 2 * round_no
-        deadline = cc.core.sim.now + cfg.hb_timeout
+        deadline = cc.now + cfg.hb_timeout
         statuses: dict[int, bool] = {}
         suspects: list[int] = []
         for m in view.members:
             if m == cc.rank:
                 continue
-            remaining = max(0.0, deadline - cc.core.sim.now)
+            remaining = max(0.0, deadline - cc.now)
             try:
-                got = yield from self.hb.wait_at_least(
-                    cc.core, m, floor, timeout=remaining
+                got = yield from cc.slot_wait_at_least(
+                    self.hb, m, floor, timeout=remaining
                 )
                 statuses[m] = bool(got & 1)
             except SimTimeoutError:
                 suspects.append(m)
-                cc.chip.trace(
-                    f"rank{cc.rank}", "member.suspect",
-                    member=m, round=round_no,
-                )
-                if cc.chip.metrics is not None:
-                    cc.chip.metrics.inc("member.suspected")
+                cc.trace("member.suspect", member=m, round=round_no)
+                cc.metric_inc("member.suspected")
         return statuses, suspects
 
     def install(
@@ -354,10 +348,10 @@ class MembershipService:
         self.views[cc.rank] = view
         self.coord[cc.rank] = cc.rank
         self.directives[cc.rank] = directive
-        if view.epoch and cc.chip.metrics is not None:
-            cc.chip.metrics.set("member.epoch", float(view.epoch))
-        cc.chip.trace(
-            f"rank{cc.rank}", "member.view_install",
+        if view.epoch:
+            cc.metric_set("member.epoch", float(view.epoch))
+        cc.trace(
+            "member.view_install",
             epoch=view.epoch, round=round_no, members=len(view.members),
             directive=directive.code,
         )
@@ -376,9 +370,7 @@ class MembershipService:
                 )
             except SimTimeoutError:
                 unreachable.append(m)
-                cc.chip.trace(
-                    f"rank{cc.rank}", "member.install_unreachable", member=m
-                )
+                cc.trace("member.install_unreachable", member=m)
         return unreachable
 
     def _stage_bitmap(self, cc: "CoreComm", payload: bytes) -> Generator:
@@ -387,19 +379,19 @@ class MembershipService:
         off = self.bitmap_region.offset
         for attempt in range(self.config.hb_max_retries + 1):
             yield from cc.put_bytes(cc.rank, off, payload)
-            raw = cc.chip.mpbs[cc.core.id].read_bytes(off, len(payload))
+            raw = cc.read_local(off, len(payload))
             if raw == payload:
-                if attempt and cc.chip.faults is not None:
-                    cc.chip.faults.note_recovery(
-                        f"member.bitmap@core{cc.core.id}",
+                if attempt:
+                    cc.note_recovery(
+                        f"member.bitmap@core{cc.core_id}",
                         note=f"re-staged x{attempt}",
                     )
                 return
         raise SimTimeoutError(
-            f"core {cc.core.id}: membership bitmap failed to stage after "
+            f"core {cc.core_id}: membership bitmap failed to stage after "
             f"{self.config.hb_max_retries + 1} attempts at "
-            f"t={cc.core.sim.now:.4f}",
-            process=f"core{cc.core.id}",
-            sim_time=cc.core.sim.now,
+            f"t={cc.now:.4f}",
+            process=f"core{cc.core_id}",
+            sim_time=cc.now,
             site="member.bitmap",
         )

@@ -175,18 +175,15 @@ class RbcService:
         if entry is None:
             return
         buf, nbytes, nchunks, v = entry
-        spec = None
-        if cc.chip.faults is not None:
-            spec = cc.chip.faults.quorum_vote(cc.core.id)
+        spec = cc.quorum_vote()
         self._spec[cc.rank] = spec
         d = self._message_digest(buf, nbytes)
-        cc.chip.trace(
-            f"rank{cc.rank}", "rbc.echo", v=v,
+        cc.trace(
+            "rbc.echo", v=v,
             digest=self._vote_digest(spec, cc.rank, v, d) if spec else d,
         )
         yield from self._cast(cc, self.echo, v, d, spec)
-        if cc.chip.metrics is not None:
-            cc.chip.metrics.inc("rbc.rounds")
+        cc.metric_inc("rbc.rounds")
 
     def _cast(
         self, cc: "CoreComm", array: DigestSlotArray, v: int, digest: int,
@@ -205,14 +202,12 @@ class RbcService:
         for member in range(cc.size):
             vote = self._vote_digest(spec, member, v, digest)
             if acked:
-                yield from array.write_acked(
-                    cc.core, self.comm.core_of(member), cc.rank, v, vote,
+                yield from cc.vote_write_acked(
+                    array, member, cc.rank, v, vote,
                     max_retries=self.config.ft_max_retries,
                 )
             else:
-                yield from array.write(
-                    cc.core, self.comm.core_of(member), cc.rank, v, vote
-                )
+                yield from cc.vote_write(array, member, cc.rank, v, vote)
 
     # -- the post-delivery rounds -------------------------------------------
 
@@ -229,16 +224,15 @@ class RbcService:
         ok = yield from self._round(cc, buf, nbytes, v, spec, nchunks)
         status = "ok" if ok else "detected"
         detail: dict = dict(msg=msg, status=status, src=int(cc.rank == source))
-        if cc.chip.tracer.enabled:
+        if cc.tracer_enabled:
             if status == "ok":
                 detail["crc"] = zlib.crc32(buf.sub(0, nbytes).read())
             if cc.rank == source:
                 detail["input_crc"] = zlib.crc32(buf.sub(0, nbytes).read())
-        cc.chip.trace(f"rank{cc.rank}", "rbc.outcome", **detail)
+        cc.trace("rbc.outcome", **detail)
         if status != "ok":
             self._observe_detection(cc)
-            if cc.chip.metrics is not None:
-                cc.chip.metrics.inc("rbc.refusals")
+            cc.metric_inc("rbc.refusals")
         return status
 
     def _round(
@@ -255,20 +249,20 @@ class RbcService:
         cfg = self.config
         # Echo quorum (the echoes themselves went out pre-commit).
         try:
-            agreed = yield from self.echo.wait_quorum(
-                cc.core, v, self.n_echo,
+            agreed = yield from cc.vote_wait_quorum(
+                self.echo, v, self.n_echo,
                 timeout=cfg.byz_echo_timeout, site="rbc.echo.quorum",
             )
         except SimTimeoutError:
             # Split echo round: amplify from f+1 READY votes instead.
             try:
-                agreed = yield from self.ready.wait_quorum(
-                    cc.core, v, self.n_amplify,
+                agreed = yield from cc.vote_wait_quorum(
+                    self.ready, v, self.n_amplify,
                     timeout=cfg.byz_ready_timeout, site="rbc.ready.amplify",
                 )
-                cc.chip.trace(f"rank{cc.rank}", "rbc.amplify", v=v, digest=agreed)
+                cc.trace("rbc.amplify", v=v, digest=agreed)
             except SimTimeoutError:
-                cc.chip.trace(f"rank{cc.rank}", "rbc.no_quorum", v=v, phase="echo")
+                cc.trace("rbc.no_quorum", v=v, phase="echo")
                 return False
         # READY round: vote the agreed digest everywhere (adversaries
         # keep misvoting per their spec).
@@ -280,17 +274,15 @@ class RbcService:
         final = None
         for attempt in range(2):
             try:
-                final = yield from self.ready.wait_quorum(
-                    cc.core, v, self.n_ready,
+                final = yield from cc.vote_wait_quorum(
+                    self.ready, v, self.n_ready,
                     timeout=cfg.byz_echo_timeout + cfg.byz_ready_timeout,
                     site="rbc.ready.gate",
                 )
                 break
             except SimTimeoutError:
                 if attempt:
-                    cc.chip.trace(
-                        f"rank{cc.rank}", "rbc.no_quorum", v=v, phase="ready"
-                    )
+                    cc.trace("rbc.no_quorum", v=v, phase="ready")
                     return False
                 yield from self._cast(cc, self.ready, v, agreed, spec, acked=True)
         assert final is not None
@@ -328,7 +320,7 @@ class RbcService:
         candidates = [
             m for m in range(cc.size)
             if m != cc.rank
-            and self.echo.peek(cc.chip, cc.core.id, m) == (v, agreed)
+            and cc.vote_peek(self.echo, m) == (v, agreed)
         ]
         first_staged = max(0, nchunks - cfg.num_buffers)
         for holder in candidates[: cfg.byz_refetch_retries + 1]:
@@ -339,22 +331,18 @@ class RbcService:
                 yield from cc.get(
                     holder, self.oc._payload_off(b), buf.sub(off, span), span
                 )
-                yield cc.core.compute(
+                yield from cc.compute(
                     cfg.integrity_crc_us_per_line * -(-span // CACHE_LINE)
                 )
             if self._message_digest(buf, nbytes) == agreed:
-                cc.chip.trace(
-                    f"rank{cc.rank}", "rbc.refetch", v=v, holder=holder
+                cc.trace("rbc.refetch", v=v, holder=holder)
+                cc.metric_inc("rbc.refetches")
+                cc.note_recovery(
+                    f"rbc.msg{v}@core{cc.core_id}",
+                    note=f"re-fetched from rank {holder}",
                 )
-                if cc.chip.metrics is not None:
-                    cc.chip.metrics.inc("rbc.refetches")
-                if cc.chip.faults is not None:
-                    cc.chip.faults.note_recovery(
-                        f"rbc.msg{v}@core{cc.core.id}",
-                        note=f"re-fetched from rank {holder}",
-                    )
                 return True
-        cc.chip.trace(f"rank{cc.rank}", "rbc.refetch_failed", v=v)
+        cc.trace("rbc.refetch_failed", v=v)
         return False
 
     # -- telemetry ----------------------------------------------------------
@@ -362,13 +350,6 @@ class RbcService:
     def _observe_detection(self, cc: "CoreComm") -> None:
         """Time-to-detect: first injected adversary action -> this member
         notices its payload (or the whole round) cannot be trusted."""
-        if cc.chip.metrics is None:
-            return
-        faults = cc.chip.faults
-        if faults is None or not faults.injected:
-            return
-        t0 = faults.injected[0].time
-        if cc.core.sim.now >= t0:
-            cc.chip.metrics.histogram("rbc.ttd_us", TTD_BOUNDS).observe(
-                cc.core.sim.now - t0
-            )
+        t0 = cc.first_fault_time()
+        if t0 is not None and cc.now >= t0:
+            cc.observe_histogram("rbc.ttd_us", TTD_BOUNDS, cc.now - t0)

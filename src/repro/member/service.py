@@ -195,8 +195,8 @@ class OcBcastService:
             self._attempt[cc.rank] += 1
             rnd = self._attempt[cc.rank]
             tree = self.survivor_tree(view, src)
-            cc.chip.trace(
-                f"rank{cc.rank}", "svc.attempt",
+            cc.trace(
+                "svc.attempt",
                 round=rnd, epoch=view.epoch, src=src, members=tree.size,
             )
             delivered = False
@@ -212,8 +212,8 @@ class OcBcastService:
                 delivered = status in ("ok", "retry", "undecided")
             except SimTimeoutError as err:
                 status = "retry"
-                cc.chip.trace(
-                    f"rank{cc.rank}", "svc.attempt_failed",
+                cc.trace(
+                    "svc.attempt_failed",
                     round=rnd, site=getattr(err, "site", ""),
                 )
             if status == "evicted":
@@ -233,8 +233,7 @@ class OcBcastService:
                     self._observe_repair(cc)
                 return self._outcome(cc, msg, "ok", buf=buf, nbytes=nbytes)
             # -- recovery round -----------------------------------------
-            if cc.chip.metrics is not None:
-                cc.chip.metrics.inc("svc.retries")
+            cc.metric_inc("svc.retries")
             verdict = yield from self._recover(cc, rnd, src, delivered)
             if verdict is _SELF_EVICT:
                 return self._outcome(cc, msg, "self_evicted", returns="ok")
@@ -247,10 +246,10 @@ class OcBcastService:
                 if verdict.code == DIRECTIVE_REBROADCAST:
                     override = verdict.source
         raise SimTimeoutError(
-            f"core {cc.core.id}: service broadcast not committed after "
-            f"{mcfg.max_attempts} attempts at t={cc.core.sim.now:.4f}",
-            process=f"core{cc.core.id}",
-            sim_time=cc.core.sim.now,
+            f"core {cc.core_id}: service broadcast not committed after "
+            f"{mcfg.max_attempts} attempts at t={cc.now:.4f}",
+            process=f"core{cc.core_id}",
+            sim_time=cc.now,
             site="svc.attempts",
         )
 
@@ -298,11 +297,8 @@ class OcBcastService:
                     # uniform agreement (I6): the member exits the
                     # agreement set with the payload in hand.
                     self.member.evict_self(cc.rank)
-                    cc.chip.trace(
-                        f"rank{cc.rank}", "svc.self_evict", round=rnd
-                    )
-                    if cc.chip.metrics is not None:
-                        cc.chip.metrics.inc("svc.self_evict")
+                    cc.trace("svc.self_evict", round=rnd)
+                    cc.metric_inc("svc.self_evict")
                     return _SELF_EVICT
                 raise
             # Our report landed (the slot array in the coordinator's MPB
@@ -328,9 +324,7 @@ class OcBcastService:
         below = cc.rank if won else None
         rival = yield from self.election.check_claims(cc, rnd, below=below)
         if rival is not None:
-            cc.chip.trace(
-                f"rank{cc.rank}", "svc.step_down", round=rnd, to=rival
-            )
+            cc.trace("svc.step_down", round=rnd, to=rival)
             return "stepped_down", rival
         statuses, suspects = yield from self.member.collect(cc, rnd)
         self._observe_detection(cc, suspects)
@@ -349,8 +343,8 @@ class OcBcastService:
                 )
             else:
                 decision = CompletionDirective(DIRECTIVE_ABORT, 0, rnd)
-            cc.chip.trace(
-                f"rank{cc.rank}", "svc.completion",
+            cc.trace(
+                "svc.completion",
                 round=rnd, src=src,
                 decision="rebroadcast" if ordered else "abort",
                 holders=len(ordered),
@@ -361,9 +355,7 @@ class OcBcastService:
         # were collecting) takes over before we install.
         rival = yield from self.election.check_claims(cc, rnd, below=cc.rank)
         if rival is not None:
-            cc.chip.trace(
-                f"rank{cc.rank}", "svc.step_down", round=rnd, to=rival
-            )
+            cc.trace("svc.step_down", round=rnd, to=rival)
             return "stepped_down", rival
         yield from self.member.install(cc, new_view, rnd, decision=decision)
         return "installed", decision
@@ -411,17 +403,16 @@ class OcBcastService:
             except SimTimeoutError:
                 suspects.add(winner)
         raise SimTimeoutError(
-            f"core {cc.core.id}: no coordinator emerged for round {rnd} "
-            f"after exhausting the candidate set at t={cc.core.sim.now:.4f}",
-            process=f"core{cc.core.id}",
-            sim_time=cc.core.sim.now,
+            f"core {cc.core_id}: no coordinator emerged for round {rnd} "
+            f"after exhausting the candidate set at t={cc.now:.4f}",
+            process=f"core{cc.core_id}",
+            sim_time=cc.now,
             site="member.elect",
         )
 
     def _report_failed(self, cc: "CoreComm", rnd: int) -> None:
-        cc.chip.trace(f"rank{cc.rank}", "svc.report_failed", round=rnd)
-        if cc.chip.metrics is not None:
-            cc.chip.metrics.inc("svc.report_failed")
+        cc.trace("svc.report_failed", round=rnd)
+        cc.metric_inc("svc.report_failed")
 
     def _outcome(
         self,
@@ -440,30 +431,20 @@ class OcBcastService:
         detail: dict = dict(
             msg=msg, status=status, epoch=self.member.views[cc.rank].epoch
         )
-        if status == "ok" and buf is not None and cc.chip.tracer.enabled:
+        if status == "ok" and buf is not None and cc.tracer_enabled:
             # The payload fingerprint uniform agreement is checked
             # against; computed only when someone is listening.
             detail["crc"] = zlib.crc32(buf.sub(0, nbytes).read())
-        cc.chip.trace(f"rank{cc.rank}", "svc.outcome", **detail)
+        cc.trace("svc.outcome", **detail)
         return returns if returns is not None else status
 
     # -- repair telemetry --------------------------------------------------
 
-    def _first_fault_time(self, cc: "CoreComm") -> float | None:
-        faults = cc.chip.faults
-        if faults is not None and faults.injected:
-            return faults.injected[0].time
-        return None
-
     def _observe(self, cc: "CoreComm", name: str) -> None:
-        if cc.chip.metrics is None:
+        t0 = cc.first_fault_time()
+        if t0 is None or cc.now < t0:
             return
-        t0 = self._first_fault_time(cc)
-        if t0 is None or cc.core.sim.now < t0:
-            return
-        cc.chip.metrics.histogram(name, TTD_BOUNDS).observe(
-            cc.core.sim.now - t0
-        )
+        cc.observe_histogram(name, TTD_BOUNDS, cc.now - t0)
 
     def _observe_detection(self, cc: "CoreComm", suspects: list[int]) -> None:
         """Time-to-detect: first injected fault -> suspicion, at the

@@ -16,11 +16,12 @@ from typing import TYPE_CHECKING, Callable, Generator, Sequence
 from ..scc.chip import SccChip
 from ..scc.memory import MemRef
 from .flags import (
+    DigestSlotArray,
     Flag,
+    FlagSlotArray,
     FlagValue,
+    flag_put,
     flag_read_local,
-    flag_write,
-    flag_write_acked,
     wait_local_flags,
 )
 from .layout import MpbLayout, MpbRegion
@@ -46,6 +47,14 @@ class Comm:
                 raise ValueError(f"core id {cid} outside chip")
         self._rank_of = {cid: r for r, cid in enumerate(self.core_ids)}
         self.layout = MpbLayout(chip.config.mpb_lines)
+        #: Optional transport-level fault layer (differential testing):
+        #: an object with ``on_trace(rank, kind, detail)`` consulted by
+        #: :meth:`CoreComm.trace` before every protocol trace event.  It
+        #: may raise :class:`repro.sim.FaultInjected` to crash the rank
+        #: at a *logical* protocol point -- the backend-agnostic crash
+        #: coordinate the differential harness uses.  ``None`` (the
+        #: default) adds one attribute check per protocol trace.
+        self.transport_faults = None
         self._twosided: "TwoSidedState | None" = None
         # Per-core tail of the outstanding non-blocking send chain (the
         # payload staging buffer is shared, so sends gate on each other).
@@ -206,7 +215,9 @@ class CoreComm:
 
     def flag_set(self, owner_rank: int, flag: Flag, value: FlagValue) -> Generator:
         """Write ``value`` into ``flag`` in ``owner_rank``'s MPB."""
-        yield from flag_write(self.core, self.comm.core_of(owner_rank), flag, value)
+        yield from flag_put(
+            self.core, self.comm.core_of(owner_rank), flag, value, acked=False
+        )
 
     def flag_set_acked(
         self,
@@ -219,11 +230,12 @@ class CoreComm:
         """Acknowledged flag write: verify by readback, re-send until it
         lands (see :func:`repro.rcce.flags.flag_write_acked`)."""
         return (
-            yield from flag_write_acked(
+            yield from flag_put(
                 self.core,
                 self.comm.core_of(owner_rank),
                 flag,
                 value,
+                acked=True,
                 max_retries=max_retries,
             )
         )
@@ -263,6 +275,214 @@ class CoreComm:
         """Block until own ``flag`` has ``tag`` and ``seq >= seq``."""
         yield from wait_local_flags(
             self.core, [flag], lambda v: v[0].tag == tag and v[0].seq >= seq
+        )
+
+    # -- transport interface: identity, timing and observability hooks -------
+    #
+    # Everything below (together with the one-sided/flag/slot primitives
+    # above) forms the narrow ``Transport`` surface protocols are written
+    # against (see :mod:`repro.transport.api`).  Each method delegates to
+    # exactly the chip/core call chain the protocol call sites used
+    # before the extraction, so the SCC paths stay bit-identical.
+
+    @property
+    def core_id(self) -> int:
+        """The physical identity of this endpoint (chip core id here;
+        the rank itself on backends without a core/rank distinction)."""
+        return self.core.id
+
+    @property
+    def now(self) -> float:
+        """Current virtual time (microseconds)."""
+        return self.core.sim.now
+
+    @property
+    def t_poll(self) -> float:
+        """Cost of one flag poll on this endpoint (microseconds)."""
+        return self.core.config.t_poll
+
+    @property
+    def tracer_enabled(self) -> bool:
+        return self.chip.tracer.enabled
+
+    @property
+    def has_faults(self) -> bool:
+        """Whether a fault injector is attached to this backend."""
+        return self.chip.faults is not None
+
+    def trace(self, kind: str, **detail: object) -> None:
+        """Emit one protocol trace record as ``rank{rank}``.  The
+        transport fault layer (differential crash coordinates) hooks
+        here; it may raise :class:`repro.sim.FaultInjected`."""
+        tf = self.comm.transport_faults
+        if tf is not None:
+            tf.on_trace(self.rank, kind, detail)
+        self.chip.trace(f"rank{self.rank}", kind, **detail)
+
+    def metric_inc(self, name: str, n: int = 1) -> None:
+        if self.chip.metrics is not None:
+            self.chip.metrics.inc(name, n)
+
+    def metric_set(self, name: str, value: float) -> None:
+        if self.chip.metrics is not None:
+            self.chip.metrics.set(name, value)
+
+    def observe_histogram(self, name: str, bounds, value: float) -> None:
+        if self.chip.metrics is not None:
+            self.chip.metrics.histogram(name, bounds).observe(value)
+
+    def compute(self, duration: float) -> Generator:
+        """Local compute for ``duration`` microseconds."""
+        yield self.core.compute(duration)
+
+    def read_local(self, offset: int, nbytes: int) -> bytes:
+        """Untimed read of this endpoint's own MPB bytes (timed callers
+        charge the access themselves)."""
+        return self.chip.mpbs[self.core.id].read_bytes(offset, nbytes)
+
+    def mpb_charge_local(self, lines: int, *, write: bool = False) -> Generator:
+        """The timed cost of touching ``lines`` of the own MPB."""
+        yield from self.core.mpb_access(self.core.id, lines, write=write)
+
+    def mem_read(self, ref: MemRef) -> Generator:
+        """Timed private-memory read of ``ref`` (own memory only)."""
+        yield from self.core.mem_read(ref)
+
+    def mem_write(self, ref: MemRef) -> Generator:
+        """Timed private-memory write of ``ref`` (own memory only)."""
+        yield from self.core.mem_write(ref)
+
+    def flag_peek(self, flag: Flag) -> FlagValue:
+        """Untimed read of this endpoint's own copy of ``flag``."""
+        return flag.peek(self.chip, self.core.id)
+
+    # -- transport interface: fault/adversary hooks --------------------------
+
+    def adversary_stage(self):
+        """The Byzantine staging hook (EQUIVOCATE window), or ``None``."""
+        faults = self.chip.faults
+        return None if faults is None else faults.adversary_stage(self.core.id)
+
+    def quorum_vote(self):
+        """The Byzantine vote hook (FORGE/LIE specs), or ``None``."""
+        faults = self.chip.faults
+        return None if faults is None else faults.quorum_vote(self.core.id)
+
+    def note_recovery(self, site: str, note: str = "") -> None:
+        if self.chip.faults is not None:
+            self.chip.faults.note_recovery(site, note=note)
+
+    def first_fault_time(self) -> float | None:
+        """Time of the first injected fault, or ``None`` (repair
+        telemetry baselines)."""
+        faults = self.chip.faults
+        if faults is not None and faults.injected:
+            return faults.injected[0].time
+        return None
+
+    # -- transport interface: slot arrays (heartbeats, claims, ring) ---------
+
+    def slot_write(
+        self, array: FlagSlotArray, owner_rank: int, slot: int, value: int
+    ) -> Generator:
+        yield from array.write(
+            self.core, self.comm.core_of(owner_rank), slot, value
+        )
+
+    def slot_write_acked(
+        self,
+        array: FlagSlotArray,
+        owner_rank: int,
+        slot: int,
+        value: int,
+        *,
+        max_retries: int = 3,
+    ) -> Generator:
+        yield from array.write_acked(
+            self.core,
+            self.comm.core_of(owner_rank),
+            slot,
+            value,
+            max_retries=max_retries,
+        )
+
+    def slot_peek(self, array: FlagSlotArray, slot: int) -> int:
+        """Untimed read of the own copy of one slot."""
+        return array.peek(self.chip, self.core.id, slot)
+
+    def slot_wait_at_least(
+        self,
+        array: FlagSlotArray,
+        slot: int,
+        value: int,
+        *,
+        timeout: float | None = None,
+    ) -> Generator[object, object, int]:
+        return (
+            yield from array.wait_at_least(self.core, slot, value, timeout=timeout)
+        )
+
+    def slot_wait_any_at_least(
+        self,
+        array: FlagSlotArray,
+        slots: Sequence[int],
+        value: int,
+        *,
+        timeout: float,
+        site: str = "",
+    ) -> Generator[object, object, int]:
+        return (
+            yield from array.wait_any_at_least(
+                self.core, slots, value, timeout=timeout, site=site
+            )
+        )
+
+    # -- transport interface: digest vote slots (RBC) -------------------------
+
+    def vote_write(
+        self, array: DigestSlotArray, owner_rank: int, slot: int, seq: int,
+        digest: int,
+    ) -> Generator:
+        yield from array.write(
+            self.core, self.comm.core_of(owner_rank), slot, seq, digest
+        )
+
+    def vote_write_acked(
+        self,
+        array: DigestSlotArray,
+        owner_rank: int,
+        slot: int,
+        seq: int,
+        digest: int,
+        *,
+        max_retries: int = 3,
+    ) -> Generator:
+        yield from array.write_acked(
+            self.core,
+            self.comm.core_of(owner_rank),
+            slot,
+            seq,
+            digest,
+            max_retries=max_retries,
+        )
+
+    def vote_peek(self, array: DigestSlotArray, slot: int) -> tuple[int, int]:
+        """Untimed read of the own copy of one vote slot."""
+        return array.peek(self.chip, self.core.id, slot)
+
+    def vote_wait_quorum(
+        self,
+        array: DigestSlotArray,
+        seq: int,
+        need: int,
+        *,
+        timeout: float,
+        site: str = "",
+    ) -> Generator[object, object, int]:
+        return (
+            yield from array.wait_quorum(
+                self.core, seq, need, timeout=timeout, site=site
+            )
         )
 
     # -- two-sided -------------------------------------------------------------

@@ -604,6 +604,28 @@ def flag_write_acked(
     )
 
 
+def flag_put(
+    core: "Core",
+    owner_core: int,
+    flag: Flag,
+    value: FlagValue,
+    *,
+    acked: bool = False,
+    max_retries: int = 3,
+) -> Generator[object, object, "FlagValue | None"]:
+    """The one entry point for remote flag writes: plain fire-and-forget
+    or acked (readback-verified, bounded re-send).  Higher layers route
+    through here so the acked/unacked paths cannot drift apart."""
+    if acked:
+        return (
+            yield from flag_write_acked(
+                core, owner_core, flag, value, max_retries=max_retries
+            )
+        )
+    yield from flag_write(core, owner_core, flag, value)
+    return None
+
+
 def flag_read_local(core: "Core", flag: Flag) -> Generator[object, object, FlagValue]:
     """One timed poll of the core's own copy of ``flag``."""
     yield _charge_poll(core, core.config.t_poll)

@@ -1,0 +1,1053 @@
+"""An asyncio event-loop transport backend for the protocol layer.
+
+The protocols in this repo are generator coroutines written against the
+narrow transport surface documented in :mod:`repro.transport.api`.  This
+module provides that surface without the SCC chip model: each rank's
+program runs as an asyncio task, each rank owns a :class:`RankStore`
+(the stand-in for its message-passing buffer), and all timing comes from
+a pluggable, seeded :class:`~repro.transport.models.DelayModel` instead
+of the chip's calibrated LogP constants.
+
+Virtual time
+------------
+The event loop never touches the wall clock.  ``AsyncioNetwork`` keeps a
+virtual clock (float microseconds, like the SCC simulator) advanced only
+when *every* rank is blocked: a counter of runnable tasks (``_active``)
+and of fired-but-not-yet-resumed futures (``_pending``) tells the
+network when the world is quiescent, at which point the earliest entry
+of a deadline heap fires and the clock jumps to it.  Zero-delay
+operations also pass through the heap, so execution order is a
+deterministic function of task creation order and model draws -- the
+property the differential harness depends on.  If the heap runs dry (or
+holds only entries beyond ``time_limit``) while ranks are still
+blocked, every blocked rank is failed with a
+:class:`~repro.sim.errors.DeadlockError` naming the stuck sites.
+
+Decision fidelity
+-----------------
+Write/ack/wait primitives clone the SCC semantics *exactly* -- the same
+ack predicates, retry bounds, timeout ordering (predicate satisfied at
+the deadline still wins), timeout ``site`` strings, and fault-injector
+consultation (``repro.faults`` plans attach to the rank stores just as
+they attach to MPBs) -- so the two backends may disagree on every
+latency but never on a protocol decision.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+from heapq import heappop, heappush
+from types import SimpleNamespace
+from typing import Any, Callable, Generator, Sequence
+
+from ..faults.injector import FaultInjector
+from ..faults.plan import FaultPlan
+from ..rcce.flags import _VOTE, DigestSlotArray, Flag, FlagSlotArray, FlagValue
+from ..rcce.layout import MpbLayout
+from ..scc.config import CACHE_LINE, MPB_BYTES, MPB_LINES
+from ..scc.memory import MemRef, PrivateMemory
+from ..sim.errors import DeadlockError, TimeoutError as SimTimeoutError
+from ..sim.trace import Tracer
+from .models import DelayModel, NoDelay
+
+_PRIVATE_MEM_BYTES = 16 * 1024 * 1024
+
+
+class RankStore:
+    """One rank's shared message store (the asyncio stand-in for an MPB).
+
+    Mirrors :class:`repro.scc.mpb.Mpb`'s write-classification contract so
+    a :class:`FaultInjector` attaches unchanged: protocol writes carry
+    ``source`` and ``op`` (``"flag"``/``"data"``), ``op="raw"`` marks
+    initialisation writes that are never faulted, and the returned landed
+    status is ``"ok"`` / ``"dropped"`` / ``"corrupted"``.
+    """
+
+    def __init__(self, owner: int, size: int = MPB_BYTES) -> None:
+        self.owner = owner
+        self.size = size
+        self.data = bytearray(size)
+        self.injector: FaultInjector | None = None
+
+    def _check_range(self, offset: int, nbytes: int) -> None:
+        if offset < 0 or nbytes < 0 or offset + nbytes > self.size:
+            raise IndexError(
+                f"store {self.owner}: access [{offset}, {offset + nbytes}) "
+                f"outside 0..{self.size}"
+            )
+
+    def read_bytes(self, offset: int, nbytes: int) -> bytes:
+        self._check_range(offset, nbytes)
+        return bytes(self.data[offset : offset + nbytes])
+
+    def write_bytes(
+        self,
+        offset: int,
+        payload: bytes | bytearray | memoryview,
+        *,
+        source: int | None = None,
+        op: str = "raw",
+    ) -> str:
+        payload = bytes(payload)
+        nbytes = len(payload)
+        self._check_range(offset, nbytes)
+        if self.injector is not None and source is not None and op != "raw":
+            action = self.injector.filter_mpb_write(
+                owner=self.owner, offset=offset, nbytes=nbytes, source=source, op=op
+            )
+            if action == "drop":
+                return "dropped"
+            if action == "corrupt":
+                payload = bytes(b ^ 0xFF for b in payload)
+                self.data[offset : offset + nbytes] = payload
+                return "corrupted"
+        self.data[offset : offset + nbytes] = payload
+        return "ok"
+
+
+class _SimShim:
+    """The ``chip.sim`` surface the fault injector expects."""
+
+    def __init__(self, net: "AsyncioNetwork") -> None:
+        self._net = net
+        self.diagnostic_context: Callable[[], str] | None = None
+
+    @property
+    def now(self) -> float:
+        return self._net.now
+
+
+class _ChipShim:
+    """Just enough ``SccChip`` surface for :meth:`FaultInjector.attach`
+    and the flag helpers' untimed ``peek``/``tally`` (which only touch
+    ``chip.mpbs``)."""
+
+    def __init__(self, net: "AsyncioNetwork") -> None:
+        self._net = net
+        self.mpbs = net.stores
+        self.faults: FaultInjector | None = None
+        self.mesh = SimpleNamespace(injector=None)
+        self.sim = _SimShim(net)
+
+    def trace(self, source: str, kind: str, **detail: Any) -> None:
+        self._net.emit(source, kind, **detail)
+
+
+class AsyncioNetwork:
+    """The world object of the asyncio backend (duck-types ``Comm``).
+
+    Build one per run: ``net = AsyncioNetwork(8, model=UniformDelay(),
+    seed=3)``, allocate protocol state against it (``net.flag``,
+    ``net.layout``), then ``net.run(program)`` where ``program(cc)`` is
+    the same generator the SCC backend runs per core.
+    """
+
+    def __init__(
+        self,
+        nranks: int,
+        *,
+        model: DelayModel | None = None,
+        seed: int = 0,
+        plan: FaultPlan | None = None,
+        tracer: Tracer | None = None,
+        time_limit: float = 10_000_000.0,
+    ) -> None:
+        if nranks < 1:
+            raise ValueError("need at least one rank")
+        self.size = nranks
+        self.core_ids = tuple(range(nranks))
+        self.layout = MpbLayout(MPB_LINES)
+        self.stores = [RankStore(r) for r in range(nranks)]
+        self.model = model if model is not None else NoDelay()
+        self.model.reset(seed)
+        self.seed = seed
+        self.tracer = tracer if tracer is not None else Tracer(enabled=True)
+        self.transport_faults = None
+        self.time_limit = time_limit
+        self.chip = _ChipShim(self)
+        self.faults: FaultInjector | None = None
+        if plan is not None:
+            injector = FaultInjector(plan)
+            injector.attach(self.chip)
+            self.faults = injector
+
+        # -- virtual clock ------------------------------------------------
+        self.now = 0.0
+        self._heap: list[tuple[float, int, asyncio.Future]] = []
+        self._seq = itertools.count()
+        self._active = 0
+        self._pending = 0
+        self._blocked: dict[asyncio.Future, tuple[int, str]] = {}
+        self._watchers: list[list[asyncio.Future]] = [[] for _ in range(nranks)]
+        self._wedged = False
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._ran = False
+        self._transports: dict[int, AsyncioTransport] = {}
+
+    # -- Comm surface ------------------------------------------------------
+
+    def flag(self, name: str) -> Flag:
+        """Allocate one symmetric flag line (same layout as the SCC)."""
+        return Flag(self.layout.alloc_lines(1), name=name)
+
+    def core_of(self, rank: int) -> int:
+        if not 0 <= rank < self.size:
+            raise ValueError(f"rank {rank} outside 0..{self.size - 1}")
+        return rank
+
+    def rank_of(self, core_id: int) -> int:
+        if not 0 <= core_id < self.size:
+            raise ValueError(f"core {core_id} is not in this communicator")
+        return core_id
+
+    def transport(self, rank: int) -> "AsyncioTransport":
+        """The (cached) per-rank endpoint."""
+        cc = self._transports.get(rank)
+        if cc is None:
+            cc = AsyncioTransport(self, self.core_of(rank))
+            self._transports[rank] = cc
+        return cc
+
+    def emit(self, source: str, kind: str, **detail: Any) -> None:
+        self.tracer.emit(self.now, source, kind, **detail)
+
+    # -- virtual clock ------------------------------------------------------
+
+    def _fire(self, fut: asyncio.Future, exc: BaseException | None = None) -> None:
+        if fut.done():
+            return
+        self._pending += 1
+        if exc is not None:
+            fut.set_exception(exc)
+        else:
+            fut.set_result(None)
+
+    async def _block(self, fut: asyncio.Future, rank: int, site: str) -> None:
+        if self._wedged and not fut.done():
+            raise DeadlockError(
+                f"asyncio transport already wedged at t={self.now:.4f}",
+                sim_time=self.now,
+            )
+        self._blocked[fut] = (rank, site)
+        self._active -= 1
+        self._maybe_advance()
+        try:
+            await fut
+        finally:
+            self._blocked.pop(fut, None)
+            self._pending -= 1
+            self._active += 1
+
+    def _maybe_advance(self) -> None:
+        if self._active > 0 or self._pending > 0 or self._wedged:
+            return
+        capped = False
+        while self._heap:
+            deadline, _, fut = self._heap[0]
+            if fut.done():
+                heappop(self._heap)
+                continue
+            if deadline > self.time_limit:
+                capped = True
+                break
+            heappop(self._heap)
+            if deadline > self.now:
+                self.now = deadline
+            self._fire(fut)
+            return
+        if not self._blocked:
+            return  # everyone finished
+        self._wedged = True
+        stuck = tuple(
+            (f"rank{r}", site or "blocked", self.now)
+            for r, site in self._blocked.values()
+        )
+        names = ", ".join(sorted(f"{n}@{s}" for n, s, _ in stuck))
+        cause = (
+            f"next event beyond time_limit={self.time_limit:g} us"
+            if capped
+            else "no pending event"
+        )
+        suffix = self._timeline_suffix()
+        err = DeadlockError(
+            f"asyncio transport wedged at t={self.now:.4f}: "
+            f"{len(stuck)} rank(s) blocked with {cause} ({names}){suffix}",
+            stuck=stuck,
+            sim_time=self.now,
+        )
+        for fut in list(self._blocked):
+            self._fire(fut, err)
+
+    async def sleep(self, rank: int, duration: float, site: str = "compute") -> None:
+        """Advance this rank by ``duration`` virtual us (0 still yields a
+        deterministic scheduling checkpoint through the heap)."""
+        assert self._loop is not None
+        fut = self._loop.create_future()
+        heappush(self._heap, (self.now + max(0.0, duration), next(self._seq), fut))
+        await self._block(fut, rank, site)
+
+    async def wait_until(
+        self,
+        rank: int,
+        check: Callable[[], Any],
+        *,
+        timeout: float | None = None,
+        site: str = "",
+    ) -> Any:
+        """Block ``rank`` until ``check()`` returns non-``None``; the SCC
+        wait ordering is preserved: the predicate is evaluated before any
+        deadline test, so a wait satisfied exactly at (or entering with
+        an exhausted) budget still succeeds."""
+        assert self._loop is not None
+        val = check()
+        if val is not None:
+            return val
+        deadline = None if timeout is None else self.now + timeout
+        while True:
+            if deadline is not None and self.now >= deadline:
+                self._raise_timeout(rank, site, timeout)
+            fut = self._loop.create_future()
+            self._watchers[rank].append(fut)
+            if deadline is not None:
+                heappush(self._heap, (deadline, next(self._seq), fut))
+            try:
+                await self._block(fut, rank, site)
+            finally:
+                try:
+                    self._watchers[rank].remove(fut)
+                except ValueError:
+                    pass
+            val = check()
+            if val is not None:
+                return val
+
+    def _wake(self, rank: int) -> None:
+        """Fire every watcher of ``rank``'s store (spurious wake-ups only
+        cause predicate re-checks, as with the MPB line watchers)."""
+        watchers = self._watchers[rank]
+        if not watchers:
+            return
+        self._watchers[rank] = []
+        for fut in watchers:
+            self._fire(fut)
+
+    def _timeline_suffix(self) -> str:
+        if self.faults is None:
+            return ""
+        text = self.faults.timeline_text()
+        return f"\n{text}" if text else ""
+
+    def _raise_timeout(self, rank: int, site: str, timeout: float | None) -> None:
+        raise SimTimeoutError(
+            f"rank {rank} exhausted its {timeout}-us poll budget waiting on "
+            f"{site!r} at t={self.now:.4f}{self._timeline_suffix()}",
+            process=f"rank{rank}",
+            sim_time=self.now,
+            site=site,
+        )
+
+    # -- the wire: delayed/filtered store access ---------------------------
+
+    async def _write(
+        self, src: int, dst: int, offset: int, payload: bytes, *, op: str, site: str
+    ) -> str:
+        """One remote store: model delay, then the omission filter (local
+        writes always reach the own store), then the fault injector
+        inside the store -- the same boundary order as the SCC, where the
+        mesh carries the packet and the MPB applies the plan."""
+        delay = self.model.delay(src, dst, op=op, nbytes=len(payload))
+        if self.faults is not None:
+            # The mesh hook: may arm LINK_DOWN windows / add stalls.  The
+            # asyncio backend counts one "mpb_access" per remote operation
+            # (the SCC mesh counts per line batch), so occurrence-based
+            # mpb_access specs are not portable across backends -- the
+            # write-fault categories the differential plans use are.
+            delay += self.faults.link_stall(src, dst)
+        await self.sleep(src, delay, site=site)
+        if src != dst and not self.model.deliver(src, dst, now=self.now):
+            return "dropped"
+        landed = self.stores[dst].write_bytes(offset, payload, source=src, op=op)
+        if landed != "dropped":
+            self._wake(dst)
+        return landed
+
+    async def _read(
+        self, src: int, dst: int, offset: int, nbytes: int, *, site: str
+    ) -> bytes:
+        """A remote read (RMA pull): delayed, never dropped."""
+        delay = self.model.delay(src, dst, op="read", nbytes=nbytes)
+        if self.faults is not None:
+            delay += self.faults.link_stall(src, dst)
+        await self.sleep(src, delay, site=site)
+        return self.stores[dst].read_bytes(offset, nbytes)
+
+    # -- flags (exact SCC ack/timeout semantics) ---------------------------
+
+    async def flag_write(
+        self, rank: int, owner: int, flag: Flag, value: FlagValue
+    ) -> str:
+        landed = await self._write(
+            rank, owner, flag.offset, value.encode(), op="flag",
+            site=f"{flag.name}@core{owner}",
+        )
+        self.emit(
+            f"core{rank}", "flag_write", flag=flag.name, owner=owner,
+            off=flag.offset, tag=value.tag, seq=value.seq, landed=landed,
+        )
+        return landed
+
+    async def flag_write_acked(
+        self, rank: int, owner: int, flag: Flag, value: FlagValue,
+        *, max_retries: int = 3,
+    ) -> FlagValue:
+        site = f"{flag.name}@core{owner}"
+        for attempt in range(max_retries + 1):
+            await self.flag_write(rank, owner, flag, value)
+            raw = await self._read(rank, owner, flag.offset, CACHE_LINE, site=site)
+            got = FlagValue.decode(raw)
+            if got.tag == value.tag and got.seq >= value.seq:
+                if attempt > 0:
+                    self.emit(
+                        f"core{rank}", "flag_write_retry_ok",
+                        flag=flag.name, owner=owner, attempts=attempt + 1,
+                    )
+                    if self.faults is not None:
+                        self.faults.note_recovery(
+                            site, note=f"flag re-sent x{attempt}"
+                        )
+                return got
+        raise SimTimeoutError(
+            f"rank {rank}: flag write {flag.name!r} to rank {owner} un-acked "
+            f"after {max_retries + 1} attempts at t={self.now:.4f}"
+            f"{self._timeline_suffix()}",
+            process=f"rank{rank}",
+            sim_time=self.now,
+            site=site,
+        )
+
+    async def wait_flags(
+        self,
+        rank: int,
+        flags: Sequence[Flag],
+        predicate: Callable[[Sequence[FlagValue]], bool],
+        *,
+        timeout: float | None = None,
+        site: str = "",
+    ) -> list[FlagValue]:
+        if not flags:
+            return []
+        store = self.stores[rank]
+        where = site or "+".join(f.name for f in flags)
+
+        def check() -> list[FlagValue] | None:
+            vals = [
+                FlagValue.decode(store.read_bytes(f.offset, CACHE_LINE))
+                for f in flags
+            ]
+            return vals if predicate(vals) else None
+
+        return await self.wait_until(rank, check, timeout=timeout, site=where)
+
+    # -- sequence-number slot arrays ---------------------------------------
+
+    async def slot_write(
+        self, rank: int, owner: int, array: FlagSlotArray, slot: int, value: int
+    ) -> str:
+        if not 0 <= value <= array.MAX_SEQ:
+            raise ValueError(
+                f"slot value {value} exceeds 16-bit sequence space; "
+                f"reinitialise the communicator for longer runs"
+            )
+        landed = await self._write(
+            rank, owner, array.slot_offset(slot),
+            value.to_bytes(array.SLOT_BYTES, "little"), op="flag",
+            site=f"{array.name}[{slot}]@core{owner}",
+        )
+        self.emit(
+            f"core{rank}", "slot_write", array=array.name, owner=owner,
+            slot=slot, value=value, landed=landed,
+        )
+        return landed
+
+    async def slot_write_acked(
+        self, rank: int, owner: int, array: FlagSlotArray, slot: int, value: int,
+        *, max_retries: int = 3,
+    ) -> None:
+        site = f"{array.name}[{slot}]@core{owner}"
+        off = array.slot_offset(slot)
+        for attempt in range(max_retries + 1):
+            await self.slot_write(rank, owner, array, slot, value)
+            raw = await self._read(rank, owner, off, array.SLOT_BYTES, site=site)
+            if int.from_bytes(raw, "little") >= value:
+                if attempt:
+                    self.emit(
+                        f"core{rank}", "slot_write_retry_ok", array=array.name,
+                        owner=owner, slot=slot, attempts=attempt + 1,
+                    )
+                    if self.faults is not None:
+                        self.faults.note_recovery(
+                            site, note=f"slot re-sent x{attempt}"
+                        )
+                return
+        raise SimTimeoutError(
+            f"rank {rank}: slot write {array.name}[{slot}] to rank {owner} "
+            f"un-acked after {max_retries + 1} attempts at t={self.now:.4f}"
+            f"{self._timeline_suffix()}",
+            process=f"rank{rank}",
+            sim_time=self.now,
+            site=site,
+        )
+
+    async def slot_wait_at_least(
+        self, rank: int, array: FlagSlotArray, slot: int, value: int,
+        *, timeout: float | None = None,
+    ) -> int:
+        store = self.stores[rank]
+        off = array.slot_offset(slot)
+
+        def check() -> int | None:
+            current = int.from_bytes(
+                store.read_bytes(off, array.SLOT_BYTES), "little"
+            )
+            return current if current >= value else None
+
+        return await self.wait_until(
+            rank, check, timeout=timeout, site=f"{array.name}[{slot}]"
+        )
+
+    async def slot_wait_any_at_least(
+        self, rank: int, array: FlagSlotArray, slots: Sequence[int], value: int,
+        *, timeout: float, site: str = "",
+    ) -> int:
+        if not slots:
+            raise ValueError("wait_any_at_least needs at least one slot")
+        store = self.stores[rank]
+        where = site or f"{array.name}[any]"
+
+        def check() -> int | None:
+            for s in sorted(slots):
+                raw = store.read_bytes(array.slot_offset(s), array.SLOT_BYTES)
+                if int.from_bytes(raw, "little") >= value:
+                    return s
+            return None
+
+        return await self.wait_until(rank, check, timeout=timeout, site=where)
+
+    # -- digest vote slots (RBC) -------------------------------------------
+
+    async def vote_write(
+        self, rank: int, owner: int, array: DigestSlotArray, slot: int,
+        seq: int, digest: int,
+    ) -> str:
+        if not 0 <= seq <= array.MAX_SEQ:
+            raise ValueError(f"vote seq {seq} exceeds 32-bit sequence space")
+        if not 0 <= digest <= 0xFFFFFFFF:
+            raise ValueError(f"digest {digest:#x} is not a 32-bit value")
+        landed = await self._write(
+            rank, owner, array.slot_offset(slot), _VOTE.pack(seq, digest),
+            op="flag", site=f"{array.name}[{slot}]@core{owner}",
+        )
+        self.emit(
+            f"core{rank}", "vote_write", array=array.name, owner=owner,
+            slot=slot, seq=seq, digest=digest, landed=landed,
+        )
+        return landed
+
+    async def vote_write_acked(
+        self, rank: int, owner: int, array: DigestSlotArray, slot: int,
+        seq: int, digest: int, *, max_retries: int = 3,
+    ) -> None:
+        site = f"{array.name}[{slot}]@core{owner}"
+        off = array.slot_offset(slot)
+        for attempt in range(max_retries + 1):
+            await self.vote_write(rank, owner, array, slot, seq, digest)
+            raw = await self._read(rank, owner, off, array.SLOT_BYTES, site=site)
+            got_seq, got_digest = _VOTE.unpack(raw)
+            if got_seq > seq or (got_seq == seq and got_digest == digest):
+                if attempt:
+                    self.emit(
+                        f"core{rank}", "vote_write_retry_ok", array=array.name,
+                        owner=owner, slot=slot, attempts=attempt + 1,
+                    )
+                    if self.faults is not None:
+                        self.faults.note_recovery(
+                            site, note=f"vote re-sent x{attempt}"
+                        )
+                return
+        raise SimTimeoutError(
+            f"rank {rank}: vote write {array.name}[{slot}] to rank {owner} "
+            f"un-acked after {max_retries + 1} attempts at t={self.now:.4f}"
+            f"{self._timeline_suffix()}",
+            process=f"rank{rank}",
+            sim_time=self.now,
+            site=site,
+        )
+
+    async def vote_wait_quorum(
+        self, rank: int, array: DigestSlotArray, seq: int, need: int,
+        *, timeout: float, site: str = "",
+    ) -> int:
+        where = site or f"{array.name}.quorum(seq={seq})"
+
+        def check() -> int | None:
+            counts = array.tally(self.chip, rank, seq)
+            best = None
+            for digest, votes in sorted(counts.items()):
+                if votes >= need and (best is None or votes > counts[best]):
+                    best = digest
+            return best
+
+        return await self.wait_until(rank, check, timeout=timeout, site=where)
+
+    # -- running programs ---------------------------------------------------
+
+    def run(self, program: Callable[["AsyncioTransport"], Generator],
+            *, return_exceptions: bool = False) -> list:
+        """Run ``program(cc)`` (the same generator the SCC backend runs
+        per core) on every rank; returns the per-rank return values.
+
+        Single-shot: build a fresh network per run, like a fresh chip.
+        """
+        if self._ran:
+            raise RuntimeError("an AsyncioNetwork runs exactly once")
+        self._ran = True
+
+        async def main() -> list:
+            self._loop = asyncio.get_running_loop()
+            self._active = self.size
+            tasks = [
+                self._loop.create_task(
+                    self._runner(rank, program), name=f"rank{rank}"
+                )
+                for rank in range(self.size)
+            ]
+            return await asyncio.gather(*tasks, return_exceptions=True)
+
+        results = asyncio.run(main())
+        if not return_exceptions:
+            for res in results:
+                if isinstance(res, BaseException):
+                    raise res
+        return list(results)
+
+    async def _runner(self, rank: int, program) -> Any:
+        try:
+            return await self._drive(program(self.transport(rank)))
+        finally:
+            self._active -= 1
+            self._maybe_advance()
+
+    async def _drive(self, gen: Generator) -> Any:
+        """Trampoline a protocol generator: every yielded item is an
+        awaitable from this network; its result (or exception) is fed
+        back into the generator frame, so protocol-level ``try/except``
+        around ``yield from`` works exactly as on the SCC."""
+        to_send: Any = None
+        exc: BaseException | None = None
+        while True:
+            try:
+                if exc is not None:
+                    pending, exc = exc, None
+                    item = gen.throw(pending)
+                else:
+                    item = gen.send(to_send)
+            except StopIteration as stop:
+                return stop.value
+            to_send = None
+            try:
+                to_send = await item
+            except Exception as caught:  # noqa: BLE001 - re-thrown into gen
+                exc = caught
+
+
+class AsyncioTransport:
+    """Per-rank endpoint over :class:`AsyncioNetwork` (duck-types
+    :class:`repro.rcce.comm.CoreComm`).
+
+    Every generator method yields coroutines for the driving trampoline
+    to await; protocol code cannot tell the difference from the SCC's
+    simulator events.  The two-sided RCCE surface (``send``/``recv`` and
+    the non-blocking variants) is SCC-only and raises
+    ``NotImplementedError`` here.
+    """
+
+    def __init__(self, net: AsyncioNetwork, rank: int) -> None:
+        self.comm = net
+        self.net = net
+        self.rank = rank
+        self._mem = PrivateMemory(
+            SimpleNamespace(private_mem_bytes=_PRIVATE_MEM_BYTES), rank
+        )
+
+    # -- identity / timing --------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        return self.net.size
+
+    @property
+    def core_id(self) -> int:
+        return self.rank
+
+    @property
+    def now(self) -> float:
+        return self.net.now
+
+    @property
+    def t_poll(self) -> float:
+        return 0.25
+
+    @property
+    def tracer_enabled(self) -> bool:
+        return self.net.tracer.enabled
+
+    @property
+    def has_faults(self) -> bool:
+        return self.net.faults is not None
+
+    # -- observability ------------------------------------------------------
+
+    def trace(self, kind: str, **detail: object) -> None:
+        tf = self.net.transport_faults
+        if tf is not None:
+            tf.on_trace(self.rank, kind, detail)
+        self.net.emit(f"rank{self.rank}", kind, **detail)
+
+    def metric_inc(self, name: str, n: int = 1) -> None:
+        pass
+
+    def metric_set(self, name: str, value: float) -> None:
+        pass
+
+    def observe_histogram(self, name: str, bounds, value: float) -> None:
+        pass
+
+    # -- fault/adversary hooks ----------------------------------------------
+
+    def adversary_stage(self):
+        faults = self.net.faults
+        return None if faults is None else faults.adversary_stage(self.rank)
+
+    def quorum_vote(self):
+        faults = self.net.faults
+        return None if faults is None else faults.quorum_vote(self.rank)
+
+    def note_recovery(self, site: str, note: str = "") -> None:
+        if self.net.faults is not None:
+            self.net.faults.note_recovery(site, note=note)
+
+    def first_fault_time(self) -> float | None:
+        faults = self.net.faults
+        if faults is not None and faults.injected:
+            return faults.injected[0].time
+        return None
+
+    # -- memory / compute ---------------------------------------------------
+
+    def alloc(self, nbytes: int) -> MemRef:
+        return self._mem.alloc(nbytes)
+
+    def compute(self, duration: float) -> Generator:
+        yield self.net.sleep(self.rank, duration)
+
+    def mem_read(self, ref: MemRef) -> Generator:
+        self._own(ref, "mem_read")
+        yield self.net.sleep(self.rank, 0.0, site="mem_read")
+
+    def mem_write(self, ref: MemRef) -> Generator:
+        self._own(ref, "mem_write")
+        yield self.net.sleep(self.rank, 0.0, site="mem_write")
+
+    def local_copy(self, dst: MemRef, src: MemRef, nbytes: int) -> Generator:
+        if src.owner != self.rank or dst.owner != self.rank:
+            raise ValueError("local_copy operates on this rank's memory only")
+        if nbytes < 0 or nbytes > src.nbytes or nbytes > dst.nbytes:
+            raise ValueError(f"bad local_copy length {nbytes}")
+        if nbytes == 0:
+            return
+        yield from self.mem_read(src.sub(0, nbytes))
+        yield from self.mem_write(dst.sub(0, nbytes))
+        dst.sub(0, nbytes).write(src.sub(0, nbytes).read())
+
+    def read_local(self, offset: int, nbytes: int) -> bytes:
+        return self.net.stores[self.rank].read_bytes(offset, nbytes)
+
+    def mpb_charge_local(self, lines: int, *, write: bool = False) -> Generator:
+        yield self.net.sleep(self.rank, 0.0, site="mpb_local")
+
+    def _own(self, ref: MemRef, what: str) -> None:
+        if ref.owner != self.rank:
+            raise ValueError(f"{what} operates on this rank's memory only")
+
+    # -- one-sided RMA ------------------------------------------------------
+
+    def _payload_of(self, src: "MemRef | int", nbytes: int) -> bytes:
+        """Source bytes for a put: a private-memory buffer (must be this
+        rank's) or an offset into this rank's own store (store-to-store
+        forwarding, as in the one-sided ring)."""
+        if isinstance(src, MemRef):
+            self._own(src, "put")
+            if nbytes > src.nbytes:
+                raise ValueError(f"put of {nbytes} bytes from {src.nbytes}-byte buffer")
+            return src.sub(0, nbytes).read()
+        return self.net.stores[self.rank].read_bytes(src, nbytes)
+
+    def put(
+        self, dst_rank: int, dst_offset: int, src: "MemRef | int", nbytes: int
+    ) -> Generator:
+        dst = self.net.core_of(dst_rank)
+        payload = self._payload_of(src, nbytes)
+        landed = yield self.net._write(
+            self.rank, dst, dst_offset, payload, op="data",
+            site=f"mpb{dst}@{dst_offset}",
+        )
+        self.net.emit(
+            f"core{self.rank}", "put", dst=dst, off=dst_offset, n=nbytes,
+            landed=landed,
+        )
+
+    def get(
+        self, src_rank: int, src_offset: int, dst: "MemRef | int", nbytes: int
+    ) -> Generator:
+        src = self.net.core_of(src_rank)
+        payload = yield self.net._read(
+            self.rank, src, src_offset, nbytes, site=f"mpb{src}@{src_offset}"
+        )
+        if isinstance(dst, MemRef):
+            self._own(dst, "get")
+            if nbytes > dst.nbytes:
+                raise ValueError(f"get of {nbytes} bytes into {dst.nbytes}-byte buffer")
+            dst.sub(0, nbytes).write(payload)
+            landed = "ok"
+        else:
+            # Deposit into the own store: a protocol write, hence faultable
+            # exactly like the SCC's own-MPB deposit path.
+            landed = self.net.stores[self.rank].write_bytes(
+                dst, payload, source=self.rank, op="data"
+            )
+            if landed != "dropped":
+                self.net._wake(self.rank)
+        self.net.emit(
+            f"core{self.rank}", "get", src=src, off=src_offset, n=nbytes,
+            landed=landed,
+        )
+
+    def put_acked(
+        self, dst_rank: int, dst_offset: int, src: "MemRef | int", nbytes: int,
+        *, max_retries: int = 3,
+    ) -> Generator:
+        dst = self.net.core_of(dst_rank)
+        site = f"mpb{dst}@{dst_offset}"
+        payload = self._payload_of(src, nbytes)
+        for attempt in range(max_retries + 1):
+            yield from self.put(dst_rank, dst_offset, src, nbytes)
+            got = yield self.net._read(self.rank, dst, dst_offset, nbytes, site=site)
+            if got == payload:
+                if attempt:
+                    self.net.emit(
+                        f"core{self.rank}", "put_retry_ok", dst=dst,
+                        off=dst_offset, attempts=attempt + 1,
+                    )
+                    self.note_recovery(site, note=f"{nbytes}B re-sent x{attempt}")
+                return
+        raise SimTimeoutError(
+            f"rank {self.rank}: put of {nbytes} bytes to rank {dst} un-acked "
+            f"after {max_retries + 1} attempts at t={self.now:.4f}"
+            f"{self.net._timeline_suffix()}",
+            process=f"rank{self.rank}",
+            sim_time=self.now,
+            site=site,
+        )
+
+    def get_acked(
+        self, src_rank: int, src_offset: int, dst: "MemRef | int", nbytes: int,
+        *, max_retries: int = 3,
+    ) -> Generator:
+        src = self.net.core_of(src_rank)
+        site = f"mpb{src}@{src_offset}"
+        for attempt in range(max_retries + 1):
+            yield from self.get(src_rank, src_offset, dst, nbytes)
+            want = yield self.net._read(self.rank, src, src_offset, nbytes, site=site)
+            if isinstance(dst, MemRef):
+                have = dst.sub(0, nbytes).read()
+            else:
+                have = self.net.stores[self.rank].read_bytes(dst, nbytes)
+            if have == want:
+                if attempt:
+                    self.net.emit(
+                        f"core{self.rank}", "get_retry_ok", src=src,
+                        off=src_offset, attempts=attempt + 1,
+                    )
+                    self.note_recovery(site, note=f"{nbytes}B re-fetched x{attempt}")
+                return
+        raise SimTimeoutError(
+            f"rank {self.rank}: get of {nbytes} bytes from rank {src} "
+            f"unverified after {max_retries + 1} attempts at t={self.now:.4f}"
+            f"{self.net._timeline_suffix()}",
+            process=f"rank{self.rank}",
+            sim_time=self.now,
+            site=site,
+        )
+
+    def put_bytes(
+        self, dst_rank: int, dst_offset: int, payload: bytes
+    ) -> Generator[object, object, str]:
+        if not payload:
+            return "ok"
+        dst = self.net.core_of(dst_rank)
+        landed = yield self.net._write(
+            self.rank, dst, dst_offset, bytes(payload), op="data",
+            site=f"mpb{dst}@{dst_offset}",
+        )
+        self.net.emit(
+            f"core{self.rank}", "put_bytes", dst=dst, off=dst_offset,
+            n=len(payload), landed=landed,
+        )
+        return landed
+
+    def get_bytes(
+        self, src_rank: int, src_offset: int, nbytes: int
+    ) -> Generator[object, object, bytes]:
+        if nbytes <= 0:
+            raise ValueError("get_bytes needs nbytes > 0")
+        src = self.net.core_of(src_rank)
+        payload = yield self.net._read(
+            self.rank, src, src_offset, nbytes, site=f"mpb{src}@{src_offset}"
+        )
+        return payload
+
+    # -- flags --------------------------------------------------------------
+
+    def flag_set(self, owner_rank: int, flag: Flag, value: FlagValue) -> Generator:
+        yield self.net.flag_write(self.rank, self.net.core_of(owner_rank), flag, value)
+
+    def flag_set_acked(
+        self, owner_rank: int, flag: Flag, value: FlagValue, *, max_retries: int = 3
+    ) -> Generator[object, object, FlagValue]:
+        got = yield self.net.flag_write_acked(
+            self.rank, self.net.core_of(owner_rank), flag, value,
+            max_retries=max_retries,
+        )
+        return got
+
+    def flag_poll(self, flag: Flag) -> Generator[object, object, FlagValue]:
+        yield self.net.sleep(self.rank, self.t_poll, site=flag.name)
+        raw = self.net.stores[self.rank].read_bytes(flag.offset, CACHE_LINE)
+        return FlagValue.decode(raw)
+
+    def flag_peek(self, flag: Flag) -> FlagValue:
+        return flag.peek(self.net.chip, self.rank)
+
+    def wait_flags(
+        self,
+        flags: Sequence[Flag],
+        predicate: Callable[[Sequence[FlagValue]], bool],
+        *,
+        sweep_flags: int | None = None,
+        timeout: float | None = None,
+        site: str = "",
+    ) -> Generator[object, object, list[FlagValue]]:
+        # sweep_flags shapes only the SCC's detection-delay charge.
+        vals = yield self.net.wait_flags(
+            self.rank, flags, predicate, timeout=timeout, site=site
+        )
+        return vals
+
+    def wait_flag_equals(self, flag: Flag, value: FlagValue) -> Generator:
+        yield from self.wait_flags([flag], lambda v: v[0] == value)
+
+    def wait_flag_at_least(self, flag: Flag, tag: int, seq: int) -> Generator:
+        yield from self.wait_flags(
+            [flag], lambda v: v[0].tag == tag and v[0].seq >= seq
+        )
+
+    # -- slot arrays ---------------------------------------------------------
+
+    def slot_write(
+        self, array: FlagSlotArray, owner_rank: int, slot: int, value: int
+    ) -> Generator:
+        yield self.net.slot_write(
+            self.rank, self.net.core_of(owner_rank), array, slot, value
+        )
+
+    def slot_write_acked(
+        self, array: FlagSlotArray, owner_rank: int, slot: int, value: int,
+        *, max_retries: int = 3,
+    ) -> Generator:
+        yield self.net.slot_write_acked(
+            self.rank, self.net.core_of(owner_rank), array, slot, value,
+            max_retries=max_retries,
+        )
+
+    def slot_peek(self, array: FlagSlotArray, slot: int) -> int:
+        return array.peek(self.net.chip, self.rank, slot)
+
+    def slot_wait_at_least(
+        self, array: FlagSlotArray, slot: int, value: int,
+        *, timeout: float | None = None,
+    ) -> Generator[object, object, int]:
+        got = yield self.net.slot_wait_at_least(
+            self.rank, array, slot, value, timeout=timeout
+        )
+        return got
+
+    def slot_wait_any_at_least(
+        self, array: FlagSlotArray, slots: Sequence[int], value: int,
+        *, timeout: float, site: str = "",
+    ) -> Generator[object, object, int]:
+        got = yield self.net.slot_wait_any_at_least(
+            self.rank, array, slots, value, timeout=timeout, site=site
+        )
+        return got
+
+    # -- digest vote slots ----------------------------------------------------
+
+    def vote_write(
+        self, array: DigestSlotArray, owner_rank: int, slot: int, seq: int,
+        digest: int,
+    ) -> Generator:
+        yield self.net.vote_write(
+            self.rank, self.net.core_of(owner_rank), array, slot, seq, digest
+        )
+
+    def vote_write_acked(
+        self, array: DigestSlotArray, owner_rank: int, slot: int, seq: int,
+        digest: int, *, max_retries: int = 3,
+    ) -> Generator:
+        yield self.net.vote_write_acked(
+            self.rank, self.net.core_of(owner_rank), array, slot, seq, digest,
+            max_retries=max_retries,
+        )
+
+    def vote_peek(self, array: DigestSlotArray, slot: int) -> tuple[int, int]:
+        return array.peek(self.net.chip, self.rank, slot)
+
+    def vote_wait_quorum(
+        self, array: DigestSlotArray, seq: int, need: int,
+        *, timeout: float, site: str = "",
+    ) -> Generator[object, object, int]:
+        got = yield self.net.vote_wait_quorum(
+            self.rank, array, seq, need, timeout=timeout, site=site
+        )
+        return got
+
+    # -- two-sided (SCC-only) --------------------------------------------------
+
+    def send(self, dst_rank: int, src: MemRef, nbytes: int) -> Generator:
+        raise NotImplementedError("two-sided send/recv is SCC-backend-only")
+
+    def recv(self, src_rank: int, dst: MemRef, nbytes: int) -> Generator:
+        raise NotImplementedError("two-sided send/recv is SCC-backend-only")
+
+    def isend(self, dst_rank: int, src: MemRef, nbytes: int):
+        raise NotImplementedError("non-blocking send is SCC-backend-only")
+
+    def irecv(self, src_rank: int, dst: MemRef, nbytes: int):
+        raise NotImplementedError("non-blocking recv is SCC-backend-only")
+
+    def wait_all(self, requests) -> Generator:
+        raise NotImplementedError("non-blocking progress is SCC-backend-only")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<AsyncioTransport rank={self.rank}>"

@@ -1,0 +1,110 @@
+"""Decision-trace extraction for differential testing.
+
+Two backends running the same protocol with the same seed agree on
+*decisions* -- what each rank committed, suspected, elected, voted and
+returned -- while disagreeing on every latency and on how the per-rank
+event streams interleave globally.  This module canonicalises a trace
+into exactly the decision content:
+
+- keep only the *decision kinds* below (protocol outcomes and state
+  transitions), dropping span markers, wait bookkeeping, retry noise and
+  core-level wire records whose counts are timing-dependent;
+- keep only per-rank **program order**: records are grouped by their
+  ``rank{r}`` source and concatenated in rank order, because the global
+  interleaving is a timing artifact;
+- strip timestamps: a canonical line is ``source<TAB>kind<TAB>detail``
+  with the detail dict rendered in sorted-key order.
+
+``decision_digest`` hashes the result, giving each (scenario, seed) a
+single comparable fingerprint per backend.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable
+
+from ..sim.trace import TraceRecord
+
+#: Trace kinds that constitute protocol decisions.  Excluded on purpose:
+#: ``oc.chunk.begin``/``end`` and ``oc.wait.*`` (span/wait bookkeeping),
+#: ``oc.chunk_done`` (completion timing), ``oc.ft.renotify`` and
+#: ``oc.integrity.*`` (retry noise -- masked recoveries must NOT change
+#: the decision stream), ``member.install_unreachable`` /
+#: ``member.claim_unreachable`` (delivery-timing observations), and all
+#: core-level wire records (``flag_write``, ``put``, ...), whose counts
+#: differ with backend timing.
+DECISION_KINDS = frozenset(
+    {
+        # OC-Bcast data path
+        "oc.chunk_staged",
+        "oc.fetch",
+        "oc.svc.commit",
+        "oc.svc.commit_unknown",
+        "oc.ft.child_dead",
+        "oc.adv.equivocate",
+        # broadcast service (coordination outcomes)
+        "svc.attempt",
+        "svc.attempt_failed",
+        "svc.outcome",
+        "svc.completion",
+        "svc.step_down",
+        "svc.self_evict",
+        "svc.report_failed",
+        # membership
+        "member.hb",
+        "member.suspect",
+        "member.view_install",
+        "member.view_adopt",
+        # election
+        "member.elect.begin",
+        "member.elect.won",
+        "member.elect.follow",
+        "member.elect.yield",
+        "member.claim",
+        # Byzantine reliable broadcast
+        "rbc.echo",
+        "rbc.amplify",
+        "rbc.outcome",
+        "rbc.no_quorum",
+        "rbc.refetch",
+        "rbc.refetch_failed",
+    }
+)
+
+
+def decision_streams(
+    records: Iterable[TraceRecord],
+) -> dict[str, list[TraceRecord]]:
+    """Per-rank decision records in program order, keyed by source
+    (``rank0``, ``rank1``, ...)."""
+    streams: dict[str, list[TraceRecord]] = {}
+    for rec in records:
+        if rec.kind in DECISION_KINDS and rec.source.startswith("rank"):
+            streams.setdefault(rec.source, []).append(rec)
+    return streams
+
+
+def _rank_index(source: str) -> int:
+    try:
+        return int(source[4:])
+    except ValueError:  # pragma: no cover - non-rank sources are filtered
+        return -1
+
+
+def canonical_decisions(records: Iterable[TraceRecord]) -> str:
+    """The time-free canonical decision text of one run."""
+    streams = decision_streams(records)
+    lines: list[str] = []
+    for source in sorted(streams, key=_rank_index):
+        for rec in streams[source]:
+            detail = ",".join(
+                f"{k}={v!r}" for k, v in sorted(rec.detail.items())
+            )
+            lines.append(f"{source}\t{rec.kind}\t{detail}")
+    return "\n".join(lines) + "\n"
+
+
+def decision_digest(records: Iterable[TraceRecord]) -> str:
+    """sha256 fingerprint of the canonical decision text."""
+    return hashlib.sha256(canonical_decisions(records).encode()).hexdigest()

@@ -1,0 +1,155 @@
+"""Seeded delay/omission models for the asyncio transport backend.
+
+The SCC backend derives every latency from the chip's calibrated LogP
+constants; the asyncio backend has no hardware to imitate, so its timing
+comes from a pluggable :class:`DelayModel` (shape borrowed from
+reliability-style network simulators: a per-link delay distribution plus
+an optional omission filter).
+
+Determinism contract
+--------------------
+``reset(seed)`` rebuilds the model's RNG state; after a reset the model
+replays the identical delay/delivery sequence for the identical call
+sequence.  Every ``(src, dst)`` link owns an *independent* stream
+(``random.Random(seed * 1_000_003 + src * 1009 + dst)``), so draws on
+one link never perturb another link's sequence -- the property the
+differential harness leans on when two backends interleave operations
+differently.
+
+All times are virtual microseconds, matching the SCC simulator.
+"""
+
+from __future__ import annotations
+
+import random
+
+
+class DelayModel:
+    """Base model: zero delay, every write delivered.
+
+    Subclasses override :meth:`delay` (per-operation latency) and/or
+    :meth:`deliver` (omission filter for *remote writes*; reads are
+    RMA pulls by the caller and are never dropped, matching the SCC
+    substrate where only the unacknowledged store can be lost).
+    """
+
+    name = "none"
+
+    def __init__(self) -> None:
+        self._seed = 0
+        self._streams: dict[tuple[int, int], random.Random] = {}
+
+    def reset(self, seed: int) -> None:
+        """Restore the model to a reproducible state for ``seed``."""
+        self._seed = int(seed)
+        self._streams = {}
+
+    def link_rng(self, src: int, dst: int) -> random.Random:
+        """The (lazily created) independent RNG stream of one link."""
+        key = (src, dst)
+        rng = self._streams.get(key)
+        if rng is None:
+            rng = random.Random(self._seed * 1_000_003 + src * 1009 + dst)
+            self._streams[key] = rng
+        return rng
+
+    def delay(self, src: int, dst: int, *, op: str, nbytes: int) -> float:
+        """Latency (us) of one operation from ``src`` against ``dst``'s
+        store.  ``op`` is ``"flag"``/``"data"``/``"read"``."""
+        return 0.0
+
+    def deliver(self, src: int, dst: int, *, now: float) -> bool:
+        """Whether a remote write from ``src`` to ``dst`` lands (local
+        writes, ``src == dst``, bypass this -- a rank always reaches its
+        own store)."""
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{type(self).__name__} seed={self._seed}>"
+
+
+class NoDelay(DelayModel):
+    """Everything instantaneous and reliable (the scheduling-order-only
+    baseline)."""
+
+    name = "nodelay"
+
+
+class UniformDelay(DelayModel):
+    """Per-operation latency drawn uniformly from ``[lo, hi]`` us."""
+
+    name = "uniform"
+
+    def __init__(self, lo: float = 0.05, hi: float = 5.0) -> None:
+        super().__init__()
+        if lo < 0 or hi < lo:
+            raise ValueError(f"need 0 <= lo <= hi, got [{lo}, {hi}]")
+        self.lo = float(lo)
+        self.hi = float(hi)
+
+    def delay(self, src: int, dst: int, *, op: str, nbytes: int) -> float:
+        return self.link_rng(src, dst).uniform(self.lo, self.hi)
+
+
+class LinkDrop(DelayModel):
+    """Drop each remote write independently with probability ``p``;
+    optional uniform delay on everything else."""
+
+    name = "linkdrop"
+
+    def __init__(self, p: float, lo: float = 0.0, hi: float = 0.0) -> None:
+        super().__init__()
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"drop probability must be in [0, 1], got {p}")
+        if lo < 0 or hi < lo:
+            raise ValueError(f"need 0 <= lo <= hi, got [{lo}, {hi}]")
+        self.p = float(p)
+        self.lo = float(lo)
+        self.hi = float(hi)
+
+    def delay(self, src: int, dst: int, *, op: str, nbytes: int) -> float:
+        if self.hi == 0.0:
+            return 0.0
+        return self.link_rng(src, dst).uniform(self.lo, self.hi)
+
+    def deliver(self, src: int, dst: int, *, now: float) -> bool:
+        # p == 1.0 / 0.0 short-circuit without consuming randomness, so
+        # the all-drop and no-drop edges stay stream-neutral.
+        if self.p >= 1.0:
+            return False
+        if self.p <= 0.0:
+            return True
+        return self.link_rng(src, dst).random() >= self.p
+
+
+class Partition(DelayModel):
+    """A network partition that heals at a fixed virtual time.
+
+    ``groups`` lists the rank sets that can reach each other while the
+    partition holds (``now < heal_at``); cross-group remote writes are
+    dropped.  Ranks not named in any group are unrestricted.  Healing is
+    purely a function of virtual time, hence deterministic.
+    """
+
+    name = "partition"
+
+    def __init__(self, groups, heal_at: float) -> None:
+        super().__init__()
+        if heal_at < 0:
+            raise ValueError("heal_at must be >= 0")
+        self.heal_at = float(heal_at)
+        self._group_of: dict[int, int] = {}
+        for gid, members in enumerate(groups):
+            for rank in members:
+                if rank in self._group_of:
+                    raise ValueError(f"rank {rank} appears in two groups")
+                self._group_of[rank] = gid
+
+    def deliver(self, src: int, dst: int, *, now: float) -> bool:
+        if now >= self.heal_at:
+            return True
+        gs = self._group_of.get(src)
+        gd = self._group_of.get(dst)
+        if gs is None or gd is None:
+            return True
+        return gs == gd

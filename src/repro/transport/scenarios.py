@@ -1,0 +1,222 @@
+"""Shared differential scenarios: one protocol program, two backends.
+
+Each scenario is a seeded, deterministic run of the fault-tolerant
+broadcast service -- the *same* generator program handed to the SCC
+simulator (``run_spmd`` over a chip) and to the asyncio backend
+(``AsyncioNetwork.run``).  The differential harness replays a scenario
+with the same seed on both backends and asserts that the canonical
+decision traces (:mod:`repro.transport.decisions`) are identical while
+latencies diverge freely.
+
+Scenario determinism rests on margins, not luck: the delay models used
+here draw latencies of at most a few microseconds per operation, two
+orders of magnitude under the smallest protocol budget (the 300-us
+doneFlag timeout), so no timeout can fire on one backend and not the
+other.  Fault coordinates are occurrence-based (the injector's nth
+matching write into one destination store, or a
+:class:`~repro.transport.api.CrashOnEvent` trace coordinate), which are
+functions of per-rank program order, not of global timing.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+from functools import lru_cache
+from typing import Callable, Generator
+
+from ..faults.injector import FaultInjector
+from ..faults.plan import FaultKind, FaultPlan, FaultSpec
+from ..member.service import DEFAULT_SERVICE_OC, OcBcastService
+from ..rcce.comm import Comm
+from ..scc.chip import SccChip, run_spmd
+from ..scc.config import CACHE_LINE, SccConfig
+from ..sim.errors import FaultInjected
+from ..sim.trace import TraceRecord, Tracer
+from .api import CrashOnEvent
+from .asyncio_backend import AsyncioNetwork
+from .decisions import canonical_decisions, decision_digest
+from .models import DelayModel, UniformDelay
+
+CHUNK_BYTES = 96 * CACHE_LINE  # the service's default chunk
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One differential scenario (backend-agnostic description)."""
+
+    name: str
+    nranks: int
+    mesh: tuple[int, int]  # (cols, rows); cores = 2 * cols * rows
+    chunks: int
+    byz: bool = False
+    #: Injector plan riding the transport's write hooks (both backends).
+    plan_specs: tuple[FaultSpec, ...] = ()
+    #: (rank, trace kind, nth) for a CrashOnEvent, or None.
+    crash: tuple[int, str, int] | None = None
+
+    @property
+    def nbytes(self) -> int:
+        return self.chunks * CHUNK_BYTES
+
+    def plan(self) -> FaultPlan | None:
+        if not self.plan_specs:
+            return None
+        return FaultPlan(self.plan_specs, label=self.name, num_cores=self.nranks)
+
+    def crash_hook(self) -> CrashOnEvent | None:
+        if self.crash is None:
+            return None
+        rank, kind, nth = self.crash
+        return CrashOnEvent(rank, kind, nth=nth)
+
+
+SCENARIOS: dict[str, Scenario] = {
+    # Plain FT broadcast, fault-free: the decision baseline.
+    "ft_broadcast": Scenario(
+        name="ft_broadcast", nranks=8, mesh=(2, 2), chunks=2
+    ),
+    # The source crashes at its first chunk staging; survivors time out,
+    # report, elect rank 1, find no chunk holders and abort.
+    "root_crash_election": Scenario(
+        name="root_crash_election", nranks=8, mesh=(2, 2), chunks=1,
+        crash=(0, "oc.chunk.begin", 1),
+    ),
+    # Byzantine quorum: core 5 lies in its first vote round; 11 honest
+    # echoes still clear the quorum of 8, everyone commits.
+    "byz_quorum": Scenario(
+        name="byz_quorum", nranks=12, mesh=(3, 2), chunks=1, byz=True,
+        plan_specs=(FaultSpec(FaultKind.LIE_IN_QUORUM, core=5, nth=1),),
+    ),
+    # A dropped doneFlag-path write into rank 3's store, masked by the
+    # acked re-send: decisions must equal the fault-free run.
+    "drop_flag": Scenario(
+        name="drop_flag", nranks=8, mesh=(2, 2), chunks=1,
+        plan_specs=(FaultSpec(FaultKind.DROP_FLAG_WRITE, core=3, nth=1),),
+    ),
+}
+
+#: The scenarios whose decision digests are pinned as goldens and swept
+#: across seeds by the equivalence suite (drop_flag is exercised by the
+#: fault-parity tests instead).
+DIFFERENTIAL_NAMES = ("ft_broadcast", "root_crash_election", "byz_quorum")
+
+
+def payload_for(scenario: Scenario, seed: int) -> bytes:
+    """The seeded broadcast payload (identical on both backends)."""
+    return random.Random(seed * 9176 + 11).randbytes(scenario.nbytes)
+
+
+def _program(
+    svc: OcBcastService, payload: bytes, nbytes: int
+) -> Callable[[object], Generator]:
+    """The per-rank protocol program, shared verbatim by both backends:
+    it sees only the transport surface."""
+
+    def body(cc) -> Generator:
+        buf = cc.alloc(nbytes)
+        if cc.rank == 0:
+            buf.write(payload)
+        try:
+            status = yield from svc.bcast(cc, buf, nbytes)
+        except FaultInjected:
+            return "crashed"
+        return status
+
+    return body
+
+
+@dataclass
+class RunResult:
+    """One backend execution of one scenario."""
+
+    backend: str
+    records: list[TraceRecord]
+    outcomes: tuple
+    faults: FaultInjector | None
+
+    @property
+    def decisions(self) -> str:
+        return canonical_decisions(self.records)
+
+    @property
+    def digest(self) -> str:
+        return decision_digest(self.records)
+
+
+def run_scc(
+    scenario: Scenario | str, seed: int, *, with_plan: bool = True
+) -> RunResult:
+    """Run the scenario on the SCC chip-model backend."""
+    sc = SCENARIOS[scenario] if isinstance(scenario, str) else scenario
+    cols, rows = sc.mesh
+    config = SccConfig(mesh_cols=cols, mesh_rows=rows)
+    if config.num_cores != sc.nranks:
+        raise ValueError(f"mesh {sc.mesh} gives {config.num_cores} cores, "
+                         f"scenario wants {sc.nranks}")
+    plan = sc.plan() if with_plan else None
+    chip = SccChip(
+        config,
+        tracer=Tracer(enabled=True),
+        faults=FaultInjector(plan) if plan is not None else None,
+    )
+    comm = Comm(chip)
+    comm.transport_faults = sc.crash_hook()
+    oc_config = replace(DEFAULT_SERVICE_OC, byz=True) if sc.byz else None
+    svc = OcBcastService(comm, oc_config=oc_config)
+    body = _program(svc, payload_for(sc, seed), sc.nbytes)
+
+    def prog(core):
+        return body(comm.attach(core))
+
+    chip.sim.start_watchdog(100_000.0)
+    result = run_spmd(chip, prog)
+    return RunResult("scc", list(chip.tracer.records), result.values, chip.faults)
+
+
+def run_asyncio(
+    scenario: Scenario | str,
+    seed: int,
+    *,
+    model: DelayModel | None = None,
+    with_plan: bool = True,
+) -> RunResult:
+    """Run the scenario on the asyncio event-loop backend.  The default
+    model draws per-operation latencies uniformly from [0.05, 5] us --
+    nothing like the SCC's calibrated timings, which is the point."""
+    sc = SCENARIOS[scenario] if isinstance(scenario, str) else scenario
+    net = AsyncioNetwork(
+        sc.nranks,
+        model=model if model is not None else UniformDelay(0.05, 5.0),
+        seed=seed,
+        plan=sc.plan() if with_plan else None,
+        time_limit=1_000_000.0,
+    )
+    net.transport_faults = sc.crash_hook()
+    oc_config = replace(DEFAULT_SERVICE_OC, byz=True) if sc.byz else None
+    svc = OcBcastService(net, oc_config=oc_config)
+    body = _program(svc, payload_for(sc, seed), sc.nbytes)
+    outcomes = tuple(net.run(body))
+    return RunResult("asyncio", list(net.tracer.records), outcomes, net.faults)
+
+
+def run_backend(
+    backend: str, scenario: Scenario | str, seed: int, *, with_plan: bool = True
+) -> RunResult:
+    if backend == "scc":
+        return run_scc(scenario, seed, with_plan=with_plan)
+    if backend == "asyncio":
+        return run_asyncio(scenario, seed, with_plan=with_plan)
+    raise ValueError(f"unknown backend {backend!r}")
+
+
+@lru_cache(maxsize=None)
+def cached_decisions(
+    backend: str, name: str, seed: int, with_plan: bool = True
+) -> tuple[str, str, tuple, int, int]:
+    """Memoised (decision text, digest, outcomes, n_injected,
+    n_recoveries) -- several test modules replay the same runs."""
+    res = run_backend(backend, name, seed, with_plan=with_plan)
+    injected = 0 if res.faults is None else res.faults.n_injected
+    recovered = 0 if res.faults is None else len(res.faults.recoveries)
+    return res.decisions, res.digest, res.outcomes, injected, recovered

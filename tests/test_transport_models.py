@@ -1,0 +1,183 @@
+"""Property tests for the transport delay/omission models and the
+backend-agnostic crash coordinate (`repro.transport`)."""
+
+import pytest
+
+from repro.sim import FaultInjected
+from repro.transport import (
+    CrashOnEvent,
+    LinkDrop,
+    NoDelay,
+    Partition,
+    UniformDelay,
+)
+
+
+# -- UniformDelay ----------------------------------------------------------
+
+
+def test_uniform_delay_within_bounds():
+    model = UniformDelay(0.5, 4.0)
+    model.reset(7)
+    for src in range(4):
+        for dst in range(4):
+            for _ in range(50):
+                d = model.delay(src, dst, op="flag", nbytes=32)
+                assert 0.5 <= d <= 4.0
+
+
+def test_uniform_delay_seed_reproducible():
+    def draws(seed):
+        model = UniformDelay(0.0, 10.0)
+        model.reset(seed)
+        return [model.delay(0, 1, op="data", nbytes=64) for _ in range(20)]
+
+    assert draws(3) == draws(3)
+    assert draws(3) != draws(4)
+
+
+def test_uniform_delay_reset_replays():
+    model = UniformDelay(0.0, 1.0)
+    model.reset(11)
+    first = [model.delay(2, 5, op="flag", nbytes=32) for _ in range(10)]
+    model.reset(11)
+    assert [model.delay(2, 5, op="flag", nbytes=32) for _ in range(10)] == first
+
+
+def test_uniform_delay_rejects_bad_bounds():
+    with pytest.raises(ValueError):
+        UniformDelay(3.0, 1.0)
+    with pytest.raises(ValueError):
+        UniformDelay(-1.0, 1.0)
+
+
+# -- LinkDrop --------------------------------------------------------------
+
+
+def test_linkdrop_certain_drop_never_delivers():
+    model = LinkDrop(1.0)
+    model.reset(0)
+    assert not any(
+        model.deliver(src, dst, now=float(t))
+        for src in range(3)
+        for dst in range(3)
+        for t in range(100)
+    )
+
+
+def test_linkdrop_zero_always_delivers():
+    model = LinkDrop(0.0)
+    model.reset(0)
+    assert all(model.deliver(0, 1, now=0.0) for _ in range(100))
+
+
+def test_linkdrop_seed_reproducible():
+    def pattern(seed):
+        model = LinkDrop(0.5)
+        model.reset(seed)
+        return [model.deliver(0, 1, now=0.0) for _ in range(64)]
+
+    assert pattern(9) == pattern(9)
+    assert True in pattern(9) and False in pattern(9)
+
+
+def test_linkdrop_rejects_bad_probability():
+    with pytest.raises(ValueError):
+        LinkDrop(1.5)
+    with pytest.raises(ValueError):
+        LinkDrop(-0.1)
+
+
+# -- Partition -------------------------------------------------------------
+
+
+def test_partition_blocks_cross_group_until_heal():
+    model = Partition([{0, 1}, {2, 3}], heal_at=100.0)
+    model.reset(0)
+    # Within a group: always delivered.
+    assert model.deliver(0, 1, now=0.0)
+    assert model.deliver(2, 3, now=50.0)
+    # Across groups: dropped strictly before heal_at, delivered after --
+    # deterministically, with no randomness involved.
+    for now in (0.0, 50.0, 99.999):
+        assert not model.deliver(0, 2, now=now)
+        assert not model.deliver(3, 1, now=now)
+    for now in (100.0, 100.001, 1e9):
+        assert model.deliver(0, 2, now=now)
+        assert model.deliver(3, 1, now=now)
+
+
+def test_partition_unlisted_ranks_unrestricted():
+    model = Partition([{0, 1}, {2}], heal_at=100.0)
+    assert model.deliver(0, 7, now=0.0)
+    assert model.deliver(7, 2, now=0.0)
+
+
+def test_partition_rejects_overlapping_groups():
+    with pytest.raises(ValueError):
+        Partition([{0, 1}, {1, 2}], heal_at=10.0)
+
+
+# -- per-link stream independence ------------------------------------------
+
+
+def test_link_streams_are_independent():
+    """Draws on one link must not perturb another link's sequence: the
+    differential harness depends on this when backends interleave
+    operations differently."""
+    solo = UniformDelay(0.0, 1.0)
+    solo.reset(5)
+    expect_01 = [solo.delay(0, 1, op="flag", nbytes=32) for _ in range(10)]
+    solo.reset(5)
+    expect_23 = [solo.delay(2, 3, op="flag", nbytes=32) for _ in range(10)]
+
+    mixed = UniformDelay(0.0, 1.0)
+    mixed.reset(5)
+    got_01, got_23 = [], []
+    for i in range(10):
+        # Interleave, with extra traffic on a third link in between.
+        got_01.append(mixed.delay(0, 1, op="flag", nbytes=32))
+        mixed.delay(4, 5, op="data", nbytes=96)
+        got_23.append(mixed.delay(2, 3, op="flag", nbytes=32))
+    assert got_01 == expect_01
+    assert got_23 == expect_23
+
+
+def test_direction_matters_for_streams():
+    model = UniformDelay(0.0, 1.0)
+    model.reset(1)
+    a = [model.delay(0, 1, op="flag", nbytes=32) for _ in range(8)]
+    model.reset(1)
+    b = [model.delay(1, 0, op="flag", nbytes=32) for _ in range(8)]
+    assert a != b
+
+
+# -- NoDelay ----------------------------------------------------------------
+
+
+def test_nodelay_is_free_and_reliable():
+    model = NoDelay()
+    model.reset(42)
+    assert model.delay(0, 1, op="data", nbytes=4096) == 0.0
+    assert model.deliver(0, 1, now=0.0)
+
+
+# -- CrashOnEvent -----------------------------------------------------------
+
+
+def test_crash_on_event_fires_at_nth_matching_event():
+    hook = CrashOnEvent(2, "oc.chunk.begin", nth=2)
+    hook.on_trace(2, "oc.chunk.begin", {})  # first occurrence: survives
+    hook.on_trace(2, "other.kind", {})  # wrong kind: ignored
+    hook.on_trace(1, "oc.chunk.begin", {})  # wrong rank: ignored
+    with pytest.raises(FaultInjected) as exc:
+        hook.on_trace(2, "oc.chunk.begin", {})
+    assert exc.value.kind == "core_crash"
+    assert exc.value.site == "rank2@oc.chunk.begin#2"
+    # Fires exactly once.
+    hook.on_trace(2, "oc.chunk.begin", {})
+
+
+def test_crash_on_event_rejects_bad_nth():
+    with pytest.raises(ValueError):
+        CrashOnEvent(0, "oc.chunk.begin", nth=0)
