@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test faults bench perf perf-check cov trace lint
+.PHONY: test faults chaos bench perf perf-check cov trace lint
 
 ## Tier-1: the fast default test suite (fault campaigns and perf guards
 ## deselected -- see the marker list in pyproject.toml).
@@ -28,6 +28,16 @@ faults:
 		--cache-lines 288 --timeline
 	$(PYTHON) -m repro faults --trials 20 --byz --adversaries 3 \
 		--no-baseline --cache-lines 192 --timeline
+
+## Chaos search (docs/FAULTS.md §9): replay the pinned regression
+## bundles, then soak 200 randomized composite-fault schedules across
+## both transport backends -- every violation is ddmin-shrunk and
+## written to chaos_bundles/ with a one-line repro command.  The
+## nightly CI job runs the same loop with a wall-clock budget.
+chaos:
+	$(PYTHON) -m pytest -q -m chaos tests
+	$(PYTHON) -m repro chaos --replay tests/chaos_bundles/*.json
+	$(PYTHON) -m repro chaos --trials 200 --seed 1 --out-dir chaos_bundles
 
 ## Paper tables/figures (slow; writes benchmarks/results/).
 bench:

@@ -73,6 +73,23 @@ BYZ_OUTCOMES = (
     "crashed",
 )
 
+#: Fault kinds the analytic reference can vouch for under adaptive
+#: fidelity.  Occurrence-counted write faults and stalls perturb a run
+#: the engine's fault-free formulas still bracket (the faulty trials
+#: replay through the kernel regardless; the reference only serves
+#: *fault-free* trials).  Time-window faults (LINK_DOWN bursts,
+#: CORE_PAUSE) and the Byzantine adversary kinds have no closed-form
+#: counterpart at all -- a campaign mixing them degrades to all-kernel
+#: execution, with the reason recorded in ``CampaignResult.fidelity``.
+ANALYTIC_REFERENCE_KINDS = frozenset({
+    FaultKind.DROP_FLAG_WRITE,
+    FaultKind.CORRUPT_FLAG_WRITE,
+    FaultKind.DROP_DATA_WRITE,
+    FaultKind.CORRUPT_DATA_WRITE,
+    FaultKind.LINK_STALL,
+    FaultKind.CORE_CRASH,
+})
+
 #: Trace kinds that make up a fault timeline.
 TIMELINE_KINDS = (
     "fault.injected",
@@ -1107,6 +1124,22 @@ class FaultCampaign:
             "tolerance": tolerance,
             "degraded": False,
         }
+        unmodelled = sorted(
+            {k.value for k in self.kinds if k not in ANALYTIC_REFERENCE_KINDS}
+        )
+        if unmodelled:
+            # Chaos/composite campaigns: time-window and adversary kinds
+            # are outside the analytic reference's vocabulary, so the
+            # cross-check cannot vouch for this campaign's envelope.
+            info["degraded"] = True
+            info["reason"] = (
+                f"fault kind(s) {', '.join(unmodelled)} have no analytic "
+                f"counterpart (time-window/adversary faults); every trial "
+                f"runs on the event kernel"
+            )
+            info["n_analytic"] = 0
+            info["n_replayed"] = len(plans)
+            return info
         try:
             kw = dict(
                 k=self.k, chunk_lines=self.chunk_lines,

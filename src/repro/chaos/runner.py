@@ -1,0 +1,396 @@
+"""Execute one chaos schedule and classify the outcome.
+
+:func:`run_schedule` builds a fresh world for the schedule's backend
+(SCC chip model or asyncio event loop), arms the injector plan, crash
+hook and network model, attaches the online invariant checker
+(:class:`repro.obs.InvariantChecker`, ``lossless=False`` -- faults are
+armed on purpose) and runs the schedule's protocol mode to completion.
+The result is a :class:`ChaosOutcome` carrying a fine-grained status
+(the campaign vocabulary: delivered / recovered / aborted / detected /
+deadlock / timeout / corrupt / disagreement / partial / crashed) and the
+three-way chaos classification the soak loop aggregates:
+
+``tolerated``
+    Every live, honest member delivered the source payload -- faults
+    (if any) were masked or repaired.
+``refused``
+    The protocol *detected* trouble and uniformly declined: a uniform
+    abort under the completion protocol, a uniform Byzantine refusal, an
+    exhausted FT retry budget surfaced as
+    :class:`repro.sim.errors.TimeoutError`.  Nothing wrong was
+    delivered; liveness was traded away explicitly.
+``violation``
+    A safety or termination promise broke: an I1--I7 invariant
+    violation, wrong bytes, honest disagreement, a deliverer/refuser
+    split, a deadlock (the termination oracle), or the whole run dying.
+
+Classification and the decision digest are deterministic functions of
+the schedule, which is what the repro bundles pin and replay.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, replace as dc_replace
+from functools import lru_cache
+from typing import Generator
+
+import numpy as np
+
+from ..core import OcBcast, OcBcastConfig
+from ..faults.injector import FaultInjector
+from ..faults.plan import ADVERSARY_KINDS, FaultPlan
+from ..member.service import DEFAULT_SERVICE_OC, OcBcastService
+from ..obs.invariants import InvariantChecker
+from ..rcce.comm import Comm
+from ..scc.chip import SccChip, run_spmd
+from ..scc.config import SccConfig
+from ..sim.errors import (
+    DeadlockError, FaultInjected, SimError, WatchdogError,
+    TimeoutError as SimTimeoutError,
+)
+from ..sim.trace import Tracer
+from ..transport.asyncio_backend import AsyncioNetwork
+from ..transport.decisions import decision_digest
+from .schedule import ChaosSchedule
+
+#: The three-way chaos classifications, in reporting order.
+CLASSIFICATIONS = ("tolerated", "refused", "violation")
+
+#: Statuses mapped to each classification (exception and invariant paths
+#: add "deadlock"/"crashed"/"invariant" on top of the value-based ones).
+TOLERATED_STATUSES = frozenset({"delivered", "recovered"})
+REFUSED_STATUSES = frozenset({"aborted", "detected", "timeout"})
+
+#: Virtual-time horizon for the asyncio backend (the analogue of the SCC
+#: kernel watchdog): a blocked rank with no event before this wall is a
+#: wedge, reported as DeadlockError.
+ASYNCIO_TIME_LIMIT = 1_000_000.0
+
+
+@dataclass(frozen=True)
+class ChaosOutcome:
+    """The classified result of one chaos schedule."""
+
+    schedule: ChaosSchedule
+    classification: str
+    status: str
+    detail: str = ""
+    #: Canonical decision digest (sha256 over time-free decision streams).
+    digest: str = ""
+    n_injected: int = 0
+    n_recovered: int = 0
+    latency: float = 0.0
+    #: Names of violated invariants, when the checker fired.
+    invariants: tuple[str, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        return self.classification != "violation"
+
+    def describe(self) -> str:
+        inv = f" [{','.join(self.invariants)}]" if self.invariants else ""
+        body = f" -- {self.detail}" if self.detail else ""
+        return (
+            f"{self.classification}/{self.status}{inv}: "
+            f"{self.schedule.describe()}{body}"
+        )
+
+
+def chaos_payload(schedule: ChaosSchedule) -> bytes:
+    """The schedule's seeded broadcast payload (identical on both
+    backends, and to :meth:`FaultCampaign._payload` for equal seeds)."""
+    rng = np.random.default_rng(schedule.seed)
+    return rng.integers(
+        0, 256, size=schedule.nbytes, dtype=np.uint8
+    ).tobytes()
+
+
+def _oc_config(schedule: ChaosSchedule) -> OcBcastConfig:
+    mode = schedule.mode
+    if mode in ("service", "byz"):
+        return dc_replace(
+            DEFAULT_SERVICE_OC,
+            k=schedule.k,
+            chunk_lines=schedule.chunk_lines,
+            num_buffers=schedule.num_buffers,
+            ft_max_retries=schedule.ft_max_retries,
+            byz=(mode == "byz"),
+        )
+    return OcBcastConfig(
+        k=schedule.k,
+        chunk_lines=schedule.chunk_lines,
+        num_buffers=schedule.num_buffers,
+        ft=(mode == "ft"),
+        ft_max_retries=schedule.ft_max_retries,
+        ft_ack_data=schedule.ft_ack_data,
+    )
+
+
+def _program(schedule: ChaosSchedule, world, payload: bytes):
+    """The per-rank protocol body for the schedule's mode.  ``world`` is
+    the Comm (SCC) or AsyncioNetwork -- both carry the transport
+    surface the protocols run on."""
+    nbytes = schedule.nbytes
+    if schedule.mode in ("service", "byz"):
+        svc = OcBcastService(world, root=0, oc_config=_oc_config(schedule))
+
+        def body(cc) -> Generator:
+            buf = cc.alloc(nbytes)
+            if cc.rank == 0:
+                buf.write(payload)
+            try:
+                status = yield from svc.bcast(cc, buf, nbytes)
+            except FaultInjected:
+                return "crashed"
+            if status != "ok":
+                return status
+            return ("ok", zlib.crc32(buf.read()))
+    else:
+        oc = OcBcast(world, _oc_config(schedule))
+
+        def body(cc) -> Generator:
+            buf = cc.alloc(nbytes)
+            if cc.rank == 0:
+                buf.write(payload)
+            try:
+                yield from oc.bcast(cc, 0, buf, nbytes)
+            except FaultInjected:
+                return "crashed"
+            return ("ok", zlib.crc32(buf.read()))
+
+    return body
+
+
+def _classify_values(
+    schedule: ChaosSchedule, values: list, payload: bytes, injected: int
+) -> tuple[str, str]:
+    """Map per-rank return values to (status, detail).  Byzantine
+    adversary ranks are excluded -- their claims are worthless by
+    definition; crashed and evicted ranks are non-decisive (dead, or
+    removed from the agreement set)."""
+    adversary = (
+        {s.core for s in schedule.specs if s.kind in ADVERSARY_KINDS}
+        if schedule.mode == "byz" else set()
+    )
+    vals = [v for r, v in enumerate(values) if r not in adversary]
+    src_crc = zlib.crc32(payload)
+    ok_crcs = {v[1] for v in vals if isinstance(v, tuple)}
+    n_ok = sum(1 for v in vals if isinstance(v, tuple))
+    n_abort = sum(1 for v in vals if v == "aborted")
+    n_det = sum(1 for v in vals if v == "detected")
+    n_crash = sum(1 for v in vals if v == "crashed")
+    n_evict = sum(1 for v in vals if v in ("evicted", "self_evicted"))
+    n_other = len(vals) - n_ok - n_abort - n_det - n_crash - n_evict
+
+    if n_other:
+        return "crashed", f"{n_other} rank(s) returned unexpectedly"
+    if len(ok_crcs) > 1:
+        if schedule.mode == "byz":
+            return (
+                "disagreement",
+                f"honest members delivered {len(ok_crcs)} distinct payloads",
+            )
+        n_bad = sum(
+            1 for v in vals if isinstance(v, tuple) and v[1] != src_crc
+        )
+        return "corrupt", f"{n_bad} member(s) hold wrong bytes"
+    if n_ok and ok_crcs != {src_crc} and not (
+        # Bracha validity only binds for an honest source: with the
+        # source compromised, uniform agreement on the attacker's
+        # variant is exactly what the RBC layer promises.
+        schedule.mode == "byz" and 0 in adversary
+    ):
+        return "corrupt", f"{n_ok} member(s) hold wrong bytes"
+    if n_ok and (n_abort or n_det):
+        return (
+            "partial",
+            f"non-uniform outcome: {n_ok} delivered, "
+            f"{n_abort + n_det} refused",
+        )
+    if n_ok:
+        survivors = []
+        if n_crash:
+            survivors.append(f"{n_crash} crashed")
+        if n_evict:
+            survivors.append(f"{n_evict} evicted")
+        if injected or survivors:
+            detail = ", ".join(survivors)
+            return "recovered", (detail + ", survivors delivered") if detail \
+                else "faults masked, all delivered"
+        return "delivered", ""
+    if n_abort or n_det:
+        kind = "aborted" if n_abort >= n_det else "detected"
+        return kind, (
+            f"uniform refusal by {n_abort + n_det} live member(s)"
+        )
+    return "crashed", "no live member decided"
+
+
+def _classify(status: str, invariants: tuple[str, ...]) -> str:
+    if invariants:
+        return "violation"
+    if status in TOLERATED_STATUSES:
+        return "tolerated"
+    if status in REFUSED_STATUSES:
+        return "refused"
+    return "violation"
+
+
+def _run_scc(schedule: ChaosSchedule, payload: bytes):
+    cols, rows = schedule.mesh
+    config = SccConfig(mesh_cols=cols, mesh_rows=rows)
+    chip = SccChip(
+        config,
+        tracer=Tracer(enabled=True),
+        faults=FaultInjector(schedule.plan()),
+    )
+    checker = InvariantChecker(lossless=False)
+    chip.tracer.add_listener(checker.feed)
+    comm = Comm(chip)
+    comm.transport_faults = schedule.crash_hook()
+    body = _program(schedule, comm, payload)
+
+    def prog(core):
+        return body(comm.attach(core))
+
+    chip.sim.start_watchdog(schedule.watchdog_us)
+    start = chip.now
+    status = detail = ""
+    values: list = []
+    latency = 0.0
+    try:
+        res = run_spmd(chip, prog)
+    except SimError as exc:
+        cause = exc if exc.__cause__ is None else exc.__cause__
+        if isinstance(cause, (WatchdogError, DeadlockError)):
+            status, detail = "deadlock", str(cause)
+        elif isinstance(cause, SimTimeoutError):
+            status, detail = "timeout", str(cause)
+        elif isinstance(cause, FaultInjected):
+            status, detail = "crashed", str(cause)
+        else:
+            raise
+    else:
+        latency = res.end_time - start
+        values = list(res.values)
+    return values, status, detail, latency, chip.faults, \
+        list(chip.tracer.records), checker
+
+
+def _run_asyncio(schedule: ChaosSchedule, payload: bytes):
+    model = (
+        schedule.model.build() if schedule.model is not None else None
+    )
+    net = AsyncioNetwork(
+        schedule.nranks,
+        model=model,
+        seed=schedule.seed,
+        plan=schedule.plan(),
+        time_limit=ASYNCIO_TIME_LIMIT,
+    )
+    checker = InvariantChecker(lossless=False)
+    net.tracer.add_listener(checker.feed)
+    net.transport_faults = schedule.crash_hook()
+    body = _program(schedule, net, payload)
+    start = net.now
+    results = net.run(body, return_exceptions=True)
+    latency = net.now - start
+
+    status = detail = ""
+    values: list = []
+    # Exception precedence mirrors the SCC path: a wedge (termination
+    # oracle) dominates an exhausted retry budget dominates a stray
+    # crash escape; any other exception is a harness bug and re-raises.
+    deadlocks = [r for r in results if isinstance(r, DeadlockError)]
+    timeouts = [r for r in results if isinstance(r, SimTimeoutError)]
+    others = [
+        r for r in results
+        if isinstance(r, BaseException)
+        and not isinstance(r, (DeadlockError, SimTimeoutError, FaultInjected))
+    ]
+    if others:
+        raise others[0]
+    if deadlocks:
+        status, detail = "deadlock", str(deadlocks[0])
+    elif timeouts:
+        status, detail = "timeout", str(timeouts[0])
+    else:
+        values = [
+            "crashed" if isinstance(r, FaultInjected) else r
+            for r in results
+        ]
+    return values, status, detail, latency, net.faults, \
+        list(net.tracer.records), checker
+
+
+def run_schedule(schedule: ChaosSchedule) -> ChaosOutcome:
+    """Run one (validated) chaos schedule to completion and classify."""
+    schedule.validate()
+    payload = chaos_payload(schedule)
+    if schedule.backend == "scc":
+        values, status, detail, latency, faults, records, checker = \
+            _run_scc(schedule, payload)
+    else:
+        values, status, detail, latency, faults, records, checker = \
+            _run_asyncio(schedule, payload)
+
+    injected = 0 if faults is None else faults.n_injected
+    recovered = 0 if faults is None else faults.n_recovered
+    if not status:
+        status, detail = _classify_values(
+            schedule, values, payload, injected
+        )
+    invariants = tuple(
+        sorted({v.invariant for v in checker.violations})
+    )
+    return ChaosOutcome(
+        schedule=schedule,
+        classification=_classify(status, invariants),
+        status=status,
+        detail=detail,
+        digest=decision_digest(records),
+        n_injected=injected,
+        n_recovered=recovered,
+        latency=latency,
+        invariants=invariants,
+    )
+
+
+@lru_cache(maxsize=None)
+def profile_counts(
+    backend: str,
+    mesh: tuple[int, int],
+    chunks: int,
+    mode: str,
+    k: int = 7,
+    chunk_lines: int = 96,
+    num_buffers: int = 2,
+) -> dict:
+    """Candidate fault-site counts for one (backend, geometry, mode)
+    coordinate, from a fault-free run with an empty-plan injector
+    attached (the injector counts matching sites even with no specs).
+    Memoised: the generator calls this once per coordinate, then draws
+    thousands of schedules against it."""
+    base = ChaosSchedule(
+        backend=backend, mesh=mesh, chunks=chunks, mode=mode, seed=0,
+        k=k, chunk_lines=chunk_lines, num_buffers=num_buffers,
+    )
+    payload = chaos_payload(base)
+    if backend == "scc":
+        cols, rows = mesh
+        chip = SccChip(
+            SccConfig(mesh_cols=cols, mesh_rows=rows),
+            faults=FaultInjector(FaultPlan()),
+        )
+        comm = Comm(chip)
+        body = _program(base, comm, payload)
+        chip.sim.start_watchdog(base.watchdog_us)
+        run_spmd(chip, lambda core: body(comm.attach(core)))
+        return dict(chip.faults.profile())
+    net = AsyncioNetwork(
+        base.nranks, seed=0, plan=FaultPlan(),
+        time_limit=ASYNCIO_TIME_LIMIT,
+    )
+    net.run(_program(base, net, payload))
+    return dict(net.faults.profile())

@@ -1,0 +1,362 @@
+"""Chaos schedules: one randomized composite fault scenario, fully pinned.
+
+A :class:`ChaosSchedule` is the chaos engine's unit of work: *one* run of
+a broadcast protocol on *one* transport backend under a composite fault
+load -- occurrence-counted injector faults (:class:`repro.faults.FaultSpec`),
+an optional backend-agnostic crash coordinate
+(:class:`repro.transport.api.CrashOnEvent`), and -- on the asyncio
+backend -- an optional network model (delay / probabilistic drop /
+partition, :mod:`repro.transport.models`).  Everything that influences
+the run is in the schedule: backend, mesh geometry, message size,
+protocol mode, OC-Bcast knobs and the payload/model seed.  A schedule is
+therefore a *deterministic coordinate*: running it twice produces
+byte-identical classifications and decision digests, which is what makes
+chaos failures replayable from a JSON bundle
+(:mod:`repro.chaos.bundle`) and shrinkable
+(:mod:`repro.chaos.shrink`).
+
+Validity is delegated to the fault subsystem: :meth:`ChaosSchedule.plan`
+routes the specs through :class:`repro.faults.FaultPlan` (overlap
+rejection, adversary-core range checks, equivocation-window rules) and
+:meth:`ChaosSchedule.validate` layers the transport-level rules on top
+(core-primitive kinds only exist on the SCC backend, network models only
+on the asyncio backend, adversary kinds only under the Byzantine mode).
+The generator (:mod:`repro.chaos.generate`) rejection-samples against
+exactly these rules, so *every* schedule it emits validates -- the
+property test suite pins that across seeds and backends.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, replace
+
+from ..faults.plan import ADVERSARY_KINDS, FaultKind, FaultPlan, FaultSpec
+from ..scc.config import CACHE_LINE
+from ..transport.api import CrashOnEvent
+from ..transport.models import (
+    DelayModel, LinkDrop, NoDelay, Partition, UniformDelay,
+)
+
+#: Transport backends a schedule can name.
+BACKENDS = ("scc", "asyncio")
+
+#: Protocol modes: the crash-surviving service (default adversary
+#: target), the Byzantine-hardened service, bare fault-tolerant OC-Bcast,
+#: and the deliberately fragile baseline (``ft=False`` -- the config the
+#: chaos engine exists to break, kept for counterexample demos and
+#: campaign-failure replay).
+MODES = ("service", "byz", "ft", "baseline")
+
+#: Injector kinds that hook core primitives -- they only fire on the SCC
+#: backend (the asyncio backend has no ``core_op`` stream; its crashes
+#: use the backend-agnostic :class:`CrashOnEvent` coordinate instead).
+SCC_ONLY_KINDS = frozenset({FaultKind.CORE_PAUSE, FaultKind.CORE_CRASH})
+
+#: Bundle / schedule serialisation format version.
+SCHEDULE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """A JSON-able description of an asyncio-backend network model.
+
+    ``name`` picks the model: ``"none"`` (:class:`NoDelay`),
+    ``"uniform"`` (per-operation latency in ``[lo, hi]`` us),
+    ``"linkdrop"`` (each remote write dropped with probability ``p``,
+    plus optional uniform delay) or ``"partition"`` (the rank ``groups``
+    cannot reach each other until virtual time ``heal_at``).
+    """
+
+    name: str = "none"
+    lo: float = 0.0
+    hi: float = 0.0
+    p: float = 0.0
+    groups: tuple[tuple[int, ...], ...] = ()
+    heal_at: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.name not in ("none", "uniform", "linkdrop", "partition"):
+            raise ValueError(f"unknown model {self.name!r}")
+        object.__setattr__(
+            self, "groups", tuple(tuple(g) for g in self.groups)
+        )
+
+    @property
+    def faulty(self) -> bool:
+        """Whether the model can *lose* writes (drops / partitions count
+        as fault events; pure delay does not)."""
+        return self.name in ("linkdrop", "partition")
+
+    def build(self) -> DelayModel:
+        if self.name == "uniform":
+            return UniformDelay(self.lo, self.hi)
+        if self.name == "linkdrop":
+            return LinkDrop(self.p, self.lo, self.hi)
+        if self.name == "partition":
+            return Partition([list(g) for g in self.groups], self.heal_at)
+        return NoDelay()
+
+    def describe(self) -> str:
+        if self.name == "uniform":
+            return f"uniform[{self.lo:g},{self.hi:g}]us"
+        if self.name == "linkdrop":
+            return f"linkdrop(p={self.p:g})"
+        if self.name == "partition":
+            sizes = "/".join(str(len(g)) for g in self.groups)
+            return f"partition({sizes} heal@{self.heal_at:g}us)"
+        return "nodelay"
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name, "lo": self.lo, "hi": self.hi, "p": self.p,
+            "groups": [list(g) for g in self.groups], "heal_at": self.heal_at,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "ModelSpec":
+        return cls(
+            name=d.get("name", "none"), lo=d.get("lo", 0.0),
+            hi=d.get("hi", 0.0), p=d.get("p", 0.0),
+            groups=tuple(tuple(g) for g in d.get("groups", ())),
+            heal_at=d.get("heal_at", 0.0),
+        )
+
+
+@dataclass(frozen=True)
+class ChaosSchedule:
+    """One pinned composite-fault scenario."""
+
+    backend: str = "scc"
+    #: Mesh geometry ``(cols, rows)``; the communicator has
+    #: ``2 * cols * rows`` ranks on both backends.
+    mesh: tuple[int, int] = (2, 2)
+    #: Message length in chunks of ``chunk_lines`` cache lines.
+    chunks: int = 1
+    mode: str = "service"
+    #: Seeds the payload bytes and the asyncio model streams.
+    seed: int = 1
+    #: Occurrence-counted injector faults (both backends).
+    specs: tuple[FaultSpec, ...] = ()
+    #: Backend-agnostic crash coordinate ``(rank, trace kind, nth)``.
+    crash: tuple[int, str, int] | None = None
+    #: Network model (asyncio backend only).
+    model: ModelSpec | None = None
+    label: str = ""
+    #: Kernel watchdog period / asyncio wedge horizon knobs.
+    watchdog_us: float = 50_000.0
+    # OC-Bcast knobs (mirroring FaultCampaign so campaign trials convert
+    # 1:1 into replayable schedules).
+    k: int = 7
+    chunk_lines: int = 96
+    num_buffers: int = 2
+    ft_max_retries: int = 3
+    ft_ack_data: bool = False
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "mesh", tuple(self.mesh))
+        object.__setattr__(self, "specs", tuple(self.specs))
+        if self.crash is not None:
+            object.__setattr__(self, "crash", tuple(self.crash))
+
+    # -- derived geometry ---------------------------------------------------
+
+    @property
+    def nranks(self) -> int:
+        cols, rows = self.mesh
+        return 2 * cols * rows
+
+    @property
+    def nbytes(self) -> int:
+        return self.chunks * self.chunk_lines * CACHE_LINE
+
+    @property
+    def n_events(self) -> int:
+        """Composite size: injector specs + crash + lossy network model."""
+        n = len(self.specs)
+        if self.crash is not None:
+            n += 1
+        if self.model is not None and self.model.faulty:
+            n += 1
+        return n
+
+    # -- validity -----------------------------------------------------------
+
+    def plan(self) -> FaultPlan:
+        """The schedule's injector plan, validated by the fault
+        subsystem's own rules (raises :class:`ValueError` on overlap /
+        adversary violations)."""
+        return FaultPlan(
+            self.specs, label=self.label or self.describe(),
+            num_cores=self.nranks,
+        )
+
+    def validate(self) -> FaultPlan:
+        """Full validity check; returns the (validated) fault plan.
+
+        Layered on :class:`FaultPlan`'s rules: backend/mode membership,
+        geometry sanity, core-primitive kinds pinned to the SCC backend,
+        adversary kinds pinned to the Byzantine mode, crash coordinates
+        inside the communicator, and network models pinned to the
+        asyncio backend with in-range partition groups.
+        """
+        if self.backend not in BACKENDS:
+            raise ValueError(f"unknown backend {self.backend!r}")
+        if self.mode not in MODES:
+            raise ValueError(f"unknown mode {self.mode!r}")
+        cols, rows = self.mesh
+        if cols < 1 or rows < 1 or self.nranks < 2:
+            raise ValueError(f"degenerate mesh {self.mesh}")
+        if self.chunks < 1:
+            raise ValueError("chunks must be >= 1")
+        if self.seed < 0:
+            raise ValueError("seed must be >= 0")
+        for spec in self.specs:
+            if self.backend != "scc" and spec.kind in SCC_ONLY_KINDS:
+                raise ValueError(
+                    f"{spec.kind.value} hooks core primitives, which only "
+                    f"exist on the scc backend (use a crash coordinate on "
+                    f"{self.backend})"
+                )
+            if spec.kind in ADVERSARY_KINDS and self.mode != "byz":
+                raise ValueError(
+                    f"{spec.kind.value} needs mode='byz': only the "
+                    f"Byzantine-tolerant service consults adversary hooks"
+                )
+            if spec.core is not None and not 0 <= spec.core < self.nranks:
+                raise ValueError(
+                    f"spec {spec.site} targets core {spec.core} outside "
+                    f"the {self.nranks}-rank communicator"
+                )
+        if self.crash is not None:
+            rank, kind, nth = self.crash
+            if not 0 <= rank < self.nranks:
+                raise ValueError(
+                    f"crash rank {rank} outside the {self.nranks}-rank "
+                    f"communicator"
+                )
+            if not kind or nth < 1:
+                raise ValueError(f"bad crash coordinate {self.crash!r}")
+        if self.model is not None:
+            if self.backend != "asyncio":
+                raise ValueError(
+                    "network models only exist on the asyncio backend"
+                )
+            for group in self.model.groups:
+                for rank in group:
+                    if not 0 <= rank < self.nranks:
+                        raise ValueError(
+                            f"partition group names rank {rank} outside "
+                            f"the {self.nranks}-rank communicator"
+                        )
+        return self.plan()
+
+    # -- helpers ------------------------------------------------------------
+
+    def crash_hook(self) -> CrashOnEvent | None:
+        if self.crash is None:
+            return None
+        rank, kind, nth = self.crash
+        return CrashOnEvent(rank, kind, nth=nth)
+
+    def describe(self) -> str:
+        parts = [s.site for s in self.specs]
+        if self.crash is not None:
+            rank, kind, nth = self.crash
+            parts.append(f"crash@rank{rank}:{kind}#{nth}")
+        if self.model is not None and self.model.name != "none":
+            parts.append(self.model.describe())
+        body = " + ".join(parts) if parts else "fault-free"
+        return (
+            f"{self.backend}/{self.mode} {self.mesh[0]}x{self.mesh[1]} "
+            f"({self.nranks}r) {self.chunks}ch seed={self.seed}: {body}"
+        )
+
+    # -- serialisation ------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "version": SCHEDULE_VERSION,
+            "backend": self.backend,
+            "mesh": list(self.mesh),
+            "chunks": self.chunks,
+            "mode": self.mode,
+            "seed": self.seed,
+            "label": self.label,
+            "watchdog_us": self.watchdog_us,
+            "k": self.k,
+            "chunk_lines": self.chunk_lines,
+            "num_buffers": self.num_buffers,
+            "ft_max_retries": self.ft_max_retries,
+            "ft_ack_data": self.ft_ack_data,
+            "specs": [
+                {
+                    "kind": s.kind.value, "nth": s.nth,
+                    "core": s.core, "duration": s.duration,
+                }
+                for s in self.specs
+            ],
+            "crash": list(self.crash) if self.crash is not None else None,
+            "model": self.model.to_dict() if self.model is not None else None,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "ChaosSchedule":
+        version = d.get("version", SCHEDULE_VERSION)
+        if version != SCHEDULE_VERSION:
+            raise ValueError(
+                f"unsupported schedule version {version!r} "
+                f"(this build reads version {SCHEDULE_VERSION})"
+            )
+        specs = tuple(
+            FaultSpec(
+                kind=FaultKind(s["kind"]), nth=s.get("nth", 1),
+                core=s.get("core"), duration=s.get("duration", 0.0),
+            )
+            for s in d.get("specs", ())
+        )
+        crash = d.get("crash")
+        model = d.get("model")
+        return cls(
+            backend=d.get("backend", "scc"),
+            mesh=tuple(d.get("mesh", (2, 2))),
+            chunks=d.get("chunks", 1),
+            mode=d.get("mode", "service"),
+            seed=d.get("seed", 1),
+            specs=specs,
+            crash=tuple(crash) if crash is not None else None,
+            model=ModelSpec.from_dict(model) if model is not None else None,
+            label=d.get("label", ""),
+            watchdog_us=d.get("watchdog_us", 50_000.0),
+            k=d.get("k", 7),
+            chunk_lines=d.get("chunk_lines", 96),
+            num_buffers=d.get("num_buffers", 2),
+            ft_max_retries=d.get("ft_max_retries", 3),
+            ft_ack_data=d.get("ft_ack_data", False),
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ChaosSchedule":
+        return cls.from_dict(json.loads(text))
+
+    # -- shrink support -----------------------------------------------------
+
+    def without_event(self, index: int) -> "ChaosSchedule":
+        """Drop one composite event: indexes ``0..len(specs)-1`` name
+        injector specs, then the crash coordinate, then the network
+        model (shrinker vocabulary)."""
+        n = len(self.specs)
+        if index < n:
+            specs = self.specs[:index] + self.specs[index + 1:]
+            return replace(self, specs=specs)
+        index -= n
+        if self.crash is not None:
+            if index == 0:
+                return replace(self, crash=None)
+            index -= 1
+        if self.model is not None and self.model.faulty and index == 0:
+            return replace(self, model=None)
+        raise IndexError(f"no composite event at index {index}")

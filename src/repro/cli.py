@@ -327,7 +327,97 @@ def cmd_faults(args: argparse.Namespace) -> int:
         lost += (result.byz_counts["disagreement"]
                  + result.byz_counts["partial"]
                  + result.byz_counts["deadlock"])
+    # Self-reproducing failures: every non-recovered hardened-leg trial
+    # becomes a replayable chaos bundle with a one-line repro command
+    # (docs/FAULTS.md §9), instead of just a counter bump.
+    if args.bundle_dir:
+        from .chaos import repro_command, write_campaign_bundles
+
+        written = write_campaign_bundles(
+            campaign, result, args.bundle_dir, limit=5
+        )
+        for path, leg, index in written:
+            run = getattr(result.trials[index], leg)
+            print(
+                f"lost trial {index} ({leg}: {run.outcome}) -- repro: "
+                f"{repro_command(path)}"
+            )
     return 1 if lost else 0
+
+
+def _parse_chaos_mesh(text: str) -> tuple[int, int]:
+    """'3x2' -> (3, 2) mesh columns x rows."""
+    try:
+        cols, rows = text.lower().split("x", 1)
+        return (int(cols), int(rows))
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"mesh must look like COLSxROWS (e.g. 6x4), got {text!r}"
+        ) from None
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    from .chaos import (
+        ReproBundle, ScheduleGenerator, repro_command, run_soak, shrink,
+    )
+
+    if args.replay:
+        failed = 0
+        for path in args.replay:
+            bundle = ReproBundle.load(path)
+            outcome, mismatches = bundle.replay()
+            tag = "OK" if not mismatches else "MISMATCH"
+            print(f"[{tag}] {path}: {outcome.describe()}")
+            if bundle.note:
+                print(f"  note: {bundle.note}")
+            for line in mismatches:
+                print(f"  {line}")
+                failed += 1
+            if args.shrink and outcome.classification == "violation":
+                result = shrink(outcome.schedule, max_runs=args.shrink_runs)
+                print(f"  {result.describe()}")
+                print(f"  minimal schedule: {result.schedule.describe()}")
+        return 1 if failed else 0
+
+    if args.trials is not None and args.trials < 1:
+        print("ERROR: need at least one trial", file=sys.stderr)
+        return 2
+    if args.budget is not None and args.budget <= 0:
+        print("ERROR: budget must be positive", file=sys.stderr)
+        return 2
+    try:
+        generator = ScheduleGenerator(
+            seed=args.seed,
+            backends=tuple(args.backends),
+            meshes=tuple(args.meshes),
+            modes=tuple(args.modes),
+            max_events=args.max_events,
+            max_chunks=args.max_chunks,
+            fragile=args.fragile,
+        )
+    except ValueError as exc:
+        print(f"ERROR: {exc}", file=sys.stderr)
+        return 2
+    metrics = None
+    if args.metrics_out:
+        from .obs import MetricsRegistry
+
+        metrics = MetricsRegistry()
+    result = run_soak(
+        generator,
+        trials=args.trials,
+        budget=args.budget,
+        jobs=args.jobs or default_jobs(),
+        out_dir=args.out_dir,
+        shrink_failures=not args.no_shrink,
+        shrink_runs=args.shrink_runs,
+        metrics=metrics,
+        log=print if args.verbose else None,
+    )
+    print(result.summary())
+    if metrics is not None:
+        _metrics_report(metrics, args.metrics_out)
+    return 0 if result.ok else 1
 
 
 def cmd_fit(args: argparse.Namespace) -> int:
@@ -538,10 +628,64 @@ def build_parser() -> argparse.ArgumentParser:
                         "replay only fault-bearing trials through the "
                         "event kernel (identical classifications, "
                         "orders of magnitude faster at low --fault-rate)")
+    p.add_argument("--bundle-dir", metavar="DIR", default="chaos_bundles",
+                   help="write replayable repro bundles for lost "
+                        "hardened-leg trials here (empty string disables; "
+                        "default chaos_bundles/)")
     _add_mesh_args(p)
     _add_mode_arg(p)
     _add_jobs_arg(p)
     p.set_defaults(fn=cmd_faults)
+
+    p = sub.add_parser(
+        "chaos",
+        help="randomized composite-fault search over both transport "
+             "backends (soak, replay, shrink)",
+    )
+    p.add_argument("--trials", type=int, default=None,
+                   help="number of schedules to run (default: 100, or "
+                        "unbounded when --budget is given)")
+    p.add_argument("--budget", type=float, default=None, metavar="SECS",
+                   help="wall-clock budget in seconds (soak stops at "
+                        "whichever of --trials/--budget hits first)")
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--backends", nargs="+", default=["scc", "asyncio"],
+                   choices=["scc", "asyncio"],
+                   help="transport backends to draw schedules over")
+    p.add_argument("--modes", nargs="+",
+                   default=["service", "service", "service", "byz", "ft"],
+                   choices=["service", "byz", "ft", "baseline"],
+                   help="protocol-mode mix, drawn uniformly (repeat a mode "
+                        "to weight it; baseline needs --fragile)")
+    p.add_argument("--meshes", nargs="+", type=_parse_chaos_mesh,
+                   default=[(2, 2), (3, 2), (4, 3)], metavar="CxR",
+                   help="mesh geometries, e.g. --meshes 2x2 6x4 "
+                        "(cores = 2 x cols x rows)")
+    p.add_argument("--max-events", type=int, default=3,
+                   help="max composite fault events per schedule")
+    p.add_argument("--max-chunks", type=int, default=3,
+                   help="max message length in chunks")
+    p.add_argument("--fragile", action="store_true",
+                   help="admit the deliberately fragile baseline mode "
+                        "(ft=False): schedules are expected to violate -- "
+                        "counterexample/shrinker demo, not a soak")
+    p.add_argument("--out-dir", metavar="DIR", default=None,
+                   help="write a repro bundle for every violation here")
+    p.add_argument("--no-shrink", action="store_true",
+                   help="skip delta-debugging minimisation of violations")
+    p.add_argument("--shrink-runs", type=int, default=250,
+                   help="schedule-execution budget per shrink")
+    p.add_argument("--replay", nargs="+", metavar="BUNDLE", default=None,
+                   help="replay repro bundle(s) and diff against their "
+                        "recorded expectations (exit 1 on mismatch)")
+    p.add_argument("--shrink", action="store_true",
+                   help="with --replay: also minimise a replayed violation")
+    p.add_argument("--verbose", action="store_true",
+                   help="log per-batch soak progress")
+    p.add_argument("--metrics-out", metavar="FILE", default=None,
+                   help="dump chaos outcome metrics (.csv or .json)")
+    _add_jobs_arg(p)
+    p.set_defaults(fn=cmd_chaos)
 
     p = sub.add_parser("fit", help="recover Table 1 from simulated sweeps")
     p.add_argument("--iters", type=int, default=3)

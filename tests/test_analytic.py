@@ -196,6 +196,27 @@ class TestAdaptiveFidelity:
         assert res.fidelity["degraded"]
         assert res.fidelity["n_analytic"] == 0
 
+    def test_unmodelled_kinds_degrade_to_kernel(self):
+        # Chaos/composite vocabularies: a campaign mixing in a fault
+        # kind the analytic reference cannot model (time-window bursts,
+        # core pauses, adversaries) must degrade to all-kernel execution
+        # and say why -- while classifying identically to exact.
+        from repro.faults import FaultKind
+
+        kw = dict(
+            trials=6, seed=7, compare_baseline=False, fault_rate=0.5,
+            kinds=(FaultKind.DROP_FLAG_WRITE, FaultKind.LINK_DOWN),
+            config=SccConfig(mesh_cols=3, mesh_rows=2),
+        )
+        adaptive = FaultCampaign(fidelity="adaptive", **kw).run()
+        assert adaptive.fidelity is not None
+        assert adaptive.fidelity["degraded"]
+        assert "link_down" in adaptive.fidelity["reason"]
+        assert adaptive.fidelity["n_analytic"] == 0
+        assert adaptive.fidelity["n_replayed"] == adaptive.n_trials
+        exact = FaultCampaign(fidelity="exact", **kw).run()
+        self.assert_identical(exact, adaptive)
+
     def test_all_fault_free_is_fast_path(self):
         res = FaultCampaign(
             trials=64, seed=5, compare_baseline=False,

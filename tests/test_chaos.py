@@ -1,0 +1,445 @@
+"""The chaos engine: schedules, runner, shrinker, bundles, soak, CLI.
+
+What is pinned here (docs/FAULTS.md §9):
+
+- **Schedule validity layering**: :meth:`ChaosSchedule.validate` rejects
+  backend/mode-incoherent schedules (core-primitive kinds off the SCC
+  backend, adversary kinds outside Byzantine mode, network models off
+  asyncio) *on top of* the existing :class:`FaultPlan` rules.
+- **Deterministic classification**: running a schedule twice produces
+  identical classification, status and decision digest -- the property
+  repro bundles rely on; fault-free digests also agree *across*
+  backends.
+- **The acceptance counterexample**: a deliberately fragile baseline
+  (``ft=False``) under dropped flag writes is a violation, the ddmin
+  shrinker reduces it to <= 3 fault events, and the written bundle
+  replays to the identical classification and digest.
+- **Campaign bridge**: a lost :class:`FaultCampaign` trial converts into
+  a chaos schedule whose bundle replays clean (self-reproducing
+  failures).
+
+``TrialRun``-style ``detail`` strings are *not* compared anywhere: the
+watchdog names one of several stalled processes nondeterministically
+(pre-existing kernel behaviour, see test_analytic.py); classification,
+status, counts and digests are the deterministic surface.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.bench import FaultCampaign
+from repro.chaos import (
+    BACKENDS, ChaosSchedule, ModelSpec, ReproBundle, ScheduleGenerator,
+    campaign_counterexamples, chaos_payload, make_bundle, run_schedule,
+    run_soak, schedule_for_trial, shrink, write_bundle,
+    write_campaign_bundles,
+)
+from repro.cli import main as cli_main
+from repro.faults import FaultKind, FaultSpec
+from repro.obs import MetricsRegistry
+
+# -- schedules ---------------------------------------------------------------
+
+
+def _drop_flag(nth: int) -> FaultSpec:
+    return FaultSpec(FaultKind.DROP_FLAG_WRITE, nth=nth)
+
+
+class TestScheduleValidity:
+    def test_fault_free_schedule_validates(self):
+        for backend in BACKENDS:
+            ChaosSchedule(backend=backend).validate()
+
+    def test_core_kinds_rejected_off_scc(self):
+        s = ChaosSchedule(
+            backend="asyncio",
+            specs=(FaultSpec(FaultKind.CORE_PAUSE, core=1, duration=200.0),),
+        )
+        with pytest.raises(ValueError, match="core primitives"):
+            s.validate()
+
+    def test_adversary_kinds_need_byz(self):
+        s = ChaosSchedule(
+            mode="service",
+            specs=(FaultSpec(FaultKind.EQUIVOCATE, core=0, duration=1),),
+        )
+        with pytest.raises(ValueError, match="byz"):
+            s.validate()
+
+    def test_models_only_on_asyncio(self):
+        s = ChaosSchedule(backend="scc", model=ModelSpec(name="uniform",
+                                                         lo=0.1, hi=1.0))
+        with pytest.raises(ValueError, match="asyncio"):
+            s.validate()
+
+    def test_out_of_range_coordinates_rejected(self):
+        with pytest.raises(ValueError, match="outside"):
+            ChaosSchedule(
+                mesh=(2, 1),
+                specs=(FaultSpec(FaultKind.LINK_DOWN, core=99,
+                                 duration=200.0),),
+            ).validate()
+        with pytest.raises(ValueError, match="crash rank"):
+            ChaosSchedule(mesh=(2, 1), crash=(99, "oc.fetch", 1)).validate()
+        with pytest.raises(ValueError, match="partition group"):
+            ChaosSchedule(
+                backend="asyncio", mesh=(2, 1),
+                model=ModelSpec(name="partition", groups=((0, 1), (99,)),
+                                heal_at=100.0),
+            ).validate()
+
+    def test_plan_overlap_delegated_to_fault_rules(self):
+        s = ChaosSchedule(specs=(_drop_flag(3), _drop_flag(3)))
+        with pytest.raises(ValueError):
+            s.validate()
+
+    def test_json_round_trip(self):
+        s = ChaosSchedule(
+            backend="asyncio", mesh=(3, 2), chunks=2, mode="byz", seed=99,
+            specs=(FaultSpec(FaultKind.EQUIVOCATE, core=0, duration=1),),
+            crash=None,
+            model=ModelSpec(name="linkdrop", p=0.05, lo=0.05, hi=2.0),
+            label="pinned", ft_ack_data=True,
+        )
+        assert ChaosSchedule.from_json(s.to_json()) == s
+        d = s.to_dict()
+        d["version"] = 999
+        with pytest.raises(ValueError, match="version"):
+            ChaosSchedule.from_dict(d)
+
+    def test_without_event_order(self):
+        s = ChaosSchedule(
+            backend="asyncio",
+            specs=(_drop_flag(1), _drop_flag(4)),
+            crash=(1, "oc.fetch", 1),
+            model=ModelSpec(name="linkdrop", p=0.02),
+        )
+        assert s.n_events == 4
+        assert s.without_event(0).specs == (_drop_flag(4),)
+        assert s.without_event(2).crash is None
+        assert s.without_event(3).model is None
+        with pytest.raises(IndexError):
+            s.without_event(4)
+
+
+# -- runner / classification -------------------------------------------------
+
+
+class TestRunnerClassification:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("mode", ["service", "byz", "ft", "baseline"])
+    def test_fault_free_delivers(self, backend, mode):
+        out = run_schedule(ChaosSchedule(backend=backend, mode=mode, seed=4))
+        assert out.classification == "tolerated"
+        assert out.status == "delivered"
+        assert out.ok and not out.invariants
+        assert out.digest
+
+    @pytest.mark.parametrize("mode", ["service", "ft"])
+    def test_fault_free_digest_matches_across_backends(self, mode):
+        digests = {
+            backend: run_schedule(
+                ChaosSchedule(backend=backend, mode=mode, seed=4)
+            ).digest
+            for backend in BACKENDS
+        }
+        assert digests["scc"] == digests["asyncio"]
+
+    def test_run_is_deterministic(self):
+        s = ChaosSchedule(mode="service", seed=13, specs=(_drop_flag(2),))
+        a, b = run_schedule(s), run_schedule(s)
+        assert (a.classification, a.status, a.digest, a.n_injected) \
+            == (b.classification, b.status, b.digest, b.n_injected)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_ft_masks_dropped_flag(self, backend):
+        out = run_schedule(ChaosSchedule(
+            backend=backend, mode="ft", seed=7, specs=(_drop_flag(2),),
+        ))
+        assert out.classification == "tolerated"
+        assert out.status == "recovered"
+        assert out.n_injected >= 1
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_service_survives_member_crash(self, backend):
+        out = run_schedule(ChaosSchedule(
+            backend=backend, mode="service", mesh=(2, 2), seed=9,
+            crash=(3, "oc.fetch", 1),
+        ))
+        assert out.classification == "tolerated"
+        assert out.status == "recovered"
+
+    def test_byz_source_equivocation_is_not_a_violation(self):
+        # Bracha validity only binds for an honest source: uniform
+        # agreement on the attacker's variant must classify tolerated.
+        out = run_schedule(ChaosSchedule(
+            mode="byz", mesh=(2, 2), seed=21,
+            specs=(FaultSpec(FaultKind.EQUIVOCATE, core=0, nth=1,
+                             duration=1),),
+        ))
+        assert out.classification in ("tolerated", "refused")
+        assert out.status != "corrupt"
+
+    def test_asyncio_partition_heals_inside_suspicion(self):
+        out = run_schedule(ChaosSchedule(
+            backend="asyncio", mode="service", mesh=(2, 2), seed=5,
+            model=ModelSpec(name="partition", groups=((0, 1, 2, 3, 4, 5),
+                                                      (6, 7)),
+                            heal_at=400.0),
+        ))
+        assert out.ok
+
+    def test_baseline_under_drops_is_a_violation(self):
+        out = run_schedule(_broken_schedule())
+        assert out.classification == "violation"
+        assert out.status == "deadlock"
+        assert not out.ok
+
+
+def _broken_schedule() -> ChaosSchedule:
+    """The acceptance-criteria demo: ``ft=False`` under dropped flag
+    writes deadlocks (a receiver spins on a flag that never flips).
+    Only the core-1 drop is load-bearing; the other two events exist
+    for the shrinker to strip."""
+    return ChaosSchedule(
+        backend="scc", mesh=(4, 3), chunks=2, mode="baseline", seed=17,
+        specs=(
+            FaultSpec(FaultKind.DROP_FLAG_WRITE, core=1, nth=2),
+            FaultSpec(FaultKind.DROP_FLAG_WRITE, core=3, nth=1),
+            FaultSpec(FaultKind.DROP_FLAG_WRITE, core=5, nth=3),
+        ),
+        label="broken-config demo",
+    )
+
+
+# -- shrinker ----------------------------------------------------------------
+
+
+class TestShrinker:
+    def test_broken_config_shrinks_to_three_events_or_fewer(self):
+        result = shrink(_broken_schedule())
+        assert result.target == ("violation", "deadlock")
+        assert result.shrunk
+        assert result.schedule.n_events <= 3
+        assert result.outcome.classification == "violation"
+        assert result.outcome.status == "deadlock"
+        # 1-minimality: no remaining event can be removed.
+        for i in range(result.schedule.n_events):
+            leaner = result.schedule.without_event(i)
+            out = run_schedule(leaner)
+            assert (out.classification, out.status) \
+                != ("violation", "deadlock"), i
+
+    def test_wrong_target_rejected(self):
+        with pytest.raises(ValueError, match="does not reproduce"):
+            shrink(ChaosSchedule(seed=3), target=("violation", "deadlock"))
+
+    def test_run_budget_respected(self):
+        result = shrink(_broken_schedule(), max_runs=5)
+        assert result.n_runs <= 5
+
+
+# -- bundles -----------------------------------------------------------------
+
+
+class TestBundles:
+    def test_round_trip_and_faithful_replay(self, tmp_path):
+        outcome = run_schedule(_broken_schedule())
+        path = write_bundle(outcome, str(tmp_path))
+        loaded = ReproBundle.load(path)
+        assert loaded.schedule == outcome.schedule
+        replayed, mismatches = loaded.replay()
+        assert mismatches == []
+        assert replayed.digest == outcome.digest
+
+    def test_replay_flags_divergence(self):
+        outcome = run_schedule(ChaosSchedule(seed=2))
+        bundle = make_bundle(outcome)
+        forged = ReproBundle(
+            schedule=bundle.schedule,
+            expected={**bundle.expected, "digest": "bogus",
+                      "status": "deadlock"},
+        )
+        _, mismatches = forged.replay()
+        assert len(mismatches) == 2
+
+    def test_collision_suffixing(self, tmp_path):
+        outcome = run_schedule(ChaosSchedule(seed=2))
+        first = write_bundle(outcome, str(tmp_path))
+        second = write_bundle(outcome, str(tmp_path))
+        assert first != second
+        assert json.load(open(first)) == json.load(open(second))
+
+    def test_version_gate(self):
+        outcome = run_schedule(ChaosSchedule(seed=2))
+        d = make_bundle(outcome).to_dict()
+        d["version"] = 999
+        with pytest.raises(ValueError, match="version"):
+            ReproBundle.from_dict(d)
+
+
+# -- campaign bridge (self-reproducing failures) -----------------------------
+
+
+class TestCampaignBridge:
+    def test_lost_campaign_trials_become_replayable_bundles(self, tmp_path):
+        # Bare FT has no integrity layer: corrupted data lines are lost
+        # trials by design, exactly the kind that must self-reproduce.
+        campaign = FaultCampaign(
+            trials=4, seed=6, compare_baseline=False,
+            kinds=(FaultKind.CORRUPT_DATA_WRITE,),
+        )
+        result = campaign.run()
+        lost = list(campaign_counterexamples(result))
+        assert lost, "corrupt-data campaign should lose FT trials"
+        written = write_campaign_bundles(
+            campaign, result, str(tmp_path), limit=2
+        )
+        assert 1 <= len(written) <= 2
+        for path, leg, index in written:
+            bundle = ReproBundle.load(path)
+            assert bundle.meta["leg"] == leg
+            assert bundle.meta["trial_index"] == index
+            _, mismatches = bundle.replay()
+            assert mismatches == []
+
+    def test_trial_conversion_preserves_payload_and_knobs(self):
+        campaign = FaultCampaign(trials=1, seed=6, compare_baseline=False)
+        plan = campaign.trial_plans()[0]
+        s = schedule_for_trial(campaign, plan, "ft")
+        assert s.specs == tuple(plan.specs)
+        assert (s.k, s.chunk_lines, s.num_buffers) \
+            == (campaign.k, campaign.chunk_lines, campaign.num_buffers)
+        assert chaos_payload(s) == campaign._payload()
+
+    def test_non_root_campaign_rejected(self):
+        campaign = FaultCampaign(trials=1, seed=1, root=3,
+                                 compare_baseline=False)
+        plan = campaign.trial_plans()[0]
+        with pytest.raises(ValueError, match="root"):
+            schedule_for_trial(campaign, plan, "ft")
+
+
+# -- generator + soak --------------------------------------------------------
+
+
+class TestSoak:
+    def test_hardened_soak_is_violation_free(self):
+        gen = ScheduleGenerator(seed=3, meshes=((2, 2), (3, 2)))
+        metrics = MetricsRegistry()
+        result = run_soak(gen, trials=12, jobs=1, metrics=metrics)
+        assert result.n_trials == 12
+        assert result.ok
+        assert sum(result.counts.values()) == 12
+        assert metrics.flat()["chaos.trials"] == 12
+        assert "zero violations" in result.summary()
+
+    def test_fragile_soak_shrinks_and_bundles(self, tmp_path):
+        gen = ScheduleGenerator(
+            seed=8, backends=("scc",), meshes=((2, 2),),
+            modes=("baseline",), fragile=True,
+        )
+        result = run_soak(
+            gen, trials=8, jobs=1, out_dir=str(tmp_path), shrink_runs=40,
+        )
+        assert not result.ok
+        assert result.violations and result.bundles
+        assert len(result.shrinks) == len(result.violations)
+        for path in result.bundles:
+            _, mismatches = ReproBundle.load(path).replay()
+            assert mismatches == []
+        assert "counterexample" in result.summary()
+
+    def test_baseline_mode_needs_fragile_opt_in(self):
+        with pytest.raises(ValueError, match="fragile"):
+            ScheduleGenerator(modes=("baseline",))
+
+
+# -- pinned bundles ----------------------------------------------------------
+
+_BUNDLE_DIR = os.path.join(os.path.dirname(__file__), "chaos_bundles")
+_PINNED = sorted(
+    os.path.join(_BUNDLE_DIR, f)
+    for f in os.listdir(_BUNDLE_DIR) if f.endswith(".json")
+)
+
+
+@pytest.mark.chaos
+class TestPinnedBundles:
+    """Tier-1 chaos smoke: the committed bundles must replay to their
+    recorded classification, status, digest and injection count on
+    every build -- a drift in any of those is a protocol or
+    determinism regression, not a flake."""
+
+    def test_three_coordinates_are_pinned(self):
+        assert len(_PINNED) == 3
+
+    @pytest.mark.parametrize(
+        "path", _PINNED, ids=[os.path.basename(p) for p in _PINNED]
+    )
+    def test_pinned_bundle_replays_exactly(self, path):
+        bundle = ReproBundle.load(path)
+        outcome, mismatches = bundle.replay()
+        assert mismatches == [], outcome.describe()
+
+    def test_pinned_set_spans_the_classification_space(self):
+        got = set()
+        for path in _PINNED:
+            got.add(ReproBundle.load(path).expected["classification"])
+        assert got == {"tolerated", "refused", "violation"}
+
+
+# -- CLI ---------------------------------------------------------------------
+
+
+class TestChaosCli:
+    def test_soak_smoke(self, capsys):
+        rc = cli_main(["chaos", "--trials", "8", "--seed", "2",
+                       "--meshes", "2x2", "--jobs", "1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Chaos soak: 8 schedules" in out
+
+    def test_replay_pinned_bundle(self, tmp_path, capsys):
+        outcome = run_schedule(ChaosSchedule(seed=2))
+        path = write_bundle(outcome, str(tmp_path))
+        assert cli_main(["chaos", "--replay", path]) == 0
+        assert "[OK]" in capsys.readouterr().out
+
+    def test_replay_mismatch_fails(self, tmp_path, capsys):
+        outcome = run_schedule(ChaosSchedule(seed=2))
+        bundle = make_bundle(outcome)
+        forged = ReproBundle(
+            schedule=bundle.schedule,
+            expected={**bundle.expected, "digest": "bogus"},
+        )
+        path = str(tmp_path / "forged.json")
+        forged.save(path)
+        assert cli_main(["chaos", "--replay", path]) == 1
+        assert "[MISMATCH]" in capsys.readouterr().out
+
+    def test_baseline_without_fragile_is_usage_error(self, capsys):
+        rc = cli_main(["chaos", "--trials", "1", "--modes", "baseline"])
+        assert rc == 2
+        assert "fragile" in capsys.readouterr().err
+
+    def test_zero_trials_is_usage_error(self, capsys):
+        assert cli_main(["chaos", "--trials", "0"]) == 2
+        assert "ERROR" in capsys.readouterr().err
+
+    def test_bad_mesh_rejected(self):
+        with pytest.raises(SystemExit):
+            cli_main(["chaos", "--trials", "1", "--meshes", "wide"])
+
+    def test_faults_bundle_dir_emits_repro_lines(self, tmp_path, capsys):
+        rc = cli_main([
+            "faults", "--trials", "3", "--seed", "6", "--no-baseline",
+            "--kinds", "corrupt_data", "--jobs", "1",
+            "--bundle-dir", str(tmp_path),
+        ])
+        assert rc == 1  # lost trials: that is the point
+        out = capsys.readouterr().out
+        assert "repro: PYTHONPATH=src python -m repro chaos --replay" in out
+        assert list(tmp_path.glob("campaign-seed6-trial*.json"))
