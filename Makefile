@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test faults chaos bench perf perf-check cov trace lint
+.PHONY: test faults churn chaos bench perf perf-check cov trace lint
 
 ## Tier-1: the fast default test suite (fault campaigns and perf guards
 ## deselected -- see the marker list in pyproject.toml).
@@ -28,6 +28,16 @@ faults:
 		--cache-lines 288 --timeline
 	$(PYTHON) -m repro faults --trials 20 --byz --adversaries 3 \
 		--no-baseline --cache-lines 192 --timeline
+
+## Sustained-regime survival (docs/FAULTS.md §10): the marked churn
+## acceptance test, then the full 100-trial campaign -- every adaptive
+## trial must terminate cleanly with zero false evictions and zero
+## online I8 (no-false-eviction) violations, while the fixed-deadline
+## comparison leg demonstrates the failure the phi-accrual detector
+## and paced retries exist to prevent.
+churn:
+	$(PYTHON) -m pytest -q -m faults tests/test_churn.py
+	$(PYTHON) -m repro churn --trials 100 --seed 1
 
 ## Chaos search (docs/FAULTS.md §9): replay the pinned regression
 ## bundles, then soak 200 randomized composite-fault schedules across

@@ -14,7 +14,10 @@ broadcast.  Simulated time is deterministic, so this check is exact --
 it fails the moment membership/election bookkeeping leaks onto the
 fault-free path.  The *rbc tax* check does the same for Byzantine mode:
 the echo/ready quorum rounds must stay cheap relative to the crash-only
-service they harden.
+service they harden, and the *resilience tax* check prices the adaptive
+configuration (phi-accrual detection + paced retry policies) against
+the fixed-deadline service -- pauses only fire on actual re-sends, so
+a fault-free run must stay under ``--max-resilience-tax`` percent.
 
 Usage::
 
@@ -59,6 +62,21 @@ def rbc_tax_pct() -> float:
     return (byz / svc - 1.0) * 100.0
 
 
+def resilience_tax_pct() -> float:
+    """Fault-free adaptive-configuration latency overhead (percent)
+    over the fixed-deadline service: phi-accrual bookkeeping plus the
+    paced retry policies, measured on the same seeded multi-broadcast
+    stream.  Policy pauses only fire on actual re-sends, so a clean run
+    should price the whole resilience layer at (near) zero.
+    Deterministic."""
+    from repro.bench import ChurnCampaign
+
+    campaign = ChurnCampaign(trials=1, broadcasts=3)
+    fixed = campaign.latency_once(adaptive=False)
+    adaptive = campaign.latency_once(adaptive=True)
+    return (adaptive / fixed - 1.0) * 100.0
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument(
@@ -74,6 +92,12 @@ def main(argv=None) -> int:
         "--max-rbc-tax", type=float, default=15.0,
         help="max fault-free Byzantine-mode (Bracha RBC) latency overhead "
              "over the crash-only service, percent (default 15.0)",
+    )
+    ap.add_argument(
+        "--max-resilience-tax", type=float, default=5.0,
+        help="max fault-free adaptive-configuration (phi accrual + retry "
+             "policies) latency overhead over the fixed-deadline service, "
+             "percent (default 5.0)",
     )
     ap.add_argument(
         "--min-analytic-speedup", type=float, default=20.0,
@@ -122,6 +146,14 @@ def main(argv=None) -> int:
           f"{'ok' if rbc_ok else 'REGRESSED'}")
     if not rbc_ok:
         failed.append("rbc_tax")
+
+    res = resilience_tax_pct()
+    res_ok = res < args.max_resilience_tax
+    print(f"{'resilience tax':<{width}}  {res:>11.2f}%  vs "
+          f"{args.max_resilience_tax:>11.2f}%  "
+          f"{'ok' if res_ok else 'REGRESSED'}")
+    if not res_ok:
+        failed.append("resilience_tax")
 
     # Structural guard: the whole point of ANALYTIC mode is integer-factor
     # campaign speedups, so the adaptive fault-free path must stay >= 20x

@@ -12,6 +12,9 @@ and figures on the simulated chip.
   side-by-side comparison.
 - :mod:`repro.bench.faultcampaign` -- seeded fault-injection campaigns
   comparing fault-tolerant OC-Bcast against the baseline.
+- :mod:`repro.bench.churn` -- sustained-regime churn campaigns: many
+  consecutive broadcasts under a continuously active fault process,
+  adaptive (phi-accrual + backoff) vs fixed-deadline configurations.
 - :mod:`repro.bench.parallel` -- fan independent grid points / campaign
   trials across worker processes with bit-identical merged results.
 - :mod:`repro.bench.reporting` -- ASCII tables/series and CSV output.
@@ -29,6 +32,7 @@ from .analysis import (
     pipeline_overlap,
 )
 from .ascii_plot import ascii_chart
+from .churn import ChurnCampaign, ChurnResult, ChurnTrial
 from .faultcampaign import (
     CampaignResult,
     FaultCampaign,
@@ -50,6 +54,9 @@ __all__ = [
     "BcastResult",
     "BcastSpec",
     "CampaignResult",
+    "ChurnCampaign",
+    "ChurnResult",
+    "ChurnTrial",
     "ContentionResult",
     "FaultCampaign",
     "TrialResult",

@@ -1,0 +1,476 @@
+"""Churn campaigns: sustained fault regimes over consecutive broadcasts.
+
+The classic :class:`~repro.bench.FaultCampaign` injects *point* faults:
+one dropped write, one crash, one stall per trial, each chosen by
+occurrence count.  This module measures the other regime the resilience
+layer exists for -- a fault process that stays active across **many
+consecutive broadcasts**: a continuously flapping link partitioning one
+member on a duty cycle, with a mid-stream core crash layered on top.
+
+Each trial runs the same seeded fault plan against two service
+configurations:
+
+- **adaptive** -- phi-accrual suspicion
+  (:class:`repro.resilience.DetectorConfig`), exponential-backoff retry
+  pacing on heartbeats, view installs and FT data/flag paths
+  (:class:`repro.resilience.RetryPolicy`), and a per-message retry
+  budget that converts pathological overload into a deterministic
+  :class:`repro.resilience.OverloadError` refusal;
+- **fixed** -- the legacy compiled-in constants: shared ``hb_timeout``
+  deadline, immediate re-sends, unbounded attempts up to
+  ``max_attempts``.
+
+The point of the comparison: under a flapping link, an *immediate*
+retry burst lands entirely inside one down phase (the heartbeat never
+arrives -- the member looks dead), while a *paced* schedule straddles
+the next up phase (the heartbeat arrives late -- and the adaptive
+window, having observed such delays, tolerates it).  The fixed
+configuration therefore **falsely evicts a live member or stalls**,
+where the adaptive one recovers or refuses cleanly.
+
+A trial terminates cleanly iff it is classified ``survived`` or
+``refused``.  ``false_evict`` is the campaign-level I8 check: a rank
+the plan never crashed was evicted from the group.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from dataclasses import dataclass, replace
+from typing import Generator
+
+import numpy as np
+
+from ..core import OcBcastConfig
+from ..faults import FaultInjector, FaultKind, FaultPlan, FaultSpec
+from ..member.heartbeat import MembershipConfig
+from ..member.service import DEFAULT_SERVICE_OC, OcBcastService
+from ..obs import InvariantChecker, MetricsRegistry
+from ..rcce import Comm
+from ..resilience import DetectorConfig, OverloadError, RetryPolicy
+from ..scc import SccChip, SccConfig, run_spmd
+from ..scc.config import CACHE_LINE
+from ..sim import DeadlockError, FaultInjected, SimError, Tracer, WatchdogError
+from ..sim.errors import TimeoutError as SimTimeoutError
+
+#: Trial classifications, in reporting order.  ``survived`` and
+#: ``refused`` are the clean terminations; ``false_evict`` terminated
+#: but evicted a live member (the I8 violation); ``stalled`` covers
+#: deadlock, watchdog and exhausted-attempt timeouts alike.
+CHURN_OUTCOMES = ("survived", "refused", "false_evict", "stalled", "corrupt")
+
+#: Kinds whose plan spec names a core the plan itself kills -- evicting
+#: those ranks is *correct*, never a false eviction.
+_CRASH_KINDS = (FaultKind.CORE_CRASH, FaultKind.REPEATED_CRASH)
+
+
+@dataclass(frozen=True)
+class ChurnTrial:
+    """One seeded trial of one configuration (adaptive or fixed)."""
+
+    outcome: str
+    #: Broadcasts fully committed by every live member.
+    completed: int
+    n_injected: int
+    n_false_evicted: int
+    n_refused: int
+    #: Online I8 (``no-false-eviction``) violations caught by the
+    #: streaming :class:`repro.obs.InvariantChecker` (adaptive leg only,
+    #: with ``check_i8``).
+    n_i8_violations: int = 0
+    detail: str = ""
+
+    @property
+    def terminated(self) -> bool:
+        return self.outcome in ("survived", "refused")
+
+
+@dataclass(frozen=True)
+class ChurnResult:
+    """Aggregate outcome of a churn campaign."""
+
+    adaptive_counts: Counter
+    fixed_counts: Counter | None
+    trials: tuple[tuple[ChurnTrial, "ChurnTrial | None"], ...]
+    seed: int
+    broadcasts: int
+
+    @property
+    def n_trials(self) -> int:
+        return len(self.trials)
+
+    @property
+    def termination_rate(self) -> float:
+        """Fraction of adaptive trials that terminated cleanly."""
+        if not self.n_trials:
+            return 0.0
+        good = sum(1 for a, _ in self.trials if a.terminated)
+        return good / self.n_trials
+
+    @property
+    def n_false_evictions(self) -> int:
+        """Total live members falsely evicted across adaptive trials."""
+        return sum(a.n_false_evicted for a, _ in self.trials)
+
+    @property
+    def n_i8_violations(self) -> int:
+        """Online I8 violations across adaptive trials."""
+        return sum(a.n_i8_violations for a, _ in self.trials)
+
+    @property
+    def fixed_failure_trials(self) -> int:
+        """Fixed-deadline trials that false-evicted or stalled -- the
+        regimes the adaptive configuration is built to survive."""
+        return sum(
+            1 for _, f in self.trials
+            if f is not None and f.outcome in ("false_evict", "stalled")
+        )
+
+    def summary(self) -> str:
+        from .reporting import format_table
+
+        headers = ["outcome", "adaptive"]
+        if self.fixed_counts is not None:
+            headers.append("fixed-deadline")
+        rows = []
+        for outcome in CHURN_OUTCOMES:
+            row = [outcome, self.adaptive_counts.get(outcome, 0)]
+            if self.fixed_counts is not None:
+                row.append(self.fixed_counts.get(outcome, 0))
+            rows.append(row)
+        lines = [
+            format_table(
+                headers, rows,
+                title=f"Churn campaign: {self.n_trials} trials, "
+                      f"seed={self.seed}, "
+                      f"{self.broadcasts} broadcasts/trial",
+            ),
+            "",
+            f"adaptive termination rate: "
+            f"{100.0 * self.termination_rate:.1f}% "
+            f"({self.n_false_evictions} false evictions, "
+            f"{self.n_i8_violations} online I8 violations)",
+        ]
+        if self.fixed_counts is not None:
+            lines.append(
+                f"fixed-deadline false-evict/stall trials: "
+                f"{self.fixed_failure_trials}/{self.n_trials}"
+            )
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class ChurnCampaign:
+    """A seeded campaign of sustained-regime trials over the broadcast
+    service.
+
+    Every trial arms one FLAPPING_LINK regime on a random non-root
+    member from that member's first MPB access (continuously active for
+    the whole run) and crashes one *other* random non-root member
+    mid-stream, then drives ``broadcasts`` consecutive service
+    broadcasts through it.
+    """
+
+    trials: int = 100
+    seed: int = 1
+    broadcasts: int = 10
+    nbytes: int = 96 * CACHE_LINE
+    config: SccConfig | None = None
+    root: int = 0
+    k: int = 7
+    chunk_lines: int = 96
+    num_buffers: int = 2
+    #: Also run every plan against the fixed-deadline configuration.
+    compare_fixed: bool = True
+    #: Flap regime: cycle length, down fraction.
+    flap_period: float = 2_000.0
+    flap_duty: float = 0.4
+    #: One mid-stream CORE_CRASH per trial (off = flapping only).
+    crash: bool = True
+    #: Kernel watchdog period (us); must exceed every legitimate idle
+    #: wait of the *fixed* configuration too.
+    watchdog_interval: float = 120_000.0
+    #: Attach the streaming :class:`repro.obs.InvariantChecker` to every
+    #: adaptive-leg trial and count I8 (``no-false-eviction``) violations
+    #: online.  The fixed leg is exempt by design -- false-evicting under
+    #: flap is exactly the failure it demonstrates.
+    check_i8: bool = True
+
+    def __post_init__(self) -> None:
+        if self.trials < 1:
+            raise ValueError("need at least one trial")
+        if self.broadcasts < 1:
+            raise ValueError("need at least one broadcast per trial")
+        if self.nbytes <= 0:
+            raise ValueError("nbytes must be > 0")
+        if self.flap_period <= 0.0:
+            raise ValueError("flap_period must be > 0")
+        if not 0.0 < self.flap_duty < 1.0:
+            raise ValueError("flap_duty must be strictly inside (0, 1)")
+
+    # -- the two configurations under test ----------------------------------
+
+    def _backoff(self) -> RetryPolicy:
+        """The paced schedule: sized so its cumulative pause straddles a
+        flap down phase (``duty * period``) with room to spare."""
+        down = self.flap_duty * self.flap_period
+        return RetryPolicy.backoff(
+            max_retries=5,
+            base=max(150.0, down * 0.4),
+            factor=2.0,
+            cap=self.flap_period,
+            jitter=0.1,
+            seed=self.seed,
+        )
+
+    def _notify_wait(self) -> float:
+        """The adaptive leg's notify/commit wait (us).  The commit
+        notification relays hop by hop down the tree on *paced* acked
+        writes, so the wait must cover the worst-case backoff schedule
+        of every hop above this node (tree depth is 2 for 48 cores at
+        k=7) -- the same coherence rule the membership config enforces
+        for heartbeats.  A wait shorter than the legal pacing turns a
+        flap-delayed commit into a phantom recovery round that desyncs
+        the member from an already-committed coordinator."""
+        return 2.0 * self._backoff().max_total_pause() + 2_000.0
+
+    def adaptive_member_config(self) -> MembershipConfig:
+        """Phi-accrual suspicion + paced retries + refusal budget."""
+        pol = self._backoff()
+        # Never suspect below the worst *legal* response lag: an orphan
+        # of a crashed parent sits out the notify wait, then its paced
+        # heartbeat may straddle one flap down phase.
+        floor = self._notify_wait() + pol.max_total_pause() + self.flap_period
+        hb_timeout = floor + 2_000.0
+        return MembershipConfig(
+            hb_timeout=hb_timeout,
+            view_timeout=2.0 * hb_timeout,
+            detector=DetectorConfig(
+                threshold=8.0,
+                window=32,
+                min_std=max(25.0, self.flap_duty * self.flap_period),
+                min_samples=4,
+                floor=floor,
+            ),
+            hb_retry=pol,
+            view_retry=pol,
+            retry_budget=4,
+        )
+
+    def fixed_member_config(self) -> MembershipConfig:
+        """The legacy compiled-in constants (no detector, immediate
+        re-sends, no refusal budget)."""
+        return MembershipConfig()
+
+    def _oc_config(self, adaptive: bool) -> OcBcastConfig:
+        base = replace(
+            DEFAULT_SERVICE_OC,
+            k=self.k,
+            chunk_lines=self.chunk_lines,
+            num_buffers=self.num_buffers,
+        )
+        if adaptive:
+            base = replace(
+                base,
+                ft_retry=self._backoff(),
+                ft_notify_timeout=self._notify_wait(),
+            )
+        return base
+
+    # -- trial plans ---------------------------------------------------------
+
+    def _payloads(self) -> list[bytes]:
+        rng = np.random.default_rng(self.seed)
+        return [
+            rng.integers(0, 256, size=self.nbytes, dtype=np.uint8).tobytes()
+            for _ in range(self.broadcasts)
+        ]
+
+    def profile_sites(self) -> dict[str, int]:
+        """Candidate-site counts from one fault-free adaptive run."""
+        injector = FaultInjector(FaultPlan())
+        chip = SccChip(self.config, faults=injector)
+        self._drive(chip, adaptive=True)
+        return injector.profile()
+
+    def trial_plans(self) -> list[FaultPlan]:
+        """Per-trial plans -- a pure function of the seed and the
+        fault-free profile, shared verbatim by both configurations."""
+        profile = self.profile_sites()
+        rng = random.Random(self.seed)
+        size = (self.config or SccConfig()).num_cores
+        non_root = [r for r in range(size) if r != self.root]
+        plans: list[FaultPlan] = []
+        for i in range(self.trials):
+            victim = rng.choice(non_root)
+            specs = [FaultSpec(
+                FaultKind.FLAPPING_LINK,
+                core=victim,
+                nth=1,  # continuously active from the victim's first access
+                duration=100.0 * self.watchdog_interval,
+                period=self.flap_period,
+                duty=self.flap_duty,
+            )]
+            if self.crash:
+                pool = [r for r in non_root if r != victim]
+                crash_core = rng.choice(pool)
+                n = max(1, profile.get(f"core_op@core{crash_core}", 1))
+                specs.append(FaultSpec(
+                    FaultKind.CORE_CRASH,
+                    core=crash_core,
+                    nth=rng.randint(max(1, n // 3), max(1, 2 * n // 3)),
+                ))
+            plans.append(FaultPlan(
+                tuple(specs), label=f"churn{i}:core{victim}"
+            ))
+        return plans
+
+    # -- execution -----------------------------------------------------------
+
+    def latency_once(self, *, adaptive: bool) -> float:
+        """Fault-free makespan (simulated us) of the whole
+        ``broadcasts``-broadcast stream under one configuration -- the
+        resilience-tax probe: both legs replay the same seeded
+        payloads, so the ratio isolates the detector + policy
+        bookkeeping.  Deterministic."""
+        chip = SccChip(self.config)
+        return self._drive(chip, adaptive=adaptive).end_time
+
+    def _drive(self, chip: SccChip, *, adaptive: bool):
+        """Run ``broadcasts`` consecutive service broadcasts; returns
+        the SPMD result (per-rank ``(status, completed)`` values plus
+        the end time)."""
+        comm = Comm(chip)
+        svc = OcBcastService(
+            comm,
+            root=self.root,
+            oc_config=self._oc_config(adaptive),
+            member_config=(
+                self.adaptive_member_config() if adaptive
+                else self.fixed_member_config()
+            ),
+        )
+        payloads = self._payloads()
+        nbytes, root, broadcasts = self.nbytes, self.root, self.broadcasts
+
+        def program(core) -> Generator:
+            cc = comm.attach(core)
+            buf = cc.alloc(nbytes)
+            done = 0
+            for b in range(broadcasts):
+                if cc.rank == root:
+                    buf.write(payloads[b])
+                try:
+                    status = yield from svc.bcast(cc, buf, nbytes)
+                except FaultInjected:
+                    return ("crashed", done)
+                except OverloadError:
+                    return ("refused", done)
+                if status == "evicted":
+                    return ("evicted", done)
+                if status == "aborted":
+                    continue
+                if buf.read() != payloads[b]:
+                    return ("corrupt", done)
+                done += 1
+            return ("ok", done)
+
+        chip.sim.start_watchdog(self.watchdog_interval)
+        return run_spmd(chip, program)
+
+    def run_one(self, plan: FaultPlan, *, adaptive: bool) -> ChurnTrial:
+        """Run one trial plan against one configuration and classify."""
+        injector = FaultInjector(plan)
+        metrics = MetricsRegistry()
+        checker = None
+        tracer = None
+        if adaptive and self.check_i8:
+            tracer = Tracer(enabled=True)
+        chip = SccChip(self.config, faults=injector, metrics=metrics,
+                       tracer=tracer)
+        if tracer is not None:
+            # Faults are armed on purpose: only the membership promise
+            # (I8) and the protocol invariants are on trial, not I1.
+            checker = InvariantChecker(lossless=False).attach(chip)
+        crashed_by_plan = {
+            s.core for s in plan.specs if s.kind in _CRASH_KINDS
+        }
+
+        def i8_count() -> int:
+            if checker is None:
+                return 0
+            return sum(
+                1 for v in checker.violations
+                if v.invariant == "no-false-eviction"
+            )
+
+        try:
+            vals = self._drive(chip, adaptive=adaptive).values
+        except SimError as exc:
+            cause = exc if exc.__cause__ is None else exc.__cause__
+            if isinstance(cause, (WatchdogError, DeadlockError,
+                                  SimTimeoutError)):
+                return ChurnTrial(
+                    outcome="stalled", completed=0,
+                    n_injected=injector.n_injected,
+                    n_false_evicted=0, n_refused=0,
+                    n_i8_violations=i8_count(),
+                    detail=f"{type(cause).__name__}: {cause}",
+                )
+            raise
+        statuses = [v[0] for v in vals]
+        refused = [r for r, s in enumerate(statuses) if s == "refused"]
+        false_evicted = [
+            r for r, s in enumerate(statuses)
+            if s == "evicted" and r not in crashed_by_plan
+        ]
+        live_ok = [
+            v[1] for r, v in enumerate(vals)
+            if v[0] == "ok" and r not in crashed_by_plan
+        ]
+        completed = min(live_ok) if live_ok else 0
+        if any(s == "corrupt" for s in statuses):
+            outcome, detail = "corrupt", "a live member holds wrong bytes"
+        elif false_evicted:
+            outcome = "false_evict"
+            detail = f"live rank(s) {false_evicted} evicted"
+        elif refused:
+            outcome = "refused"
+            detail = f"rank(s) {refused} refused on budget"
+        else:
+            outcome, detail = "survived", ""
+        return ChurnTrial(
+            outcome=outcome,
+            completed=completed,
+            n_injected=injector.n_injected,
+            n_false_evicted=len(false_evicted),
+            n_refused=len(refused),
+            n_i8_violations=i8_count(),
+            detail=detail,
+        )
+
+    def run(self) -> ChurnResult:
+        """Run every trial: the adaptive leg always, the fixed-deadline
+        leg when ``compare_fixed``."""
+        plans = self.trial_plans()
+        adaptive_counts: Counter = Counter()
+        fixed_counts: Counter | None = (
+            Counter() if self.compare_fixed else None
+        )
+        trials: list[tuple[ChurnTrial, ChurnTrial | None]] = []
+        for plan in plans:
+            a = self.run_one(plan, adaptive=True)
+            adaptive_counts[a.outcome] += 1
+            f = None
+            if self.compare_fixed:
+                f = self.run_one(plan, adaptive=False)
+                fixed_counts[f.outcome] += 1
+            trials.append((a, f))
+        return ChurnResult(
+            adaptive_counts=adaptive_counts,
+            fixed_counts=fixed_counts,
+            trials=tuple(trials),
+            seed=self.seed,
+            broadcasts=self.broadcasts,
+        )

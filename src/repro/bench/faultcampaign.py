@@ -425,6 +425,22 @@ class FaultCampaign:
     mid_stream: bool = False
     #: LINK_DOWN burst window (us of silently dropped protocol writes).
     link_down_duration: float = 400.0
+    #: FLAPPING_LINK envelope: total flap window, down/up cycle period
+    #: and the fraction of each cycle spent down.  The defaults flap a
+    #: victim's MPB port for several heartbeat rounds -- long enough to
+    #: false-evict a fixed-deadline membership config, short enough that
+    #: a phi-accrual detector keeps the member (docs/FAULTS.md section 10).
+    flap_duration: float = 8_000.0
+    flap_period: float = 1_000.0
+    flap_duty: float = 0.4
+    #: REPEATED_CRASH churn: quiet gap between successive crashes and
+    #: how many cores the churn process takes down in total.
+    churn_gap: float = 2_000.0
+    churn_cycles: int = 2
+    #: CONGESTION_STORM window and the extra per-access stall every MPB
+    #: transaction pays while the storm lasts.
+    storm_duration: float = 2_000.0
+    storm_stall: float = 40.0
     #: Byzantine campaign: every trial runs the RBC-hardened service
     #: (``OcBcastConfig(byz=True)``) against ``adversaries`` compromised
     #: cores (the crash-oriented FT/baseline/service legs are skipped --
@@ -484,6 +500,14 @@ class FaultCampaign:
             )
         if self.link_down_duration <= 0:
             raise ValueError("link_down_duration must be > 0")
+        if self.flap_duration <= 0 or self.flap_period <= 0:
+            raise ValueError("flap_duration and flap_period must be > 0")
+        if not 0.0 < self.flap_duty < 1.0:
+            raise ValueError("flap_duty must be strictly between 0 and 1")
+        if self.churn_gap <= 0 or self.churn_cycles < 1:
+            raise ValueError("churn_gap must be > 0 and churn_cycles >= 1")
+        if self.storm_duration <= 0 or self.storm_stall <= 0:
+            raise ValueError("storm_duration and storm_stall must be > 0")
         if self.byz:
             size = (self.config or SccConfig()).num_cores
             if not 1 <= self.adversaries < size:
@@ -801,6 +825,36 @@ class FaultCampaign:
                         rng, profile.get(f"mpb_access@core{core}", 0)
                     ),
                     duration=self.link_down_duration,
+                )
+            if kind is FaultKind.FLAPPING_LINK:
+                core = rng.choice(non_root)
+                return FaultSpec(
+                    kind,
+                    core=core,
+                    nth=self._draw_nth(
+                        rng, profile.get(f"mpb_access@core{core}", 0)
+                    ),
+                    duration=self.flap_duration,
+                    period=self.flap_period,
+                    duty=self.flap_duty,
+                )
+            if kind is FaultKind.REPEATED_CRASH:
+                core = rng.choice(crash_pool)
+                return FaultSpec(
+                    kind,
+                    core=core,
+                    nth=self._draw_nth(
+                        rng, profile.get(f"core_op@core{core}", 0)
+                    ),
+                    period=self.churn_gap,
+                    cycles=self.churn_cycles,
+                )
+            if kind is FaultKind.CONGESTION_STORM:
+                return FaultSpec(
+                    kind,
+                    nth=self._draw_nth(rng, profile.get("mpb_access", 0)),
+                    duration=self.storm_duration,
+                    period=self.storm_stall,
                 )
             if kind is FaultKind.CORE_PAUSE:
                 core = rng.choice(non_root)
@@ -1248,8 +1302,10 @@ def _byz_trial_worker(
 def parse_kinds(names: Sequence[str]) -> tuple[FaultKind, ...]:
     """Map CLI names (``drop_flag``, ``corrupt_flag``, ``drop_data``,
     ``corrupt_data``, ``stall``, ``link_down``, ``pause``, ``crash``,
-    and the adversary kinds ``equivocate``, ``forge_flag``,
-    ``lie_quorum``) to :class:`FaultKind`."""
+    the sustained regimes ``flap``/``flapping_link``,
+    ``churn``/``repeated_crash``, ``storm``/``congestion_storm``, and
+    the adversary kinds ``equivocate``, ``forge_flag``, ``lie_quorum``)
+    to :class:`FaultKind`."""
     alias = {
         "drop_flag": FaultKind.DROP_FLAG_WRITE,
         "corrupt_flag": FaultKind.CORRUPT_FLAG_WRITE,
@@ -1259,6 +1315,12 @@ def parse_kinds(names: Sequence[str]) -> tuple[FaultKind, ...]:
         "link_down": FaultKind.LINK_DOWN,
         "pause": FaultKind.CORE_PAUSE,
         "crash": FaultKind.CORE_CRASH,
+        "flap": FaultKind.FLAPPING_LINK,
+        "flapping_link": FaultKind.FLAPPING_LINK,
+        "churn": FaultKind.REPEATED_CRASH,
+        "repeated_crash": FaultKind.REPEATED_CRASH,
+        "storm": FaultKind.CONGESTION_STORM,
+        "congestion_storm": FaultKind.CONGESTION_STORM,
         "equivocate": FaultKind.EQUIVOCATE,
         "forge_flag": FaultKind.FORGE_FLAG_VALUE,
         "lie_quorum": FaultKind.LIE_IN_QUORUM,

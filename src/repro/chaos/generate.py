@@ -24,7 +24,10 @@ Fault *intensity* is bounded, not open-ended: stall / burst / pause
 durations stay two orders of magnitude under the kernel watchdog, drop
 probabilities stay within the FT retry budget's reach, partitions heal
 inside the membership suspicion timeout, each schedule carries at most
-one crash, and the Byzantine mode's benign companions are limited to
+one crash *event* (a REPEATED_CRASH event kills two cores, but only on
+meshes of >= 8 ranks and with a full suspicion window of quiet between
+them), sustained regimes (flap / storm) end or pace their outages
+inside the stock suspicion deadline, and the Byzantine mode's benign companions are limited to
 faults the transport layer absorbs *under* the time-bounded vote
 rounds (flag drops/corruption, short stalls -- no bursts, pauses or
 random delay models, which silence honest voters and split the
@@ -88,6 +91,32 @@ _BURST_RANGE = (200.0, 800.0)
 _PAUSE_RANGE = (200.0, 2_000.0)
 _DROP_P_RANGE = (0.01, 0.10)
 _HEAL_RANGE = (200.0, 1_500.0)
+
+#: The service's default (fixed-deadline) suspicion bound -- the chaos
+#: runner executes schedules against the stock config, so every
+#: sustained regime's envelope is keyed to this constant: the regime
+#: must end (flap, storm) or pace its outages (duty, gap) so that no
+#: *live* member stays unreachable for a full suspicion window.  The
+#: adaptive configuration tolerates far harsher regimes (see
+#: ``repro.bench.churn``), but chaos asserts the *stock* stack's
+#: zero-violation envelope.
+_SUSPICION_BOUND = 6_000.0
+#: FLAPPING_LINK: total window under half the suspicion bound, short
+#: cycles with a minority duty so immediate-retry bursts straddle the
+#: next up phase well inside any one deadline.
+_FLAP_DURATION_RANGE = (400.0, 0.5 * _SUSPICION_BOUND)
+_FLAP_PERIOD_RANGE = (100.0, 400.0)
+_FLAP_DUTY_RANGE = (0.15, 0.45)
+#: REPEATED_CRASH: the quiet gap gives the membership at least one
+#: full collect/install round between crashes; two crashes total keeps
+#: a 2*cols*rows-rank communicator's quorum comfortable.
+_CHURN_GAP_RANGE = (_SUSPICION_BOUND, 2.0 * _SUSPICION_BOUND)
+_CHURN_CYCLES = 2
+#: CONGESTION_STORM: per-access stalls stay two orders under the
+#: suspicion bound and the storm itself ends within one window, so the
+#: correlated slowdown reads as jitter, never as silence.
+_STORM_DURATION_RANGE = (400.0, _SUSPICION_BOUND)
+_STORM_STALL_RANGE = (5.0, 50.0)
 
 #: Trace kinds a CrashOnEvent can target: every rank stages/enters
 #: chunks (``oc.chunk.begin``), non-root ranks also fetch
@@ -243,7 +272,15 @@ class ScheduleGenerator:
         else:
             pool = list(_SERVICE_KINDS if mode == "service" else _FT_KINDS)
         if backend == "scc" and mode == "service":
-            pool.append(FaultKind.CORE_PAUSE)
+            # The occurrence-counted mpb_access / core_op anchors of the
+            # pause and sustained-regime kinds are SCC-mesh semantics
+            # (see SCC_ONLY_KINDS), and only the service's membership
+            # layer rides out a multi-deadline outage.
+            pool.extend((
+                FaultKind.CORE_PAUSE,
+                FaultKind.FLAPPING_LINK,
+                FaultKind.CONGESTION_STORM,
+            ))
         kind = rng.choice(pool)
         if kind in (FaultKind.DROP_FLAG_WRITE, FaultKind.CORRUPT_FLAG_WRITE):
             spec = FaultSpec(
@@ -267,6 +304,25 @@ class ScheduleGenerator:
                 nth=self._nth(rng, profile.get(f"mpb_access@core{core}", 0)),
                 duration=rng.uniform(*_BURST_RANGE),
             )
+        elif kind is FaultKind.FLAPPING_LINK:
+            core = rng.randrange(1, nranks)
+            period = rng.uniform(*_FLAP_PERIOD_RANGE)
+            duration = max(period, rng.uniform(*_FLAP_DURATION_RANGE))
+            spec = FaultSpec(
+                kind,
+                core=core,
+                nth=self._nth(rng, profile.get(f"mpb_access@core{core}", 0)),
+                duration=duration,
+                period=period,
+                duty=rng.uniform(*_FLAP_DUTY_RANGE),
+            )
+        elif kind is FaultKind.CONGESTION_STORM:
+            spec = FaultSpec(
+                kind,
+                nth=self._nth(rng, profile.get("mpb_access", 0)),
+                duration=rng.uniform(*_STORM_DURATION_RANGE),
+                period=rng.uniform(*_STORM_STALL_RANGE),
+            )
         else:  # CORE_PAUSE (scc only)
             core = rng.randrange(1, nranks)
             spec = FaultSpec(
@@ -279,11 +335,20 @@ class ScheduleGenerator:
 
     def _draw_core_crash(self, rng, nranks, profile, claimed):
         core = rng.randrange(1, nranks)
-        spec = FaultSpec(
-            FaultKind.CORE_CRASH,
-            core=core,
-            nth=self._nth(rng, profile.get(f"core_op@core{core}", 0)),
-        )
+        nth = self._nth(rng, profile.get(f"core_op@core{core}", 0))
+        if nranks >= 8 and rng.random() < 0.33:
+            # Churn: a second, different core crashes after a quiet gap
+            # of at least one suspicion window.  Only on meshes large
+            # enough that two evictions leave a comfortable quorum.
+            spec = FaultSpec(
+                FaultKind.REPEATED_CRASH,
+                core=core,
+                nth=nth,
+                period=rng.uniform(*_CHURN_GAP_RANGE),
+                cycles=_CHURN_CYCLES,
+            )
+        else:
+            spec = FaultSpec(FaultKind.CORE_CRASH, core=core, nth=nth)
         return self._claim(spec, claimed)
 
     def _draw_crash_hook(self, rng, nranks, chunks):

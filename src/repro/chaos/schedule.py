@@ -51,7 +51,19 @@ MODES = ("service", "byz", "ft", "baseline")
 #: Injector kinds that hook core primitives -- they only fire on the SCC
 #: backend (the asyncio backend has no ``core_op`` stream; its crashes
 #: use the backend-agnostic :class:`CrashOnEvent` coordinate instead).
-SCC_ONLY_KINDS = frozenset({FaultKind.CORE_PAUSE, FaultKind.CORE_CRASH})
+#: REPEATED_CRASH is core-primitive churn; the sustained link regimes
+#: (FLAPPING_LINK, CONGESTION_STORM) anchor on ``mpb_access`` occurrence
+#: counts, which the two backends count differently (line batches vs
+#: operations), so schedules pin them to the SCC backend too -- except
+#: at ``nth=1``, the one portable anchor, which the differential
+#: ``flapping_link`` scenario uses deliberately.
+SCC_ONLY_KINDS = frozenset({
+    FaultKind.CORE_PAUSE,
+    FaultKind.CORE_CRASH,
+    FaultKind.REPEATED_CRASH,
+    FaultKind.FLAPPING_LINK,
+    FaultKind.CONGESTION_STORM,
+})
 
 #: Bundle / schedule serialisation format version.
 SCHEDULE_VERSION = 1
@@ -293,6 +305,7 @@ class ChaosSchedule:
                 {
                     "kind": s.kind.value, "nth": s.nth,
                     "core": s.core, "duration": s.duration,
+                    "period": s.period, "duty": s.duty, "cycles": s.cycles,
                 }
                 for s in self.specs
             ],
@@ -312,6 +325,8 @@ class ChaosSchedule:
             FaultSpec(
                 kind=FaultKind(s["kind"]), nth=s.get("nth", 1),
                 core=s.get("core"), duration=s.get("duration", 0.0),
+                period=s.get("period", 0.0), duty=s.get("duty", 0.0),
+                cycles=s.get("cycles", 0),
             )
             for s in d.get("specs", ())
         )

@@ -345,6 +345,34 @@ def cmd_faults(args: argparse.Namespace) -> int:
     return 1 if lost else 0
 
 
+def cmd_churn(args: argparse.Namespace) -> int:
+    from .bench import ChurnCampaign
+
+    try:
+        campaign = ChurnCampaign(
+            trials=args.trials,
+            seed=args.seed,
+            broadcasts=args.broadcasts,
+            flap_period=args.flap_period,
+            flap_duty=args.flap_duty,
+            crash=not args.no_crash,
+            compare_fixed=not args.no_fixed,
+            check_i8=not args.no_i8,
+        )
+    except ValueError as exc:
+        print(f"ERROR: {exc}", file=sys.stderr)
+        return 2
+    result = campaign.run()
+    print(result.summary())
+    # The campaign's promise is the ISSUE-10 acceptance bar: every
+    # adaptive trial terminates cleanly with zero false evictions and
+    # zero online I8 violations.
+    failed = (result.termination_rate < 1.0
+              or result.n_false_evictions
+              or result.n_i8_violations)
+    return 1 if failed else 0
+
+
 def _parse_chaos_mesh(text: str) -> tuple[int, int]:
     """'3x2' -> (3, 2) mesh columns x rows."""
     try:
@@ -581,7 +609,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--kinds", nargs="+", default=["drop_flag"],
         help="fault kinds: drop_flag corrupt_flag drop_data corrupt_data "
-             "stall link_down pause crash; adversary kinds (--byz): "
+             "stall link_down pause crash; sustained regimes: flap "
+             "(flapping_link) churn (repeated_crash) storm "
+             "(congestion_storm); adversary kinds (--byz): "
              "equivocate forge_flag lie_quorum",
     )
     p.add_argument("--cache-lines", type=int, default=96,
@@ -636,6 +666,28 @@ def build_parser() -> argparse.ArgumentParser:
     _add_mode_arg(p)
     _add_jobs_arg(p)
     p.set_defaults(fn=cmd_faults)
+
+    p = sub.add_parser(
+        "churn",
+        help="sustained-regime survival campaign: adaptive (phi accrual "
+             "+ paced retries) vs fixed-deadline membership under a "
+             "continuously flapping link plus mid-stream crash",
+    )
+    p.add_argument("--trials", type=int, default=100)
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--broadcasts", type=int, default=10,
+                   help="consecutive service broadcasts per trial")
+    p.add_argument("--flap-period", type=float, default=2_000.0,
+                   help="flap cycle length in us")
+    p.add_argument("--flap-duty", type=float, default=0.4,
+                   help="fraction of each cycle the link is down")
+    p.add_argument("--no-crash", action="store_true",
+                   help="flapping only: skip the mid-stream core crash")
+    p.add_argument("--no-fixed", action="store_true",
+                   help="skip the fixed-deadline comparison leg")
+    p.add_argument("--no-i8", action="store_true",
+                   help="skip the online no-false-eviction (I8) checker")
+    p.set_defaults(fn=cmd_churn)
 
     p = sub.add_parser(
         "chaos",

@@ -102,7 +102,12 @@ outside the supplied member tree) instead of ``None``.  A node whose
 payload is fully fetched and verified but whose commit notification
 never arrives -- the source died between delivery and commit -- returns
 ``"undecided"``: it *holds* the message without knowing the verdict,
-which is the vote the service layer's completion protocol counts.
+which is the vote the service layer's completion protocol counts.  A
+node that instead finds a *later* window's notification in the flag --
+its own commit was lost and the group has demonstrably moved past the
+commit round -- returns ``"moved_on"``, and the service layer infers
+the verdict from the view flag (a RETRY always installs a view before
+any new window streams; a clean flag means the group committed OK).
 """
 
 from __future__ import annotations
@@ -114,6 +119,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Generator, Sequence
 
 from ..rcce.flags import Flag, FlagValue
+from ..resilience.policy import RetryPolicy
 from ..scc.config import CACHE_LINE
 from ..scc.memory import MemRef
 from ..sim.errors import TimeoutError as SimTimeoutError
@@ -201,6 +207,12 @@ class OcBcastConfig:
     #: Bounded re-fetch candidates when the local payload's CRC
     #: mismatches the agreed digest.
     byz_refetch_retries: int = 3
+    #: Pacing for the FT path's acked writes (doneFlag/notify re-sends,
+    #: acked staging puts and fetches).  ``None`` keeps the legacy
+    #: immediate re-send schedule -- the bit-identical default.
+    ft_retry: RetryPolicy | None = None
+    #: Pacing for acked RBC vote re-casts (see :mod:`repro.member.rbc`).
+    vote_retry: RetryPolicy | None = None
 
     def __post_init__(self) -> None:
         if self.k < 1:
@@ -288,6 +300,21 @@ class OcBcast:
 
     # ------------------------------------------------------------------
 
+    def window_base(self, rank: int) -> int:
+        """This rank's current chunk-sequence window base (the next
+        broadcast call starts numbering from here)."""
+        return self._base[rank]
+
+    def resync_window(self, rank: int, base: int) -> None:
+        """Fast-forward this rank's window base to ``base`` (never
+        backwards).  The service layer calls this for a member that
+        missed whole broadcast windows while the group moved on, using
+        the coordinator's base piggybacked on the view install -- a
+        stale local base would make every later window's sequence
+        numbers shear against the rest of the tree."""
+        if base > self._base[rank]:
+            self._base[rank] = base
+
     def bcast(
         self,
         cc: "CoreComm",
@@ -309,7 +336,9 @@ class OcBcast:
         membership view, which is how the service layer routes later
         broadcasts around dead cores.  A rank outside the tree returns
         ``"evicted"`` immediately; in service mode the other ranks return
-        ``"ok"`` or ``"retry"`` (the commit outcome), otherwise ``None``.
+        ``"ok"`` or ``"retry"`` (the commit outcome) -- or ``"undecided"``
+        / ``"moved_on"`` when the commit notification was lost (see the
+        module docs) -- otherwise ``None``.
         """
         size = cc.size
         cfg = self.config
@@ -542,6 +571,18 @@ class OcBcast:
         except SimTimeoutError:
             cc.trace("oc.svc.commit_unknown", seq=commit_seq)
             return "undecided"
+        if commit.seq > commit_seq:
+            # The commit notification itself was lost (dropped by a
+            # faulted link, or overwritten before this node's late last
+            # chunk landed) and the flag now holds a *later* sequence
+            # window's notification -- its tag says nothing about THIS
+            # message's commit.  Do not relay the bogus tag; report
+            # "moved_on" and let the service layer disambiguate: a
+            # RETRY decision always installs a view before any new
+            # window streams, so a clean view flag can only mean the
+            # group committed without us.
+            cc.trace("oc.svc.commit_moved_on", seq=commit_seq, saw=commit.seq)
+            return "moved_on"
         yield from self._notify(
             cc, tree, parent_family, siblings, my_slot, commit_seq, tag=commit.tag
         )
@@ -563,7 +604,9 @@ class OcBcast:
         (readback-verified, bounded re-send) in FT mode."""
         if self.config.ft:
             yield from cc.flag_set_acked(
-                owner_rank, flag, value, max_retries=self.config.ft_max_retries
+                owner_rank, flag, value,
+                max_retries=self.config.ft_max_retries,
+                policy=self.config.ft_retry,
             )
         else:
             yield from cc.flag_set(owner_rank, flag, value)
@@ -584,7 +627,8 @@ class OcBcast:
         offset = self._payload_off(b)
         if cfg.ft and cfg.ft_ack_data:
             yield from cc.put_acked(
-                cc.rank, offset, src, span, max_retries=cfg.ft_max_retries
+                cc.rank, offset, src, span,
+                max_retries=cfg.ft_max_retries, policy=cfg.ft_retry,
             )
         else:
             yield from cc.put(cc.rank, offset, src, span)
@@ -681,7 +725,7 @@ class OcBcast:
             if cfg.ft and cfg.ft_ack_data:
                 yield from cc.get_acked(
                     parent, reg.offset, reg.offset, span,
-                    max_retries=cfg.ft_max_retries,
+                    max_retries=cfg.ft_max_retries, policy=cfg.ft_retry,
                 )
             else:
                 yield from cc.get(parent, reg.offset, reg.offset, span)
@@ -827,7 +871,7 @@ class OcBcast:
                     cc.metric_inc("oc.ft.renotifies")
                     yield from cc.flag_set_acked(
                         children[i], self.notify, FlagValue(0, last_seq),
-                        max_retries=cfg.ft_max_retries,
+                        max_retries=cfg.ft_max_retries, policy=cfg.ft_retry,
                     )
 
     # -- notification helpers -----------------------------------------------

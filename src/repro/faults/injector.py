@@ -72,6 +72,17 @@ class _Armed:
     fired: bool = field(default=False)
 
 
+@dataclass
+class _Churn:
+    """Armed REPEATED_CRASH state: after the first victim, the next
+    non-dead core to execute a timed primitive at or past ``next_at``
+    is crashed too, until ``left`` reaches zero."""
+
+    spec: FaultSpec
+    next_at: float
+    left: int
+
+
 class FaultInjector:
     """Deterministic fault injection for one chip."""
 
@@ -85,6 +96,15 @@ class FaultInjector:
         self._dead: set[int] = set()
         #: Per-core link-down windows: core id -> end of the down window.
         self._link_down_until: dict[int, float] = {}
+        #: Per-core flap windows: core id -> (t0, until, period, duty).
+        #: The link is down during the first ``duty`` fraction of each
+        #: ``period``-long cycle inside [t0, until).
+        self._flapping: dict[int, tuple[float, float, float, float]] = {}
+        #: Congestion-storm windows: (t0, until, per-access stall).
+        #: Overlapping storms stack additively.
+        self._storms: list[tuple[float, float, float]] = []
+        #: Armed REPEATED_CRASH churn regimes.
+        self._churn: list[_Churn] = []
         #: Protocol writes swallowed by an active link-down window.
         self.burst_dropped: int = 0
         self._armed: dict[str, list[_Armed]] = {}
@@ -175,16 +195,37 @@ class FaultInjector:
         """Extra mesh delay for one MPB transaction of ``src_core``."""
         n_global, n_core = self._bump("mpb_access", src_core)
         spec = self._match("mpb_access", src_core, n_global, n_core)
+        storm = self._storm_stall()
         if spec is None:
-            return 0.0
+            return storm
         self._record(spec, f"core{src_core}->core{dst_core}")
+        now = self.chip.sim.now if self.chip is not None else 0.0
         if spec.kind is FaultKind.LINK_DOWN:
-            now = self.chip.sim.now if self.chip is not None else 0.0
             until = now + spec.duration
             prev = self._link_down_until.get(spec.core, 0.0)
             self._link_down_until[spec.core] = max(prev, until)
-            return 0.0  # writes vanish silently; the access itself is not slowed
-        return spec.duration
+            return storm  # writes vanish silently; the access itself is not slowed
+        if spec.kind is FaultKind.FLAPPING_LINK:
+            # Arm the duty cycle; like LINK_DOWN, down phases swallow
+            # writes silently rather than slowing the access.
+            self._flapping[spec.core] = (
+                now, now + spec.duration, spec.period, spec.duty,
+            )
+            return storm
+        if spec.kind is FaultKind.CONGESTION_STORM:
+            # The per-access stall applies from the triggering access on.
+            self._storms.append((now, now + spec.duration, spec.period))
+            return storm + spec.period
+        return storm + spec.duration
+
+    def _storm_stall(self) -> float:
+        """Total extra per-access stall from storms active right now."""
+        if not self._storms:
+            return 0.0
+        now = self.chip.sim.now if self.chip is not None else 0.0
+        return sum(
+            stall for t0, until, stall in self._storms if t0 <= now < until
+        )
 
     def core_op(self, core_id: int) -> float:
         """Called at every timed core primitive.  Returns extra pause
@@ -194,12 +235,37 @@ class FaultInjector:
         n_global, n_core = self._bump("core_op", core_id)
         spec = self._match("core_op", core_id, n_global, n_core)
         if spec is None:
+            self._churn_check(core_id)
             return 0.0
         self._record(spec, f"core{core_id}")
         if spec.kind is FaultKind.CORE_CRASH:
             self._dead.add(core_id)
             self._raise_dead(core_id)
+        if spec.kind is FaultKind.REPEATED_CRASH:
+            now = self.chip.sim.now if self.chip is not None else 0.0
+            if spec.cycles > 1:
+                self._churn.append(
+                    _Churn(spec=spec, next_at=now + spec.period,
+                           left=spec.cycles - 1)
+                )
+            self._dead.add(core_id)
+            self._raise_dead(core_id)
         return spec.duration
+
+    def _churn_check(self, core_id: int) -> None:
+        """Claim the next churn crash: once a REPEATED_CRASH regime's
+        gap has elapsed, the first (non-dead) core to execute a timed
+        primitive becomes the next victim."""
+        if not self._churn:
+            return
+        now = self.chip.sim.now if self.chip is not None else 0.0
+        for churn in self._churn:
+            if churn.left > 0 and now >= churn.next_at:
+                churn.left -= 1
+                churn.next_at = now + churn.spec.period
+                self._dead.add(core_id)
+                self._record(churn.spec, f"core{core_id} (churn)")
+                self._raise_dead(core_id)
 
     def adversary_stage(self, core_id: int) -> FaultSpec | None:
         """Byzantine staging hook: called by the Byzantine-tolerant engine
@@ -238,11 +304,16 @@ class FaultInjector:
         return core_id in self._dead
 
     def _link_is_down(self, core_id: int) -> bool:
-        until = self._link_down_until.get(core_id)
-        if until is None:
-            return False
         now = self.chip.sim.now if self.chip is not None else 0.0
-        return now < until
+        until = self._link_down_until.get(core_id)
+        if until is not None and now < until:
+            return True
+        flap = self._flapping.get(core_id)
+        if flap is not None:
+            t0, f_until, period, duty = flap
+            if t0 <= now < f_until and (now - t0) % period < duty * period:
+                return True
+        return False
 
     def _raise_dead(self, core_id: int) -> None:
         now = self.chip.sim.now if self.chip is not None else 0.0

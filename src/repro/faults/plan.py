@@ -69,6 +69,30 @@ class FaultKind(enum.Enum):
     #: Byzantine core: at its nth quorum-vote round, vote a well-formed
     #: but false digest, consistently to every member.
     LIE_IN_QUORUM = "lie_in_quorum"
+    #: Sustained regime: core ``core``'s mesh interface *flaps* with a
+    #: duty cycle.  From the victim's nth MPB transaction, time is cut
+    #: into ``period``-us cycles for ``duration`` us total; in the first
+    #: ``duty`` fraction of each cycle the link is down (protocol MPB
+    #: writes to or from the core silently drop, as with LINK_DOWN),
+    #: then up for the rest.  An un-paced retry schedule that fits
+    #: inside one down-phase loses every re-send; a backoff schedule
+    #: spanning a full cycle is guaranteed an up-phase attempt.
+    FLAPPING_LINK = "flapping_link"
+    #: Sustained regime: crash churn across epochs.  Crashes core
+    #: ``core`` at its nth timed operation, then keeps crashing: after
+    #: each crash, the next surviving core to execute a timed operation
+    #: at least ``period`` us later is crashed too, ``cycles`` crashes
+    #: in total.  Exercises repeated suspicion/election/eviction rounds
+    #: rather than the single-failover path.
+    REPEATED_CRASH = "repeated_crash"
+    #: Sustained regime: a congestion storm.  From the nth MPB
+    #: transaction (of ``core``, or of anyone when ``core`` is None),
+    #: *every* MPB transaction chip-wide for the next ``duration`` us is
+    #: stalled an extra ``period`` us -- correlated slowdown, not loss.
+    #: Fixed suspicion deadlines tuned for a quiet mesh false-evict
+    #: under it; the phi-accrual detector widens with the observed
+    #: delays instead.
+    CONGESTION_STORM = "congestion_storm"
 
 
 #: Valid ``crash_site`` choices for campaigns and the CLI: where a
@@ -90,7 +114,17 @@ CATEGORY_OF = {
     FaultKind.EQUIVOCATE: "adv_stage",
     FaultKind.FORGE_FLAG_VALUE: "quorum_vote",
     FaultKind.LIE_IN_QUORUM: "quorum_vote",
+    FaultKind.FLAPPING_LINK: "mpb_access",
+    FaultKind.REPEATED_CRASH: "core_op",
+    FaultKind.CONGESTION_STORM: "mpb_access",
 }
+
+#: The sustained-regime kinds: a trigger occurrence arms a long-running
+#: fault *process* (flap cycles, crash churn, a storm window) instead of
+#: one discrete event.
+SUSTAINED_KINDS = frozenset(
+    (FaultKind.FLAPPING_LINK, FaultKind.REPEATED_CRASH, FaultKind.CONGESTION_STORM)
+)
 
 #: The Byzantine adversary kinds (category ``adv_stage`` or
 #: ``quorum_vote``).  Their counters are only bumped by the
@@ -115,24 +149,80 @@ class FaultSpec:
     kind: FaultKind
     nth: int = 1
     core: int | None = None
-    #: Stall/pause length in microseconds (stall and pause kinds only).
+    #: Stall/pause length in microseconds (stall and pause kinds only);
+    #: for the sustained kinds, the *total span* of the regime (flap /
+    #: storm window length in us; unused for REPEATED_CRASH).
     duration: float = 0.0
+    #: Sustained-regime cycle length (us): one down+up flap cycle for
+    #: FLAPPING_LINK, the minimum gap between crashes for
+    #: REPEATED_CRASH, the per-access extra stall for CONGESTION_STORM.
+    period: float = 0.0
+    #: FLAPPING_LINK only: the fraction of each cycle the link is down.
+    duty: float = 0.0
+    #: REPEATED_CRASH only: total number of crashes in the churn.
+    cycles: int = 0
 
     def __post_init__(self) -> None:
         if self.nth < 1:
             raise ValueError(f"nth must be >= 1, got {self.nth}")
         if self.duration < 0:
             raise ValueError(f"duration must be >= 0, got {self.duration}")
+        if self.period < 0:
+            raise ValueError(f"period must be >= 0, got {self.period}")
+        if not 0.0 <= self.duty <= 1.0:
+            raise ValueError(f"duty must be in [0, 1], got {self.duty}")
+        if self.cycles < 0:
+            raise ValueError(f"cycles must be >= 0, got {self.cycles}")
+        if self.kind not in SUSTAINED_KINDS and (
+            self.period or self.duty or self.cycles
+        ):
+            raise ValueError(
+                f"{self.kind.value} takes no period/duty/cycles (sustained-"
+                "regime fields)"
+            )
         needs_duration = self.kind in (
             FaultKind.LINK_STALL,
             FaultKind.CORE_PAUSE,
             FaultKind.LINK_DOWN,
+            FaultKind.FLAPPING_LINK,
+            FaultKind.CONGESTION_STORM,
         )
         if needs_duration and self.duration == 0.0:
             raise ValueError(f"{self.kind.value} needs a positive duration")
-        needs_core = (FaultKind.CORE_PAUSE, FaultKind.CORE_CRASH, FaultKind.LINK_DOWN)
+        needs_core = (
+            FaultKind.CORE_PAUSE,
+            FaultKind.CORE_CRASH,
+            FaultKind.LINK_DOWN,
+            FaultKind.FLAPPING_LINK,
+            FaultKind.REPEATED_CRASH,
+        )
         if self.kind in needs_core and self.core is None:
             raise ValueError(f"{self.kind.value} needs an explicit victim core")
+        if self.kind is FaultKind.FLAPPING_LINK:
+            if self.period <= 0.0:
+                raise ValueError("flapping_link needs a positive cycle period")
+            if not 0.0 < self.duty < 1.0:
+                raise ValueError(
+                    "flapping_link needs a duty cycle strictly between 0 "
+                    "and 1 (duty=1 is LINK_DOWN, duty=0 is no fault)"
+                )
+            if self.period > self.duration:
+                raise ValueError(
+                    "flapping_link period exceeds its total duration: the "
+                    "link would never complete one down/up cycle -- use "
+                    "LINK_DOWN for a single outage"
+                )
+        if self.kind is FaultKind.REPEATED_CRASH:
+            if self.period <= 0.0:
+                raise ValueError(
+                    "repeated_crash needs a positive inter-crash period"
+                )
+            if self.cycles < 1:
+                raise ValueError("repeated_crash needs cycles >= 1")
+        if self.kind is FaultKind.CONGESTION_STORM and self.period <= 0.0:
+            raise ValueError(
+                "congestion_storm needs a positive per-access stall (period)"
+            )
         if self.kind in ADVERSARY_KINDS and self.core is None:
             raise ValueError(
                 f"{self.kind.value} needs an explicit adversary core: a "

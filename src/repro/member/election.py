@@ -47,6 +47,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Generator, Iterable
 
 from ..rcce.flags import FlagSlotArray
+from ..resilience.policy import RetryPolicy
 from ..sim.errors import TimeoutError as SimTimeoutError
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -72,6 +73,8 @@ class ElectionConfig:
     jitter_max: float = 200.0
     #: Re-send bound for acked claim writes.
     max_retries: int = 3
+    #: Pacing for acked claim re-casts (``None`` = immediate re-send).
+    claim_retry: RetryPolicy | None = None
 
     def __post_init__(self) -> None:
         if self.claim_step <= 0 or self.settle <= 0:
@@ -148,6 +151,7 @@ class ElectionService:
                     cc.rank,
                     round_no,
                     max_retries=self.config.max_retries,
+                    policy=self.config.claim_retry,
                 )
             except SimTimeoutError:
                 cc.trace("member.claim_unreachable", member=m)

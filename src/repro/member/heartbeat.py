@@ -46,6 +46,8 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Generator, Iterable
 
 from ..rcce.flags import FlagSlotArray, FlagValue
+from ..resilience.detector import DetectorConfig, PhiAccrualDetector
+from ..resilience.policy import RetryPolicy, plan_delays
 from ..scc.config import CACHE_LINE
 from ..sim.errors import TimeoutError as SimTimeoutError
 
@@ -67,6 +69,13 @@ DIRECTIVE_REBROADCAST = 1
 DIRECTIVE_ABORT = 2
 
 _DIRECTIVE = struct.Struct("<BBH")  # code, source, round
+
+#: Staged beside the directive: the installer's OC sequence-window base
+#: after the failed attempt.  Only *lagging* adopters (view-flag seq
+#: beyond the round they are recovering) pull it -- it is how a member
+#: that missed whole broadcast windows rejoins with its sequence
+#: numbering in lockstep (see ``OcBcastService._fast_forward``).
+_WINDOW = struct.Struct("<I")
 
 
 @dataclass(frozen=True)
@@ -117,6 +126,25 @@ class MembershipConfig:
     hb_max_retries: int = 3
     #: Service-level bound on re-broadcast attempts per message.
     max_attempts: int = 5
+    #: Expected spacing (us) between successive heartbeat solicitations
+    #: (recovery rounds).  Only used by the timing-coherence check:
+    #: the suspicion window must exceed one period plus the worst-case
+    #: heartbeat ack retry time, or a member pacing its re-sends can be
+    #: suspected while still inside its own legal retry schedule.
+    #: ``0.0`` (the default) models purely event-driven rounds.
+    hb_period: float = 0.0
+    #: Adaptive phi-accrual suspicion (``None`` keeps the fixed shared
+    #: ``hb_timeout`` deadline -- the bit-identical legacy behaviour).
+    detector: DetectorConfig | None = None
+    #: Pacing for acked heartbeat slot writes (``None`` = immediate).
+    hb_retry: RetryPolicy | None = None
+    #: Pacing for view-install flag writes and bitmap staging.
+    view_retry: RetryPolicy | None = None
+    #: Per-message recovery budget for the broadcast service: after
+    #: this many failed attempts the service REFUSES deterministically
+    #: (raises :class:`repro.resilience.OverloadError`) instead of
+    #: burning the remaining ``max_attempts``.  ``0`` disables.
+    retry_budget: int = 0
 
     def __post_init__(self) -> None:
         if self.hb_timeout <= 0 or self.view_timeout <= 0:
@@ -130,6 +158,24 @@ class MembershipConfig:
             raise ValueError("hb_max_retries must be >= 0")
         if self.max_attempts < 1:
             raise ValueError("max_attempts must be >= 1")
+        if self.hb_period < 0:
+            raise ValueError("hb_period must be >= 0")
+        if self.retry_budget < 0:
+            raise ValueError("retry_budget must be >= 0")
+        # Timing coherence: a member re-sending its heartbeat under the
+        # declared retry policy is *not* silent -- the suspicion window
+        # must be long enough to see the last legal re-send, or every
+        # paced retry schedule turns into a false eviction.
+        ack_worst = self.hb_retry.max_total_pause() if self.hb_retry else 0.0
+        if self.hb_timeout <= self.hb_period + ack_worst:
+            raise ValueError(
+                f"incoherent membership timing: the suspicion window "
+                f"(hb_timeout={self.hb_timeout:g} us) must exceed one "
+                f"heartbeat period ({self.hb_period:g} us) plus the "
+                f"worst-case heartbeat ack retry time ({ack_worst:g} us "
+                f"from hb_retry); raise hb_timeout or trim hb_retry's "
+                f"backoff schedule"
+            )
 
 
 @dataclass(frozen=True)
@@ -209,7 +255,7 @@ class MembershipService:
         self.view_flag = comm.flag("member.view")
         bitmap_bytes = -(-size // 8)
         self.bitmap_region = comm.layout.alloc_lines(
-            -(-(bitmap_bytes + _DIRECTIVE.size) // CACHE_LINE)
+            -(-(bitmap_bytes + _DIRECTIVE.size + _WINDOW.size) // CACHE_LINE)
         )
         self.views: list[MembershipView] = [
             MembershipView.full(size) for _ in range(size)
@@ -220,6 +266,29 @@ class MembershipService:
         self.coord: list[int] = [root] * size
         #: Per-rank copy of the last adopted completion directive.
         self.directives: list[CompletionDirective] = [NO_DIRECTIVE] * size
+        #: Per-rank round number of the last view install this rank
+        #: observed (the view-flag seq when adopting; the installer's
+        #: own round when installing).  The service layer compares it
+        #: against the round a member is recovering to detect that the
+        #: group has moved past it (see ``OcBcastService._recover``).
+        self.view_rounds: list[int] = [0] * size
+        #: Per-rank copy of the installer's sequence-window base, pulled
+        #: only by lagging adopters (see ``_WINDOW``).
+        self.window_hints: list[int] = [0] * size
+        #: Per-collecting-rank phi-accrual detector state (lazy: only
+        #: ranks that actually coordinate rounds grow one).  The service
+        #: object is shared across the SPMD ranks, so detector state --
+        #: like views/coord/directives -- must be per rank.
+        self._detectors: dict[int, PhiAccrualDetector] = {}
+
+    def detector_for(self, rank: int) -> PhiAccrualDetector | None:
+        """The collecting rank's detector (``None`` when disabled)."""
+        if self.config.detector is None:
+            return None
+        det = self._detectors.get(rank)
+        if det is None:
+            det = self._detectors[rank] = PhiAccrualDetector(self.config.detector)
+        return det
 
     # -- member side -------------------------------------------------------
 
@@ -245,6 +314,7 @@ class MembershipService:
             cc.rank,
             value,
             max_retries=self.config.hb_max_retries,
+            policy=self.config.hb_retry,
         )
 
     def await_view(self, cc: "CoreComm", round_no: int) -> Generator[
@@ -265,25 +335,40 @@ class MembershipService:
             site="member.view",
         )
         epoch, installer = divmod(vals[0].tag, _TAG_BASE)
+        self.view_rounds[cc.rank] = vals[0].seq
+        # A flag seq past the round we are recovering means the group
+        # ran (at least) one whole recovery round without us: pull the
+        # installer's window hint too, so the service can re-align our
+        # sequence numbering (the extra bytes are read only on this lag
+        # path -- the in-step adopt is byte-for-byte the legacy one).
+        lagging = vals[0].seq > round_no
         current = self.views[cc.rank]
-        if epoch != current.epoch:
+        if epoch != current.epoch or lagging:
             bitmap_bytes = -(-cc.size // 8)
+            span = bitmap_bytes + _DIRECTIVE.size
+            if lagging:
+                span += _WINDOW.size
             raw = yield from cc.get_bytes(
-                installer,
-                self.bitmap_region.offset,
-                bitmap_bytes + _DIRECTIVE.size,
+                installer, self.bitmap_region.offset, span
             )
-            view = MembershipView.from_bitmap(epoch, raw[:bitmap_bytes], cc.size)
-            self.views[cc.rank] = view
-            self.coord[cc.rank] = installer
-            self.directives[cc.rank] = CompletionDirective.decode(
-                raw[bitmap_bytes:]
-            )
-            cc.trace(
-                "member.view_adopt",
-                epoch=epoch, coord=installer, members=len(view.members),
-                evicted=cc.rank not in view,
-            )
+            if epoch != current.epoch:
+                view = MembershipView.from_bitmap(
+                    epoch, raw[:bitmap_bytes], cc.size
+                )
+                self.views[cc.rank] = view
+                self.coord[cc.rank] = installer
+                self.directives[cc.rank] = CompletionDirective.decode(
+                    raw[bitmap_bytes:]
+                )
+                cc.trace(
+                    "member.view_adopt",
+                    epoch=epoch, coord=installer, members=len(view.members),
+                    evicted=cc.rank not in view,
+                )
+            if lagging:
+                self.window_hints[cc.rank] = _WINDOW.unpack_from(
+                    raw, bitmap_bytes + _DIRECTIVE.size
+                )[0]
         return self.views[cc.rank]
 
     def evict_self(self, rank: int) -> None:
@@ -304,24 +389,82 @@ class MembershipService:
 
         Reads the *collector's own* MPB copy of the slot array, so any
         member can collect -- the freshly elected coordinator included.
+
+        With ``config.detector`` set, the shared fixed deadline is
+        replaced by a per-member *adaptive* one: the phi-accrual
+        detector's history of this member's past response delays
+        (relative to collect start) yields the silence duration at
+        which phi crosses the threshold.  Observed congestion widens
+        the window; a quiet mesh tightens it toward the floor.  The
+        decision trace (``member.suspect``) is unchanged either way.
         """
         cfg = self.config
         view = self.views[cc.rank]
         floor = 2 * round_no
-        deadline = cc.now + cfg.hb_timeout
+        start = cc.now
+        det = self.detector_for(cc.rank)
+        deadline = start + cfg.hb_timeout
         statuses: dict[int, bool] = {}
         suspects: list[int] = []
         for m in view.members:
             if m == cc.rank:
                 continue
-            remaining = max(0.0, deadline - cc.now)
+            if det is not None:
+                bound = det.timeout(m, fallback=cfg.hb_timeout)
+                cc.observe_histogram(
+                    "resilience.phi_timeout_us", TTD_BOUNDS, bound
+                )
+                remaining = max(0.0, start + bound - cc.now)
+            else:
+                remaining = max(0.0, deadline - cc.now)
             try:
                 got = yield from cc.slot_wait_at_least(
                     self.hb, m, floor, timeout=remaining
                 )
                 statuses[m] = bool(got & 1)
+                if det is not None:
+                    delay = cc.now - start
+                    det.observe(m, delay)
+                    cc.observe_histogram(
+                        "resilience.hb_delay_us", TTD_BOUNDS, delay
+                    )
             except SimTimeoutError:
+                if det is not None and round_no >= 2:
+                    # Adaptive lag grace: a slot sitting exactly one
+                    # round behind is not silence -- the member reported
+                    # the *previous* round and is blocked in its own
+                    # recovery (e.g. an orphan whose commit notification
+                    # died with its parent), waiting for a view install
+                    # that this very round will deliver.  Leave it in
+                    # the view; the install fast-forwards it back into
+                    # step (see OcBcastService._recover).  A genuinely
+                    # dead member's slot never advances, so it is still
+                    # suspected one round later.
+                    try:
+                        lag = yield from cc.slot_wait_at_least(
+                            self.hb, m, floor - 2, timeout=0.0
+                        )
+                    except SimTimeoutError:
+                        lag = None
+                    if lag is not None:
+                        cc.trace(
+                            "resilience.lagging",
+                            member=m, round=round_no, slot=lag,
+                        )
+                        cc.metric_inc("resilience.lagging")
+                        continue
                 suspects.append(m)
+                if det is not None:
+                    # Not a decision record (kind outside DECISION_KINDS):
+                    # phi history differs across backends, decisions must
+                    # not.
+                    cc.trace(
+                        "resilience.suspect",
+                        member=m, round=round_no, timeout=bound,
+                        samples=len(det.samples(m)),
+                    )
+                    cc.metric_inc("resilience.suspects")
+                    det.forget(m)
                 cc.trace("member.suspect", member=m, round=round_no)
                 cc.metric_inc("member.suspected")
         return statuses, suspects
@@ -332,6 +475,7 @@ class MembershipService:
         view: MembershipView,
         round_no: int,
         decision: CompletionDirective | None = None,
+        window: int = 0,
     ) -> Generator[object, object, list[int]]:
         """Install ``view`` as round ``round_no``'s outcome: stage the
         bitmap plus the completion ``decision`` (locally verified), then
@@ -348,6 +492,8 @@ class MembershipService:
         self.views[cc.rank] = view
         self.coord[cc.rank] = cc.rank
         self.directives[cc.rank] = directive
+        self.view_rounds[cc.rank] = round_no
+        self.window_hints[cc.rank] = window
         if view.epoch:
             cc.metric_set("member.epoch", float(view.epoch))
         cc.trace(
@@ -355,9 +501,14 @@ class MembershipService:
             epoch=view.epoch, round=round_no, members=len(view.members),
             directive=directive.code,
         )
-        payload = (view.bitmap(cc.size) + directive.encode()).ljust(
-            self.bitmap_region.nbytes, b"\0"
+        evicted = len([m for m in inform if m not in view]) + (
+            0 if cc.rank in view else 1
         )
+        if evicted:
+            cc.metric_inc("resilience.evictions", evicted)
+        payload = (
+            view.bitmap(cc.size) + directive.encode() + _WINDOW.pack(window)
+        ).ljust(self.bitmap_region.nbytes, b"\0")
         yield from self._stage_bitmap(cc, payload)
         unreachable: list[int] = []
         for m in inform:
@@ -367,6 +518,7 @@ class MembershipService:
                     self.view_flag,
                     FlagValue(tag=view.epoch * _TAG_BASE + cc.rank, seq=round_no),
                     max_retries=cfg.hb_max_retries,
+                    policy=cfg.view_retry,
                 )
             except SimTimeoutError:
                 unreachable.append(m)
@@ -377,7 +529,13 @@ class MembershipService:
         """Write the bitmap into the root's own MPB and verify the local
         deposit (even local protocol writes can be faulted)."""
         off = self.bitmap_region.offset
-        for attempt in range(self.config.hb_max_retries + 1):
+        delays = plan_delays(
+            self.config.view_retry, cc.rank, "member.bitmap",
+            self.config.hb_max_retries,
+        )
+        for attempt in range(len(delays) + 1):
+            if attempt and delays[attempt - 1] > 0.0:
+                yield from cc.compute(delays[attempt - 1])
             yield from cc.put_bytes(cc.rank, off, payload)
             raw = cc.read_local(off, len(payload))
             if raw == payload:
@@ -389,7 +547,7 @@ class MembershipService:
                 return
         raise SimTimeoutError(
             f"core {cc.core_id}: membership bitmap failed to stage after "
-            f"{self.config.hb_max_retries + 1} attempts at "
+            f"{len(delays) + 1} attempts at "
             f"t={cc.now:.4f}",
             process=f"core{cc.core_id}",
             sim_time=cc.now,

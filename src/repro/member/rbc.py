@@ -205,6 +205,7 @@ class RbcService:
                 yield from cc.vote_write_acked(
                     array, member, cc.rank, v, vote,
                     max_retries=self.config.ft_max_retries,
+                    policy=self.config.vote_retry,
                 )
             else:
                 yield from cc.vote_write(array, member, cc.rank, v, vote)

@@ -67,6 +67,7 @@ from typing import TYPE_CHECKING, Generator
 
 from ..core.ocbcast import OcBcast, OcBcastConfig
 from ..core.trees import MemberTree
+from ..resilience.policy import OverloadError
 from ..scc.memory import MemRef
 from ..sim.errors import TimeoutError as SimTimeoutError
 from .election import ElectionConfig, ElectionService
@@ -173,11 +174,22 @@ class OcBcastService:
         root while it lives, else the current coordinator).  Raises
         :class:`repro.sim.TimeoutError` when ``max_attempts`` recovery
         rounds cannot produce a committed broadcast.
+
+        Graceful degradation: with ``member_config.retry_budget`` set,
+        the service accounts each *failed* attempt (one recovery round)
+        against the message's budget and, once spent, REFUSES
+        deterministically -- a traced ``svc.refused`` decision and a
+        structured :class:`repro.resilience.OverloadError` -- instead
+        of burning the remaining ``max_attempts`` against a mesh that
+        is demonstrably not recovering.  The refusing rank has still
+        participated in the budgeted recovery rounds, so survivors see
+        its heartbeats up to the refusal point and evict it cleanly.
         """
         mcfg = self.member.config
         self._msg[cc.rank] += 1
         msg = self._msg[cc.rank]
         tries = 0
+        spent = 0  # failed attempts charged against retry_budget
         override: int | None = None  # directive-designated re-broadcast source
         for _ in range(mcfg.max_attempts):
             tries += 1
@@ -206,10 +218,12 @@ class OcBcastService:
                 status = yield from self.oc.bcast(
                     cc, src, buf, nbytes, tree=tree
                 )
-                # "retry" and "undecided" still mean *this* rank holds a
-                # verified copy: the commit wait happens after its last
-                # chunk landed and checked out.
-                delivered = status in ("ok", "retry", "undecided")
+                # "retry", "undecided" and "moved_on" still mean *this*
+                # rank holds a verified copy: the commit wait happens
+                # after its last chunk landed and checked out.
+                delivered = status in ("ok", "retry", "undecided", "moved_on")
+                if status == "moved_on":
+                    status = yield from self._resync(cc, rnd)
             except SimTimeoutError as err:
                 status = "retry"
                 cc.trace(
@@ -234,9 +248,19 @@ class OcBcastService:
                 return self._outcome(cc, msg, "ok", buf=buf, nbytes=nbytes)
             # -- recovery round -----------------------------------------
             cc.metric_inc("svc.retries")
+            spent += 1
             verdict = yield from self._recover(cc, rnd, src, delivered)
             if verdict is _SELF_EVICT:
                 return self._outcome(cc, msg, "self_evicted", returns="ok")
+            if self._attempt[cc.rank] > rnd and delivered:
+                # Fast-forwarded: the view that answered this member's
+                # recovery was installed for a *later* round, and no
+                # install for this round ever appeared -- the group
+                # resolved this attempt without a recovery round (the
+                # commit was OK; only its notification was lost) while
+                # this holder was out of touch.  Deliver the verified
+                # payload and resume in lockstep at the installed round.
+                return self._outcome(cc, msg, "ok", buf=buf, nbytes=nbytes)
             if (
                 isinstance(verdict, CompletionDirective)
                 and verdict.round_no == rnd
@@ -245,6 +269,18 @@ class OcBcastService:
                     return self._outcome(cc, msg, "aborted")
                 if verdict.code == DIRECTIVE_REBROADCAST:
                     override = verdict.source
+            if mcfg.retry_budget and spent >= mcfg.retry_budget:
+                epoch = self.member.views[cc.rank].epoch
+                cc.trace(
+                    "svc.refused",
+                    msg=msg, round=rnd, spent=spent,
+                    budget=mcfg.retry_budget, epoch=epoch,
+                )
+                cc.metric_inc("resilience.refusals")
+                raise OverloadError(
+                    msg_id=msg, rank=cc.rank, epoch=epoch,
+                    spent=spent, budget=mcfg.retry_budget,
+                )
         raise SimTimeoutError(
             f"core {cc.core_id}: service broadcast not committed after "
             f"{mcfg.max_attempts} attempts at t={cc.now:.4f}",
@@ -252,6 +288,27 @@ class OcBcastService:
             sim_time=cc.now,
             site="svc.attempts",
         )
+
+    def _resync(
+        self, cc: "CoreComm", rnd: int
+    ) -> Generator[object, object, str]:
+        """Disambiguate a ``"moved_on"`` commit: this rank holds the
+        verified payload, its commit notification was lost, and a
+        *later* sequence window is demonstrably streaming.  The
+        coordinator only opens a new window after its commit round
+        resolves, and a RETRY decision installs the next view -- an
+        acked write to every member, suspects included -- *before*
+        re-streaming.  So by the time later-window data can reach this
+        rank, a RETRY's view flag has already landed here: a flag still
+        below this round means the group committed OK and is on the
+        next message (resume in step without a recovery round, which
+        nobody would collect); a flag at or past this round means a
+        recovery is in flight, so fail the attempt and join it."""
+        flag = yield from cc.flag_poll(self.member.view_flag)
+        pending = flag.seq >= rnd
+        cc.trace("svc.resync", round=rnd, view_pending=pending)
+        cc.metric_inc("svc.resync")
+        return "retry" if pending else "ok"
 
     # -- recovery ----------------------------------------------------------
 
@@ -287,6 +344,7 @@ class OcBcastService:
             self._report_failed(cc, rnd)
         try:
             yield from self.member.await_view(cc, rnd)
+            self._fast_forward(cc, rnd)
             return self.member.directives[cc.rank]
         except SimTimeoutError:
             if not reported:
@@ -357,7 +415,10 @@ class OcBcastService:
         if rival is not None:
             cc.trace("svc.step_down", round=rnd, to=rival)
             return "stepped_down", rival
-        yield from self.member.install(cc, new_view, rnd, decision=decision)
+        yield from self.member.install(
+            cc, new_view, rnd, decision=decision,
+            window=self.oc.window_base(cc.rank),
+        )
         return "installed", decision
 
     def _follow(
@@ -372,6 +433,7 @@ class OcBcastService:
         except SimTimeoutError:
             self._report_failed(cc, rnd)
         yield from self.member.await_view(cc, rnd)
+        self._fast_forward(cc, rnd)
         return self.member.directives[cc.rank]
 
     def _elect_and_follow(
@@ -409,6 +471,21 @@ class OcBcastService:
             sim_time=cc.now,
             site="member.elect",
         )
+
+    def _fast_forward(self, cc: "CoreComm", rnd: int) -> None:
+        """A view installed for a *later* round than the one this member
+        is recovering means the member lagged while the group moved on
+        (its commit notification died with its parent, say).  Jump the
+        attempt counter to the installed round so the next attempt's
+        round number -- and with it heartbeat slot values, sequence
+        windows and claims -- is back in lockstep with the
+        coordinator."""
+        sync = self.member.view_rounds[cc.rank]
+        if sync > rnd:
+            cc.trace("svc.fast_forward", round=rnd, to=sync)
+            cc.metric_inc("svc.fast_forward")
+            self._attempt[cc.rank] = sync
+            self.oc.resync_window(cc.rank, self.member.window_hints[cc.rank])
 
     def _report_failed(self, cc: "CoreComm", rnd: int) -> None:
         cc.trace("svc.report_failed", round=rnd)

@@ -64,6 +64,21 @@ I7 ``byzantine-agreement``
     fingerprint (``input_crc``).  This is the Bracha echo/ready promise
     the Byzantine broadcast mode makes on top of I6.
 
+I8 ``no-false-eviction``
+    A member that never missed sending a heartbeat is never suspected.
+    Suspicion (``member.suspect``, detail ``member``/``round``) of rank
+    m at round r is *justified* only if m crashed by fault plan
+    (``fault.injected`` with a crash kind at ``core{m}``), m itself gave
+    up reporting round r (``svc.report_failed``), or m's traced
+    ``member.hb`` stream shows a gap or stops before round r -- it
+    genuinely went silent.  Anything else is a false eviction: the
+    adaptive detector's suspicion floor is sized to cover every *legal*
+    response lag (paced retries, flap down phases, the lagging-orphan
+    grace), so suspecting a member whose heartbeat send for round r is
+    already on the trace means the timeout was wrong, not the member.
+    Note the fixed-deadline legacy config makes no such promise -- churn
+    campaigns attach this checker to the adaptive leg only.
+
 Violations carry the offending record plus a window of the most recent
 records for context.  By default they are collected and raised together
 by :meth:`check` (call it after the run); ``strict=True`` raises at the
@@ -90,6 +105,11 @@ _WRITE_KINDS = frozenset({"flag_write", "slot_write", "put", "get"})
 _ADVERSARY_FAULTS = frozenset(
     {"equivocate", "forge_flag_value", "lie_in_quorum"}
 )
+
+#: Fault kinds whose injection record means the victim core is dead --
+#: suspecting it afterwards is justified however regular its heartbeats
+#: were (I8).
+_CRASH_FAULTS = frozenset({"core_crash", "repeated_crash"})
 
 
 class InvariantViolation(AssertionError):
@@ -140,6 +160,12 @@ class InvariantChecker:
         self._compromised: set[int] = set()
         self._rbc_ok: dict[int, tuple[int, int]] = {}
         self._rbc_input: dict[int, tuple[int, int]] = {}
+        # I8: rank -> (first round sent, last round sent, ever skipped a
+        # round); cores crashed by fault plan; rank -> rounds whose
+        # heartbeat report the member itself gave up on.
+        self._hb_sent: dict[int, tuple[int, int, bool]] = {}
+        self._crashed: set[int] = set()
+        self._hb_failed: dict[int, set[int]] = {}
 
     # -- wiring ------------------------------------------------------------
 
@@ -197,11 +223,23 @@ class InvariantChecker:
         elif kind == "svc.outcome":
             self._on_outcome(rec)
         elif kind == "fault.injected":
-            if rec.detail.get("fault") in _ADVERSARY_FAULTS:
-                site = rec.detail.get("site", "")
-                core = _core_of(site.split(" ", 1)[0])
-                if core is not None:
+            fault = rec.detail.get("fault")
+            site = rec.detail.get("site", "")
+            core = _core_of(site.split(" ", 1)[0])
+            if core is not None:
+                if fault in _ADVERSARY_FAULTS:
                     self._compromised.add(core)
+                elif fault in _CRASH_FAULTS:
+                    self._crashed.add(core)
+        elif kind == "member.hb":
+            self._on_heartbeat(rec)
+        elif kind == "svc.report_failed":
+            rank = _core_of(rec.source)
+            rnd = rec.detail.get("round")
+            if rank is not None and rnd is not None:
+                self._hb_failed.setdefault(rank, set()).add(rnd)
+        elif kind == "member.suspect":
+            self._on_suspect(rec)
         elif kind == "rbc.outcome":
             self._on_rbc_outcome(rec)
         elif self.lossless and kind in _WRITE_KINDS:
@@ -361,6 +399,52 @@ class InvariantChecker:
                 f"source's value",
                 rec,
             )
+
+    def _on_heartbeat(self, rec: TraceRecord) -> None:
+        """I8 bookkeeping: the heartbeat *send* stream of each member."""
+        rank = _core_of(rec.source)
+        rnd = rec.detail.get("round")
+        if rank is None or rnd is None:
+            return
+        prev = self._hb_sent.get(rank)
+        if prev is None:
+            self._hb_sent[rank] = (rnd, rnd, False)
+            return
+        first, last, missed = prev
+        # A jump past last+1 means rounds went by without a send (e.g. a
+        # lagging orphan fast-forwarding); suspicion in the gap is fair.
+        # Re-sends of the same round (re-reporting to an election winner)
+        # and the next round are both contiguous.
+        if rnd > last + 1:
+            missed = True
+        self._hb_sent[rank] = (first, max(last, rnd), missed)
+
+    def _on_suspect(self, rec: TraceRecord) -> None:
+        """I8: suspicion must be earned by actual silence."""
+        d = rec.detail
+        m = d.get("member")
+        rnd = d.get("round")
+        if m is None or rnd is None:
+            return
+        if m in self._crashed:
+            return  # dead by fault plan -- suspicion is the point
+        if rnd in self._hb_failed.get(m, ()):
+            return  # the member itself gave up reporting this round
+        sent = self._hb_sent.get(m)
+        if sent is None:
+            return  # never heartbeated at all -- silence is real
+        first, last, missed = sent
+        if missed or last < rnd or first > 1:
+            return  # a round went unsent (or history starts late)
+        coord = _core_of(rec.source)
+        self._fail(
+            "no-false-eviction",
+            f"core{coord} suspects rank{m} at round {rnd} but rank{m} "
+            f"sent every heartbeat round {first}..{last} (>= {rnd}) and "
+            f"never crashed -- the suspicion timeout undercut a legal "
+            f"response lag",
+            rec,
+        )
 
     def _on_staged(self, rec: TraceRecord) -> None:
         d = rec.detail

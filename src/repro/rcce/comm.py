@@ -15,6 +15,7 @@ from typing import TYPE_CHECKING, Callable, Generator, Sequence
 
 from ..scc.chip import SccChip
 from ..scc.memory import MemRef
+from ..resilience.policy import RetryPolicy
 from .flags import (
     DigestSlotArray,
     Flag,
@@ -158,6 +159,7 @@ class CoreComm:
         nbytes: int,
         *,
         max_retries: int = 3,
+        policy: "RetryPolicy | None" = None,
     ) -> Generator:
         """Acked, bounded-retry put: re-sends un-acked cache lines (see
         :func:`repro.rcce.onesided.put_acked`)."""
@@ -168,6 +170,7 @@ class CoreComm:
             src,
             nbytes,
             max_retries=max_retries,
+            policy=policy,
         )
 
     def get_acked(
@@ -178,6 +181,7 @@ class CoreComm:
         nbytes: int,
         *,
         max_retries: int = 3,
+        policy: "RetryPolicy | None" = None,
     ) -> Generator:
         """Verified, bounded-retry get: re-fetches until the destination
         matches the source (see :func:`repro.rcce.onesided.get_acked`)."""
@@ -188,6 +192,7 @@ class CoreComm:
             dst,
             nbytes,
             max_retries=max_retries,
+            policy=policy,
         )
 
     def put_bytes(
@@ -226,6 +231,7 @@ class CoreComm:
         value: FlagValue,
         *,
         max_retries: int = 3,
+        policy: "RetryPolicy | None" = None,
     ) -> Generator[object, object, FlagValue]:
         """Acknowledged flag write: verify by readback, re-send until it
         lands (see :func:`repro.rcce.flags.flag_write_acked`)."""
@@ -237,6 +243,7 @@ class CoreComm:
                 value,
                 acked=True,
                 max_retries=max_retries,
+                policy=policy,
             )
         )
 
@@ -397,6 +404,7 @@ class CoreComm:
         value: int,
         *,
         max_retries: int = 3,
+        policy: "RetryPolicy | None" = None,
     ) -> Generator:
         yield from array.write_acked(
             self.core,
@@ -404,6 +412,7 @@ class CoreComm:
             slot,
             value,
             max_retries=max_retries,
+            policy=policy,
         )
 
     def slot_peek(self, array: FlagSlotArray, slot: int) -> int:
@@ -456,6 +465,7 @@ class CoreComm:
         digest: int,
         *,
         max_retries: int = 3,
+        policy: "RetryPolicy | None" = None,
     ) -> Generator:
         yield from array.write_acked(
             self.core,
@@ -464,6 +474,7 @@ class CoreComm:
             seq,
             digest,
             max_retries=max_retries,
+            policy=policy,
         )
 
     def vote_peek(self, array: DigestSlotArray, slot: int) -> tuple[int, int]:

@@ -44,11 +44,42 @@ from typing import TYPE_CHECKING, Callable, Generator, Sequence
 from ..sim import any_of
 from ..sim.errors import TimeoutError as SimTimeoutError
 from ..scc.config import CACHE_LINE
+from ..resilience.policy import RetryPolicy, plan_delays
 from .layout import MpbRegion
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..scc.chip import SccChip
     from ..scc.core import Core
+
+# Histogram bucket bounds (us) for backoff pauses inserted by retry
+# policies; coarse decades matching the simulated RMA cost scale.
+_BACKOFF_BOUNDS = (10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0)
+
+
+def _ack_recovered(
+    core: "Core", kind: str, site: str, note: str, attempts: int, **detail
+) -> None:
+    """The shared trace/metric emission for an acked write that needed
+    re-sending: one place instead of three near-identical blocks, so
+    the retry-policy integration (and any future field) lands once."""
+    chip = core.chip
+    chip.trace(f"core{core.id}", kind, attempts=attempts, **detail)
+    if chip.faults is not None:
+        chip.faults.note_recovery(site, note=note)
+    if chip.metrics is not None:
+        chip.metrics.inc("resilience.retry_ok")
+
+
+def _backoff_pause(core: "Core", site: str, delay: float) -> Generator:
+    """Charge one backoff pause before a re-send.  Callers only route
+    strictly positive delays here, so a zero/None policy inserts no
+    simulator events and default traces stay bit-identical."""
+    chip = core.chip
+    chip.trace(f"core{core.id}", "retry_backoff", site=site, delay=delay)
+    if chip.metrics is not None:
+        chip.metrics.inc("resilience.backoffs")
+        chip.metrics.histogram("resilience.backoff_us", _BACKOFF_BOUNDS).observe(delay)
+    yield core.compute(delay)
 
 _STRUCT = struct.Struct("<qq")  # tag, seq -- 16 of the 32 flag bytes
 
@@ -179,16 +210,23 @@ class FlagSlotArray:
         value: int,
         *,
         max_retries: int = 3,
+        policy: "RetryPolicy | None" = None,
     ) -> Generator:
         """An acknowledged slot write: read the slot back and re-send
         until it verifies (slot values are monotonic per writer, so a
         readback >= value also acks).  The membership heartbeats ride on
         this -- a silently dropped heartbeat would otherwise read as a
-        crash and evict a live core.
+        crash and evict a live core.  A ``policy`` paces the re-sends
+        (and overrides ``max_retries``); ``None`` keeps the legacy
+        immediate re-send schedule.
         """
         chip = core.chip
         off = self.slot_offset(slot)
-        for attempt in range(max_retries + 1):
+        site = f"{self.name}[{slot}]@core{owner_core}"
+        delays = plan_delays(policy, core.id, site, max_retries)
+        for attempt in range(len(delays) + 1):
+            if attempt and delays[attempt - 1] > 0.0:
+                yield from _backoff_pause(core, site, delays[attempt - 1])
             yield from self.write(core, owner_core, slot, value)
             yield from core.mpb_access(owner_core, 1)
             got = int.from_bytes(
@@ -196,24 +234,19 @@ class FlagSlotArray:
             )
             if got >= value:
                 if attempt:
-                    chip.trace(
-                        f"core{core.id}", "slot_write_retry_ok",
+                    _ack_recovered(
+                        core, "slot_write_retry_ok", site,
+                        f"slot re-sent x{attempt}", attempt + 1,
                         array=self.name, owner=owner_core, slot=slot,
-                        attempts=attempt + 1,
                     )
-                    if chip.faults is not None:
-                        chip.faults.note_recovery(
-                            f"{self.name}[{slot}]@core{owner_core}",
-                            note=f"slot re-sent x{attempt}",
-                        )
                 return
         raise SimTimeoutError(
             f"core {core.id}: slot write {self.name}[{slot}] to core "
-            f"{owner_core} un-acked after {max_retries + 1} attempts at "
+            f"{owner_core} un-acked after {len(delays) + 1} attempts at "
             f"t={core.sim.now:.4f}{_timeline_suffix(chip)}",
             process=f"core{core.id}",
             sim_time=core.sim.now,
-            site=f"{self.name}[{slot}]@core{owner_core}",
+            site=site,
         )
 
     def wait_any_at_least(
@@ -400,6 +433,7 @@ class DigestSlotArray:
         digest: int,
         *,
         max_retries: int = 3,
+        policy: "RetryPolicy | None" = None,
     ) -> Generator:
         """An acknowledged vote write: read the slot back and re-send until
         it verifies.  Digests are not monotonic, so unlike
@@ -409,7 +443,11 @@ class DigestSlotArray:
         """
         chip = core.chip
         off = self.slot_offset(slot)
-        for attempt in range(max_retries + 1):
+        site = f"{self.name}[{slot}]@core{owner_core}"
+        delays = plan_delays(policy, core.id, site, max_retries)
+        for attempt in range(len(delays) + 1):
+            if attempt and delays[attempt - 1] > 0.0:
+                yield from _backoff_pause(core, site, delays[attempt - 1])
             yield from self.write(core, owner_core, slot, seq, digest)
             yield from core.mpb_access(owner_core, 1)
             got_seq, got_digest = _VOTE.unpack(
@@ -417,24 +455,19 @@ class DigestSlotArray:
             )
             if got_seq > seq or (got_seq == seq and got_digest == digest):
                 if attempt:
-                    chip.trace(
-                        f"core{core.id}", "vote_write_retry_ok",
+                    _ack_recovered(
+                        core, "vote_write_retry_ok", site,
+                        f"vote re-sent x{attempt}", attempt + 1,
                         array=self.name, owner=owner_core, slot=slot,
-                        attempts=attempt + 1,
                     )
-                    if chip.faults is not None:
-                        chip.faults.note_recovery(
-                            f"{self.name}[{slot}]@core{owner_core}",
-                            note=f"vote re-sent x{attempt}",
-                        )
                 return
         raise SimTimeoutError(
             f"core {core.id}: vote write {self.name}[{slot}] to core "
-            f"{owner_core} un-acked after {max_retries + 1} attempts at "
+            f"{owner_core} un-acked after {len(delays) + 1} attempts at "
             f"t={core.sim.now:.4f}{_timeline_suffix(chip)}",
             process=f"core{core.id}",
             sim_time=core.sim.now,
-            site=f"{self.name}[{slot}]@core{owner_core}",
+            site=site,
         )
 
     def tally(self, chip: "SccChip", owner_core: int, seq: int) -> dict[int, int]:
@@ -563,9 +596,11 @@ def flag_write_acked(
     value: FlagValue,
     *,
     max_retries: int = 3,
+    policy: "RetryPolicy | None" = None,
 ) -> Generator[object, object, FlagValue]:
     """An *acknowledged* flag write: write, read the line back, re-send
-    until it verifies (at most ``max_retries`` re-sends).
+    until it verifies (at most ``max_retries`` re-sends, or the
+    ``policy``'s schedule when one is given).
 
     The SCC's MPB store is fire-and-forget; the ack here is a remote
     read of the just-written line, costing one extra 1-line MPB access
@@ -575,7 +610,11 @@ def flag_write_acked(
     Raises :class:`repro.sim.TimeoutError` when every attempt was lost.
     """
     chip = core.chip
-    for attempt in range(max_retries + 1):
+    site = f"{flag.name}@core{owner_core}"
+    delays = plan_delays(policy, core.id, site, max_retries)
+    for attempt in range(len(delays) + 1):
+        if attempt and delays[attempt - 1] > 0.0:
+            yield from _backoff_pause(core, site, delays[attempt - 1])
         yield from flag_write(core, owner_core, flag, value)
         # The ack: read the remote line back and compare.
         yield from core.mpb_access(owner_core, 1)
@@ -584,23 +623,19 @@ def flag_write_acked(
         )
         if got.tag == value.tag and got.seq >= value.seq:
             if attempt > 0:
-                chip.trace(
-                    f"core{core.id}", "flag_write_retry_ok",
-                    flag=flag.name, owner=owner_core, attempts=attempt + 1,
+                _ack_recovered(
+                    core, "flag_write_retry_ok", site,
+                    f"flag re-sent x{attempt}", attempt + 1,
+                    flag=flag.name, owner=owner_core,
                 )
-                if chip.faults is not None:
-                    chip.faults.note_recovery(
-                        f"{flag.name}@core{owner_core}",
-                        note=f"flag re-sent x{attempt}",
-                    )
             return got
     raise SimTimeoutError(
         f"core {core.id}: flag write {flag.name!r} to core {owner_core} "
-        f"un-acked after {max_retries + 1} attempts at t={core.sim.now:.4f}"
+        f"un-acked after {len(delays) + 1} attempts at t={core.sim.now:.4f}"
         f"{_timeline_suffix(chip)}",
         process=f"core{core.id}",
         sim_time=core.sim.now,
-        site=f"{flag.name}@core{owner_core}",
+        site=site,
     )
 
 
@@ -612,6 +647,7 @@ def flag_put(
     *,
     acked: bool = False,
     max_retries: int = 3,
+    policy: "RetryPolicy | None" = None,
 ) -> Generator[object, object, "FlagValue | None"]:
     """The one entry point for remote flag writes: plain fire-and-forget
     or acked (readback-verified, bounded re-send).  Higher layers route
@@ -619,7 +655,8 @@ def flag_put(
     if acked:
         return (
             yield from flag_write_acked(
-                core, owner_core, flag, value, max_retries=max_retries
+                core, owner_core, flag, value,
+                max_retries=max_retries, policy=policy,
             )
         )
     yield from flag_write(core, owner_core, flag, value)

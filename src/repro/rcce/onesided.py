@@ -27,7 +27,8 @@ from ..scc.config import CACHE_LINE, ContentionMode
 from ..scc.core import lines_of
 from ..scc.memory import MemRef
 from ..sim.errors import TimeoutError as SimTimeoutError
-from .flags import _timeline_suffix
+from ..resilience.policy import RetryPolicy, plan_delays
+from .flags import _ack_recovered, _backoff_pause, _timeline_suffix
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..scc.core import Core
@@ -97,10 +98,12 @@ def put_acked(
     nbytes: int,
     *,
     max_retries: int = 3,
+    policy: "RetryPolicy | None" = None,
 ) -> Generator:
     """A :func:`put` with an acknowledgment: after writing, the calling
     core reads the destination lines back and re-sends the whole transfer
-    until the readback matches (at most ``max_retries`` re-sends).
+    until the readback matches (at most ``max_retries`` re-sends, or the
+    ``policy``'s paced schedule when one is given).
 
     MPB writes on the SCC are unacknowledged, so a put can silently lose
     cache lines; the verification read doubles the MPB traffic of the
@@ -114,7 +117,11 @@ def put_acked(
         return
     chip = core.chip
     m = lines_of(nbytes)
-    for attempt in range(max_retries + 1):
+    site = f"mpb{dst_core}@{dst_offset}"
+    delays = plan_delays(policy, core.id, site, max_retries)
+    for attempt in range(len(delays) + 1):
+        if attempt and delays[attempt - 1] > 0.0:
+            yield from _backoff_pause(core, site, delays[attempt - 1])
         yield from put(core, dst_core, dst_offset, src, nbytes)
         # The ack: read the destination region back over the mesh.
         yield from core.mpb_access(dst_core, m)
@@ -126,23 +133,19 @@ def put_acked(
         got = chip.mpbs[dst_core].read_bytes(dst_offset, nbytes)
         if got == expected:
             if attempt > 0:
-                chip.trace(
-                    f"core{core.id}", "put_retry_ok",
-                    dst=dst_core, off=dst_offset, attempts=attempt + 1,
+                _ack_recovered(
+                    core, "put_retry_ok", f"put->core{dst_core}@{dst_offset}",
+                    f"{nbytes}B re-sent x{attempt}", attempt + 1,
+                    dst=dst_core, off=dst_offset,
                 )
-                if chip.faults is not None:
-                    chip.faults.note_recovery(
-                        f"put->core{dst_core}@{dst_offset}",
-                        note=f"{nbytes}B re-sent x{attempt}",
-                    )
             return
     raise SimTimeoutError(
         f"core {core.id}: put of {nbytes} B to core {dst_core}@{dst_offset} "
-        f"un-acked after {max_retries + 1} attempts at t={core.sim.now:.4f}"
+        f"un-acked after {len(delays) + 1} attempts at t={core.sim.now:.4f}"
         f"{_timeline_suffix(chip)}",
         process=f"core{core.id}",
         sim_time=core.sim.now,
-        site=f"mpb{dst_core}@{dst_offset}",
+        site=site,
     )
 
 
@@ -154,10 +157,11 @@ def get_acked(
     nbytes: int,
     *,
     max_retries: int = 3,
+    policy: "RetryPolicy | None" = None,
 ) -> Generator:
     """A :func:`get` with verification: the destination is read back and
     the transfer re-fetched until it matches the source lines (at most
-    ``max_retries`` re-fetches).
+    ``max_retries`` re-fetches, or the ``policy``'s paced schedule).
 
     The vulnerable leg of a get is the deposit into the caller's *own*
     MPB -- an unacknowledged write like any other -- so the readback is
@@ -171,7 +175,11 @@ def get_acked(
         return
     chip = core.chip
     m = lines_of(nbytes)
-    for attempt in range(max_retries + 1):
+    site = f"mpb{src_core}@{src_offset}"
+    delays = plan_delays(policy, core.id, site, max_retries)
+    for attempt in range(len(delays) + 1):
+        if attempt and delays[attempt - 1] > 0.0:
+            yield from _backoff_pause(core, site, delays[attempt - 1])
         yield from get(core, src_core, src_offset, dst, nbytes)
         expected = chip.mpbs[src_core].read_bytes(src_offset, nbytes)
         if isinstance(dst, MemRef):
@@ -182,23 +190,19 @@ def get_acked(
             got = core.mpb.read_bytes(int(dst), nbytes)
         if got == expected:
             if attempt > 0:
-                chip.trace(
-                    f"core{core.id}", "get_retry_ok",
-                    src=src_core, off=src_offset, attempts=attempt + 1,
+                _ack_recovered(
+                    core, "get_retry_ok", f"get<-core{src_core}@{src_offset}",
+                    f"{nbytes}B re-fetched x{attempt}", attempt + 1,
+                    src=src_core, off=src_offset,
                 )
-                if chip.faults is not None:
-                    chip.faults.note_recovery(
-                        f"get<-core{src_core}@{src_offset}",
-                        note=f"{nbytes}B re-fetched x{attempt}",
-                    )
             return
     raise SimTimeoutError(
         f"core {core.id}: get of {nbytes} B from core {src_core}@{src_offset} "
-        f"unverified after {max_retries + 1} attempts at t={core.sim.now:.4f}"
+        f"unverified after {len(delays) + 1} attempts at t={core.sim.now:.4f}"
         f"{_timeline_suffix(chip)}",
         process=f"core{core.id}",
         sim_time=core.sim.now,
-        site=f"mpb{src_core}@{src_offset}",
+        site=site,
     )
 
 

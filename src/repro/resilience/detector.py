@@ -1,0 +1,193 @@
+"""Phi-accrual failure detector for round-solicited heartbeats.
+
+The classic phi-accrual detector [Hayashibara et al. 2004] watches a
+*periodic* heartbeat stream and asks: given the empirical distribution
+of inter-arrival times, how implausible is the current silence?  The
+suspicion level is
+
+    phi(t) = -log10( P_later(t) )
+
+where ``P_later(t)`` is the probability that a heartbeat arrives later
+than ``t`` under the fitted distribution (here: normal tail, the
+common practical choice).  phi == 1 means ~10% chance the member is
+alive and merely slow, phi == 3 means ~0.1%, and so on; a threshold on
+phi trades detection time against false positives.
+
+The SCC membership protocol does not have periodic heartbeats: the
+coordinator *solicits* one heartbeat per recovery round
+(:meth:`repro.member.heartbeat.MembershipService.collect`).  The
+quantity with a stable distribution is therefore the per-round
+*response delay* -- heartbeat arrival time minus collect start -- and
+that is what this detector models per member.  Observed delays absorb
+mesh congestion, flag-retry backoff, and scheduling jitter, so the
+suspicion timeout self-tunes: a congested mesh widens the window; a
+quiet mesh tightens it toward the floor.
+
+Determinism: the detector is pure state over observed virtual-clock
+delays -- no wall clock, no RNG -- so identical runs produce identical
+phi values and timeouts on both transport backends.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, Tuple
+
+__all__ = ["DetectorConfig", "PhiAccrualDetector"]
+
+# Probability floor: avoids -log10(0) when the silence is far out in
+# the fitted tail.  Corresponds to phi = 300.
+_MIN_P = 1e-300
+
+
+@dataclass(frozen=True)
+class DetectorConfig:
+    """Tuning for :class:`PhiAccrualDetector`.
+
+    ``threshold``
+        Suspicion level phi at which a member is declared suspect.
+        8.0 (p ~ 1e-8) is conservative; lower detects faster but
+        false-positives more under jitter.
+    ``window``
+        Number of most-recent response-delay samples kept per member.
+    ``min_std``
+        Lower bound on the fitted standard deviation (us).  Guards
+        against a degenerate distribution when observed delays are
+        near-constant (the deterministic SCC backend produces exactly
+        repeating delays).
+    ``min_samples``
+        Below this many samples the detector abstains and the caller
+        falls back to the configured fixed deadline.
+    ``floor`` / ``cap``
+        Clamp on the adaptive timeout (us).  The floor keeps a quiet
+        mesh from tightening into false positives; the cap bounds
+        detection time no matter how congested the history looks
+        (0.0 = uncapped).
+    """
+
+    threshold: float = 8.0
+    window: int = 32
+    min_std: float = 25.0
+    min_samples: int = 3
+    floor: float = 500.0
+    cap: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.threshold <= 0.0:
+            raise ValueError("phi threshold must be > 0")
+        if self.window < 2:
+            raise ValueError("window must hold at least 2 samples")
+        if self.min_std <= 0.0:
+            raise ValueError("min_std must be > 0")
+        if self.min_samples < 2:
+            raise ValueError("min_samples must be >= 2")
+        if self.floor < 0.0:
+            raise ValueError("floor must be >= 0")
+        if self.cap < 0.0:
+            raise ValueError("cap must be >= 0")
+        if self.cap and self.cap < self.floor:
+            raise ValueError("cap must be >= floor when set")
+
+
+class PhiAccrualDetector:
+    """Per-member suspicion accrual over heartbeat response delays.
+
+    One instance belongs to one observing rank (the recovery-round
+    coordinator); state is keyed by observed member id.
+    """
+
+    def __init__(self, config: DetectorConfig | None = None):
+        self.config = config or DetectorConfig()
+        self._samples: Dict[int, Deque[float]] = {}
+        self.observations = 0
+
+    # -- recording ---------------------------------------------------
+
+    def observe(self, member: int, delay: float) -> None:
+        """Record one response delay (us) for ``member``."""
+        if delay < 0.0:
+            raise ValueError("response delay must be >= 0")
+        dq = self._samples.get(member)
+        if dq is None:
+            dq = self._samples[member] = deque(maxlen=self.config.window)
+        dq.append(delay)
+        self.observations += 1
+
+    def samples(self, member: int) -> Tuple[float, ...]:
+        return tuple(self._samples.get(member, ()))
+
+    def forget(self, member: int) -> None:
+        """Drop history for an evicted member (slot ids get reused)."""
+        self._samples.pop(member, None)
+
+    # -- the fitted distribution ------------------------------------
+
+    def _fit(self, member: int) -> Tuple[float, float] | None:
+        """(mean, std) of the member's delay history, or None if the
+        history is too short for the detector to have an opinion."""
+        dq = self._samples.get(member)
+        if dq is None or len(dq) < self.config.min_samples:
+            return None
+        n = len(dq)
+        mean = sum(dq) / n
+        var = sum((x - mean) ** 2 for x in dq) / n
+        std = max(math.sqrt(var), self.config.min_std)
+        return mean, std
+
+    def phi(self, member: int, silence: float) -> float | None:
+        """Suspicion level after ``silence`` us without a response.
+
+        Returns ``None`` while the member's history is shorter than
+        ``min_samples`` (caller should fall back to its fixed
+        deadline).  Monotonically non-decreasing in ``silence``.
+        """
+        fit = self._fit(member)
+        if fit is None:
+            return None
+        mean, std = fit
+        # Normal upper-tail probability that a response arrives later
+        # than `silence`.
+        z = (silence - mean) / (std * math.sqrt(2.0))
+        p = max(0.5 * math.erfc(z), _MIN_P)
+        return -math.log10(p)
+
+    def timeout(self, member: int, fallback: float) -> float:
+        """Silence duration at which phi crosses the threshold.
+
+        This is the adaptive replacement for the fixed suspicion
+        deadline: wait this long for ``member`` before suspecting it.
+        Falls back to ``fallback`` (the configured fixed deadline)
+        while history is insufficient; the result is clamped to
+        ``[floor, cap]``.
+
+        stdlib has no inverse erfc, so the crossing is solved by
+        bisection on the (monotone) phi curve -- a few dozen
+        iterations on floats, negligible next to a simulated RMA
+        round-trip.
+        """
+        cfg = self.config
+        fit = self._fit(member)
+        if fit is None:
+            t = fallback
+        else:
+            mean, std = fit
+            lo = mean
+            hi = mean + 40.0 * std  # phi(hi) >> any practical threshold
+            phi_hi = self.phi(member, hi)
+            if phi_hi is not None and phi_hi < cfg.threshold:
+                t = hi
+            else:
+                for _ in range(80):
+                    mid = 0.5 * (lo + hi)
+                    p = self.phi(member, mid)
+                    if p is None or p < cfg.threshold:
+                        lo = mid
+                    else:
+                        hi = mid
+                t = hi
+        t = max(t, cfg.floor)
+        if cfg.cap > 0.0:
+            t = min(t, cfg.cap)
+        return t

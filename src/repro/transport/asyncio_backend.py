@@ -45,6 +45,7 @@ from ..faults.injector import FaultInjector
 from ..faults.plan import FaultPlan
 from ..rcce.flags import _VOTE, DigestSlotArray, Flag, FlagSlotArray, FlagValue
 from ..rcce.layout import MpbLayout
+from ..resilience.policy import RetryPolicy, plan_delays
 from ..scc.config import CACHE_LINE, MPB_BYTES, MPB_LINES
 from ..scc.memory import MemRef, PrivateMemory
 from ..sim.errors import DeadlockError, TimeoutError as SimTimeoutError
@@ -397,29 +398,46 @@ class AsyncioNetwork:
         )
         return landed
 
+    async def _backoff_pause(self, rank: int, site: str, delay: float) -> None:
+        """One policy-paced pause before a re-send; mirrors the SCC
+        backend's ``_backoff_pause`` (same trace kind/fields) so paced
+        recovery stays decision-comparable across backends."""
+        self.emit(f"core{rank}", "retry_backoff", site=site, delay=delay)
+        await self.sleep(rank, delay, site=site)
+
+    def _ack_recovered(
+        self, rank: int, kind: str, site: str, note: str, attempts: int, **detail
+    ) -> None:
+        """Shared trace emission for an acked write that needed
+        re-sending (the asyncio twin of ``repro.rcce.flags._ack_recovered``;
+        metrics are SCC-side only)."""
+        self.emit(f"core{rank}", kind, attempts=attempts, **detail)
+        if self.faults is not None:
+            self.faults.note_recovery(site, note=note)
+
     async def flag_write_acked(
         self, rank: int, owner: int, flag: Flag, value: FlagValue,
-        *, max_retries: int = 3,
+        *, max_retries: int = 3, policy: "RetryPolicy | None" = None,
     ) -> FlagValue:
         site = f"{flag.name}@core{owner}"
-        for attempt in range(max_retries + 1):
+        delays = plan_delays(policy, rank, site, max_retries)
+        for attempt in range(len(delays) + 1):
+            if attempt and delays[attempt - 1] > 0.0:
+                await self._backoff_pause(rank, site, delays[attempt - 1])
             await self.flag_write(rank, owner, flag, value)
             raw = await self._read(rank, owner, flag.offset, CACHE_LINE, site=site)
             got = FlagValue.decode(raw)
             if got.tag == value.tag and got.seq >= value.seq:
                 if attempt > 0:
-                    self.emit(
-                        f"core{rank}", "flag_write_retry_ok",
-                        flag=flag.name, owner=owner, attempts=attempt + 1,
+                    self._ack_recovered(
+                        rank, "flag_write_retry_ok", site,
+                        f"flag re-sent x{attempt}", attempt + 1,
+                        flag=flag.name, owner=owner,
                     )
-                    if self.faults is not None:
-                        self.faults.note_recovery(
-                            site, note=f"flag re-sent x{attempt}"
-                        )
                 return got
         raise SimTimeoutError(
             f"rank {rank}: flag write {flag.name!r} to rank {owner} un-acked "
-            f"after {max_retries + 1} attempts at t={self.now:.4f}"
+            f"after {len(delays) + 1} attempts at t={self.now:.4f}"
             f"{self._timeline_suffix()}",
             process=f"rank{rank}",
             sim_time=self.now,
@@ -472,27 +490,27 @@ class AsyncioNetwork:
 
     async def slot_write_acked(
         self, rank: int, owner: int, array: FlagSlotArray, slot: int, value: int,
-        *, max_retries: int = 3,
+        *, max_retries: int = 3, policy: "RetryPolicy | None" = None,
     ) -> None:
         site = f"{array.name}[{slot}]@core{owner}"
         off = array.slot_offset(slot)
-        for attempt in range(max_retries + 1):
+        delays = plan_delays(policy, rank, site, max_retries)
+        for attempt in range(len(delays) + 1):
+            if attempt and delays[attempt - 1] > 0.0:
+                await self._backoff_pause(rank, site, delays[attempt - 1])
             await self.slot_write(rank, owner, array, slot, value)
             raw = await self._read(rank, owner, off, array.SLOT_BYTES, site=site)
             if int.from_bytes(raw, "little") >= value:
                 if attempt:
-                    self.emit(
-                        f"core{rank}", "slot_write_retry_ok", array=array.name,
-                        owner=owner, slot=slot, attempts=attempt + 1,
+                    self._ack_recovered(
+                        rank, "slot_write_retry_ok", site,
+                        f"slot re-sent x{attempt}", attempt + 1,
+                        array=array.name, owner=owner, slot=slot,
                     )
-                    if self.faults is not None:
-                        self.faults.note_recovery(
-                            site, note=f"slot re-sent x{attempt}"
-                        )
                 return
         raise SimTimeoutError(
             f"rank {rank}: slot write {array.name}[{slot}] to rank {owner} "
-            f"un-acked after {max_retries + 1} attempts at t={self.now:.4f}"
+            f"un-acked after {len(delays) + 1} attempts at t={self.now:.4f}"
             f"{self._timeline_suffix()}",
             process=f"rank{rank}",
             sim_time=self.now,
@@ -557,27 +575,28 @@ class AsyncioNetwork:
     async def vote_write_acked(
         self, rank: int, owner: int, array: DigestSlotArray, slot: int,
         seq: int, digest: int, *, max_retries: int = 3,
+        policy: "RetryPolicy | None" = None,
     ) -> None:
         site = f"{array.name}[{slot}]@core{owner}"
         off = array.slot_offset(slot)
-        for attempt in range(max_retries + 1):
+        delays = plan_delays(policy, rank, site, max_retries)
+        for attempt in range(len(delays) + 1):
+            if attempt and delays[attempt - 1] > 0.0:
+                await self._backoff_pause(rank, site, delays[attempt - 1])
             await self.vote_write(rank, owner, array, slot, seq, digest)
             raw = await self._read(rank, owner, off, array.SLOT_BYTES, site=site)
             got_seq, got_digest = _VOTE.unpack(raw)
             if got_seq > seq or (got_seq == seq and got_digest == digest):
                 if attempt:
-                    self.emit(
-                        f"core{rank}", "vote_write_retry_ok", array=array.name,
-                        owner=owner, slot=slot, attempts=attempt + 1,
+                    self._ack_recovered(
+                        rank, "vote_write_retry_ok", site,
+                        f"vote re-sent x{attempt}", attempt + 1,
+                        array=array.name, owner=owner, slot=slot,
                     )
-                    if self.faults is not None:
-                        self.faults.note_recovery(
-                            site, note=f"vote re-sent x{attempt}"
-                        )
                 return
         raise SimTimeoutError(
             f"rank {rank}: vote write {array.name}[{slot}] to rank {owner} "
-            f"un-acked after {max_retries + 1} attempts at t={self.now:.4f}"
+            f"un-acked after {len(delays) + 1} attempts at t={self.now:.4f}"
             f"{self._timeline_suffix()}",
             process=f"rank{rank}",
             sim_time=self.now,
@@ -835,25 +854,28 @@ class AsyncioTransport:
 
     def put_acked(
         self, dst_rank: int, dst_offset: int, src: "MemRef | int", nbytes: int,
-        *, max_retries: int = 3,
+        *, max_retries: int = 3, policy: "RetryPolicy | None" = None,
     ) -> Generator:
         dst = self.net.core_of(dst_rank)
         site = f"mpb{dst}@{dst_offset}"
         payload = self._payload_of(src, nbytes)
-        for attempt in range(max_retries + 1):
+        delays = plan_delays(policy, self.rank, site, max_retries)
+        for attempt in range(len(delays) + 1):
+            if attempt and delays[attempt - 1] > 0.0:
+                yield self.net._backoff_pause(self.rank, site, delays[attempt - 1])
             yield from self.put(dst_rank, dst_offset, src, nbytes)
             got = yield self.net._read(self.rank, dst, dst_offset, nbytes, site=site)
             if got == payload:
                 if attempt:
-                    self.net.emit(
-                        f"core{self.rank}", "put_retry_ok", dst=dst,
-                        off=dst_offset, attempts=attempt + 1,
+                    self.net._ack_recovered(
+                        self.rank, "put_retry_ok", site,
+                        f"{nbytes}B re-sent x{attempt}", attempt + 1,
+                        dst=dst, off=dst_offset,
                     )
-                    self.note_recovery(site, note=f"{nbytes}B re-sent x{attempt}")
                 return
         raise SimTimeoutError(
             f"rank {self.rank}: put of {nbytes} bytes to rank {dst} un-acked "
-            f"after {max_retries + 1} attempts at t={self.now:.4f}"
+            f"after {len(delays) + 1} attempts at t={self.now:.4f}"
             f"{self.net._timeline_suffix()}",
             process=f"rank{self.rank}",
             sim_time=self.now,
@@ -862,11 +884,14 @@ class AsyncioTransport:
 
     def get_acked(
         self, src_rank: int, src_offset: int, dst: "MemRef | int", nbytes: int,
-        *, max_retries: int = 3,
+        *, max_retries: int = 3, policy: "RetryPolicy | None" = None,
     ) -> Generator:
         src = self.net.core_of(src_rank)
         site = f"mpb{src}@{src_offset}"
-        for attempt in range(max_retries + 1):
+        delays = plan_delays(policy, self.rank, site, max_retries)
+        for attempt in range(len(delays) + 1):
+            if attempt and delays[attempt - 1] > 0.0:
+                yield self.net._backoff_pause(self.rank, site, delays[attempt - 1])
             yield from self.get(src_rank, src_offset, dst, nbytes)
             want = yield self.net._read(self.rank, src, src_offset, nbytes, site=site)
             if isinstance(dst, MemRef):
@@ -875,15 +900,15 @@ class AsyncioTransport:
                 have = self.net.stores[self.rank].read_bytes(dst, nbytes)
             if have == want:
                 if attempt:
-                    self.net.emit(
-                        f"core{self.rank}", "get_retry_ok", src=src,
-                        off=src_offset, attempts=attempt + 1,
+                    self.net._ack_recovered(
+                        self.rank, "get_retry_ok", site,
+                        f"{nbytes}B re-fetched x{attempt}", attempt + 1,
+                        src=src, off=src_offset,
                     )
-                    self.note_recovery(site, note=f"{nbytes}B re-fetched x{attempt}")
                 return
         raise SimTimeoutError(
             f"rank {self.rank}: get of {nbytes} bytes from rank {src} "
-            f"unverified after {max_retries + 1} attempts at t={self.now:.4f}"
+            f"unverified after {len(delays) + 1} attempts at t={self.now:.4f}"
             f"{self.net._timeline_suffix()}",
             process=f"rank{self.rank}",
             sim_time=self.now,
@@ -923,11 +948,12 @@ class AsyncioTransport:
         yield self.net.flag_write(self.rank, self.net.core_of(owner_rank), flag, value)
 
     def flag_set_acked(
-        self, owner_rank: int, flag: Flag, value: FlagValue, *, max_retries: int = 3
+        self, owner_rank: int, flag: Flag, value: FlagValue,
+        *, max_retries: int = 3, policy: "RetryPolicy | None" = None,
     ) -> Generator[object, object, FlagValue]:
         got = yield self.net.flag_write_acked(
             self.rank, self.net.core_of(owner_rank), flag, value,
-            max_retries=max_retries,
+            max_retries=max_retries, policy=policy,
         )
         return got
 
@@ -973,11 +999,11 @@ class AsyncioTransport:
 
     def slot_write_acked(
         self, array: FlagSlotArray, owner_rank: int, slot: int, value: int,
-        *, max_retries: int = 3,
+        *, max_retries: int = 3, policy: "RetryPolicy | None" = None,
     ) -> Generator:
         yield self.net.slot_write_acked(
             self.rank, self.net.core_of(owner_rank), array, slot, value,
-            max_retries=max_retries,
+            max_retries=max_retries, policy=policy,
         )
 
     def slot_peek(self, array: FlagSlotArray, slot: int) -> int:
@@ -1014,10 +1040,11 @@ class AsyncioTransport:
     def vote_write_acked(
         self, array: DigestSlotArray, owner_rank: int, slot: int, seq: int,
         digest: int, *, max_retries: int = 3,
+        policy: "RetryPolicy | None" = None,
     ) -> Generator:
         yield self.net.vote_write_acked(
             self.rank, self.net.core_of(owner_rank), array, slot, seq, digest,
-            max_retries=max_retries,
+            max_retries=max_retries, policy=policy,
         )
 
     def vote_peek(self, array: DigestSlotArray, slot: int) -> tuple[int, int]:

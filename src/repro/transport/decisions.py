@@ -51,6 +51,7 @@ DECISION_KINDS = frozenset(
         "svc.step_down",
         "svc.self_evict",
         "svc.report_failed",
+        "svc.refused",
         # membership
         "member.hb",
         "member.suspect",

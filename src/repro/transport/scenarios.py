@@ -27,8 +27,10 @@ from typing import Callable, Generator
 
 from ..faults.injector import FaultInjector
 from ..faults.plan import FaultKind, FaultPlan, FaultSpec
+from ..member.heartbeat import MembershipConfig
 from ..member.service import DEFAULT_SERVICE_OC, OcBcastService
 from ..rcce.comm import Comm
+from ..resilience import DetectorConfig, RetryPolicy
 from ..scc.chip import SccChip, run_spmd
 from ..scc.config import CACHE_LINE, SccConfig
 from ..sim.errors import FaultInjected
@@ -54,6 +56,13 @@ class Scenario:
     plan_specs: tuple[FaultSpec, ...] = ()
     #: (rank, trace kind, nth) for a CrashOnEvent, or None.
     crash: tuple[int, str, int] | None = None
+    #: Run the service with the adaptive resilience configuration:
+    #: seeded-backoff :class:`repro.resilience.RetryPolicy` pacing on the
+    #: heartbeat / view / FT write paths and phi-accrual suspicion.  The
+    #: policy's virtual-time pauses are a pure function of (rank, site,
+    #: seed), so the schedule is identical on both backends; phi history
+    #: differs freely (``resilience.*`` kinds are not decision records).
+    adaptive: bool = False
 
     @property
     def nbytes(self) -> int:
@@ -94,12 +103,60 @@ SCENARIOS: dict[str, Scenario] = {
         name="drop_flag", nranks=8, mesh=(2, 2), chunks=1,
         plan_specs=(FaultSpec(FaultKind.DROP_FLAG_WRITE, core=3, nth=1),),
     ),
+    # A sustained regime under the adaptive configuration: rank 3's MPB
+    # port flaps on a 300-us duty cycle from its first access.  Down
+    # phases (45 us) swallow protocol writes silently; the seeded backoff
+    # schedule straddles them on both backends, so every acked write
+    # lands well inside its protocol deadline and the decision stream
+    # equals the fault-free run's.  The flap anchor is nth=1 -- the only
+    # ``mpb_access`` occurrence number portable across backends (the SCC
+    # mesh counts line batches, asyncio counts operations).  Three chunks
+    # (vs ft_broadcast's two) so the pinned digest is its own stream, not
+    # an alias of the fault-free baseline's.
+    "flapping_link": Scenario(
+        name="flapping_link", nranks=8, mesh=(2, 2), chunks=3,
+        adaptive=True,
+        plan_specs=(FaultSpec(
+            FaultKind.FLAPPING_LINK, core=3, nth=1,
+            duration=900.0, period=300.0, duty=0.15,
+        ),),
+    ),
 }
 
 #: The scenarios whose decision digests are pinned as goldens and swept
 #: across seeds by the equivalence suite (drop_flag is exercised by the
 #: fault-parity tests instead).
-DIFFERENTIAL_NAMES = ("ft_broadcast", "root_crash_election", "byz_quorum")
+DIFFERENTIAL_NAMES = (
+    "ft_broadcast", "root_crash_election", "byz_quorum", "flapping_link",
+)
+
+#: The adaptive scenarios' retry pacing: total worst-case pause ~1.9 ms,
+#: far under the 6 ms heartbeat deadline, with single pauses capped well
+#: under the 2.5 ms commit-notify wait.  Seeded independently of the
+#: payload seed so sweeping scenario seeds never reshuffles the pacing.
+_ADAPTIVE_POLICY = RetryPolicy.backoff(
+    max_retries=6, base=40.0, factor=2.0, cap=600.0, jitter=0.1, seed=20,
+)
+
+
+def _service_for(transport, sc: Scenario) -> OcBcastService:
+    """The scenario's service, identical on both backends."""
+    oc_config = replace(DEFAULT_SERVICE_OC, byz=True) if sc.byz \
+        else DEFAULT_SERVICE_OC
+    member_config = None
+    if sc.adaptive:
+        oc_config = replace(oc_config, ft_retry=_ADAPTIVE_POLICY)
+        member_config = MembershipConfig(
+            hb_retry=_ADAPTIVE_POLICY,
+            view_retry=_ADAPTIVE_POLICY,
+            detector=DetectorConfig(
+                threshold=8.0, window=32, min_std=50.0,
+                min_samples=4, floor=4_000.0,
+            ),
+        )
+    return OcBcastService(
+        transport, oc_config=oc_config, member_config=member_config
+    )
 
 
 def payload_for(scenario: Scenario, seed: int) -> bytes:
@@ -162,8 +219,7 @@ def run_scc(
     )
     comm = Comm(chip)
     comm.transport_faults = sc.crash_hook()
-    oc_config = replace(DEFAULT_SERVICE_OC, byz=True) if sc.byz else None
-    svc = OcBcastService(comm, oc_config=oc_config)
+    svc = _service_for(comm, sc)
     body = _program(svc, payload_for(sc, seed), sc.nbytes)
 
     def prog(core):
@@ -193,8 +249,7 @@ def run_asyncio(
         time_limit=1_000_000.0,
     )
     net.transport_faults = sc.crash_hook()
-    oc_config = replace(DEFAULT_SERVICE_OC, byz=True) if sc.byz else None
-    svc = OcBcastService(net, oc_config=oc_config)
+    svc = _service_for(net, sc)
     body = _program(svc, payload_for(sc, seed), sc.nbytes)
     outcomes = tuple(net.run(body))
     return RunResult("asyncio", list(net.tracer.records), outcomes, net.faults)

@@ -373,8 +373,8 @@ class TestPinnedBundles:
     every build -- a drift in any of those is a protocol or
     determinism regression, not a flake."""
 
-    def test_three_coordinates_are_pinned(self):
-        assert len(_PINNED) == 3
+    def test_pinned_coordinates_are_all_present(self):
+        assert len(_PINNED) == 4
 
     @pytest.mark.parametrize(
         "path", _PINNED, ids=[os.path.basename(p) for p in _PINNED]

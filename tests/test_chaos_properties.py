@@ -20,7 +20,9 @@ import pytest
 
 from repro.chaos import BACKENDS, ChaosSchedule, ScheduleGenerator
 from repro.chaos.generate import (
-    _BURST_RANGE, _PAUSE_RANGE, _STALL_RANGE,
+    _BURST_RANGE, _CHURN_GAP_RANGE, _FLAP_DURATION_RANGE, _FLAP_DUTY_RANGE,
+    _FLAP_PERIOD_RANGE, _PAUSE_RANGE, _STALL_RANGE, _STORM_DURATION_RANGE,
+    _STORM_STALL_RANGE, _SUSPICION_BOUND,
 )
 from repro.faults import ADVERSARY_KINDS, FaultKind
 
@@ -70,9 +72,11 @@ def test_structural_bounds_hold():
             assert n_injector <= gen.max_events
             assert schedule.n_events <= gen.max_events + 1
             assert schedule.mesh in MESHES
-            # At most one crash event of either flavour.
+            # At most one crash event of any flavour (a REPEATED_CRASH
+            # is one churn *event*, though it kills two cores).
             n_crash = (schedule.crash is not None) + sum(
-                s.kind is FaultKind.CORE_CRASH for s in schedule.specs
+                s.kind in (FaultKind.CORE_CRASH, FaultKind.REPEATED_CRASH)
+                for s in schedule.specs
             )
             assert n_crash <= 1
             for spec in schedule.specs:
@@ -91,6 +95,36 @@ def test_structural_bounds_hold():
                 if spec.kind is FaultKind.CORE_PAUSE:
                     assert schedule.backend == "scc"
                     assert _PAUSE_RANGE[0] <= spec.duration <= _PAUSE_RANGE[1]
+                # Sustained regimes: SCC-only, service mode only, and
+                # every intensity stays inside the stock-suspicion
+                # envelope the generator docstring promises.
+                if spec.kind is FaultKind.FLAPPING_LINK:
+                    assert schedule.backend == "scc"
+                    assert schedule.mode == "service"
+                    assert spec.duration <= _FLAP_DURATION_RANGE[1]
+                    assert spec.duration <= 0.5 * _SUSPICION_BOUND
+                    assert _FLAP_PERIOD_RANGE[0] <= spec.period \
+                        <= _FLAP_PERIOD_RANGE[1]
+                    assert spec.period <= spec.duration
+                    assert _FLAP_DUTY_RANGE[0] <= spec.duty \
+                        <= _FLAP_DUTY_RANGE[1]
+                if spec.kind is FaultKind.REPEATED_CRASH:
+                    assert schedule.backend == "scc"
+                    assert schedule.mode == "service"
+                    # Churn only where two evictions leave quorum slack.
+                    assert 2 * schedule.mesh[0] * schedule.mesh[1] >= 8
+                    assert spec.cycles == 2
+                    assert _CHURN_GAP_RANGE[0] <= spec.period \
+                        <= _CHURN_GAP_RANGE[1]
+                    assert spec.period >= _SUSPICION_BOUND
+                if spec.kind is FaultKind.CONGESTION_STORM:
+                    assert schedule.backend == "scc"
+                    assert schedule.mode == "service"
+                    assert _STORM_DURATION_RANGE[0] <= spec.duration \
+                        <= _STORM_DURATION_RANGE[1]
+                    assert spec.duration <= _SUSPICION_BOUND
+                    assert _STORM_STALL_RANGE[0] <= spec.period \
+                        <= _STORM_STALL_RANGE[1]
             if schedule.model is not None:
                 assert schedule.backend == "asyncio"
                 if schedule.model.faulty:

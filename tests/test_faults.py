@@ -399,6 +399,143 @@ class TestNewFaultKinds:
         assert chip.faults.burst_dropped >= 2
 
 
+class TestSustainedFaultKinds:
+    """FLAPPING_LINK / CONGESTION_STORM / REPEATED_CRASH: regimes that
+    keep firing for a window rather than a single point fault."""
+
+    def test_sustained_spec_validation(self):
+        with pytest.raises(ValueError):  # needs a duty cycle
+            FaultSpec(
+                FaultKind.FLAPPING_LINK, core=0, duration=10.0, period=5.0
+            )
+        with pytest.raises(ValueError):  # duty must be strictly inside (0, 1)
+            FaultSpec(
+                FaultKind.FLAPPING_LINK, core=0, duration=10.0, period=5.0,
+                duty=1.0,
+            )
+        with pytest.raises(ValueError):  # cycle longer than the window
+            FaultSpec(
+                FaultKind.FLAPPING_LINK, core=0, duration=5.0, period=10.0,
+                duty=0.5,
+            )
+        with pytest.raises(ValueError):  # needs a crash count
+            FaultSpec(FaultKind.REPEATED_CRASH, core=0, period=100.0)
+        with pytest.raises(ValueError):  # needs a per-access stall
+            FaultSpec(FaultKind.CONGESTION_STORM, duration=100.0)
+        with pytest.raises(ValueError):  # point kinds reject regime knobs
+            FaultSpec(FaultKind.CORE_CRASH, core=0, period=5.0)
+
+    def test_flapping_link_gates_writes_by_duty_cycle(self):
+        # Core 0's 1st MPB access arms a 50% duty cycle: down for the
+        # first half of each 100k-us period, over a 400k-us window.
+        chip = faulty_chip(
+            FaultSpec(
+                FaultKind.FLAPPING_LINK, nth=1, core=0,
+                duration=400_000.0, period=100_000.0, duty=0.5,
+            )
+        )
+        comm = Comm(chip)
+        p1, p2, p3, p4 = (bytes([i]) * 64 for i in (1, 2, 3, 4))
+
+        def prog(core):
+            cc = comm.attach(core)
+            src = cc.alloc(64)
+            src.write(p1)
+            yield from cc.put(1, 0, src, 64)  # arms; down phase: lost
+            assert chip.mpbs[1].read_bytes(0, 64) == bytes(64)
+            yield core.compute(60_000.0)  # into the up half-cycle
+            src.write(p2)
+            yield from cc.put(1, 0, src, 64)  # delivered
+            assert chip.mpbs[1].read_bytes(0, 64) == p2
+            yield core.compute(40_000.0)  # next cycle's down phase
+            src.write(p3)
+            yield from cc.put(1, 0, src, 64)  # lost again
+            assert chip.mpbs[1].read_bytes(0, 64) == p2
+            yield core.compute(350_000.0)  # past the whole window
+            src.write(p4)
+            yield from cc.put(1, 0, src, 64)  # flap expired: delivered
+
+        run_spmd(chip, prog, core_ids=[0])
+        assert chip.mpbs[1].read_bytes(0, 64) == p4
+        assert chip.faults.n_injected == 1  # the regime itself, once
+        assert chip.faults.burst_dropped >= 2
+
+    def _putter_with_gap(self, chip, comm):
+        def prog(core):
+            cc = comm.attach(core)
+            src = cc.alloc(64)
+            src.write(bytes(range(64)))
+            yield from cc.put(1, 0, src, 64)
+            yield from cc.put(2, 0, src, 64)
+
+        return run_spmd(chip, prog, core_ids=[0]).makespan
+
+    def test_congestion_storm_stalls_every_access_in_window(self):
+        plain = SccChip(SccConfig())
+        base = self._putter_with_gap(plain, Comm(plain))
+        chip = faulty_chip(
+            FaultSpec(
+                FaultKind.CONGESTION_STORM, nth=1,
+                duration=100_000.0, period=250.0,
+            )
+        )
+        stormy = self._putter_with_gap(chip, Comm(chip))
+        # Both puts' MPB accesses fall inside the window; each pays the
+        # per-access stall, and nothing is dropped.
+        assert stormy == pytest.approx(base + 2 * 250.0)
+        assert chip.mpbs[1].read_bytes(0, 64) == bytes(range(64))
+        assert chip.mpbs[2].read_bytes(0, 64) == bytes(range(64))
+
+    def test_repeated_crash_churns_through_cores(self):
+        # Core 0 dies at its 1st timed primitive; every 450 us after, the
+        # next live core to execute one dies too, three crashes in all.
+        chip = faulty_chip(
+            FaultSpec(
+                FaultKind.REPEATED_CRASH, nth=1, core=0,
+                period=450.0, cycles=3,
+            )
+        )
+        comm = Comm(chip)
+
+        def prog(core):
+            comm.attach(core)
+            try:
+                for _ in range(50):
+                    yield core.compute(100.0)
+            except FaultInjected:
+                return "crashed"
+            return "alive"
+
+        res = run_spmd(chip, prog, core_ids=[0, 1, 2, 3])
+        assert res.values.count("crashed") == 3
+        assert res.values.count("alive") == 1
+        assert res.values[0] == "crashed"  # the named first victim
+        assert chip.faults.n_injected == 3
+        assert sum(chip.faults.is_dead(c) for c in range(4)) == 3
+
+    def test_repeated_crash_single_cycle_is_one_crash(self):
+        chip = faulty_chip(
+            FaultSpec(
+                FaultKind.REPEATED_CRASH, nth=1, core=0,
+                period=450.0, cycles=1,
+            )
+        )
+        comm = Comm(chip)
+
+        def prog(core):
+            comm.attach(core)
+            try:
+                for _ in range(20):
+                    yield core.compute(100.0)
+            except FaultInjected:
+                return "crashed"
+            return "alive"
+
+        res = run_spmd(chip, prog, core_ids=[0, 1])
+        assert res.values == ("crashed", "alive")
+        assert chip.faults.n_injected == 1
+
+
 class TestPlanEdgeCases:
     def test_nth_beyond_candidate_count_never_fires(self):
         chip = faulty_chip(FaultSpec(FaultKind.DROP_FLAG_WRITE, nth=10**6))
@@ -565,6 +702,15 @@ class TestCampaignKnobs:
             FaultKind.CORRUPT_DATA_WRITE,
             FaultKind.LINK_DOWN,
         )
+        assert parse_kinds(["flap", "churn", "storm"]) == (
+            FaultKind.FLAPPING_LINK,
+            FaultKind.REPEATED_CRASH,
+            FaultKind.CONGESTION_STORM,
+        )
+        # The long names work too.
+        assert parse_kinds(
+            ["flapping_link", "repeated_crash", "congestion_storm"]
+        ) == parse_kinds(["flap", "churn", "storm"])
         with pytest.raises(ValueError):
             parse_kinds(["bogus"])
 
@@ -577,6 +723,38 @@ class TestCampaignKnobs:
             FaultCampaign(trials=1, crash_site="edge")
         with pytest.raises(ValueError):
             FaultCampaign(trials=1, link_down_duration=0.0)
+        with pytest.raises(ValueError):
+            FaultCampaign(trials=1, flap_duty=0.0)
+        with pytest.raises(ValueError):
+            FaultCampaign(trials=1, churn_cycles=0)
+        with pytest.raises(ValueError):
+            FaultCampaign(trials=1, storm_stall=0.0)
+
+    def test_sustained_kind_trial_plans(self):
+        from repro.bench import FaultCampaign
+        from repro.bench.faultcampaign import parse_kinds
+
+        campaign = FaultCampaign(
+            trials=3,
+            seed=7,
+            kinds=parse_kinds(["flap", "churn", "storm"]),
+            crash_site="leaf",
+        )
+        plans = campaign.trial_plans()
+        assert plans == campaign.trial_plans()  # pure function of seed
+        flap, churn, storm = (p.specs[0] for p in plans)
+        assert flap.kind is FaultKind.FLAPPING_LINK
+        assert flap.core is not None and flap.core != campaign.root
+        assert flap.duration == campaign.flap_duration
+        assert flap.period == campaign.flap_period
+        assert flap.duty == campaign.flap_duty
+        assert churn.kind is FaultKind.REPEATED_CRASH
+        assert churn.period == campaign.churn_gap
+        assert churn.cycles == campaign.churn_cycles
+        assert storm.kind is FaultKind.CONGESTION_STORM
+        assert storm.core is None  # chip-wide, keyed to an access number
+        assert storm.duration == campaign.storm_duration
+        assert storm.period == campaign.storm_stall
 
     def test_crash_site_choices_cover_the_root(self):
         from repro.bench import FaultCampaign

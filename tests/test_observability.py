@@ -404,6 +404,78 @@ class TestInvariantCheckerUnits:
         assert c.ok
 
 
+class TestNoFalseEviction:
+    """I8 unit cases over synthetic record streams."""
+
+    @staticmethod
+    def _hb(rank, rnd):
+        return _rec("member.hb", f"rank{rank}", round=rnd, ok=True, to=0)
+
+    @staticmethod
+    def _suspect(member, rnd):
+        return _rec("member.suspect", "rank0", member=member, round=rnd)
+
+    def test_suspecting_a_flawless_heartbeater_is_a_violation(self):
+        c = InvariantChecker(lossless=False)
+        for rnd in (1, 2, 3):
+            c.feed(self._hb(5, rnd))
+        c.feed(self._suspect(5, 3))
+        assert [v.invariant for v in c.violations] == ["no-false-eviction"]
+        assert "rank5" in str(c.violations[0])
+
+    def test_crashed_member_may_be_suspected(self):
+        for fault, site in (("core_crash", "core5"),
+                            ("repeated_crash", "core5 (churn)")):
+            c = InvariantChecker(lossless=False)
+            for rnd in (1, 2, 3):
+                c.feed(self._hb(5, rnd))
+            c.feed(_rec("fault.injected", "faults", fault=fault,
+                        site=site, nth=4))
+            c.feed(self._suspect(5, 3))
+            assert c.ok, fault
+
+    def test_silent_member_may_be_suspected(self):
+        c = InvariantChecker(lossless=False)
+        c.feed(self._hb(5, 1))
+        c.feed(self._hb(5, 2))
+        c.feed(self._suspect(5, 3))  # never sent round 3
+        assert c.ok
+
+    def test_member_with_a_round_gap_may_be_suspected(self):
+        # A lagging orphan that fast-forwarded over round 2 *did* miss a
+        # send -- suspicion later is not a detector bug.
+        c = InvariantChecker(lossless=False)
+        c.feed(self._hb(5, 1))
+        c.feed(self._hb(5, 3))
+        c.feed(self._suspect(5, 3))
+        assert c.ok
+
+    def test_failed_reporter_may_be_suspected(self):
+        # The member itself exhausted its heartbeat retries this round:
+        # the coordinator's silence is real even though the send was
+        # traced.
+        c = InvariantChecker(lossless=False)
+        for rnd in (1, 2, 3):
+            c.feed(self._hb(5, rnd))
+        c.feed(_rec("svc.report_failed", "rank5", round=3))
+        c.feed(self._suspect(5, 3))
+        assert c.ok
+
+    def test_never_heartbeated_member_may_be_suspected(self):
+        c = InvariantChecker(lossless=False)
+        c.feed(self._suspect(7, 1))
+        assert c.ok
+
+    def test_resend_of_one_round_stays_contiguous(self):
+        # Re-reporting the same round to an election winner is not a gap.
+        c = InvariantChecker(lossless=False)
+        c.feed(self._hb(5, 1))
+        c.feed(self._hb(5, 1))
+        c.feed(self._hb(5, 2))
+        c.feed(self._suspect(5, 2))
+        assert [v.invariant for v in c.violations] == ["no-false-eviction"]
+
+
 class TestSeededDropIsCaught:
     """The end-to-end negative: one dropped notify flag deadlocks the
     baseline protocol, and the online checker names the exact write."""
